@@ -1,0 +1,97 @@
+// Command swordbench regenerates the tables and figures of the SWORD
+// paper's evaluation section (IPDPS 2018) on the reproduction's simulated
+// substrate.
+//
+// Usage:
+//
+//	swordbench                 # run every experiment
+//	swordbench -exp tab4       # one experiment (fig1, tab1, fig2, drb,
+//	                           # tab2, fig6, tab3, tab4, fig7, fig8, tab5)
+//	swordbench -threads 2,4,8  # thread counts for the sweep experiments
+//	swordbench -repeats 10     # timing repetitions (the paper used 10)
+//	swordbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"sword/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	threads := flag.String("threads", "2,4,8", "comma-separated thread counts for sweeps")
+	repeats := flag.Int("repeats", 3, "timing repetitions per measurement")
+	outDir := flag.String("o", "", "also write each experiment's artifact to <dir>/<id>.txt")
+	csvDir := flag.String("csv", "", "write the figures' data series as CSV to <dir>/<id>.csv")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ts []int
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "swordbench: bad -threads value %q\n", part)
+			os.Exit(2)
+		}
+		ts = append(ts, n)
+	}
+	cfg := harness.ExpConfig{Threads: ts, Repeats: *repeats}
+	experiments := harness.Experiments(cfg)
+
+	ids := harness.ExperimentIDs()
+	if *exp != "" {
+		if _, ok := experiments[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "swordbench: unknown experiment %q (see -list)\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "swordbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "swordbench:", err)
+			os.Exit(1)
+		}
+		for id, f := range harness.CSVExports(cfg) {
+			if *exp != "" && *exp != id {
+				continue
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(f()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "swordbench:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+	for _, id := range ids {
+		out := experiments[id]()
+		fmt.Printf("==== %s ====\n", id)
+		fmt.Println(out)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, id+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "swordbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command swordoffline runs SWORD's offline data-race analysis over an
+// existing trace directory — the second, decoupled half of the pipeline,
+// typically executed after a production run collected its logs (possibly
+// on a different machine, as the paper distributes it across a cluster).
+//
+// Usage:
+//
+//	swordoffline -logdir /tmp/trace            # analyze a collected trace
+//	swordoffline -logdir /tmp/trace -workers 1 # single-worker (paper's OA)
+//	swordoffline -logdir /tmp/trace -batch 4   # bounded-memory streaming
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sword/internal/core"
+	"sword/internal/trace"
+)
+
+func main() {
+	logdir := flag.String("logdir", "", "directory containing sword_*.log / sword_*.meta files")
+	workers := flag.Int("workers", 0, "analysis workers (0 = GOMAXPROCS)")
+	batch := flag.Int("batch", 0, "bound memory by analyzing N top-level region subtrees at a time (0 = all at once)")
+	noSolver := flag.Bool("nosolver", false, "disable the strided-interval constraint solver (ablation)")
+	check := flag.Bool("check", false, "validate trace integrity before analyzing")
+	quiet := flag.Bool("q", false, "print only the summary line")
+	flag.Parse()
+
+	if *logdir == "" {
+		fmt.Fprintln(os.Stderr, "swordoffline: -logdir is required")
+		os.Exit(2)
+	}
+	store, err := trace.NewDirStore(*logdir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swordoffline:", err)
+		os.Exit(1)
+	}
+	if *check {
+		if err := trace.Validate(store); err != nil {
+			fmt.Fprintln(os.Stderr, "swordoffline: trace integrity:", err)
+			os.Exit(1)
+		}
+		fmt.Println("trace integrity: ok")
+	}
+	start := time.Now()
+	rep, err := core.New(store, core.Config{Workers: *workers, NoSolver: *noSolver, SubtreeBatch: *batch}).Analyze()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swordoffline:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	if !*quiet {
+		fmt.Print(rep.String())
+	}
+	st := rep.Stats
+	fmt.Printf("analyzed %d regions, %d intervals, %d concurrent pairs, %d tree nodes (%d accesses) in %v\n",
+		st.Regions, st.Intervals, st.IntervalPairs, st.TreeNodes, st.Accesses, elapsed)
+	if rep.Len() > 0 {
+		os.Exit(3)
+	}
+}

@@ -1,0 +1,94 @@
+// Interleaving: the Figure 1 experiment — the same racy program executed
+// under two forced schedules. A happens-before detector (the ARCHER
+// baseline) reports the race only when the reader's critical section runs
+// first; when the writer's runs first, the release→acquire edge masks it.
+// SWORD's semantic concurrency model reports it under both schedules.
+//
+// The forced schedules stand in for scheduler luck: on a production run
+// you get whichever interleaving the machine happens to produce.
+//
+// Run with: go run ./examples/interleaving
+package main
+
+import (
+	"fmt"
+
+	"sword/internal/archer"
+	"sword/internal/core"
+	"sword/internal/memsim"
+	"sword/internal/omp"
+	"sword/internal/pcreg"
+	"sword/internal/rt"
+	"sword/internal/trace"
+)
+
+// run executes the Figure 1 litmus under one tool and one schedule.
+func run(useArcher, writerFirst bool) int {
+	pcW := pcreg.Site("interleaving.go:write(a)")
+	pcR := pcreg.Site("interleaving.go:read(a)")
+
+	var at *archer.Tool
+	var col *rt.Collector
+	store := trace.NewMemStore()
+	var opts []omp.Option
+	if useArcher {
+		at = archer.New(archer.Config{})
+		opts = append(opts, omp.WithTool(at))
+	} else {
+		col = rt.New(store, rt.Config{})
+		opts = append(opts, omp.WithTool(col))
+	}
+	rtm := omp.New(opts...)
+	space := memsim.NewSpace(nil)
+	a, _ := space.AllocF64(1)
+	lock := rtm.NewLock()
+	seq := omp.NewSequencer()
+
+	rtm.Parallel(2, func(th *omp.Thread) {
+		writerStep, readerStep := 1, 0
+		if writerFirst {
+			writerStep, readerStep = 0, 1
+		}
+		if th.ID() == 0 {
+			seq.Do(writerStep, func() {
+				th.StoreF64(a, 0, 1, pcW) // unprotected write
+				th.WithLock(lock, func() {})
+			})
+		} else {
+			seq.Do(readerStep, func() {
+				th.WithLock(lock, func() {})
+				th.LoadF64(a, 0, pcR) // unprotected read
+			})
+		}
+	})
+
+	if useArcher {
+		return at.Report().Len()
+	}
+	if err := col.Close(); err != nil {
+		panic(err)
+	}
+	rep, err := core.New(store, core.Config{}).Analyze()
+	if err != nil {
+		panic(err)
+	}
+	return rep.Len()
+}
+
+func main() {
+	fmt.Println("Figure 1 — the same program, two schedules:")
+	for _, sched := range []struct {
+		name        string
+		writerFirst bool
+	}{
+		{"(a) reader's critical section first (no happens-before path)", false},
+		{"(b) writer's critical section first (release->acquire path)", true},
+	} {
+		fmt.Printf("\n%s\n", sched.name)
+		fmt.Printf("  archer: %d race(s)\n", run(true, sched.writerFirst))
+		fmt.Printf("  sword:  %d race(s)\n", run(false, sched.writerFirst))
+	}
+	fmt.Println("\nThe happens-before tool misses the race under schedule (b);")
+	fmt.Println("SWORD reports it under both, as concurrency is derived from the")
+	fmt.Println("barrier-interval semantics rather than the observed lock order.")
+}

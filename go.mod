@@ -1,0 +1,3 @@
+module sword
+
+go 1.24

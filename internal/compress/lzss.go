@@ -1,0 +1,184 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LZSS is a from-scratch byte-oriented LZ77 codec using the LZ4 block
+// format: a stream of sequences, each a token byte (high nibble = literal
+// length, low nibble = match length − 4, value 15 extended by 255-run
+// bytes), the literals, a two-byte little-endian match offset, and any
+// extended match length. The final sequence carries only literals.
+//
+// The compressor uses a 4-byte hash table over a 64 KiB window with greedy
+// matching — the same design point as the fast codecs the paper evaluated
+// (LZO/Snappy/LZ4): speed over ratio, good enough for highly repetitive
+// trace buffers.
+type LZSS struct{}
+
+// Name implements Codec.
+func (LZSS) Name() string { return "lzss" }
+
+// ID implements Codec.
+func (LZSS) ID() byte { return IDLZSS }
+
+const (
+	lzMinMatch  = 4
+	lzWindow    = 1 << 16
+	lzHashBits  = 14
+	lzHashSize  = 1 << lzHashBits
+	lzLastBytes = 5 // spec: last 5 bytes are always literals
+)
+
+func lzHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+// Compress implements Codec.
+func (LZSS) Compress(dst, src []byte) []byte {
+	n := len(src)
+	if n < lzMinMatch+lzLastBytes+4 {
+		// Too short to find matches: emit one literal-only sequence.
+		return lzEmit(dst, src, 0, 0)
+	}
+	var table [lzHashSize]int32 // position+1 of a recent occurrence, 0 = none
+	litStart := 0
+	i := 0
+	limit := n - lzLastBytes - lzMinMatch
+	for i <= limit {
+		v := binary.LittleEndian.Uint32(src[i:])
+		h := lzHash(v)
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || i-cand >= lzWindow || binary.LittleEndian.Uint32(src[cand:]) != v {
+			i++
+			continue
+		}
+		// Extend the match forward; stop short of the tail literals.
+		matchLen := lzMinMatch
+		maxLen := n - lzLastBytes - i
+		for matchLen < maxLen && src[cand+matchLen] == src[i+matchLen] {
+			matchLen++
+		}
+		dst = lzEmit(dst, src[litStart:i], i-cand, matchLen)
+		i += matchLen
+		litStart = i
+	}
+	// Final literal-only sequence.
+	return lzEmit(dst, src[litStart:], 0, 0)
+}
+
+// lzEmit appends one sequence: literals then, if matchLen >= lzMinMatch, a
+// match with the given backward offset. matchLen == 0 emits the terminal
+// literal-only sequence.
+func lzEmit(dst, lits []byte, offset, matchLen int) []byte {
+	litLen := len(lits)
+	token := byte(0)
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	ml := 0
+	if matchLen > 0 {
+		ml = matchLen - lzMinMatch
+		if ml >= 15 {
+			token |= 15
+		} else {
+			token |= byte(ml)
+		}
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = lzExtend(dst, litLen-15)
+	}
+	dst = append(dst, lits...)
+	if matchLen > 0 {
+		dst = append(dst, byte(offset), byte(offset>>8))
+		if ml >= 15 {
+			dst = lzExtend(dst, ml-15)
+		}
+	}
+	return dst
+}
+
+func lzExtend(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// Decompress implements Codec.
+func (LZSS) Decompress(dst, src []byte, rawLen int) ([]byte, error) {
+	start := len(dst)
+	want := start + rawLen
+	pos := 0
+	for pos < len(src) {
+		token := src[pos]
+		pos++
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, pos, err = lzReadExtend(src, pos, litLen)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if pos+litLen > len(src) {
+			return nil, fmt.Errorf("compress: lzss literal run of %d overflows input", litLen)
+		}
+		dst = append(dst, src[pos:pos+litLen]...)
+		pos += litLen
+		if pos == len(src) {
+			break // terminal sequence has no match part
+		}
+		if pos+2 > len(src) {
+			return nil, fmt.Errorf("compress: lzss truncated match offset")
+		}
+		offset := int(src[pos]) | int(src[pos+1])<<8
+		pos += 2
+		matchLen := int(token & 15)
+		if matchLen == 15 {
+			var err error
+			matchLen, pos, err = lzReadExtend(src, pos, matchLen)
+			if err != nil {
+				return nil, err
+			}
+		}
+		matchLen += lzMinMatch
+		ref := len(dst) - offset
+		if offset == 0 || ref < start {
+			return nil, fmt.Errorf("compress: lzss match offset %d out of range", offset)
+		}
+		if len(dst)+matchLen > want {
+			return nil, fmt.Errorf("compress: lzss output overruns declared length %d", rawLen)
+		}
+		// Byte-by-byte copy: matches may overlap their own output
+		// (run-length encoding with offset < length).
+		for k := 0; k < matchLen; k++ {
+			dst = append(dst, dst[ref+k])
+		}
+	}
+	if len(dst) != want {
+		return nil, fmt.Errorf("compress: lzss produced %d bytes, want %d", len(dst)-start, rawLen)
+	}
+	return dst, nil
+}
+
+func lzReadExtend(src []byte, pos, base int) (int, int, error) {
+	v := base
+	for {
+		if pos >= len(src) {
+			return 0, 0, fmt.Errorf("compress: lzss truncated length extension")
+		}
+		b := src[pos]
+		pos++
+		v += int(b)
+		if b != 255 {
+			return v, pos, nil
+		}
+	}
+}

@@ -1,0 +1,542 @@
+// Package core implements SWORD's offline data-race analysis: it recovers
+// the concurrency structure of a run from the meta-data files, pairs up
+// concurrent barrier intervals, streams the compressed per-thread logs to
+// build one augmented red-black interval tree per interval, and compares
+// trees of concurrent intervals, deciding precise overlap of strided
+// access intervals with the constraint solver. Conflicting concurrent
+// accesses with disjoint mutex sets, at least one write, and not both
+// atomic are reported as races.
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sword/internal/ilp"
+	"sword/internal/itree"
+	"sword/internal/pcreg"
+	"sword/internal/report"
+	"sword/internal/trace"
+)
+
+// Config parameterizes the offline analyzer.
+type Config struct {
+	// Workers bounds the parallelism of tree construction (one worker per
+	// thread log, as in the paper) and of interval-pair comparison (the
+	// "distributed across a cluster" mode). 0 means GOMAXPROCS.
+	Workers int
+	// PCs symbolizes race reports. When nil the analyzer loads the table
+	// the collector persisted into the store, falling back to numeric ids.
+	PCs *pcreg.Table
+	// NoSolver replaces the precise strided-intersection decision with the
+	// conservative bounding-box overlap — the ablation of Section III-B's
+	// constraint solving. It may produce false positives on interleaved
+	// strided accesses.
+	NoSolver bool
+	// NoCompact skips the post-build interval-tree compaction pass (the
+	// merge step of the paper's trace summarization) — an ablation knob:
+	// fragmented traces then compare with more, smaller nodes.
+	NoCompact bool
+	// SubtreeBatch bounds resident memory by analyzing the run in batches
+	// of top-level region subtrees: each batch streams the logs again but
+	// only materializes its own interval trees, which are freed before the
+	// next batch — the paper's streaming discipline for terabyte traces.
+	// Concurrency never crosses top-level subtrees, so results are
+	// identical to the default whole-run analysis (0 = analyze everything
+	// in one pass).
+	SubtreeBatch int
+}
+
+// Analyzer runs the offline phase over one run's trace store.
+type Analyzer struct {
+	store trace.Store
+	cfg   Config
+}
+
+// New returns an analyzer over store.
+func New(store trace.Store, cfg Config) *Analyzer {
+	return &Analyzer{store: store, cfg: cfg}
+}
+
+// Analyze performs the full offline analysis and returns the race report.
+func (a *Analyzer) Analyze() (*report.Report, error) {
+	workers := a.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pcs := a.cfg.PCs
+	if pcs == nil {
+		if aux, err := a.store.OpenAux("pctable"); err == nil {
+			pcs, err = pcreg.ReadTable(aux)
+			aux.Close()
+			if err != nil {
+				return nil, fmt.Errorf("core: read pc table: %w", err)
+			}
+		} else {
+			pcs = pcreg.NewTable()
+		}
+	}
+
+	s, err := buildStructure(a.store)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := report.New()
+	rep.Stats.Intervals = len(s.intervals)
+	rep.Stats.Regions = len(s.regions)
+	var comparisons, solverCalls atomicCounter
+
+	// Batches of top-level subtrees: concurrency never crosses them, so
+	// each batch is a self-contained analysis whose trees can be freed
+	// afterwards.
+	tops := make([]uint64, 0, len(s.topGroups))
+	for id := range s.topGroups {
+		tops = append(tops, id)
+	}
+	sort.Slice(tops, func(i, j int) bool { return tops[i] < tops[j] })
+	batch := a.cfg.SubtreeBatch
+	if batch <= 0 || batch > len(tops) {
+		batch = len(tops)
+	}
+	for lo := 0; lo < len(tops) || lo == 0; lo += batch {
+		hi := min(lo+batch, len(tops))
+		var include map[uint64]bool // nil = everything (single batch)
+		if hi-lo < len(tops) {
+			include = make(map[uint64]bool, hi-lo)
+			for _, id := range tops[lo:hi] {
+				include[id] = true
+			}
+		}
+		if err := a.buildTrees(s, workers, include); err != nil {
+			return nil, err
+		}
+		pairs := enumeratePairs(s, include)
+		rep.Stats.IntervalPairs += len(pairs)
+		for _, iv := range s.intervals {
+			if include == nil || include[iv.region.top.id] {
+				for _, u := range iv.units {
+					rep.Stats.TreeNodes += u.tree.Len()
+					rep.Stats.Accesses += u.tree.Accesses()
+				}
+			}
+		}
+		var wg sync.WaitGroup
+		ch := make(chan [2]*treeUnit, workers*4)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for pair := range ch {
+					compareTrees(pair[0], pair[1], pcs, a.cfg.NoSolver, rep, &comparisons, &solverCalls)
+				}
+			}()
+		}
+		for _, p := range pairs {
+			ch <- p
+		}
+		close(ch)
+		wg.Wait()
+		if include != nil {
+			// Free this batch's trees before streaming the next one.
+			for _, iv := range s.intervals {
+				if include[iv.region.top.id] {
+					iv.resetUnits()
+				}
+			}
+		}
+		if len(tops) == 0 {
+			break
+		}
+	}
+	rep.Stats.NodeComparisons = comparisons.load()
+	rep.Stats.SolverCalls = solverCalls.load()
+	return rep, nil
+}
+
+// buildTrees streams every slot's log once, routing access events into the
+// interval trees of that slot's intervals (restricted to the top-level
+// subtrees in include when non-nil). Each slot is processed by a single
+// worker — tree construction is not shared, matching the paper's note that
+// each core generates the tree of a different thread.
+func (a *Analyzer) buildTrees(s *structure, workers int, include map[uint64]bool) error {
+	slots := make([]int, 0, len(s.bySlot))
+	for slot := range s.bySlot {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	sem := make(chan struct{}, workers)
+	errs := make(chan error, len(slots))
+	var wg sync.WaitGroup
+	for _, slot := range slots {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(slot int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs <- a.buildSlotTrees(s, slot, include)
+		}(slot)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slotCursor walks a slot's interval fragments in log order.
+type slotCursor struct {
+	spans []fragSpan
+	idx   int
+	held  trace.MutexSet
+}
+
+type fragSpan struct {
+	begin, end uint64
+	iv         *interval
+	unit       *treeUnit
+	held       trace.MutexSet
+}
+
+func newSlotCursor(ivs []*interval, include map[uint64]bool) *slotCursor {
+	c := &slotCursor{}
+	for _, iv := range ivs {
+		included := include == nil || include[iv.region.top.id]
+		if included {
+			iv.materializeUnits()
+		}
+		for _, f := range iv.frags {
+			unit := f.unit // nil when excluded from this batch
+			if !included {
+				unit = nil
+			}
+			c.spans = append(c.spans, fragSpan{begin: f.begin, end: f.begin + f.size, iv: iv, unit: unit, held: f.held})
+		}
+	}
+	sort.Slice(c.spans, func(i, j int) bool { return c.spans[i].begin < c.spans[j].begin })
+	return c
+}
+
+// at returns the tree unit owning logical position pos (nil when the
+// position falls between fragments or outside the batch) plus whether the
+// position lies inside any fragment. Positions are visited in
+// nondecreasing order.
+func (c *slotCursor) at(pos uint64) (*treeUnit, bool) {
+	for c.idx < len(c.spans) && pos >= c.spans[c.idx].end {
+		c.idx++
+	}
+	if c.idx >= len(c.spans) {
+		return nil, false
+	}
+	sp := &c.spans[c.idx]
+	if pos < sp.begin {
+		return nil, false
+	}
+	if pos == sp.begin {
+		c.held = sp.held // fragment entry: seed the running held set
+	}
+	return sp.unit, true
+}
+
+func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]bool) error {
+	defer func() {
+		if a.cfg.NoCompact {
+			return
+		}
+		for _, iv := range s.bySlot[slot] {
+			for _, u := range iv.units {
+				u.tree.Compact()
+			}
+		}
+	}()
+	src, err := a.store.OpenLog(slot)
+	if err != nil {
+		return fmt.Errorf("core: open log %d: %w", slot, err)
+	}
+	lr := trace.NewLogReader(src)
+	defer lr.Close()
+	cur := newSlotCursor(s.bySlot[slot], include)
+	var dec trace.Decoder
+	var ev trace.Event
+	for {
+		start, raw, err := lr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: read log %d: %w", slot, err)
+		}
+		dec.Reset(raw)
+		for dec.More() {
+			pos := start + uint64(dec.Pos())
+			if err := dec.Next(&ev); err != nil {
+				return fmt.Errorf("core: decode log %d at %d: %w", slot, pos, err)
+			}
+			unit, inside := cur.at(pos)
+			switch ev.Kind {
+			case trace.KindMutexAcquire:
+				cur.held = cur.held.With(ev.Mutex)
+			case trace.KindMutexRelease:
+				cur.held = cur.held.Without(ev.Mutex)
+			case trace.KindAccess:
+				if !inside {
+					return fmt.Errorf("core: slot %d access at %d outside any interval fragment", slot, pos)
+				}
+				if unit == nil {
+					continue // outside this batch: decode but do not build
+				}
+				unit.tree.Insert(itree.Access{
+					Addr:    ev.Addr,
+					Width:   uint64(ev.Size),
+					Write:   ev.Write,
+					Atomic:  ev.Atomic,
+					PC:      ev.PC,
+					Mutexes: cur.held,
+				})
+			}
+		}
+	}
+}
+
+// enumeratePairs lists every pair of concurrent tree units. Same-region
+// intervals pair within a barrier id; cross-region concurrency only arises
+// inside one top-level region's subtree (top-level regions are forked in
+// program order by the initial thread), which keeps enumeration linear for
+// the common flat codes. Intervals that spawn tasks contribute one unit
+// per fragment, filtered against the tasks' concurrency windows.
+func enumeratePairs(s *structure, include map[uint64]bool) [][2]*treeUnit {
+	var pairs [][2]*treeUnit
+	seen := make(map[[2]*treeUnit]bool)
+	addUnits := func(x, y *treeUnit) {
+		if x.tree.Len() == 0 || y.tree.Len() == 0 {
+			return
+		}
+		k := [2]*treeUnit{x, y}
+		if lessKey(y.iv.key, x.iv.key) || (x.iv.key == y.iv.key && y.cut < x.cut) {
+			k = [2]*treeUnit{y, x}
+		}
+		if !seen[k] {
+			seen[k] = true
+			pairs = append(pairs, k)
+		}
+	}
+	// add pairs every unit of x with every unit of y.
+	add := func(x, y *interval) {
+		for _, ux := range x.units {
+			for _, uy := range y.units {
+				addUnits(ux, uy)
+			}
+		}
+	}
+	// addWindow pairs only x's units inside [lo, hi) with all of y's.
+	addWindow := func(x *interval, lo, hi uint64, y *interval) {
+		for _, ux := range x.units {
+			if ux.cut < lo || ux.cut >= hi {
+				continue
+			}
+			for _, uy := range y.units {
+				addUnits(ux, uy)
+			}
+		}
+	}
+
+	// Same-region pairs, grouped by (pid, bid).
+	type groupKey struct{ pid, bid uint64 }
+	groups := make(map[groupKey][]*interval)
+	byRegion := make(map[uint64][]*interval)
+	for _, iv := range s.intervals {
+		if include != nil && !include[iv.region.top.id] {
+			continue
+		}
+		groups[groupKey{iv.key.PID, iv.key.BID}] = append(groups[groupKey{iv.key.PID, iv.key.BID}], iv)
+		byRegion[iv.key.PID] = append(byRegion[iv.key.PID], iv)
+	}
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i].key.TID < g[j].key.TID })
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				add(g[i], g[j])
+			}
+		}
+	}
+
+	// Cross-region pairs within each top-level subtree.
+	for topID, regions := range s.topGroups {
+		if len(regions) < 2 {
+			continue
+		}
+		if include != nil && !include[topID] {
+			continue
+		}
+		for i := 0; i < len(regions); i++ {
+			for j := i + 1; j < len(regions); j++ {
+				crossRegionPairs(regions[i], regions[j], byRegion, add, addWindow)
+			}
+		}
+	}
+	// Deterministic order for reproducible parallel scheduling.
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pairs[i], pairs[j]
+		if a[0].iv.key != b[0].iv.key {
+			return lessKey(a[0].iv.key, b[0].iv.key)
+		}
+		if a[0].cut != b[0].cut {
+			return a[0].cut < b[0].cut
+		}
+		if a[1].iv.key != b[1].iv.key {
+			return lessKey(a[1].iv.key, b[1].iv.key)
+		}
+		return a[1].cut < b[1].cut
+	})
+	return pairs
+}
+
+func lessKey(a, b trace.IntervalKey) bool {
+	if a.PID != b.PID {
+		return a.PID < b.PID
+	}
+	if a.BID != b.BID {
+		return a.BID < b.BID
+	}
+	return a.TID < b.TID
+}
+
+// crossRegionPairs emits the concurrent unit pairs across two distinct
+// regions of the same top-level subtree. The chains' divergence point
+// decides concurrency uniformly except in two cases: sibling subtrees
+// hanging off the same interval compare their spawn windows (tasks may
+// overlap; sync regions are serialized), and an ancestor's own interval
+// races with a descendant task subtree exactly within the task's
+// [forkCut, waitCut) window.
+func crossRegionPairs(r1, r2 *region, byRegion map[uint64][]*interval,
+	add func(x, y *interval), addWindow func(x *interval, lo, hi uint64, y *interval)) {
+	f1, f2 := r1.frames, r2.frames
+	n := min(len(f1), len(f2))
+	for i := 0; i < n; i++ {
+		x, y := f1[i], f2[i]
+		if x == y {
+			continue
+		}
+		concurrent := false
+		switch {
+		case x.tid != y.tid:
+			concurrent = x.bid == y.bid
+		case x.bid != y.bid:
+			concurrent = false
+		default:
+			// Sibling subtrees under one interval: window overlap.
+			concurrent = windowsOverlap(x, y)
+		}
+		if concurrent {
+			for _, ix := range byRegion[r1.id] {
+				for _, iy := range byRegion[r2.id] {
+					add(ix, iy)
+				}
+			}
+		}
+		return
+	}
+	// Ancestor relationship: wlog r1 is the ancestor (shorter chain).
+	anc, desc := r1, r2
+	if len(f1) > len(f2) {
+		anc, desc = r2, r1
+	}
+	fork := desc.frames[len(anc.frames)]
+	for _, x := range byRegion[anc.id] {
+		if x.key.BID != fork.bid {
+			continue // barrier-separated from the subtree's spawn interval
+		}
+		if x.key.TID != fork.tid {
+			// Another thread's interval of the same episode: fully
+			// concurrent with the subtree.
+			for _, y := range byRegion[desc.id] {
+				add(x, y)
+			}
+			continue
+		}
+		if fork.async {
+			// The spawner's own interval: concurrent exactly within the
+			// task's window.
+			for _, y := range byRegion[desc.id] {
+				addWindow(x, fork.forkCut, fork.waitCut, y)
+			}
+		}
+	}
+}
+
+// compareTrees reports races between two concurrent tree units by probing
+// each node of the smaller tree against the other tree's overlap index.
+func compareTrees(a, b *treeUnit, pcs *pcreg.Table, noSolver bool, rep *report.Report, comparisons, solverCalls *atomicCounter) {
+	ta, tb := &a.tree, &b.tree
+	if ta.Len() > tb.Len() {
+		ta, tb = tb, ta
+	}
+	var comps, solves uint64
+	ta.Visit(func(na *itree.Node) bool {
+		lo, hi := na.Low, na.High+na.Width-1
+		tb.VisitOverlaps(lo, hi, func(nb *itree.Node) bool {
+			comps++
+			if raceBetween(na, nb, noSolver, &solves) {
+				addr, _ := witness(na, nb, noSolver)
+				rep.Add(report.Race{
+					First:  side(na, pcs),
+					Second: side(nb, pcs),
+					Addr:   addr,
+				})
+			}
+			return true
+		})
+		return true
+	})
+	comparisons.add(comps)
+	solverCalls.add(solves)
+}
+
+func side(n *itree.Node, pcs *pcreg.Table) report.Side {
+	return report.Side{PC: n.PC, Source: pcs.Name(n.PC), Write: n.Write, Atomic: n.Atomic}
+}
+
+// raceBetween applies the race conditions of Section III-B: at least one
+// write, not both atomic, disjoint mutex sets, and a genuinely shared
+// address.
+func raceBetween(na, nb *itree.Node, noSolver bool, solverCalls *uint64) bool {
+	if !na.Write && !nb.Write {
+		return false
+	}
+	if na.Atomic && nb.Atomic {
+		return false
+	}
+	if na.Mutexes.Intersects(nb.Mutexes) {
+		return false
+	}
+	if noSolver {
+		return true // bounding boxes already overlap
+	}
+	*solverCalls++
+	_, ok := ilp.Intersect(na.Progression(), nb.Progression())
+	return ok
+}
+
+func witness(na, nb *itree.Node, noSolver bool) (uint64, bool) {
+	if noSolver {
+		if na.Low > nb.Low {
+			return na.Low, true
+		}
+		return nb.Low, true
+	}
+	return ilp.Intersect(na.Progression(), nb.Progression())
+}
+
+// atomicCounter counts analysis effort across comparison workers.
+type atomicCounter struct{ atomic.Uint64 }
+
+func (c *atomicCounter) add(n uint64) { c.Add(n) }
+
+func (c *atomicCounter) load() uint64 { return c.Load() }

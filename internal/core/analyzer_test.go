@@ -1,0 +1,547 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sword/internal/memsim"
+	"sword/internal/omp"
+	"sword/internal/pcreg"
+	"sword/internal/report"
+	"sword/internal/rt"
+	"sword/internal/trace"
+)
+
+// analyze runs program under the collector and then the offline analyzer.
+func analyze(t *testing.T, cfg Config, program func(rt *omp.Runtime, space *memsim.Space)) *report.Report {
+	t.Helper()
+	store := trace.NewMemStore()
+	col := rt.New(store, rt.Config{Synchronous: true})
+	runtime := omp.New(omp.WithTool(col))
+	space := memsim.NewSpace(nil)
+	program(runtime, space)
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := New(store, cfg).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func wantRaces(t *testing.T, rep *report.Report, n int) {
+	t.Helper()
+	if rep.Len() != n {
+		t.Fatalf("got %d races, want %d:\n%s", rep.Len(), n, rep.String())
+	}
+}
+
+func TestWriteWriteRace(t *testing.T) {
+	pc := pcreg.Site("core-test:ww")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			th.StoreF64(x, 0, float64(th.ID()), pc)
+		})
+	})
+	wantRaces(t, rep, 1)
+	r := rep.Races()[0]
+	if !r.First.Write || !r.Second.Write {
+		t.Fatalf("race sides not writes: %+v", r)
+	}
+}
+
+func TestReadWriteRace(t *testing.T) {
+	pcR := pcreg.Site("core-test:rw-read")
+	pcW := pcreg.Site("core-test:rw-write")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 0 {
+				th.StoreF64(x, 0, 1, pcW)
+			} else {
+				th.LoadF64(x, 0, pcR)
+			}
+		})
+	})
+	wantRaces(t, rep, 1)
+}
+
+func TestNoRaceDisjointWrites(t *testing.T) {
+	pc := pcreg.Site("core-test:disjoint")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		a, _ := space.AllocF64(64)
+		rtm.Parallel(4, func(th *omp.Thread) {
+			th.For(0, 64, func(i int) {
+				th.StoreF64(a, i, float64(i), pc)
+			})
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+func TestNoRaceReadRead(t *testing.T) {
+	pc := pcreg.Site("core-test:rr")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(4, func(th *omp.Thread) {
+			th.LoadF64(x, 0, pc)
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+func TestBarrierSeparatesAccesses(t *testing.T) {
+	pcW := pcreg.Site("core-test:bar-write")
+	pcR := pcreg.Site("core-test:bar-read")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 0 {
+				th.StoreF64(x, 0, 1, pcW)
+			}
+			th.Barrier()
+			if th.ID() == 1 {
+				th.LoadF64(x, 0, pcR)
+			}
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+func TestRaceWithinSameIntervalAfterBarriers(t *testing.T) {
+	pc := pcreg.Site("core-test:post-barrier")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			th.Barrier()
+			th.Barrier()
+			th.StoreF64(x, 0, 1, pc) // same interval (bid 2) on both threads
+		})
+	})
+	wantRaces(t, rep, 1)
+}
+
+func TestMutexProtectionSuppressesRace(t *testing.T) {
+	pc := pcreg.Site("core-test:locked")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(4, func(th *omp.Thread) {
+			th.Critical("sum", func() {
+				v := th.LoadF64(x, 0, pc)
+				th.StoreF64(x, 0, v+1, pc)
+			})
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+func TestDifferentLocksStillRace(t *testing.T) {
+	pc1 := pcreg.Site("core-test:lockA")
+	pc2 := pcreg.Site("core-test:lockB")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 0 {
+				th.Critical("a", func() { th.StoreF64(x, 0, 1, pc1) })
+			} else {
+				th.Critical("b", func() { th.StoreF64(x, 0, 2, pc2) })
+			}
+		})
+	})
+	wantRaces(t, rep, 1)
+}
+
+func TestOneSideUnlockedRaces(t *testing.T) {
+	pcL := pcreg.Site("core-test:one-locked")
+	pcU := pcreg.Site("core-test:one-unlocked")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 0 {
+				th.Critical("c", func() { th.StoreF64(x, 0, 1, pcL) })
+			} else {
+				th.StoreF64(x, 0, 2, pcU)
+			}
+		})
+	})
+	wantRaces(t, rep, 1)
+}
+
+func TestAtomicsDoNotRaceWithAtomics(t *testing.T) {
+	pc := pcreg.Site("core-test:atomic")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(4, func(th *omp.Thread) {
+			th.AtomicAddF64(x, 0, 1, pc)
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+func TestAtomicVsPlainRaces(t *testing.T) {
+	pcA := pcreg.Site("core-test:atomic-side")
+	pcP := pcreg.Site("core-test:plain-side")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 0 {
+				th.AtomicAddF64(x, 0, 1, pcA)
+			} else {
+				th.StoreF64(x, 0, 2, pcP)
+			}
+		})
+	})
+	wantRaces(t, rep, 1)
+}
+
+// TestStridedInterleavedNoRace reproduces the Figure 4 scenario: two
+// threads sweep interleaved 4-byte lanes of the same array region with
+// stride 8; bounding boxes overlap but no byte is shared. The solver must
+// keep this race-free while the NoSolver ablation flags it.
+func TestStridedInterleavedNoRace(t *testing.T) {
+	pc0 := pcreg.Site("core-test:lane0")
+	pc1 := pcreg.Site("core-test:lane1")
+	program := func(rtm *omp.Runtime, space *memsim.Space) {
+		a, _ := space.AllocI32(128) // 4-byte elements
+		rtm.Parallel(2, func(th *omp.Thread) {
+			// Thread 0 writes even elements, thread 1 odd: stride 8 bytes.
+			pc := pc0
+			if th.ID() == 1 {
+				pc = pc1
+			}
+			for i := th.ID(); i < 128; i += 2 {
+				th.StoreI32(a, i, int32(i), pc)
+			}
+		})
+	}
+	wantRaces(t, analyze(t, Config{}, program), 0)
+	noSolver := analyze(t, Config{NoSolver: true}, program)
+	if noSolver.Len() == 0 {
+		t.Fatal("NoSolver ablation should report the bounding-box false positive")
+	}
+}
+
+// TestLoopCarriedDependency is the paper's interval-tree example: the
+// a[i] = a[i-1] loop run by two threads races at the chunk boundary.
+func TestLoopCarriedDependency(t *testing.T) {
+	pcR := pcreg.Site("core-test:dep-read")
+	pcW := pcreg.Site("core-test:dep-write")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		a, _ := space.AllocI32(1000)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			th.For(1, 1000, func(i int) {
+				v := th.LoadI32(a, i-1, pcR)
+				th.StoreI32(a, i, v, pcW)
+			})
+		})
+	})
+	if rep.Len() == 0 {
+		t.Fatal("loop-carried dependency race missed")
+	}
+	found := false
+	for _, r := range rep.Races() {
+		if (r.First.Write && !r.Second.Write) || (!r.First.Write && r.Second.Write) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no read-write race among:\n%s", rep.String())
+	}
+}
+
+// TestFigure2Races reproduces the three races of Figure 2: R1 between
+// sibling threads of one nested region, R2/R3 across two concurrent nested
+// regions — while barrier-separated accesses stay race-free.
+func TestFigure2Races(t *testing.T) {
+	pcX := pcreg.Site("fig2:x")
+	pcY := pcreg.Site("fig2:y")
+	pcXread := pcreg.Site("fig2:x-read")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		y, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(outer *omp.Thread) {
+			if outer.ID() == 0 {
+				// Barrier interval 1 of outer thread 0: write x, then after
+				// the barrier read x (no race with the pre-barrier write).
+				outer.StoreF64(x, 0, 1, pcX)
+				outer.Barrier()
+				outer.LoadF64(x, 0, pcXread)
+			} else {
+				outer.Barrier()
+				// Nested region by outer thread 1: R1 (write-write on y
+				// within the region), R3 (x written here, read by outer
+				// thread 0 concurrently in the same outer interval).
+				outer.Parallel(2, func(in *omp.Thread) {
+					in.StoreF64(y, 0, float64(in.ID()), pcY) // R1
+					if in.ID() == 0 {
+						in.StoreF64(x, 0, 2, pcX) // R3 vs outer read of x
+					}
+				})
+			}
+		})
+	})
+	// Expected distinct site pairs: (y,y) write-write, (x-write, x-read).
+	races := rep.Races()
+	var yy, xr bool
+	for _, r := range races {
+		if strings.Contains(r.First.Source, "fig2:y") && strings.Contains(r.Second.Source, "fig2:y") {
+			yy = true
+		}
+		if (strings.Contains(r.First.Source, "fig2:x") && strings.Contains(r.Second.Source, "fig2:x-read")) ||
+			(strings.Contains(r.Second.Source, "fig2:x") && strings.Contains(r.First.Source, "fig2:x-read")) {
+			xr = true
+		}
+	}
+	if !yy || !xr {
+		t.Fatalf("missing R1 (yy=%v) or R3 (xr=%v):\n%s", yy, xr, rep.String())
+	}
+	// The pre-barrier write of x by outer thread 0 must not race with its
+	// own post-barrier read (same thread) nor create extra reports.
+	wantRaces(t, rep, 2)
+}
+
+// TestNestedForkJoinOrdering: a parent's accesses before and after a
+// nested region never race with the region's contents, and two
+// sequentially composed sibling regions never race with each other.
+func TestNestedForkJoinOrdering(t *testing.T) {
+	pcOuter := pcreg.Site("nest:outer")
+	pcA := pcreg.Site("nest:regionA")
+	pcB := pcreg.Site("nest:regionB")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(1, func(outer *omp.Thread) {
+			outer.StoreF64(x, 0, 1, pcOuter)
+			outer.Parallel(2, func(in *omp.Thread) {
+				if in.ID() == 0 {
+					in.StoreF64(x, 0, 2, pcA)
+				}
+			})
+			outer.Parallel(2, func(in *omp.Thread) {
+				if in.ID() == 1 {
+					in.StoreF64(x, 0, 3, pcB)
+				}
+			})
+			outer.StoreF64(x, 0, 4, pcOuter)
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+// TestConcurrentNestedSiblingRegionsRace: regions forked by different
+// threads of the same interval are concurrent (the R2 shape of Figure 2).
+func TestConcurrentNestedSiblingRegionsRace(t *testing.T) {
+	pc := pcreg.Site("nest:siblings")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		y, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(outer *omp.Thread) {
+			outer.Parallel(2, func(in *omp.Thread) {
+				if in.ID() == 0 {
+					in.StoreF64(y, 0, float64(outer.ID()), pc)
+				}
+			})
+		})
+	})
+	wantRaces(t, rep, 1)
+}
+
+// TestSequentialTopLevelRegionsNoRace: regions forked one after another by
+// the initial thread are join-ordered.
+func TestSequentialTopLevelRegionsNoRace(t *testing.T) {
+	pc1 := pcreg.Site("toplevel:first")
+	pc2 := pcreg.Site("toplevel:second")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Run(func(initial *omp.Thread) {
+			initial.Parallel(4, func(th *omp.Thread) {
+				if th.ID() == 0 {
+					th.StoreF64(x, 0, 1, pc1)
+				}
+			})
+			initial.Parallel(4, func(th *omp.Thread) {
+				if th.ID() == 3 {
+					th.StoreF64(x, 0, 2, pc2)
+				}
+			})
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+// TestSeparateParallelCallsOrdered: successive Runtime.Parallel calls (the
+// convenience wrapper creating a fresh initial context each time) are also
+// ordered, via the region-id ordering of top-level frames.
+func TestSeparateParallelCallsOrdered(t *testing.T) {
+	pc := pcreg.Site("toplevel:separate")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 0 {
+				th.StoreF64(x, 0, 1, pc)
+			}
+		})
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 1 {
+				th.StoreF64(x, 0, 2, pc)
+			}
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+// TestScheduleIndependentDetection is the Figure 1 property: SWORD reports
+// the race under both forced interleavings, because concurrency comes from
+// the semantic model, not the observed synchronization order.
+func TestScheduleIndependentDetection(t *testing.T) {
+	pcW := pcreg.Site("fig1:write")
+	pcR := pcreg.Site("fig1:read")
+	for _, order := range []string{"writer-first", "reader-first"} {
+		order := order
+		rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+			a, _ := space.AllocF64(1)
+			lock := rtm.NewLock()
+			seq := omp.NewSequencer()
+			rtm.Parallel(2, func(th *omp.Thread) {
+				if th.ID() == 0 {
+					step := 0
+					if order == "reader-first" {
+						step = 1
+					}
+					seq.Do(step, func() {
+						th.StoreF64(a, 0, 1, pcW) // unprotected write
+						th.WithLock(lock, func() {})
+					})
+				} else {
+					step := 1
+					if order == "reader-first" {
+						step = 0
+					}
+					seq.Do(step, func() {
+						th.WithLock(lock, func() {})
+						th.LoadF64(a, 0, pcR) // unprotected read
+					})
+				}
+			})
+		})
+		if rep.Len() != 1 {
+			t.Fatalf("%s: got %d races, want 1:\n%s", order, rep.Len(), rep.String())
+		}
+	}
+}
+
+func TestReportSymbolization(t *testing.T) {
+	pc := pcreg.Site("symbolize-me")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			th.StoreF64(x, 0, 1, pc)
+		})
+	})
+	wantRaces(t, rep, 1)
+	if got := rep.Races()[0].First.Source; got != "symbolize-me" {
+		t.Fatalf("source = %q (pc table not round-tripped through store)", got)
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	program := func(rtm *omp.Runtime, space *memsim.Space) {
+		a, _ := space.AllocF64(256)
+		x, _ := space.AllocF64(1)
+		pcs := []uint64{pcreg.Site("wi:1"), pcreg.Site("wi:2"), pcreg.Site("wi:3")}
+		rtm.Parallel(8, func(th *omp.Thread) {
+			th.For(0, 256, func(i int) {
+				th.StoreF64(a, i, 1, pcs[0])
+			})
+			th.StoreF64(x, 0, 1, pcs[1])
+			th.Barrier()
+			th.LoadF64(x, 0, pcs[2])
+		})
+	}
+	base := analyze(t, Config{Workers: 1}, program)
+	for _, w := range []int{2, 8} {
+		rep := analyze(t, Config{Workers: w}, program)
+		if rep.Len() != base.Len() {
+			t.Fatalf("workers=%d: %d races vs %d with workers=1", w, rep.Len(), base.Len())
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		a, _ := space.AllocF64(1024)
+		rtm.Parallel(4, func(th *omp.Thread) {
+			th.For(0, 1024, func(i int) {
+				th.StoreF64(a, i, 1, 1)
+			})
+		})
+	})
+	st := rep.Stats
+	if st.Intervals != 4 || st.Regions != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Accesses != 1024 {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+	if st.TreeNodes == 0 || st.TreeNodes > 8 {
+		t.Fatalf("tree nodes = %d, want small (coalesced)", st.TreeNodes)
+	}
+	if st.IntervalPairs != 6 {
+		t.Fatalf("interval pairs = %d, want C(4,2)=6", st.IntervalPairs)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	store := trace.NewMemStore()
+	rep, err := New(store, Config{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaces(t, rep, 0)
+}
+
+// TestPartialWordRace: a byte store into the middle of a word-sized load.
+func TestPartialWordRace(t *testing.T) {
+	pcB := pcreg.Site("partial:byte")
+	pcW := pcreg.Site("partial:word")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		b, _ := space.AllocBytes(8)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 0 {
+				th.StoreByte(b, 3, 1, pcB)
+			} else {
+				th.Read(b.Base(), 8, pcW) // 8-byte read spanning the byte
+			}
+		})
+	})
+	wantRaces(t, rep, 1)
+}
+
+// TestAtomicChainDoesNotMaskForSword: the counterpart of the archer
+// masking test — an atomic release-acquire chain on another location does
+// not order plain accesses semantically, and sword reports the race under
+// the same pinned schedule.
+func TestAtomicChainDoesNotMaskForSword(t *testing.T) {
+	pcW := pcreg.Site("core-test:atomic-mask-write")
+	pcR := pcreg.Site("core-test:atomic-mask-read")
+	pcA := pcreg.Site("core-test:atomic-flag")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		flag, _ := space.AllocF64(1)
+		seq := omp.NewSequencer()
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 0 {
+				seq.Do(0, func() {
+					th.StoreF64(x, 0, 1, pcW)
+					th.AtomicStoreF64(flag, 0, 1, pcA)
+				})
+			} else {
+				seq.Do(1, func() {
+					th.AtomicLoadF64(flag, 0, pcA)
+					th.LoadF64(x, 0, pcR)
+				})
+			}
+		})
+	})
+	wantRaces(t, rep, 1)
+}

@@ -1,0 +1,61 @@
+package core
+
+import "sword/internal/osl"
+
+// OSL-based concurrency judgment — the paper's literal mechanism
+// (Section II): reconstruct each interval's offset-span label from the
+// meta-data and apply the two-case sequential predicate, with same-region
+// intervals additionally paired by barrier id as the meta-data structure
+// prescribes.
+//
+// The lineage judgment used by the analyzer (enumeratePairs) is the
+// meta-data-driven generalization; intervalLabel/oslConcurrent exist to
+// document and test the correspondence. The two agree on fork-join
+// structures without tasking, except for one documented OSL blind spot:
+// nested regions hanging off *different barrier intervals* of the same
+// team compare as concurrent under pure OSL (offsets incongruent modulo
+// span) even though the barrier orders them. TestOSLBlindSpot pins the
+// divergence; the analyzer's lineage rule decides it correctly.
+
+// intervalLabel reconstructs the offset-span label of an interval: the
+// composed fork labels of the region chain, with the last pair advanced by
+// the interval's barrier count (the Offset column of Table I).
+func intervalLabel(iv *interval) osl.Label {
+	var chain []*region
+	for r := iv.region; r != nil; r = r.parent {
+		chain = append(chain, r)
+	}
+	label := osl.Root()
+	for i := len(chain) - 1; i >= 0; i-- {
+		r := chain[i]
+		var tid uint64
+		if i == 0 {
+			tid = iv.key.TID
+		} else {
+			// The fork coordinate of the next region down names the
+			// forking thread of this region.
+			tid = chain[i-1].frames[len(chain[i-1].frames)-1].tid
+		}
+		label = label.Fork(tid, r.span)
+		if i == 0 {
+			for b := uint64(0); b < iv.key.BID; b++ {
+				label = label.Barrier()
+			}
+		} else {
+			for b := uint64(0); b < chain[i-1].frames[len(chain[i-1].frames)-1].bid; b++ {
+				label = label.Barrier()
+			}
+		}
+	}
+	return label
+}
+
+// oslConcurrent is the paper's judgment: same-region intervals pair by
+// barrier id (the meta-data rule); cross-region intervals use the
+// offset-span predicate.
+func oslConcurrent(a, b *interval) bool {
+	if a.region == b.region {
+		return a.key.BID == b.key.BID && a.key.TID != b.key.TID
+	}
+	return osl.Concurrent(intervalLabel(a), intervalLabel(b))
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"sword/internal/memsim"
+	"sword/internal/omp"
+	"sword/internal/pcreg"
+	"sword/internal/rt"
+	"sword/internal/trace"
+)
+
+// multiRegionProgram runs several top-level regions with races confined to
+// specific regions, so batched analysis must find exactly the same set.
+func multiRegionProgram(t *testing.T) trace.Store {
+	t.Helper()
+	store := trace.NewMemStore()
+	col := rt.New(store, rt.Config{Synchronous: true})
+	rtm := omp.New(omp.WithTool(col))
+	space := memsim.NewSpace(nil)
+	shared, _ := space.AllocF64(16)
+	arr, _ := space.AllocF64(256)
+	pcRace1 := pcreg.Site("stream:region1-ww")
+	pcRace2 := pcreg.Site("stream:region3-rw-read")
+	pcRace2w := pcreg.Site("stream:region3-rw-write")
+	pcClean := pcreg.Site("stream:clean")
+	rtm.Run(func(initial *omp.Thread) {
+		for reg := 0; reg < 6; reg++ {
+			reg := reg
+			initial.Parallel(3, func(th *omp.Thread) {
+				switch reg {
+				case 1: // write-write race
+					th.StoreF64(shared, 0, 1, pcRace1)
+				case 3: // read-write race
+					if th.ID() == 0 {
+						th.StoreF64(shared, 1, 2, pcRace2w)
+					} else {
+						th.LoadF64(shared, 1, pcRace2)
+					}
+				default: // race-free sweep
+					th.For(0, 256, func(i int) {
+						th.StoreF64(arr, i, float64(reg), pcClean)
+					})
+				}
+			})
+		}
+	})
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// TestSubtreeBatchEquivalence: every batch size yields the same races and
+// the same analysis effort totals as the single-pass default.
+func TestSubtreeBatchEquivalence(t *testing.T) {
+	store := multiRegionProgram(t)
+	base, err := New(store, Config{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Len() != 2 {
+		t.Fatalf("baseline analysis found %d races, want 2:\n%s", base.Len(), base.String())
+	}
+	for _, batch := range []int{1, 2, 3, 5, 100} {
+		rep, err := New(store, Config{SubtreeBatch: batch}).Analyze()
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if rep.Len() != base.Len() {
+			t.Fatalf("batch %d: %d races, want %d:\n%s", batch, rep.Len(), base.Len(), rep.String())
+		}
+		gotPairs := map[string]bool{}
+		for _, r := range rep.Races() {
+			gotPairs[r.First.Source+"|"+r.Second.Source] = true
+		}
+		for _, r := range base.Races() {
+			if !gotPairs[r.First.Source+"|"+r.Second.Source] {
+				t.Fatalf("batch %d missing race %v", batch, r)
+			}
+		}
+		if rep.Stats.IntervalPairs != base.Stats.IntervalPairs {
+			t.Errorf("batch %d: %d interval pairs, want %d", batch, rep.Stats.IntervalPairs, base.Stats.IntervalPairs)
+		}
+		if rep.Stats.TreeNodes != base.Stats.TreeNodes {
+			t.Errorf("batch %d: %d tree nodes, want %d", batch, rep.Stats.TreeNodes, base.Stats.TreeNodes)
+		}
+		if rep.Stats.Accesses != base.Stats.Accesses {
+			t.Errorf("batch %d: %d accesses, want %d", batch, rep.Stats.Accesses, base.Stats.Accesses)
+		}
+	}
+}
+
+// TestSubtreeBatchNested: batching must keep cross-region races inside one
+// subtree intact.
+func TestSubtreeBatchNested(t *testing.T) {
+	store := trace.NewMemStore()
+	col := rt.New(store, rt.Config{Synchronous: true})
+	rtm := omp.New(omp.WithTool(col))
+	space := memsim.NewSpace(nil)
+	y, _ := space.AllocF64(1)
+	pc := pcreg.Site("stream:nested-siblings")
+	for reg := 0; reg < 3; reg++ {
+		rtm.Parallel(2, func(outer *omp.Thread) {
+			outer.Parallel(2, func(in *omp.Thread) {
+				if in.ID() == 0 && outer.Region().ParentTID != 99 {
+					in.StoreF64(y, 0, 1, pc)
+				}
+			})
+		})
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{0, 1, 2} {
+		rep, err := New(store, Config{SubtreeBatch: batch}).Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Len() != 1 {
+			t.Fatalf("batch %d: %d races, want 1 (nested sibling WW):\n%s", batch, rep.Len(), rep.String())
+		}
+	}
+}
+
+func TestSubtreeBatchEmptyStore(t *testing.T) {
+	rep, err := New(trace.NewMemStore(), Config{SubtreeBatch: 1}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 0 {
+		t.Fatal("empty store produced races")
+	}
+}
+
+// errStore fails to open one slot's log, exercising the analyzer's error
+// path (failure injection: the analyzer must return an error, not panic).
+type errStore struct {
+	trace.Store
+}
+
+func (errStore) OpenLog(slot int) (io.ReadCloser, error) {
+	return nil, errors.New("injected I/O failure")
+}
+
+func TestAnalyzerPropagatesLogErrors(t *testing.T) {
+	store := multiRegionProgram(t)
+	_, err := New(errStore{store}, Config{}).Analyze()
+	if err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+}
+
+// TestSubtreeBatchWithTasks: batching must preserve task concurrency
+// windows (per-fragment units are rebuilt per batch).
+func TestSubtreeBatchWithTasks(t *testing.T) {
+	store := trace.NewMemStore()
+	col := rt.New(store, rt.Config{Synchronous: true})
+	rtm := omp.New(omp.WithTool(col))
+	space := memsim.NewSpace(nil)
+	x, _ := space.AllocF64(4)
+	pcT := pcreg.Site("streamtask:write")
+	pcC := pcreg.Site("streamtask:read")
+	pcSafe := pcreg.Site("streamtask:safe")
+	for reg := 0; reg < 3; reg++ {
+		racy := reg == 1
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 0 {
+				th.Task(func(tt *omp.Thread) {
+					tt.StoreF64(x, reg, 1, pcT)
+				})
+				if racy {
+					th.LoadF64(x, reg, pcC) // before taskwait: races
+					th.TaskWait()
+				} else {
+					th.TaskWait()
+					th.LoadF64(x, reg, pcSafe) // after taskwait: ordered
+				}
+			}
+		})
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{0, 1, 2} {
+		rep, err := New(store, Config{SubtreeBatch: batch}).Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Len() != 1 {
+			t.Fatalf("batch %d: %d races, want exactly the unwaited one:\n%s",
+				batch, rep.Len(), rep.String())
+		}
+	}
+}

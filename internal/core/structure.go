@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sword/internal/itree"
+	"sword/internal/trace"
+)
+
+// region is one parallel region or task instance recovered from meta-data.
+type region struct {
+	id     uint64
+	ppid   uint64
+	span   uint64
+	level  uint32
+	parent *region
+	top    *region // outermost ancestor region
+
+	// Tasking extension: async marks an OpenMP task; forkCut and waitCut
+	// delimit its concurrency window within the parent interval, in the
+	// parent's fragment-cut coordinates. Sync regions have a point window
+	// at forkCut (the parent is suspended across them). waitCut is
+	// ^uint64(0) for tasks never taskwait-ed (they complete at the
+	// barrier, which interval bids already order).
+	async   bool
+	forkCut uint64
+	waitCut uint64
+
+	// frames are the fork coordinates of this region's chain within each
+	// ancestor, outermost first. frames[0] positions the chain's top-level
+	// region within the initial thread (tid 0, bid 0, seq = region id,
+	// since the initial thread forks top-level regions in program order);
+	// frames[i] positions the chain within ancestor i.
+	frames []frame
+}
+
+// frame is a fork coordinate: where, inside an enclosing region, the next
+// region of a lineage chain (or an interval) sits — extended with the
+// tasking window.
+type frame struct {
+	tid, bid, seq    uint64
+	async            bool
+	forkCut, waitCut uint64
+}
+
+// windowsOverlap decides whether two sibling subtrees hanging off the same
+// interval can run concurrently: sync regions occupy the single boundary
+// point at which the spawner suspended; tasks occupy [forkCut, waitCut).
+func windowsOverlap(x, y frame) bool {
+	if !x.async && !y.async {
+		return false // sync siblings: serialized by the spawner
+	}
+	if x.async && y.async {
+		return x.forkCut < y.waitCut && y.forkCut < x.waitCut
+	}
+	if !x.async {
+		x, y = y, x // x async, y the sync point
+	}
+	return x.forkCut <= y.forkCut && y.forkCut < x.waitCut
+}
+
+// interval is one thread's execution between two consecutive barriers of
+// one region instance: the unit of concurrency analysis. Intervals that
+// spawn tasks carry one tree unit per fragment, so accesses can be ordered
+// against the spawn/wait boundaries; other intervals use a single unit.
+type interval struct {
+	key        trace.IntervalKey
+	region     *region
+	slot       int
+	frags      []fragment
+	taskParent bool
+	units      []*treeUnit
+}
+
+// treeUnit is a comparable chunk of an interval's accesses.
+type treeUnit struct {
+	iv   *interval
+	cut  uint64 // fragment cut; 0 for whole-interval units
+	tree itree.Tree
+}
+
+// fragment is one contiguous byte range of the interval in its slot's log.
+type fragment struct {
+	begin, size uint64
+	held        trace.MutexSet
+	cut         uint64
+	unit        *treeUnit // assigned by materializeUnits
+}
+
+// materializeUnits creates the interval's tree units: per fragment when
+// the interval spawns tasks, a single unit otherwise.
+func (iv *interval) materializeUnits() {
+	if iv.units != nil {
+		return
+	}
+	if !iv.taskParent {
+		u := &treeUnit{iv: iv}
+		iv.units = []*treeUnit{u}
+		for i := range iv.frags {
+			iv.frags[i].unit = u
+		}
+		return
+	}
+	for i := range iv.frags {
+		u := &treeUnit{iv: iv, cut: iv.frags[i].cut}
+		iv.units = append(iv.units, u)
+		iv.frags[i].unit = u
+	}
+}
+
+// resetUnits frees the interval's trees (streaming batches).
+func (iv *interval) resetUnits() {
+	iv.units = nil
+	for i := range iv.frags {
+		iv.frags[i].unit = nil
+	}
+}
+
+// structure is the recovered concurrency structure of a run.
+type structure struct {
+	regions   map[uint64]*region
+	intervals map[trace.IntervalKey]*interval
+	bySlot    map[int][]*interval // used to route log events to trees
+	topGroups map[uint64][]*region
+}
+
+// buildStructure loads every slot's meta-data file plus the taskwaits
+// table and reconstructs regions and intervals.
+func buildStructure(store trace.Store) (*structure, error) {
+	slots, err := store.Slots()
+	if err != nil {
+		return nil, fmt.Errorf("core: list slots: %w", err)
+	}
+	taskWaits := map[uint64]uint64{}
+	if aux, err := store.OpenAux("taskwaits"); err == nil {
+		taskWaits, err = trace.ReadTaskWaits(aux)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &structure{
+		regions:   make(map[uint64]*region),
+		intervals: make(map[trace.IntervalKey]*interval),
+		bySlot:    make(map[int][]*interval),
+		topGroups: make(map[uint64][]*region),
+	}
+	for _, slot := range slots {
+		src, err := store.OpenMeta(slot)
+		if err != nil {
+			return nil, fmt.Errorf("core: open meta %d: %w", slot, err)
+		}
+		metas, err := trace.ReadAllMeta(src)
+		if err != nil {
+			return nil, fmt.Errorf("core: read meta %d: %w", slot, err)
+		}
+		for i := range metas {
+			m := &metas[i]
+			r, ok := s.regions[m.PID]
+			if !ok {
+				r = &region{id: m.PID, ppid: m.PPID, span: m.Span, level: m.Level,
+					async: m.Async, forkCut: m.ParentCut, waitCut: ^uint64(0)}
+				if wc, waited := taskWaits[m.PID]; waited {
+					r.waitCut = wc
+				}
+				s.regions[m.PID] = r
+			}
+			key := m.Key()
+			iv, ok := s.intervals[key]
+			if !ok {
+				iv = &interval{key: key, region: r, slot: slot}
+				s.intervals[key] = iv
+				s.bySlot[slot] = append(s.bySlot[slot], iv)
+			}
+			if iv.slot != slot {
+				return nil, fmt.Errorf("core: interval %+v spans slots %d and %d", key, iv.slot, slot)
+			}
+			iv.frags = append(iv.frags, fragment{begin: m.DataBegin, size: m.DataSize, held: m.Held, cut: m.Cut})
+			// Fork coordinates are identical on every fragment of a region;
+			// stash them on first sight via a provisional one-frame tail.
+			if r.frames == nil {
+				r.frames = []frame{{tid: m.ParentTID, bid: m.ParentBID, seq: m.Seq,
+					async: m.Async, forkCut: r.forkCut, waitCut: r.waitCut}}
+			}
+		}
+	}
+	// Link parents and compose full frame chains.
+	for _, r := range s.regions {
+		if r.ppid != trace.NoParent {
+			p, ok := s.regions[r.ppid]
+			if !ok {
+				return nil, fmt.Errorf("core: region %d references unknown parent %d", r.id, r.ppid)
+			}
+			r.parent = p
+		}
+	}
+	for _, r := range s.regions {
+		if _, err := s.resolveFrames(r, 0); err != nil {
+			return nil, err
+		}
+		top := r
+		for top.parent != nil {
+			top = top.parent
+		}
+		r.top = top
+		s.topGroups[top.id] = append(s.topGroups[top.id], r)
+	}
+	// Mark intervals that spawn tasks: their trees must be per-fragment so
+	// accesses order against the spawn and wait cuts.
+	for _, r := range s.regions {
+		if !r.async || r.parent == nil {
+			continue
+		}
+		f := r.frames[len(r.frames)-1]
+		key := trace.IntervalKey{PID: r.ppid, TID: f.tid, BID: f.bid}
+		if iv, ok := s.intervals[key]; ok {
+			iv.taskParent = true
+		}
+	}
+	// Deterministic fragment order within each interval and interval order
+	// within each slot (analysis routing relies on position order).
+	for _, iv := range s.intervals {
+		sort.Slice(iv.frags, func(i, j int) bool { return iv.frags[i].begin < iv.frags[j].begin })
+	}
+	for slot := range s.bySlot {
+		ivs := s.bySlot[slot]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].frags[0].begin < ivs[j].frags[0].begin })
+	}
+	for _, rs := range s.topGroups {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].id < rs[j].id })
+	}
+	return s, nil
+}
+
+// resolveFrames expands a region's provisional single-frame tail into the
+// full chain from the virtual root, memoized on the region.
+func (s *structure) resolveFrames(r *region, depth int) ([]frame, error) {
+	if depth > len(s.regions) {
+		return nil, fmt.Errorf("core: region parent cycle at %d", r.id)
+	}
+	if r.frames == nil {
+		// A region can appear as a parent without own fragments (all its
+		// accesses empty): synthesize neutral coordinates.
+		r.frames = []frame{{}}
+	}
+	if len(r.frames) > 1 || r.parent == nil {
+		if r.parent == nil && len(r.frames) == 1 {
+			// Top-level: the initial thread forks regions in program
+			// order, so the region id orders siblings.
+			r.frames[0] = frame{tid: 0, bid: 0, seq: r.id}
+		}
+		return r.frames, nil
+	}
+	parentFrames, err := s.resolveFrames(r.parent, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	own := r.frames[0]
+	r.frames = append(append([]frame(nil), parentFrames...), own)
+	return r.frames, nil
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+
+	"sword/internal/memsim"
+	"sword/internal/omp"
+	"sword/internal/pcreg"
+)
+
+// Tasking-extension semantics (the paper's future work, implemented here):
+// a task is concurrent with the spawner's continuation between the spawn
+// and the matching taskwait (or the barrier), with sibling tasks whose
+// windows overlap, and with everything the spawning interval itself is
+// concurrent with.
+
+func TestTaskRacesWithContinuation(t *testing.T) {
+	pcT := pcreg.Site("task:body-write")
+	pcC := pcreg.Site("task:continuation-read")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(1, func(th *omp.Thread) {
+			th.Task(func(tt *omp.Thread) {
+				tt.StoreF64(x, 0, 1, pcT)
+			})
+			th.LoadF64(x, 0, pcC) // continuation: concurrent with the task
+			th.TaskWait()
+		})
+	})
+	wantRaces(t, rep, 1)
+}
+
+func TestTaskOrderedBeforeSpawn(t *testing.T) {
+	pcPre := pcreg.Site("task:pre-spawn-write")
+	pcT := pcreg.Site("task:body-read")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(1, func(th *omp.Thread) {
+			th.StoreF64(x, 0, 1, pcPre) // before the spawn: ordered
+			th.Task(func(tt *omp.Thread) {
+				tt.LoadF64(x, 0, pcT)
+			})
+			th.TaskWait()
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+func TestTaskWaitOrdersContinuation(t *testing.T) {
+	pcT := pcreg.Site("taskwait:body-write")
+	pcPost := pcreg.Site("taskwait:post-read")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(1, func(th *omp.Thread) {
+			th.Task(func(tt *omp.Thread) {
+				tt.StoreF64(x, 0, 1, pcT)
+			})
+			th.TaskWait()
+			th.LoadF64(x, 0, pcPost) // after the wait: ordered
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+func TestBarrierOrdersUnwaitedTask(t *testing.T) {
+	pcT := pcreg.Site("taskbar:body-write")
+	pcPost := pcreg.Site("taskbar:post-read")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 0 {
+				th.Task(func(tt *omp.Thread) {
+					tt.StoreF64(x, 0, 1, pcT)
+				})
+			}
+			th.Barrier() // completes the task
+			if th.ID() == 1 {
+				th.LoadF64(x, 0, pcPost)
+			}
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+func TestSiblingTasksOverlappingWindowsRace(t *testing.T) {
+	pc1 := pcreg.Site("sibtask:first-write")
+	pc2 := pcreg.Site("sibtask:second-write")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(1, func(th *omp.Thread) {
+			th.Task(func(tt *omp.Thread) { tt.StoreF64(x, 0, 1, pc1) })
+			th.Task(func(tt *omp.Thread) { tt.StoreF64(x, 0, 2, pc2) })
+			th.TaskWait()
+		})
+	})
+	wantRaces(t, rep, 1) // the two task bodies race with each other
+}
+
+func TestTaskWaitSeparatesSiblingTasks(t *testing.T) {
+	pc1 := pcreg.Site("seqtask:first-write")
+	pc2 := pcreg.Site("seqtask:second-write")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(1, func(th *omp.Thread) {
+			th.Task(func(tt *omp.Thread) { tt.StoreF64(x, 0, 1, pc1) })
+			th.TaskWait() // closes the first window
+			th.Task(func(tt *omp.Thread) { tt.StoreF64(x, 0, 2, pc2) })
+			th.TaskWait()
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+func TestTaskRacesWithOtherThreadsInterval(t *testing.T) {
+	pcT := pcreg.Site("xthread-task:write")
+	pcO := pcreg.Site("xthread-task:other-read")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 0 {
+				th.Task(func(tt *omp.Thread) {
+					tt.StoreF64(x, 0, 1, pcT)
+				})
+				th.TaskWait()
+			} else {
+				th.LoadF64(x, 0, pcO) // same episode, different thread
+			}
+		})
+	})
+	wantRaces(t, rep, 1)
+}
+
+func TestTaskBarrierSeparatedFromNextEpisode(t *testing.T) {
+	pcT := pcreg.Site("epitask:write")
+	pcNext := pcreg.Site("epitask:next-episode-read")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			if th.ID() == 0 {
+				th.Task(func(tt *omp.Thread) {
+					tt.StoreF64(x, 0, 1, pcT)
+				})
+			}
+			th.Barrier()
+			th.LoadF64(x, 0, pcNext) // next episode: ordered after the task
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+func TestTaskVsSyncRegionInWindow(t *testing.T) {
+	pcT := pcreg.Site("taskvsync:task-write")
+	pcR := pcreg.Site("taskvsync:region-read")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(1, func(th *omp.Thread) {
+			th.Task(func(tt *omp.Thread) {
+				tt.StoreF64(x, 0, 1, pcT)
+			})
+			// A sync nested region inside the task's window: its contents
+			// run while the task may still be running.
+			th.Parallel(2, func(in *omp.Thread) {
+				in.LoadF64(x, 0, pcR)
+			})
+			th.TaskWait()
+		})
+	})
+	wantRaces(t, rep, 1)
+}
+
+func TestSyncRegionBeforeSpawnOrdered(t *testing.T) {
+	pcT := pcreg.Site("syncfirst:task-read")
+	pcR := pcreg.Site("syncfirst:region-write")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(1, func(th *omp.Thread) {
+			th.Parallel(2, func(in *omp.Thread) {
+				if in.ID() == 0 {
+					in.StoreF64(x, 0, 1, pcR)
+				}
+			})
+			// The sync region joined before the task spawns: ordered.
+			th.Task(func(tt *omp.Thread) {
+				tt.LoadF64(x, 0, pcT)
+			})
+			th.TaskWait()
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+func TestNestedTaskConcurrentWithGrandparentContinuation(t *testing.T) {
+	pcT := pcreg.Site("nesttask:inner-write")
+	pcC := pcreg.Site("nesttask:continuation-read")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(1, func(th *omp.Thread) {
+			th.Task(func(outer *omp.Thread) {
+				outer.Task(func(inner *omp.Thread) {
+					inner.StoreF64(x, 0, 1, pcT)
+				})
+			})
+			th.LoadF64(x, 0, pcC) // racy with the nested task too
+			th.TaskWait()
+		})
+	})
+	wantRaces(t, rep, 1)
+}
+
+func TestTaskMutexProtection(t *testing.T) {
+	pc := pcreg.Site("tasklock:rmw")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		x, _ := space.AllocF64(1)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			th.Task(func(tt *omp.Thread) {
+				tt.Critical("sum", func() {
+					v := tt.LoadF64(x, 0, pc)
+					tt.StoreF64(x, 0, v+1, pc)
+				})
+			})
+			th.Critical("sum", func() {
+				v := th.LoadF64(x, 0, pc)
+				th.StoreF64(x, 0, v+1, pc)
+			})
+			th.TaskWait()
+		})
+	})
+	wantRaces(t, rep, 0)
+}
+
+func TestManyTasksDisjointData(t *testing.T) {
+	pc := pcreg.Site("manytasks:own-element")
+	rep := analyze(t, Config{}, func(rtm *omp.Runtime, space *memsim.Space) {
+		a, _ := space.AllocF64(64)
+		rtm.Parallel(2, func(th *omp.Thread) {
+			for k := 0; k < 8; k++ {
+				idx := th.ID()*32 + k
+				th.Task(func(tt *omp.Thread) {
+					tt.StoreF64(a, idx, float64(idx), pc)
+				})
+			}
+			th.TaskWait()
+		})
+	})
+	wantRaces(t, rep, 0)
+}

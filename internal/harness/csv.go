@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"sword/internal/workloads"
+)
+
+// CSV emitters: the figures' underlying series in machine-readable form,
+// for replotting the paper's charts from the reproduction's measurements.
+// cmd/swordbench -csv writes them next to the text artifacts.
+
+// CSVFig6 emits the Figure 6 series: one row per (threads, tool) with
+// geometric-mean slowdown and memory ratio over the OmpSCR suite.
+func CSVFig6(cfg ExpConfig) string {
+	var b strings.Builder
+	b.WriteString("threads,tool,geomean_slowdown,geomean_mem_ratio\n")
+	suite := workloads.BySuite("ompscr")
+	for _, threads := range cfg.threads() {
+		baselines := make(map[string]Result)
+		for _, wl := range suite {
+			res, err := RunAveraged(wl, Baseline, Options{Threads: threads, NodeBudget: -1}, cfg.repeats())
+			if err != nil {
+				panic(err)
+			}
+			baselines[wl.Name] = res
+		}
+		for _, tool := range []Tool{Archer, ArcherLow, Sword} {
+			var slows, mems []float64
+			for _, wl := range suite {
+				res, err := RunAveraged(wl, tool, Options{Threads: threads, NodeBudget: -1, SkipOffline: true}, cfg.repeats())
+				if err != nil {
+					panic(err)
+				}
+				slows = append(slows, Slowdown(res, baselines[wl.Name]))
+				mems = append(mems, MemRatio(res))
+			}
+			fmt.Fprintf(&b, "%d,%s,%.4f,%.4f\n", threads, tool, Geomean(slows), Geomean(mems))
+		}
+	}
+	return b.String()
+}
+
+// CSVFig7 emits the Figure 7 series: per HPC benchmark, threads and tool,
+// the slowdown and total modeled memory in bytes.
+func CSVFig7(cfg ExpConfig) string {
+	var b strings.Builder
+	b.WriteString("benchmark,threads,tool,slowdown,total_mem_bytes\n")
+	for _, row := range HPCBenchmarks()[:4] {
+		wl, err := workloads.Get(row.Name)
+		if err != nil {
+			panic(err)
+		}
+		for _, threads := range cfg.threads() {
+			base, err := RunAveraged(wl, Baseline, Options{Threads: threads, Size: row.Size, NodeBudget: -1}, cfg.repeats())
+			if err != nil {
+				panic(err)
+			}
+			for _, tool := range []Tool{Archer, ArcherLow, Sword} {
+				res, err := RunAveraged(wl, tool, Options{Threads: threads, Size: row.Size, NodeBudget: -1, SkipOffline: true}, cfg.repeats())
+				if err != nil {
+					panic(err)
+				}
+				fmt.Fprintf(&b, "%s,%d,%s,%.4f,%d\n",
+					row.Label, threads, tool, Slowdown(res, base), res.Footprint+res.MemOverhead)
+			}
+		}
+	}
+	return b.String()
+}
+
+// CSVFig8 emits the Figure 8 series: AMG size sweep with total modeled
+// memory per tool; OOM rows carry -1.
+func CSVFig8() string {
+	var b strings.Builder
+	b.WriteString("size,footprint_bytes,tool,total_mem_bytes\n")
+	wl, err := workloads.Get("amg")
+	if err != nil {
+		panic(err)
+	}
+	for _, size := range []int{10, 20, 30, 40} {
+		foot := workloads.AMGFootprint(size)
+		for _, tool := range Tools {
+			res, err := Run(wl, tool, Options{Threads: 4, Size: size, SkipOffline: true})
+			if err != nil {
+				panic(err)
+			}
+			total := int64(res.Footprint + res.MemOverhead)
+			if res.OOM {
+				total = -1
+			}
+			fmt.Fprintf(&b, "%d,%d,%s,%d\n", size, foot, tool, total)
+		}
+	}
+	return b.String()
+}
+
+// CSVExports maps csv artifact names to their emitters.
+func CSVExports(cfg ExpConfig) map[string]func() string {
+	return map[string]func() string{
+		"fig6": func() string { return CSVFig6(cfg) },
+		"fig7": func() string { return CSVFig7(cfg) },
+		"fig8": CSVFig8,
+	}
+}

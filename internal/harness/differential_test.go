@@ -1,0 +1,555 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sword/internal/archer"
+	"sword/internal/core"
+	"sword/internal/memsim"
+	"sword/internal/omp"
+	"sword/internal/pcreg"
+	"sword/internal/report"
+	"sword/internal/rt"
+	"sword/internal/trace"
+	"sword/internal/vc"
+)
+
+// Differential testing against an independent oracle.
+//
+// The oracle observes the same execution through the Tool interface and
+// computes the *semantic* race set directly: it maintains vector clocks
+// with only the structural edges (fork, join, barrier — no lock or atomic
+// edges, since those do not order accesses semantically), snapshots the
+// clock at every access, and brute-forces all access pairs for
+// conflicting, concurrent, mutex-disjoint, byte-overlapping accesses.
+// For programs without data-dependent branches this is exactly the set
+// SWORD promises (§II: sound and complete); the ARCHER baseline must
+// always report a subset of it.
+
+// oracleAccess is one recorded access with its structural clock. Clocks
+// are indexed by *occupant* — one id per logical thread — so epochs of
+// successive logical threads sharing a pooled slot are never conflated
+// (knowing a later occupant's clock must not imply knowing an earlier
+// one's).
+type oracleAccess struct {
+	occ     int
+	clock   *vc.Clock
+	epoch   uint64
+	addr    uint64
+	size    uint64
+	write   bool
+	atomic  bool
+	pc      uint64
+	mutexes trace.MutexSet
+}
+
+// oracleTool implements omp.Tool with fork/join/barrier edges only.
+type oracleTool struct {
+	omp.NopTool
+	mu       sync.Mutex
+	occSeq   int
+	occOf    map[int]int // slot -> current occupant id
+	vcs      map[int]*vc.Clock
+	forks    map[uint64]*vc.Clock
+	joins    map[uint64]*vc.Clock
+	bars     map[[2]uint64]*vc.Clock
+	accesses []oracleAccess
+}
+
+func newOracle() *oracleTool {
+	return &oracleTool{
+		occOf: make(map[int]int),
+		vcs:   make(map[int]*vc.Clock),
+		forks: make(map[uint64]*vc.Clock),
+		joins: make(map[uint64]*vc.Clock),
+		bars:  make(map[[2]uint64]*vc.Clock),
+	}
+}
+
+// occupant returns the current occupant id of a slot, creating the first
+// one lazily (for the initial thread).
+func (o *oracleTool) occupant(slot int) int {
+	id, ok := o.occOf[slot]
+	if !ok {
+		o.occSeq++
+		id = o.occSeq
+		o.occOf[slot] = id
+	}
+	return id
+}
+
+func (o *oracleTool) clock(occ int) *vc.Clock {
+	c, ok := o.vcs[occ]
+	if !ok {
+		c = &vc.Clock{}
+		c.Tick(occ)
+		o.vcs[occ] = c
+	}
+	return c
+}
+
+func (o *oracleTool) RegionFork(parent *omp.Thread, region omp.RegionInfo) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	occ := o.occupant(parent.Slot())
+	c := o.clock(occ)
+	o.forks[region.ID] = c.Copy()
+	c.Tick(occ)
+}
+
+func (o *oracleTool) ThreadBegin(th *omp.Thread) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	slot := th.Slot()
+	fork := o.forks[th.Region().ID]
+	if th.ID() == 0 && !th.Region().Async {
+		// The master continues the encountering thread's clock.
+		occ := o.occupant(slot)
+		c := o.clock(occ)
+		if fork != nil {
+			c.Join(fork)
+		}
+		c.Tick(occ)
+		return
+	}
+	// A worker is a fresh logical thread: new occupant, fresh clock.
+	o.occSeq++
+	occ := o.occSeq
+	o.occOf[slot] = occ
+	fresh := &vc.Clock{}
+	if fork != nil {
+		fresh.Join(fork)
+	}
+	fresh.Tick(occ)
+	o.vcs[occ] = fresh
+}
+
+func (o *oracleTool) ThreadEnd(th *omp.Thread) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	occ := o.occupant(th.Slot())
+	c := o.clock(occ)
+	j, ok := o.joins[th.Region().ID]
+	if !ok {
+		j = &vc.Clock{}
+		o.joins[th.Region().ID] = j
+	}
+	j.Join(c)
+	c.Tick(occ)
+}
+
+func (o *oracleTool) RegionJoin(parent *omp.Thread, region omp.RegionInfo) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if j, ok := o.joins[region.ID]; ok {
+		o.clock(o.occupant(parent.Slot())).Join(j)
+		delete(o.joins, region.ID)
+	}
+	delete(o.forks, region.ID)
+}
+
+func (o *oracleTool) BarrierArrive(th *omp.Thread, _ bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	key := [2]uint64{th.Region().ID, th.BID()}
+	b, ok := o.bars[key]
+	if !ok {
+		b = &vc.Clock{}
+		o.bars[key] = b
+	}
+	occ := o.occupant(th.Slot())
+	c := o.clock(occ)
+	b.Join(c)
+	c.Tick(occ)
+}
+
+func (o *oracleTool) BarrierDepart(th *omp.Thread, _ bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	key := [2]uint64{th.Region().ID, th.BID() - 1}
+	if b, ok := o.bars[key]; ok {
+		o.clock(o.occupant(th.Slot())).Join(b)
+	}
+}
+
+// Task edges (tasking extension): spawn and join are structural.
+
+func (o *oracleTool) TaskSpawn(spawner *omp.Thread, task omp.RegionInfo) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	occ := o.occupant(spawner.Slot())
+	c := o.clock(occ)
+	o.forks[task.ID] = c.Copy()
+	c.Tick(occ)
+}
+
+func (o *oracleTool) TaskWaited(spawner *omp.Thread, ids []uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.clock(o.occupant(spawner.Slot()))
+	for _, id := range ids {
+		if j, ok := o.joins[id]; ok {
+			c.Join(j)
+			delete(o.joins, id)
+		}
+	}
+}
+
+func (o *oracleTool) BarrierTasksDone(th *omp.Thread, ids []uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	key := [2]uint64{th.Region().ID, th.BID()}
+	b, ok := o.bars[key]
+	if !ok {
+		b = &vc.Clock{}
+		o.bars[key] = b
+	}
+	for _, id := range ids {
+		if j, ok := o.joins[id]; ok {
+			b.Join(j)
+			delete(o.joins, id)
+		}
+	}
+}
+
+func (o *oracleTool) Access(th *omp.Thread, addr uint64, size uint8, write, atomic bool, pc uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	occ := o.occupant(th.Slot())
+	c := o.clock(occ)
+	o.accesses = append(o.accesses, oracleAccess{
+		occ:     occ,
+		clock:   c.Copy(),
+		epoch:   c.Get(occ),
+		addr:    addr,
+		size:    uint64(size),
+		write:   write,
+		atomic:  atomic,
+		pc:      pc,
+		mutexes: th.Held(),
+	})
+}
+
+// pcPair is an unordered race site pair.
+type pcPair [2]uint64
+
+func makePair(a, b uint64) pcPair {
+	if a > b {
+		a, b = b, a
+	}
+	return pcPair{a, b}
+}
+
+// races brute-forces the semantic race set.
+func (o *oracleTool) races() map[pcPair]bool {
+	out := make(map[pcPair]bool)
+	for i := range o.accesses {
+		for j := i + 1; j < len(o.accesses); j++ {
+			a, b := &o.accesses[i], &o.accesses[j]
+			if !a.write && !b.write {
+				continue
+			}
+			if a.atomic && b.atomic {
+				continue
+			}
+			if a.mutexes.Intersects(b.mutexes) {
+				continue
+			}
+			if a.addr+a.size <= b.addr || b.addr+b.size <= a.addr {
+				continue
+			}
+			// Structurally ordered?
+			if b.clock.HappensBefore(a.occ, a.epoch) || a.clock.HappensBefore(b.occ, b.epoch) {
+				continue
+			}
+			out[makePair(a.pc, b.pc)] = true
+		}
+	}
+	return out
+}
+
+func reportPairs(rep *report.Report) map[pcPair]bool {
+	out := make(map[pcPair]bool)
+	for _, r := range rep.Races() {
+		out[makePair(r.First.PC, r.Second.PC)] = true
+	}
+	return out
+}
+
+// randomProgram builds and runs a random structured fork-join program on
+// the given runtime. Accesses hit a shared pool of arrays with random
+// strides, directions, widths, critical sections and atomics; regions
+// nest, barrier counts vary. All branching depends only on the seed and
+// thread ids, never on shared data — the paper's completeness condition.
+func randomProgram(seed int64, rtm *omp.Runtime, space *memsim.Space) {
+	r := rand.New(rand.NewSource(seed))
+	const pool = 3
+	arrays := make([]*memsim.F64, pool)
+	for i := range arrays {
+		a, err := space.AllocF64(64)
+		if err != nil {
+			panic(err)
+		}
+		arrays[i] = a
+	}
+	scalars, err := space.AllocF64(8)
+	if err != nil {
+		panic(err)
+	}
+	raw, err := space.AllocBytes(64)
+	if err != nil {
+		panic(err)
+	}
+	locks := []*omp.Lock{rtm.NewLock(), rtm.NewLock()}
+
+	topRegions := 1 + r.Intn(2)
+	rtm.Run(func(initial *omp.Thread) {
+		for reg := 0; reg < topRegions; reg++ {
+			teamSize := 2 + r.Intn(4)
+			intervals := 1 + r.Intn(3)
+			// Per-thread, per-interval action scripts decided up front from
+			// the seed (schedule-independent behaviour).
+			type action struct {
+				kind   int // 0 access-run, 1 locked access, 2 atomic, 3 nested region
+				arr    int
+				base   int
+				stride int
+				count  int
+				write  bool
+				lock   int
+				pc     uint64
+				nested int // nested team size
+			}
+			scripts := make([][][]action, teamSize)
+			for t := 0; t < teamSize; t++ {
+				scripts[t] = make([][]action, intervals)
+				for iv := 0; iv < intervals; iv++ {
+					n := r.Intn(6)
+					for k := 0; k < n; k++ {
+						a := action{
+							kind:   r.Intn(7),
+							arr:    r.Intn(pool),
+							base:   r.Intn(32),
+							stride: 1 + r.Intn(3),
+							count:  1 + r.Intn(16),
+							write:  r.Intn(2) == 0,
+							lock:   r.Intn(len(locks)),
+							pc:     pcreg.Site(fmt.Sprintf("rand%d:r%d.t%d.i%d.k%d", seed, reg, t, iv, k)),
+							nested: 2,
+						}
+						scripts[t][iv] = append(scripts[t][iv], a)
+					}
+				}
+			}
+			initial.Parallel(teamSize, func(th *omp.Thread) {
+				for iv := 0; iv < intervals; iv++ {
+					for _, act := range scripts[th.ID()][iv] {
+						runAction(th, act.kind, arrays[act.arr], scalars, raw, locks[act.lock],
+							act.base, act.stride, act.count, act.write, act.pc, act.nested)
+					}
+					if iv < intervals-1 {
+						th.Barrier()
+					}
+				}
+			})
+		}
+	})
+}
+
+func runAction(th *omp.Thread, kind int, arr, scalars *memsim.F64, raw *memsim.Bytes, lock *omp.Lock,
+	base, stride, count int, write bool, pc uint64, nested int) {
+	switch kind {
+	case 0: // strided access run
+		for i := 0; i < count; i++ {
+			idx := (base + i*stride) % arr.Len()
+			if write {
+				th.StoreF64(arr, idx, 1, pc)
+			} else {
+				th.LoadF64(arr, idx, pc)
+			}
+		}
+	case 1: // lock-protected scalar update
+		th.WithLock(lock, func() {
+			if write {
+				th.StoreF64(scalars, base%scalars.Len(), 1, pc)
+			} else {
+				th.LoadF64(scalars, base%scalars.Len(), pc)
+			}
+		})
+	case 2: // atomic update
+		th.AtomicAddF64(scalars, base%scalars.Len(), 1, pc)
+	case 3: // nested region: each member touches the array
+		th.Parallel(nested, func(in *omp.Thread) {
+			idx := (base + in.ID()) % arr.Len()
+			if write {
+				in.StoreF64(arr, idx, 2, pc)
+			} else {
+				in.LoadF64(arr, idx, pc)
+			}
+		})
+	case 4: // byte-granular mixed-width accesses (partial word overlaps)
+		size := uint8(1 << (stride & 3)) // 1, 2, 4 or 8 bytes
+		for i := 0; i < count; i++ {
+			off := (base + i*int(size)) % (raw.Len() - 8)
+			addr := raw.Addr(off)
+			if write {
+				th.Write(addr, size, pc)
+			} else {
+				th.Read(addr, size, pc)
+			}
+		}
+	case 5: // task racing (or not) with whatever else runs in the window
+		th.Task(func(tt *omp.Thread) {
+			for i := 0; i < count; i++ {
+				idx := (base + i*stride) % arr.Len()
+				if write {
+					tt.StoreF64(arr, idx, 3, pc)
+				} else {
+					tt.LoadF64(arr, idx, pc)
+				}
+			}
+		})
+		if count%2 == 0 {
+			th.TaskWait() // half the tasks are waited immediately
+		}
+	case 6: // taskwait separating earlier tasks from later accesses
+		th.TaskWait()
+		idx := base % arr.Len()
+		if write {
+			th.StoreF64(arr, idx, 4, pc)
+		} else {
+			th.LoadF64(arr, idx, pc)
+		}
+	}
+}
+
+// TestDifferentialSwordMatchesOracle: sword's race set must equal the
+// semantic oracle's on random programs.
+func TestDifferentialSwordMatchesOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzzing is not short")
+	}
+	for seed := int64(1); seed <= 150; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			oracle := newOracle()
+			store := trace.NewMemStore()
+			col := rt.New(store, rt.Config{Synchronous: true, MaxEvents: 64})
+			rtm := omp.New(omp.WithTool(oracle), omp.WithTool(col))
+			space := memsim.NewSpace(nil)
+			randomProgram(seed, rtm, space)
+			if err := col.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.New(store, core.Config{}).Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle.races()
+			got := reportPairs(rep)
+			for pair := range want {
+				if !got[pair] {
+					t.Errorf("sword missed race %s <-> %s",
+						pcreg.Default.Name(pair[0]), pcreg.Default.Name(pair[1]))
+				}
+			}
+			for pair := range got {
+				if !want[pair] {
+					t.Errorf("sword false positive %s <-> %s",
+						pcreg.Default.Name(pair[0]), pcreg.Default.Name(pair[1]))
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialArcherSubsetOfSword: on the same trace, archer's report
+// must be a subset of sword's (the paper's headline detection claim), and
+// neither may report outside the semantic race set.
+func TestDifferentialArcherSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzzing is not short")
+	}
+	for seed := int64(100); seed <= 200; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			oracle := newOracle()
+			at := archer.New(archer.Config{})
+			store := trace.NewMemStore()
+			col := rt.New(store, rt.Config{Synchronous: true, MaxEvents: 64})
+			rtm := omp.New(omp.WithTool(oracle), omp.WithTool(at), omp.WithTool(col))
+			space := memsim.NewSpace(nil)
+			randomProgram(seed, rtm, space)
+			if err := col.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.New(store, core.Config{}).Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle.races()
+			sword := reportPairs(rep)
+			for pair := range reportPairs(at.Report()) {
+				if !want[pair] {
+					t.Errorf("archer false positive %s <-> %s",
+						pcreg.Default.Name(pair[0]), pcreg.Default.Name(pair[1]))
+				}
+				if !sword[pair] {
+					t.Errorf("archer found a race sword missed: %s <-> %s",
+						pcreg.Default.Name(pair[0]), pcreg.Default.Name(pair[1]))
+				}
+			}
+		})
+	}
+}
+
+// TestSoakFullPipeline is the long-haul stress: many random programs
+// through the real on-disk pipeline (DirStore, async flusher, tiny
+// buffers), each validated for trace integrity and checked against the
+// oracle.
+func TestSoakFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is not short")
+	}
+	dir := t.TempDir()
+	for seed := int64(300); seed < 330; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			store, err := trace.NewDirStore(fmt.Sprintf("%s/%d", dir, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := newOracle()
+			col := rt.New(store, rt.Config{MaxEvents: 32}) // async, tiny buffers
+			rtm := omp.New(omp.WithTool(oracle), omp.WithTool(col))
+			space := memsim.NewSpace(nil)
+			randomProgram(seed, rtm, space)
+			if err := col.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.Validate(store); err != nil {
+				t.Fatalf("trace integrity: %v", err)
+			}
+			rep, err := core.New(store, core.Config{SubtreeBatch: 2}).Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle.races()
+			got := reportPairs(rep)
+			if len(want) != len(got) {
+				t.Fatalf("race sets differ: oracle %d, sword %d\n%s", len(want), len(got), rep.String())
+			}
+			for pair := range want {
+				if !got[pair] {
+					t.Fatalf("missing %s <-> %s",
+						pcreg.Default.Name(pair[0]), pcreg.Default.Name(pair[1]))
+				}
+			}
+		})
+	}
+}

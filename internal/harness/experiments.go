@@ -1,0 +1,501 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"sword/internal/archer"
+	"sword/internal/core"
+	"sword/internal/memsim"
+	"sword/internal/omp"
+	"sword/internal/pcreg"
+	"sword/internal/rt"
+	"sword/internal/trace"
+	"sword/internal/workloads"
+)
+
+// Experiment regenerators: one function per table and figure of the
+// paper's evaluation, each returning the rendered text artifact. See
+// DESIGN.md's per-experiment index; cmd/swordbench exposes them all.
+
+// ExpConfig shapes the slower experiments.
+type ExpConfig struct {
+	Threads []int // thread counts to sweep; nil means {2, 4, 8}
+	Repeats int   // timing repetitions; 0 means 3
+}
+
+func (c ExpConfig) threads() []int {
+	if len(c.Threads) == 0 {
+		return []int{2, 4, 8}
+	}
+	return c.Threads
+}
+
+func (c ExpConfig) repeats() int {
+	if c.Repeats <= 0 {
+		return 3
+	}
+	return c.Repeats
+}
+
+func table(f func(w *tabwriter.Writer)) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	f(w)
+	w.Flush()
+	return b.String()
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}
+
+func mb(bytes uint64) string {
+	return fmt.Sprintf("%.1fMB", float64(bytes)/(1<<20))
+}
+
+// ExpFig1 reproduces Figure 1: the same racy program under the two forced
+// interleavings. The happens-before tool reports the race only under
+// schedule (a); sword reports it under both.
+func ExpFig1() string {
+	type outcome struct{ archer, sword int }
+	runSchedule := func(writerFirst bool) outcome {
+		var out outcome
+		for _, tool := range []Tool{Archer, Sword} {
+			pcW := pcreg.Site("fig1:write(a)")
+			pcR := pcreg.Site("fig1:read(a)")
+			var at *archer.Tool
+			var col *rt.Collector
+			store := trace.NewMemStore()
+			var opts []omp.Option
+			if tool == Archer {
+				at = archer.New(archer.Config{})
+				opts = append(opts, omp.WithTool(at))
+			} else {
+				col = rt.New(store, rt.Config{})
+				opts = append(opts, omp.WithTool(col))
+			}
+			rtm := omp.New(opts...)
+			space := memsim.NewSpace(nil)
+			a, _ := space.AllocF64(1)
+			lock := rtm.NewLock()
+			seq := omp.NewSequencer()
+			rtm.Parallel(2, func(th *omp.Thread) {
+				wStep, rStep := 1, 0
+				if writerFirst {
+					wStep, rStep = 0, 1
+				}
+				if th.ID() == 0 {
+					seq.Do(wStep, func() {
+						th.StoreF64(a, 0, 1, pcW)
+						th.WithLock(lock, func() {})
+					})
+				} else {
+					seq.Do(rStep, func() {
+						th.WithLock(lock, func() {})
+						th.LoadF64(a, 0, pcR)
+					})
+				}
+			})
+			if tool == Archer {
+				out.archer = at.Report().Len()
+			} else {
+				col.Close()
+				rep, err := core.New(store, core.Config{}).Analyze()
+				if err != nil {
+					panic(err)
+				}
+				out.sword = rep.Len()
+			}
+		}
+		return out
+	}
+	a := runSchedule(false) // schedule (a): reader's critical section first
+	b := runSchedule(true)  // schedule (b): writer's first -> HB masks it
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 1 — happens-before race masking across interleavings")
+		fmt.Fprintln(w, "schedule\tarcher\tsword")
+		fmt.Fprintf(w, "(a) no HB path\t%d race\t%d race\n", a.archer, a.sword)
+		fmt.Fprintf(w, "(b) release->acquire path\t%d race (masked)\t%d race\n", b.archer, b.sword)
+	})
+}
+
+// ExpTab1 reproduces Table I: the meta-data file of one thread after a
+// program with two parallel regions and an extra barrier interval.
+func ExpTab1() string {
+	store := trace.NewMemStore()
+	col := rt.New(store, rt.Config{Synchronous: true})
+	rtm := omp.New(omp.WithTool(col))
+	space := memsim.NewSpace(nil)
+	arr, _ := space.AllocF64(4096)
+	pc := pcreg.Site("tab1:sweep")
+	rtm.Run(func(initial *omp.Thread) {
+		initial.Parallel(4, func(th *omp.Thread) {
+			th.ForNoWait(0, 2048, func(i int) { th.StoreF64(arr, i, 1, pc) })
+			th.Barrier()
+			th.ForNoWait(0, 4096, func(i int) { th.StoreF64(arr, i, 2, pc) })
+		})
+		initial.Parallel(4, func(th *omp.Thread) {
+			th.ForNoWait(0, 512, func(i int) { th.StoreF64(arr, i, 3, pc) })
+		})
+	})
+	col.Close()
+	src, err := store.OpenMeta(0)
+	if err != nil {
+		panic(err)
+	}
+	metas, err := trace.ReadAllMeta(src)
+	if err != nil {
+		panic(err)
+	}
+	return "Table I — thread 0 meta-data file (one line per barrier-interval fragment)\n" +
+		trace.FormatMetaTable(metas)
+}
+
+// ExpFig2 reproduces Figure 2's races: R1 inside one nested region,
+// R2 and R3 across concurrent nested regions, with barrier-separated
+// accesses staying race-free.
+func ExpFig2() string {
+	store := trace.NewMemStore()
+	col := rt.New(store, rt.Config{})
+	rtm := omp.New(omp.WithTool(col))
+	space := memsim.NewSpace(nil)
+	x, _ := space.AllocF64(1)
+	y, _ := space.AllocF64(1)
+	pcX := pcreg.Site("fig2:write-x")
+	pcXr := pcreg.Site("fig2:read-x")
+	pcY := pcreg.Site("fig2:write-y")
+	pcYr := pcreg.Site("fig2:read-y")
+	rtm.Parallel(2, func(outer *omp.Thread) {
+		if outer.ID() == 0 {
+			outer.StoreF64(x, 0, 1, pcX) // barrier interval 1: safe vs post-barrier
+			outer.Barrier()
+			outer.Parallel(2, func(in *omp.Thread) {
+				if in.ID() == 1 {
+					in.LoadF64(y, 0, pcYr) // R2: reads y across nested regions
+				}
+				in.LoadF64(x, 0, pcXr) // R3: reads x written by the sibling region
+			})
+		} else {
+			outer.Barrier()
+			outer.Parallel(2, func(in *omp.Thread) {
+				in.StoreF64(y, 0, float64(in.ID()), pcY) // R1: write-write on y
+				if in.ID() == 0 {
+					in.StoreF64(x, 0, 2, pcX) // the write side of R3
+				}
+			})
+		}
+	})
+	col.Close()
+	rep, err := core.New(store, core.Config{}).Analyze()
+	if err != nil {
+		panic(err)
+	}
+	return "Figure 2 — races across the nested concurrency structure\n" + rep.String()
+}
+
+// ExpDRB reproduces the DataRaceBench outcomes of §IV-A as a matrix of
+// detections per tool, with the documented race count for reference.
+func ExpDRB() string {
+	return detectionTable("DataRaceBench microbenchmarks (§IV-A)", workloads.BySuite("drb"))
+}
+
+// ExpTab2 reproduces Table II: data races reported in the OmpSCR
+// benchmarks (race-free benchmarks are listed with zero rows omitted, as
+// in the paper).
+func ExpTab2() string {
+	var racy []workloads.Workload
+	for _, w := range workloads.BySuite("ompscr") {
+		if w.Expect != (workloads.Expected{}) {
+			racy = append(racy, w)
+		}
+	}
+	return detectionTable("Table II — data races reported in OmpSCR benchmarks", racy)
+}
+
+func detectionTable(title string, ws []workloads.Workload) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, title)
+		fmt.Fprintln(w, "benchmark\tdocumented\tarcher\tarcher-low\tsword")
+		for _, wl := range ws {
+			row := [3]int{}
+			for i, tool := range []Tool{Archer, ArcherLow, Sword} {
+				res, err := Run(wl, tool, Options{Threads: 4, NodeBudget: -1})
+				if err != nil {
+					panic(fmt.Sprintf("%s under %s: %v", wl.Name, tool, err))
+				}
+				row[i] = res.Races
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", wl.Name, wl.Documented, row[0], row[1], row[2])
+		}
+	})
+}
+
+// ExpFig6 reproduces Figure 6: geometric-mean runtime and memory overheads
+// of the tools across the OmpSCR suite, per thread count.
+func ExpFig6(cfg ExpConfig) string {
+	suite := workloads.BySuite("ompscr")
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 6 — OmpSCR geometric-mean overheads (dynamic phase)")
+		fmt.Fprintln(w, "threads\ttool\tgeomean slowdown\tgeomean memory ratio")
+		for _, threads := range cfg.threads() {
+			baselines := make(map[string]Result)
+			for _, wl := range suite {
+				res, err := RunAveraged(wl, Baseline, Options{Threads: threads, NodeBudget: -1}, cfg.repeats())
+				if err != nil {
+					panic(err)
+				}
+				baselines[wl.Name] = res
+			}
+			for _, tool := range []Tool{Archer, ArcherLow, Sword} {
+				var slows, mems []float64
+				for _, wl := range suite {
+					res, err := RunAveraged(wl, tool, Options{Threads: threads, NodeBudget: -1, SkipOffline: true}, cfg.repeats())
+					if err != nil {
+						panic(err)
+					}
+					slows = append(slows, Slowdown(res, baselines[wl.Name]))
+					mems = append(mems, MemRatio(res))
+				}
+				fmt.Fprintf(w, "%d\t%s\t%.2fx\t%.2fx\n", threads, tool, Geomean(slows), Geomean(mems))
+			}
+		}
+	})
+}
+
+// ExpTab3 reproduces Table III: sword's dynamic-analysis time (DA), the
+// offline analysis on a single worker (OA), and distributed across workers
+// (MT), per OmpSCR benchmark, next to the two archer configurations.
+func ExpTab3(cfg ExpConfig) string {
+	suite := workloads.BySuite("ompscr")
+	threads := cfg.threads()[len(cfg.threads())-1]
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Table III — OmpSCR analysis runtimes")
+		fmt.Fprintln(w, "benchmark\tarcher\tarcher-low\tsword DA\tsword OA\tsword MT")
+		for _, wl := range suite {
+			a, err := RunAveraged(wl, Archer, Options{Threads: threads, NodeBudget: -1}, cfg.repeats())
+			if err != nil {
+				panic(err)
+			}
+			al, err := RunAveraged(wl, ArcherLow, Options{Threads: threads, NodeBudget: -1}, cfg.repeats())
+			if err != nil {
+				panic(err)
+			}
+			s, err := RunAveraged(wl, Sword, Options{Threads: threads, NodeBudget: -1}, cfg.repeats())
+			if err != nil {
+				panic(err)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n", wl.Name,
+				ms(a.DynTime), ms(al.DynTime), ms(s.DynTime), ms(s.OfflineOA), ms(s.OfflineMT))
+		}
+	})
+}
+
+// HPCBenchmarks lists the Table IV rows: the three fixed-size codes plus
+// AMG at the four grid sizes.
+func HPCBenchmarks() []struct {
+	Label string
+	Name  string
+	Size  int
+} {
+	return []struct {
+		Label string
+		Name  string
+		Size  int
+	}{
+		{"miniFE", "minife", 0},
+		{"HPCCG", "hpccg", 0},
+		{"LULESH", "lulesh", 0},
+		{"AMG2013_10", "amg", 10},
+		{"AMG2013_20", "amg", 20},
+		{"AMG2013_30", "amg", 30},
+		{"AMG2013_40", "amg", 40},
+	}
+}
+
+// ExpTab4 reproduces Table IV: races reported in the HPC benchmarks, with
+// OOM marking the configurations that exceed the node budget (AMG at 40³
+// under both archer configurations).
+func ExpTab4() string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Table IV — data races reported in HPC benchmarks (OOM = out of memory)")
+		fmt.Fprintln(w, "benchmark\tarcher\tarcher-low\tsword")
+		for _, row := range HPCBenchmarks() {
+			wl, err := workloads.Get(row.Name)
+			if err != nil {
+				panic(err)
+			}
+			cells := make([]string, 0, 3)
+			for _, tool := range []Tool{Archer, ArcherLow, Sword} {
+				res, err := Run(wl, tool, Options{Threads: 4, Size: row.Size})
+				if err != nil {
+					panic(err)
+				}
+				if res.OOM {
+					cells = append(cells, "OOM")
+				} else {
+					cells = append(cells, fmt.Sprint(res.Races))
+				}
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", row.Label, cells[0], cells[1], cells[2])
+		}
+	})
+}
+
+// ExpFig7 reproduces Figure 7: per-HPC-benchmark slowdown and modeled
+// memory overhead of each tool as the thread count grows.
+func ExpFig7(cfg ExpConfig) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 7 — HPC benchmark slowdown and memory by thread count (dynamic phase)")
+		fmt.Fprintln(w, "benchmark\tthreads\ttool\tslowdown\ttotal memory")
+		for _, row := range HPCBenchmarks()[:4] { // miniFE, HPCCG, LULESH, AMG_10
+			wl, err := workloads.Get(row.Name)
+			if err != nil {
+				panic(err)
+			}
+			for _, threads := range cfg.threads() {
+				base, err := RunAveraged(wl, Baseline, Options{Threads: threads, Size: row.Size, NodeBudget: -1}, cfg.repeats())
+				if err != nil {
+					panic(err)
+				}
+				for _, tool := range []Tool{Archer, ArcherLow, Sword} {
+					res, err := RunAveraged(wl, tool, Options{Threads: threads, Size: row.Size, NodeBudget: -1, SkipOffline: true}, cfg.repeats())
+					if err != nil {
+						panic(err)
+					}
+					fmt.Fprintf(w, "%s\t%d\t%s\t%.2fx\t%s\n",
+						row.Label, threads, tool, Slowdown(res, base), mb(res.Footprint+res.MemOverhead))
+				}
+			}
+		}
+	})
+}
+
+// ExpFig8 reproduces Figure 8: AMG's memory behaviour as the input grows —
+// archer's overhead tracks the footprint into OOM while sword stays
+// bounded. The final row demonstrates the paper's headline: sword
+// completes on an input using over 90% of node memory.
+func ExpFig8() string {
+	wl, err := workloads.Get("amg")
+	if err != nil {
+		panic(err)
+	}
+	sizes := []int{10, 20, 30, 40}
+	budget := uint64(DefaultNodeBudget)
+	out := table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 8 — AMG memory overhead vs problem size (node budget "+mb(budget)+")")
+		fmt.Fprintln(w, "size\tfootprint\tbaseline\tarcher\tarcher-low\tsword")
+		for _, size := range sizes {
+			foot := workloads.AMGFootprint(size)
+			cells := []string{mb(foot)}
+			for _, tool := range []Tool{Baseline, Archer, ArcherLow, Sword} {
+				res, err := Run(wl, tool, Options{Threads: 4, Size: size, SkipOffline: true})
+				if err != nil {
+					panic(err)
+				}
+				if res.OOM {
+					cells = append(cells, "OOM")
+				} else {
+					cells = append(cells, mb(res.Footprint+res.MemOverhead))
+				}
+			}
+			fmt.Fprintf(w, "%d^3\t%s\t%s\t%s\t%s\t%s\n", size, cells[0], cells[1], cells[2], cells[3], cells[4])
+		}
+	})
+	// The >90% demonstration: the largest grid whose footprint plus
+	// sword's bounded overhead still fits the node.
+	size90 := 67
+	res, err := Run(wl, Sword, Options{Threads: 4, Size: size90})
+	if err != nil {
+		panic(err)
+	}
+	pct := 100 * float64(res.Footprint) / float64(budget)
+	status := fmt.Sprintf("completed, %d races", res.Races)
+	if res.OOM {
+		status = "OOM"
+	}
+	return out + fmt.Sprintf("sword at %d^3: footprint %s = %.0f%% of node — %s\n",
+		size90, mb(res.Footprint), pct, status)
+}
+
+// ExpTab5 reproduces Table V: total analysis overheads on the HPC
+// benchmarks, including sword's offline phase on one worker (OA) and
+// distributed (MT).
+func ExpTab5(cfg ExpConfig) string {
+	threads := cfg.threads()[len(cfg.threads())-1]
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Table V — HPC benchmark total analysis overheads")
+		fmt.Fprintln(w, "benchmark\tbaseline\tarcher\tarcher-low\tsword DA\tsword DA+OA\tsword DA+MT")
+		for _, row := range HPCBenchmarks() {
+			wl, err := workloads.Get(row.Name)
+			if err != nil {
+				panic(err)
+			}
+			base, err := RunAveraged(wl, Baseline, Options{Threads: threads, Size: row.Size}, cfg.repeats())
+			if err != nil {
+				panic(err)
+			}
+			cells := []string{ms(base.DynTime)}
+			for _, tool := range []Tool{Archer, ArcherLow} {
+				res, err := RunAveraged(wl, tool, Options{Threads: threads, Size: row.Size}, cfg.repeats())
+				if err != nil {
+					panic(err)
+				}
+				if res.OOM {
+					cells = append(cells, "OOM")
+				} else {
+					cells = append(cells, ms(res.DynTime))
+				}
+			}
+			s, err := RunAveraged(wl, Sword, Options{Threads: threads, Size: row.Size}, cfg.repeats())
+			if err != nil {
+				panic(err)
+			}
+			if s.OOM {
+				cells = append(cells, "OOM", "OOM", "OOM")
+			} else {
+				cells = append(cells, ms(s.DynTime), ms(s.DynTime+s.OfflineOA), ms(s.DynTime+s.OfflineMT))
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n", row.Label,
+				cells[0], cells[1], cells[2], cells[3], cells[4], cells[5])
+		}
+	})
+}
+
+// ExpTask renders the tasking-extension results: the task kernels of the
+// drb suite under every tool — the paper's future work made measurable.
+func ExpTask() string {
+	var tasky []workloads.Workload
+	for _, w := range workloads.BySuite("drb") {
+		if strings.HasPrefix(w.Name, "task") {
+			tasky = append(tasky, w)
+		}
+	}
+	return detectionTable("Tasking extension (paper §III-C future work)", tasky)
+}
+
+// Experiments maps experiment ids to their regenerators, for the
+// swordbench command.
+func Experiments(cfg ExpConfig) map[string]func() string {
+	return map[string]func() string{
+		"fig1": ExpFig1,
+		"tab1": ExpTab1,
+		"fig2": ExpFig2,
+		"drb":  ExpDRB,
+		"tab2": ExpTab2,
+		"fig6": func() string { return ExpFig6(cfg) },
+		"tab3": func() string { return ExpTab3(cfg) },
+		"tab4": ExpTab4,
+		"fig7": func() string { return ExpFig7(cfg) },
+		"fig8": ExpFig8,
+		"tab5": func() string { return ExpTab5(cfg) },
+		"task": ExpTask,
+	}
+}
+
+// ExperimentIDs lists experiment ids in the paper's order.
+func ExperimentIDs() []string {
+	return []string{"fig1", "tab1", "fig2", "drb", "tab2", "fig6", "tab3", "tab4", "fig7", "fig8", "tab5", "task"}
+}

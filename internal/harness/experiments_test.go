@@ -1,0 +1,297 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"sword/internal/workloads"
+)
+
+// hasRow reports whether some line of out, split on whitespace, equals the
+// given fields (tabwriter renders tabs as spaces).
+func hasRow(out string, fields ...string) bool {
+	for _, line := range strings.Split(out, "\n") {
+		got := strings.Fields(line)
+		if len(got) != len(fields) {
+			continue
+		}
+		match := true
+		for i := range fields {
+			if got[i] != fields[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// These tests pin the *shape* of each regenerated table and figure to the
+// paper's qualitative results (who wins, who OOMs, who misses).
+
+func TestExpFig1Shape(t *testing.T) {
+	out := ExpFig1()
+	if !strings.Contains(out, "1 race") {
+		t.Fatalf("fig1 output unexpected:\n%s", out)
+	}
+	if !strings.Contains(out, "0 race (masked)") {
+		t.Fatalf("fig1 must show archer masking under schedule (b):\n%s", out)
+	}
+	// sword must report the race on both lines.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "(") && !strings.Contains(line, "1 race") {
+			t.Fatalf("sword missed a schedule:\n%s", out)
+		}
+	}
+}
+
+func TestExpTab1Shape(t *testing.T) {
+	out := ExpTab1()
+	if !strings.Contains(out, "pid") || !strings.Contains(out, "ppid") ||
+		!strings.Contains(out, "data begin") {
+		t.Fatalf("tab1 missing Table I header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + at least three fragments (two intervals of region 1, one of
+	// region 2) for thread 0.
+	if len(lines) < 5 {
+		t.Fatalf("tab1 too few rows:\n%s", out)
+	}
+	if !strings.Contains(out, "\t-\t") && !strings.Contains(out, " - ") {
+		t.Fatalf("tab1 missing root-region ppid dash:\n%s", out)
+	}
+}
+
+func TestExpFig2Shape(t *testing.T) {
+	out := ExpFig2()
+	if !strings.Contains(out, "3 race(s)") {
+		t.Fatalf("fig2 must find exactly R1, R2, R3:\n%s", out)
+	}
+	for _, needle := range []string{"write-y", "read-y", "write-x", "read-x"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("fig2 missing %s:\n%s", needle, out)
+		}
+	}
+}
+
+func TestExpDRBShape(t *testing.T) {
+	out := ExpDRB()
+	for _, w := range workloads.BySuite("drb") {
+		if !strings.Contains(out, w.Name) {
+			t.Fatalf("drb table missing %s:\n%s", w.Name, out)
+		}
+	}
+	// The nowait kernel: archer misses (0), sword catches (1).
+	if !hasRow(out, "nowait-orig-yes", "1", "0", "0", "1") {
+		t.Fatalf("drb table nowait row wrong:\n%s", out)
+	}
+	if !hasRow(out, "privatemissing-orig-yes", "1", "1", "1", "3") {
+		t.Fatalf("drb table privatemissing row wrong:\n%s", out)
+	}
+}
+
+func TestExpTab2Shape(t *testing.T) {
+	out := ExpTab2()
+	// Race-free benchmarks are omitted.
+	for _, clean := range []string{"c_pi", "c_qsort", "c_GraphSearch"} {
+		if strings.Contains(out, clean) {
+			t.Fatalf("tab2 must omit race-free %s:\n%s", clean, out)
+		}
+	}
+	// The six sword-superiority rows.
+	for _, row := range [][]string{
+		{"c_md", "2", "2", "2", "3"},
+		{"c_testPath", "1", "1", "1", "2"},
+		{"cpp_qsomp1", "1", "1", "1", "2"},
+		{"cpp_qsomp2", "1", "1", "1", "2"},
+		{"cpp_qsomp5", "1", "1", "1", "2"},
+		{"cpp_qsomp6", "1", "1", "1", "2"},
+	} {
+		if !hasRow(out, row...) {
+			t.Fatalf("tab2 missing row %v:\n%s", row, out)
+		}
+	}
+}
+
+func TestExpTab4Shape(t *testing.T) {
+	out := ExpTab4()
+	for _, row := range [][]string{
+		{"miniFE", "0", "0", "0"},
+		{"HPCCG", "1", "1", "1"},
+		{"LULESH", "0", "0", "0"},
+		{"AMG2013_10", "4", "4", "14"},
+		{"AMG2013_40", "OOM", "OOM", "14"},
+	} {
+		if !hasRow(out, row...) {
+			t.Fatalf("tab4 missing row %v:\n%s", row, out)
+		}
+	}
+}
+
+func TestExpFig8Shape(t *testing.T) {
+	out := ExpFig8()
+	if !strings.Contains(out, "OOM") {
+		t.Fatalf("fig8 must show archer OOM at 40^3:\n%s", out)
+	}
+	if !strings.Contains(out, "completed, 14 races") {
+		t.Fatalf("fig8 must show sword completing the >90%% run:\n%s", out)
+	}
+	if !strings.Contains(out, "% of node") {
+		t.Fatalf("fig8 missing the node-fraction line:\n%s", out)
+	}
+}
+
+func TestTimingExperimentsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweeps are not short")
+	}
+	cfg := ExpConfig{Threads: []int{2}, Repeats: 1}
+	for name, f := range map[string]func() string{
+		"fig6": func() string { return ExpFig6(cfg) },
+		"tab3": func() string { return ExpTab3(cfg) },
+		"fig7": func() string { return ExpFig7(cfg) },
+		"tab5": func() string { return ExpTab5(cfg) },
+	} {
+		out := f()
+		if len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+			t.Errorf("%s rendered too little:\n%s", name, out)
+		}
+	}
+}
+
+// TestFig6MemoryShape: sword's memory ratio must beat archer's on the
+// OmpSCR geomeans — the paper's Figure 6 right-hand panel.
+func TestFig6MemoryShape(t *testing.T) {
+	suite := workloads.BySuite("ompscr")
+	var archerMem, swordMem []float64
+	for _, wl := range suite {
+		a, err := Run(wl, Archer, Options{Threads: 4, NodeBudget: -1, SkipOffline: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Run(wl, Sword, Options{Threads: 4, NodeBudget: -1, SkipOffline: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		archerMem = append(archerMem, MemRatio(a))
+		swordMem = append(swordMem, MemRatio(s))
+		// Sword's absolute overhead is the bounded per-thread constant.
+		if s.MemOverhead != 4*(2<<20+1_300_000) {
+			t.Fatalf("%s: sword overhead %d not the N*(B+C) bound", wl.Name, s.MemOverhead)
+		}
+		if a.MemOverhead != a.Footprint*6 {
+			t.Fatalf("%s: archer overhead %d not 6x footprint", wl.Name, a.MemOverhead)
+		}
+	}
+	if Geomean(archerMem) <= 1 || Geomean(swordMem) <= 1 {
+		t.Fatal("memory ratios must exceed 1")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	exps := Experiments(ExpConfig{})
+	for _, id := range ExperimentIDs() {
+		if _, ok := exps[id]; !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(exps) != len(ExperimentIDs()) {
+		t.Errorf("registry has %d entries, ids list %d", len(exps), len(ExperimentIDs()))
+	}
+}
+
+func TestOOMVerdicts(t *testing.T) {
+	amg, err := workloads.Get("amg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		tool Tool
+		size int
+		oom  bool
+	}{
+		{Archer, 30, false},
+		{Archer, 40, true},
+		{ArcherLow, 40, true},
+		{Sword, 40, false},
+		{Baseline, 40, false},
+	} {
+		res, err := Run(amg, tc.tool, Options{Threads: 4, Size: tc.size, SkipOffline: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OOM != tc.oom {
+			t.Errorf("amg %d^3 under %s: OOM=%v, want %v", tc.size, tc.tool, res.OOM, tc.oom)
+		}
+	}
+}
+
+func TestRunAveragedOnOOM(t *testing.T) {
+	amg, _ := workloads.Get("amg")
+	res, err := RunAveraged(amg, Archer, Options{Threads: 4, Size: 40}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OOM {
+		t.Fatal("averaged OOM run lost the OOM verdict")
+	}
+}
+
+func TestToolStrings(t *testing.T) {
+	for tool, want := range map[Tool]string{
+		Baseline: "baseline", Archer: "archer", ArcherLow: "archer-low", Sword: "sword",
+	} {
+		if tool.String() != want {
+			t.Errorf("Tool(%d).String() = %q", int(tool), tool.String())
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Fatalf("Geomean(2,8) = %f", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("Geomean(nil) = %f", g)
+	}
+	if g := Geomean([]float64{-1, 0, 4}); g != 4 {
+		t.Fatalf("Geomean skipping non-positive = %f", g)
+	}
+}
+
+func TestCSVFig8Shape(t *testing.T) {
+	out := CSVFig8()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "size,footprint_bytes,tool,total_mem_bytes" {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if len(lines) != 1+4*4 {
+		t.Fatalf("rows: %d", len(lines))
+	}
+	oomRows := 0
+	for _, l := range lines[1:] {
+		if strings.HasSuffix(l, ",-1") {
+			oomRows++
+		}
+	}
+	if oomRows != 2 { // archer and archer-low at 40^3
+		t.Fatalf("OOM rows = %d, want 2:\n%s", oomRows, out)
+	}
+}
+
+func TestExpTaskShape(t *testing.T) {
+	out := ExpTask()
+	for _, row := range [][]string{
+		{"taskdep1-orig-yes", "1", "1", "1", "1"},
+		{"tasksibling-orig-yes", "1", "1", "1", "1"},
+		{"taskwait-orig-no", "0", "0", "0", "0"},
+		{"taskfor-orig-no", "0", "0", "0", "0"},
+	} {
+		if !hasRow(out, row...) {
+			t.Fatalf("task table missing row %v:\n%s", row, out)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"testing"
+
+	"sword/internal/workloads"
+)
+
+// TestDetectionMatrix is the reproduction's central correctness gate: for
+// every registered workload, each tool must report exactly the expected
+// number of distinct races — sword a superset of archer, the documented
+// misses missed, the race-free codes clean (no false alarms, §IV).
+func TestDetectionMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is not short")
+	}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			opts := Options{Threads: 4, NodeBudget: -1}
+			for _, tc := range []struct {
+				tool Tool
+				want int
+			}{
+				{Archer, w.Expect.Archer},
+				{ArcherLow, w.Expect.ArcherLow},
+				{Sword, w.Expect.Sword},
+			} {
+				res, err := Run(w, tc.tool, opts)
+				if err != nil {
+					t.Fatalf("%s under %s: %v", w.Name, tc.tool, err)
+				}
+				if res.OOM {
+					t.Fatalf("%s under %s: unexpected OOM", w.Name, tc.tool)
+				}
+				if res.Races != tc.want {
+					t.Errorf("%s under %s: %d races, want %d\n%s",
+						w.Name, tc.tool, res.Races, tc.want, res.Report.String())
+				}
+			}
+		})
+	}
+}
+
+// TestSwordSupersetOfArcher: on every workload, sword must report at least
+// as many races as archer — the paper's headline detection claim.
+func TestSwordSupersetOfArcher(t *testing.T) {
+	for _, w := range workloads.All() {
+		if w.Expect.Sword < w.Expect.Archer {
+			t.Errorf("%s: expectation violates superset property (%d < %d)",
+				w.Name, w.Expect.Sword, w.Expect.Archer)
+		}
+	}
+}
+
+// TestNoFalseAlarmsOnRaceFree: every "-no"-style workload must stay clean
+// under all tools at several thread counts.
+func TestNoFalseAlarmsOnRaceFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thread sweep is not short")
+	}
+	for _, w := range workloads.All() {
+		if w.Expect != (workloads.Expected{}) {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, threads := range []int{2, 3, 8} {
+				for _, tool := range []Tool{Archer, Sword} {
+					res, err := Run(w, tool, Options{Threads: threads, NodeBudget: -1})
+					if err != nil {
+						t.Fatalf("%s/%d under %s: %v", w.Name, threads, tool, err)
+					}
+					if res.Races != 0 {
+						t.Errorf("%s with %d threads under %s: false alarms:\n%s",
+							w.Name, threads, tool, res.Report.String())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMatrixStableAcrossThreadCounts: detection counts for the racy
+// workloads must not depend on the team size (2, 4, 8 threads).
+func TestMatrixStableAcrossThreadCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thread sweep is not short")
+	}
+	for _, w := range workloads.All() {
+		if w.Expect == (workloads.Expected{}) {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, threads := range []int{2, 8} {
+				res, err := Run(w, Sword, Options{Threads: threads, NodeBudget: -1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Races != w.Expect.Sword {
+					t.Errorf("sword with %d threads: %d races, want %d\n%s",
+						threads, res.Races, w.Expect.Sword, res.Report.String())
+				}
+				resA, err := Run(w, Archer, Options{Threads: threads, NodeBudget: -1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resA.Races != w.Expect.Archer {
+					t.Errorf("archer with %d threads: %d races, want %d\n%s",
+						threads, resA.Races, w.Expect.Archer, resA.Report.String())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"sword/internal/trace"
+	"sword/internal/workloads"
+)
+
+// TestRaceSitesPointAtTheRightCode: beyond counts, reports must name the
+// correct source sites — what a user debugging the benchmark would act on.
+func TestRaceSitesPointAtTheRightCode(t *testing.T) {
+	cases := []struct {
+		workload string
+		tool     Tool
+		want     []string // substrings that must appear in the report
+		absent   []string // substrings that must not
+	}{
+		{
+			workload: "nowait-orig-yes",
+			tool:     Sword,
+			want:     []string{"drb/nowait.c:write-a", "drb/nowait.c:read-a-shifted"},
+			absent:   []string{"read-b", "write-c"},
+		},
+		{
+			workload: "privatemissing-orig-yes",
+			tool:     Sword,
+			want: []string{
+				"drb/privatemissing.c:tmp=",
+				"drb/privatemissing.c:use1-tmp",
+				"drb/privatemissing.c:use2-tmp",
+			},
+			absent: []string{"privatemissing.c:out"},
+		},
+		{
+			workload: "hpccg",
+			tool:     Sword,
+			want:     []string{"hpc/hpccg.cpp:normr-write"},
+			absent:   []string{"matvec", "residual"},
+		},
+		{
+			workload: "hpccg",
+			tool:     Archer,
+			want:     []string{"hpc/hpccg.cpp:normr-write"},
+		},
+		{
+			workload: "c_md",
+			tool:     Sword,
+			want: []string{
+				"ompscr/c_md.c:force-write",
+				"ompscr/c_md.c:virial-write",
+				"ompscr/c_md.c:virial-read",
+			},
+			absent: []string{"c_md.c:vel", "c_md.c:pos"},
+		},
+		{
+			workload: "c_md",
+			tool:     Archer,
+			want:     []string{"ompscr/c_md.c:force-write"},
+			absent:   []string{"virial"},
+		},
+		{
+			workload: "taskdep1-orig-yes",
+			tool:     Sword,
+			want:     []string{"drb/taskdep1.c:task-write", "drb/taskdep1.c:continuation-read"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.workload+"/"+tc.tool.String(), func(t *testing.T) {
+			t.Parallel()
+			wl, err := workloads.Get(tc.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(wl, tc.tool, Options{Threads: 4, NodeBudget: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := res.Report.String()
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("report missing site %q:\n%s", want, out)
+				}
+			}
+			for _, absent := range tc.absent {
+				if strings.Contains(out, absent) {
+					t.Errorf("report wrongly implicates %q:\n%s", absent, out)
+				}
+			}
+		})
+	}
+}
+
+// TestDirStoreMatchesMemStore: the on-disk trace path (real files,
+// compression, framing) yields identical detection to the in-memory path.
+func TestDirStoreMatchesMemStore(t *testing.T) {
+	for _, name := range []string{"c_md", "amg", "taskdep1-orig-yes"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			wl, err := workloads.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem, err := Run(wl, Sword, Options{Threads: 4, NodeBudget: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			store, err := trace.NewDirStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			disk, err := Run(wl, Sword, Options{Threads: 4, NodeBudget: -1, Store: store})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if disk.Races != mem.Races {
+				t.Fatalf("disk %d races vs mem %d", disk.Races, mem.Races)
+			}
+			if err := trace.Validate(store); err != nil {
+				t.Fatalf("on-disk trace invalid: %v", err)
+			}
+			if disk.LogBytes == 0 {
+				t.Fatal("no bytes written to disk store")
+			}
+		})
+	}
+}

@@ -1,0 +1,221 @@
+// Package ilp decides whether two strided access intervals share a memory
+// address, the constraint-solving step of SWORD's offline analysis.
+//
+// An interval summarizes accesses {b + x·Δ + s | 0 ≤ x ≤ n, 0 ≤ s < w}:
+// base address b, stride Δ, repetition count n (so n+1 access positions)
+// and access width w. Two intervals of threads T_i and T_j conflict when
+// the conjunction of their two constraints is satisfiable — the paper
+// solves this with GNU GLPK; since the system is a two-variable linear
+// Diophantine problem with box bounds, this package decides it exactly
+// with the extended Euclidean algorithm, and cross-checks against a tiny
+// generic branch-and-bound integer feasibility solver (the "any other
+// solver with similar capabilities" of the paper) in tests.
+package ilp
+
+import "fmt"
+
+// Progression describes one strided interval's address set.
+type Progression struct {
+	Base   uint64 // first access address
+	Stride uint64 // distance between consecutive access positions; 0 for a single position
+	Count  uint64 // number of access positions minus one (x ranges over 0..Count)
+	Width  uint64 // bytes touched at each position (≥ 1)
+}
+
+// normalize collapses degenerate strides: Count == 0 or Stride == 0 pin
+// x to zero.
+func (p Progression) normalize() Progression {
+	if p.Width == 0 {
+		p.Width = 1
+	}
+	if p.Stride == 0 {
+		p.Count = 0
+	}
+	if p.Count == 0 {
+		p.Stride = 0
+	}
+	return p
+}
+
+// Last returns the last byte the progression touches.
+func (p Progression) Last() uint64 {
+	p = p.normalize()
+	return p.Base + p.Stride*p.Count + p.Width - 1
+}
+
+// Contains reports whether the progression touches address a.
+func (p Progression) Contains(a uint64) bool {
+	p = p.normalize()
+	if a < p.Base || a > p.Last() {
+		return false
+	}
+	if p.Stride == 0 {
+		return a-p.Base < p.Width
+	}
+	// The latest position starting at or before a covers furthest right,
+	// so checking it alone is exact even when Width > Stride.
+	off := a - p.Base
+	x := off / p.Stride
+	if x > p.Count {
+		x = p.Count
+	}
+	return off-x*p.Stride < p.Width
+}
+
+// Intersect reports whether the two progressions share any byte, returning
+// a witness address when they do. It is exact: no over- or
+// under-approximation.
+func Intersect(a, b Progression) (uint64, bool) {
+	a, b = a.normalize(), b.normalize()
+	// Fast reject on bounding boxes.
+	if a.Last() < b.Base || b.Last() < a.Base {
+		return 0, false
+	}
+	// Positions: pa = a.Base + x·Δa (0 ≤ x ≤ a.Count),
+	//            pb = b.Base + y·Δb (0 ≤ y ≤ b.Count).
+	// Bytes overlap iff d = pb − pa ∈ [−(b.Width−1), a.Width−1].
+	// For each target d, solve y·Δb − x·Δa = d + (a.Base − b.Base) =: c
+	// with x, y in their boxes. Widths are small (≤ 128), so the loop over
+	// the window is bounded and each step is an O(log) gcd solve.
+	lo := -int64(b.Width - 1)
+	hi := int64(a.Width - 1)
+	baseDiff := int64(a.Base) - int64(b.Base)
+	for d := lo; d <= hi; d++ {
+		c := d + baseDiff
+		x, y, ok := solveAxByC(-int64(a.Stride), int64(b.Stride), c, int64(a.Count), int64(b.Count))
+		if ok {
+			pa := a.Base + uint64(x)*a.Stride
+			pb := b.Base + uint64(y)*b.Stride
+			// Witness byte: overlap of [pa, pa+wa) and [pb, pb+wb).
+			w := pa
+			if pb > w {
+				w = pb
+			}
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// solveAxByC finds integers x ∈ [0, X], y ∈ [0, Y] with a·x + b·y = c,
+// using the extended Euclidean algorithm and intersecting the solution
+// line with the box. Any coefficients are accepted, including zeros.
+func solveAxByC(a, b, c, X, Y int64) (int64, int64, bool) {
+	switch {
+	case a == 0 && b == 0:
+		if c == 0 {
+			return 0, 0, true
+		}
+		return 0, 0, false
+	case a == 0:
+		if c%b != 0 {
+			return 0, 0, false
+		}
+		y := c / b
+		if y < 0 || y > Y {
+			return 0, 0, false
+		}
+		return 0, y, true
+	case b == 0:
+		if c%a != 0 {
+			return 0, 0, false
+		}
+		x := c / a
+		if x < 0 || x > X {
+			return 0, 0, false
+		}
+		return x, 0, true
+	}
+	g, u, v := extGCD(a, b)
+	if c%g != 0 {
+		return 0, 0, false
+	}
+	m := c / g
+	// Particular solution.
+	x0 := u * m
+	y0 := v * m
+	// General solution: x = x0 + (b/g)·k, y = y0 − (a/g)·k.
+	bg := b / g
+	ag := a / g
+	// Intersect 0 ≤ x0 + bg·k ≤ X with 0 ≤ y0 − ag·k ≤ Y over integer k.
+	kLo, kHi := int64(minInt64), int64(maxInt64)
+	if !clampRange(&kLo, &kHi, bg, -x0, X-x0) { // 0−x0 ≤ bg·k ≤ X−x0
+		return 0, 0, false
+	}
+	if !clampRange(&kLo, &kHi, -ag, -y0, Y-y0) { // 0−y0 ≤ −ag·k ≤ Y−y0
+		return 0, 0, false
+	}
+	if kLo > kHi {
+		return 0, 0, false
+	}
+	k := kLo
+	x := x0 + bg*k
+	y := y0 - ag*k
+	if x < 0 || x > X || y < 0 || y > Y || a*x+b*y != c {
+		// Overflow in intermediate arithmetic would surface here; the
+		// address space and counts used by the collector keep all values
+		// far below 2^62, so this is a genuine internal error.
+		panic(fmt.Sprintf("ilp: inconsistent solution x=%d y=%d for %d·x+%d·y=%d", x, y, a, b, c))
+	}
+	return x, y, true
+}
+
+const (
+	maxInt64 = int64(^uint64(0) >> 1)
+	minInt64 = -maxInt64 - 1
+)
+
+// clampRange intersects [lo, hi] with the k-range satisfying
+// m ≤ coef·k ≤ M. coef may be negative but not zero... a zero coefficient
+// turns the condition into a constant test.
+func clampRange(lo, hi *int64, coef, m, M int64) bool {
+	if coef == 0 {
+		return m <= 0 && 0 <= M
+	}
+	if coef < 0 {
+		coef, m, M = -coef, -M, -m
+	}
+	// m ≤ coef·k ≤ M with coef > 0: ceil(m/coef) ≤ k ≤ floor(M/coef).
+	l := ceilDiv(m, coef)
+	h := floorDiv(M, coef)
+	if l > *lo {
+		*lo = l
+	}
+	if h < *hi {
+		*hi = h
+	}
+	return *lo <= *hi
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}
+
+// extGCD returns g = gcd(|a|, |b|) > 0 and u, v with a·u + b·v = g.
+func extGCD(a, b int64) (g, u, v int64) {
+	oldR, r := a, b
+	oldU, uu := int64(1), int64(0)
+	oldV, vv := int64(0), int64(1)
+	for r != 0 {
+		q := oldR / r
+		oldR, r = r, oldR-q*r
+		oldU, uu = uu, oldU-q*uu
+		oldV, vv = vv, oldV-q*vv
+	}
+	if oldR < 0 {
+		oldR, oldU, oldV = -oldR, -oldU, -oldV
+	}
+	return oldR, oldU, oldV
+}

@@ -1,0 +1,284 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteIntersect is the reference oracle: enumerate every byte of a and
+// test membership in b.
+func bruteIntersect(a, b Progression) (uint64, bool) {
+	a, b = a.normalize(), b.normalize()
+	for x := uint64(0); x <= a.Count; x++ {
+		for s := uint64(0); s < a.Width; s++ {
+			addr := a.Base + x*a.Stride + s
+			if b.Contains(addr) {
+				return addr, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func TestPaperExample(t *testing.T) {
+	// Section III-B: T0 accesses 8·x+10, T1 accesses 8·x+14, x ∈ [0,4],
+	// width 4. The byte windows [10,13],[18,21],... and [14,17],[22,25],...
+	// never overlap.
+	t0 := Progression{Base: 10, Stride: 8, Count: 4, Width: 4}
+	t1 := Progression{Base: 14, Stride: 8, Count: 4, Width: 4}
+	if _, ok := Intersect(t0, t1); ok {
+		t.Fatal("paper example intervals must be disjoint")
+	}
+	// Shift T1 by 2: windows [12,15] overlap [10,13].
+	t1b := Progression{Base: 12, Stride: 8, Count: 4, Width: 4}
+	addr, ok := Intersect(t0, t1b)
+	if !ok {
+		t.Fatal("shifted intervals must overlap")
+	}
+	if !t0.Contains(addr) || !t1b.Contains(addr) {
+		t.Fatalf("witness %d not in both progressions", addr)
+	}
+}
+
+func TestIntervalTreeFigure(t *testing.T) {
+	// Figure 4: T0 covers [10,50] stride 8, T1 covers [14,54] stride 8,
+	// both width 4: interleaved, no common byte despite overlapping ranges.
+	t0 := Progression{Base: 10, Stride: 8, Count: 5, Width: 4}
+	t1 := Progression{Base: 14, Stride: 8, Count: 5, Width: 4}
+	if _, ok := Intersect(t0, t1); ok {
+		t.Fatal("interleaved strided intervals must not intersect")
+	}
+}
+
+func TestSingleAccesses(t *testing.T) {
+	a := Progression{Base: 100, Width: 8}
+	b := Progression{Base: 104, Width: 8}
+	addr, ok := Intersect(a, b)
+	if !ok || addr != 104 {
+		t.Fatalf("overlapping words: addr=%d ok=%v", addr, ok)
+	}
+	c := Progression{Base: 108, Width: 8}
+	if _, ok := Intersect(a, c); ok {
+		t.Fatal("adjacent words must not intersect")
+	}
+	if _, ok := Intersect(a, a); !ok {
+		t.Fatal("identical single accesses must intersect")
+	}
+}
+
+func TestPartialWordOverlap(t *testing.T) {
+	// A 1-byte write into the middle of an 8-byte read.
+	word := Progression{Base: 0x1000, Width: 8}
+	byteW := Progression{Base: 0x1003, Width: 1}
+	addr, ok := Intersect(word, byteW)
+	if !ok || addr != 0x1003 {
+		t.Fatalf("partial word overlap: addr=%#x ok=%v", addr, ok)
+	}
+}
+
+func TestStridedVsSingle(t *testing.T) {
+	arr := Progression{Base: 0, Stride: 16, Count: 100, Width: 8}
+	hit := Progression{Base: 16 * 37, Width: 4}
+	if _, ok := Intersect(arr, hit); !ok {
+		t.Fatal("element 37 must be hit")
+	}
+	miss := Progression{Base: 16*37 + 8, Width: 8}
+	if _, ok := Intersect(arr, miss); ok {
+		t.Fatal("gap between elements must not be hit")
+	}
+}
+
+func TestDifferentStrides(t *testing.T) {
+	// Strides 6 and 10 from bases 0 and 2: positions 0,6,12,… and
+	// 2,12,22,…: both include 12.
+	a := Progression{Base: 0, Stride: 6, Count: 10, Width: 1}
+	b := Progression{Base: 2, Stride: 10, Count: 10, Width: 1}
+	addr, ok := Intersect(a, b)
+	if !ok || addr != 12 {
+		t.Fatalf("addr=%d ok=%v, want 12", addr, ok)
+	}
+	// Bases 0 and 3 with even strides and width 1 never meet (parity).
+	c := Progression{Base: 3, Stride: 10, Count: 1000, Width: 1}
+	d := Progression{Base: 0, Stride: 6, Count: 1000, Width: 1}
+	if _, ok := Intersect(c, d); ok {
+		t.Fatal("parity-separated progressions must not intersect")
+	}
+}
+
+func TestCountBoundsRespected(t *testing.T) {
+	// Same line, but the boxes keep them apart: a covers 0..40, b starts
+	// at 48.
+	a := Progression{Base: 0, Stride: 8, Count: 5, Width: 8}
+	b := Progression{Base: 48, Stride: 8, Count: 5, Width: 8}
+	if _, ok := Intersect(a, b); ok {
+		t.Fatal("disjoint ranges on the same lattice must not intersect")
+	}
+	b2 := Progression{Base: 40, Stride: 8, Count: 5, Width: 8}
+	if _, ok := Intersect(a, b2); !ok {
+		t.Fatal("touching ranges on the same lattice must intersect")
+	}
+}
+
+func TestWidthLargerThanStride(t *testing.T) {
+	// Overlapping self-strides: every byte from 0..11 covered.
+	a := Progression{Base: 0, Stride: 2, Count: 4, Width: 4}
+	for addr := uint64(0); addr < 12; addr++ {
+		if !a.Contains(addr) {
+			t.Fatalf("addr %d should be contained", addr)
+		}
+	}
+	if a.Contains(12) {
+		t.Fatal("addr 12 should not be contained")
+	}
+}
+
+func TestContainsEdges(t *testing.T) {
+	p := Progression{Base: 100, Stride: 8, Count: 3, Width: 4}
+	cases := map[uint64]bool{
+		99: false, 100: true, 103: true, 104: false,
+		108: true, 111: true, 112: false,
+		124: true, 127: true, 128: false, 200: false,
+	}
+	for addr, want := range cases {
+		if got := p.Contains(addr); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", addr, got, want)
+		}
+	}
+	if p.Last() != 127 {
+		t.Fatalf("Last = %d, want 127", p.Last())
+	}
+}
+
+func randProgression(r *rand.Rand) Progression {
+	return Progression{
+		Base:   uint64(r.Intn(200)),
+		Stride: uint64(r.Intn(12)),
+		Count:  uint64(r.Intn(20)),
+		Width:  uint64(1 + r.Intn(8)),
+	}
+}
+
+// TestQuickAgainstBruteForce cross-checks the gcd solver against byte
+// enumeration across random progressions, including degenerate strides.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randProgression(r), randProgression(r)
+		wantAddr, want := bruteIntersect(a, b)
+		gotAddr, got := Intersect(a, b)
+		if got != want {
+			t.Logf("a=%+v b=%+v brute=(%d,%v) got=(%d,%v)", a, b, wantAddr, want, gotAddr, got)
+			return false
+		}
+		if got && (!a.Contains(gotAddr) || !b.Contains(gotAddr)) {
+			t.Logf("witness %d not contained; a=%+v b=%+v", gotAddr, a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSymmetric: Intersect must be symmetric in its arguments.
+func TestQuickSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randProgression(r), randProgression(r)
+		_, ab := Intersect(a, b)
+		_, ba := Intersect(b, a)
+		return ab == ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSelfIntersect: every non-empty progression intersects itself.
+func TestQuickSelfIntersect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randProgression(r)
+		_, ok := Intersect(a, a)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	// Realistic collector magnitudes: multi-gigabyte bases, million-element
+	// arrays.
+	a := Progression{Base: 0x4000_0000, Stride: 8, Count: 1 << 20, Width: 8}
+	b := Progression{Base: 0x4000_0000 + 8*(1<<19) + 4, Width: 4}
+	if _, ok := Intersect(a, b); !ok {
+		t.Fatal("large-value hit missed")
+	}
+	c := Progression{Base: 0x4000_0000 + 8*(1<<21), Width: 8}
+	if _, ok := Intersect(a, c); ok {
+		t.Fatal("large-value miss reported as hit")
+	}
+	// Two million-element sweeps with co-prime strides intersecting far out.
+	d := Progression{Base: 0x4000_0000, Stride: 24, Count: 1 << 20, Width: 8}
+	e := Progression{Base: 0x4000_0004, Stride: 40, Count: 1 << 20, Width: 8}
+	addr, ok := Intersect(d, e)
+	if !ok {
+		t.Fatal("co-prime strides with shared lattice point missed")
+	}
+	if !d.Contains(addr) || !e.Contains(addr) {
+		t.Fatalf("witness %#x not contained in both", addr)
+	}
+}
+
+func TestExtGCD(t *testing.T) {
+	cases := []struct{ a, b int64 }{
+		{12, 18}, {-12, 18}, {12, -18}, {-12, -18}, {1, 1}, {7, 13}, {100, 0x7fffffff},
+	}
+	for _, c := range cases {
+		g, u, v := extGCD(c.a, c.b)
+		if g <= 0 {
+			t.Errorf("extGCD(%d,%d): non-positive g=%d", c.a, c.b, g)
+		}
+		if c.a*u+c.b*v != g {
+			t.Errorf("extGCD(%d,%d): %d·%d+%d·%d != %d", c.a, c.b, c.a, u, c.b, v, g)
+		}
+		if c.a%g != 0 || c.b%g != 0 {
+			t.Errorf("extGCD(%d,%d): %d does not divide both", c.a, c.b, g)
+		}
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	for _, c := range []struct{ a, b, fl, ce int64 }{
+		{7, 2, 3, 4}, {-7, 2, -4, -3}, {7, -2, -4, -3}, {-7, -2, 3, 4},
+		{6, 3, 2, 2}, {-6, 3, -2, -2}, {0, 5, 0, 0},
+	} {
+		if got := floorDiv(c.a, c.b); got != c.fl {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.fl)
+		}
+		if got := ceilDiv(c.a, c.b); got != c.ce {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ce)
+		}
+	}
+}
+
+func BenchmarkIntersectHit(b *testing.B) {
+	x := Progression{Base: 0x4000_0000, Stride: 24, Count: 1 << 20, Width: 8}
+	y := Progression{Base: 0x4000_0004, Stride: 40, Count: 1 << 20, Width: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Intersect(x, y)
+	}
+}
+
+func BenchmarkIntersectMiss(b *testing.B) {
+	x := Progression{Base: 10, Stride: 8, Count: 1 << 20, Width: 4}
+	y := Progression{Base: 14, Stride: 8, Count: 1 << 20, Width: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Intersect(x, y)
+	}
+}

@@ -1,0 +1,170 @@
+package ilp
+
+import "fmt"
+
+// A small exact integer linear feasibility solver in the style the paper
+// delegates to GNU GLPK ("any other solver with similar capabilities could
+// be employed"). The production path uses the closed-form gcd decision in
+// Intersect; this solver expresses the same conjunction of constraints
+// literally — Δ·x + b + s = a with box bounds, Section III-B — and decides
+// it by branch and bound with interval propagation. The test suite
+// cross-checks the two against each other and against brute force.
+
+// Rel is a constraint relation.
+type Rel int
+
+// Supported relations.
+const (
+	Eq Rel = iota // Σ coef·x = rhs
+	Le            // Σ coef·x ≤ rhs
+)
+
+// Var is an integer variable with inclusive bounds.
+type Var struct {
+	Lo, Hi int64
+}
+
+// Constraint is a linear constraint over the system's variables.
+type Constraint struct {
+	Coefs []int64 // one per variable; missing entries are zero
+	Rel   Rel
+	RHS   int64
+}
+
+// System is a conjunction of linear constraints over bounded integers.
+type System struct {
+	Vars []Var
+	Cons []Constraint
+}
+
+// Feasible decides the system, returning a witness assignment when
+// satisfiable. It panics if a constraint names more coefficients than
+// variables. The search is exact: branch and bound over variable domains
+// with per-constraint interval pruning.
+func (s System) Feasible() ([]int64, bool) {
+	for _, c := range s.Cons {
+		if len(c.Coefs) > len(s.Vars) {
+			panic(fmt.Sprintf("ilp: constraint has %d coefficients for %d variables", len(c.Coefs), len(s.Vars)))
+		}
+	}
+	// Divisibility pre-check: an equality whose coefficient gcd does not
+	// divide the right-hand side is infeasible regardless of bounds (this
+	// is what the production gcd path decides in closed form).
+	for _, c := range s.Cons {
+		if c.Rel != Eq {
+			continue
+		}
+		g := int64(0)
+		for _, co := range c.Coefs {
+			g, _, _ = extGCD(g, co)
+		}
+		if g != 0 && c.RHS%g != 0 {
+			return nil, false
+		}
+	}
+	lo := make([]int64, len(s.Vars))
+	hi := make([]int64, len(s.Vars))
+	for i, v := range s.Vars {
+		if v.Lo > v.Hi {
+			return nil, false
+		}
+		lo[i], hi[i] = v.Lo, v.Hi
+	}
+	assign := make([]int64, len(s.Vars))
+	if s.search(lo, hi, assign, 0) {
+		return assign, true
+	}
+	return nil, false
+}
+
+// residualRange returns the min and max of Σ coef·x over the given boxes.
+func residualRange(coefs []int64, lo, hi []int64) (int64, int64) {
+	var mn, mx int64
+	for i, c := range coefs {
+		switch {
+		case c > 0:
+			mn += c * lo[i]
+			mx += c * hi[i]
+		case c < 0:
+			mn += c * hi[i]
+			mx += c * lo[i]
+		}
+	}
+	return mn, mx
+}
+
+// prune reports whether any constraint is already unsatisfiable over the
+// current boxes.
+func (s System) prune(lo, hi []int64) bool {
+	for _, c := range s.Cons {
+		mn, mx := residualRange(c.Coefs, lo, hi)
+		switch c.Rel {
+		case Eq:
+			if c.RHS < mn || c.RHS > mx {
+				return true
+			}
+		case Le:
+			if mn > c.RHS {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s System) search(lo, hi, assign []int64, depth int) bool {
+	if s.prune(lo, hi) {
+		return false
+	}
+	// Pick the first unfixed variable.
+	idx := -1
+	for i := range lo {
+		if lo[i] < hi[i] {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		for i := range lo {
+			assign[i] = lo[i]
+		}
+		return !s.prune(lo, hi)
+	}
+	// Branch by bisection: better pruning on wide domains than value
+	// enumeration.
+	mid := lo[idx] + (hi[idx]-lo[idx])/2
+	saveLo, saveHi := lo[idx], hi[idx]
+	hi[idx] = mid
+	if s.search(lo, hi, assign, depth+1) {
+		hi[idx] = saveHi
+		return true
+	}
+	hi[idx] = saveHi
+	lo[idx] = mid + 1
+	ok := s.search(lo, hi, assign, depth+1)
+	lo[idx] = saveLo
+	return ok
+}
+
+// IntersectSystem builds the paper's Section III-B constraint system for
+// two progressions: variables x1, s1, x2, s2 with
+//
+//	Δ1·x1 + s1 − Δ2·x2 − s2 = b2 − b1
+//
+// satisfiable exactly when the progressions share a byte.
+func IntersectSystem(p1, p2 Progression) System {
+	p1, p2 = p1.normalize(), p2.normalize()
+	return System{
+		Vars: []Var{
+			{0, int64(p1.Count)},
+			{0, int64(p1.Width) - 1},
+			{0, int64(p2.Count)},
+			{0, int64(p2.Width) - 1},
+		},
+		Cons: []Constraint{{
+			Coefs: []int64{int64(p1.Stride), 1, -int64(p2.Stride), -1},
+			Rel:   Eq,
+			RHS:   int64(p2.Base) - int64(p1.Base),
+		}},
+	}
+}

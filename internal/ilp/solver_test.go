@@ -1,0 +1,129 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolverSimpleSystems(t *testing.T) {
+	// x + y = 5, 0<=x<=3, 0<=y<=3.
+	sys := System{
+		Vars: []Var{{0, 3}, {0, 3}},
+		Cons: []Constraint{{Coefs: []int64{1, 1}, Rel: Eq, RHS: 5}},
+	}
+	a, ok := sys.Feasible()
+	if !ok || a[0]+a[1] != 5 {
+		t.Fatalf("x+y=5: %v %v", a, ok)
+	}
+	// x + y = 7 is out of reach.
+	sys.Cons[0].RHS = 7
+	if _, ok := sys.Feasible(); ok {
+		t.Fatal("x+y=7 satisfiable within [0,3]^2")
+	}
+}
+
+func TestSolverParity(t *testing.T) {
+	// 2x - 2y = 1 has no integer solution; divisibility pruning must
+	// decide it instantly even over wide bounds.
+	sys := System{
+		Vars: []Var{{0, 1 << 40}, {0, 1 << 40}},
+		Cons: []Constraint{{Coefs: []int64{2, -2}, Rel: Eq, RHS: 1}},
+	}
+	if _, ok := sys.Feasible(); ok {
+		t.Fatal("parity-infeasible system satisfied")
+	}
+}
+
+func TestSolverInequalities(t *testing.T) {
+	// x <= 4, -x <= -2 (i.e. x >= 2), x = 3k via equality with helper var.
+	sys := System{
+		Vars: []Var{{0, 10}, {0, 3}},
+		Cons: []Constraint{
+			{Coefs: []int64{1}, Rel: Le, RHS: 4},
+			{Coefs: []int64{-1}, Rel: Le, RHS: -2},
+			{Coefs: []int64{1, -3}, Rel: Eq, RHS: 0}, // x = 3y
+		},
+	}
+	a, ok := sys.Feasible()
+	if !ok || a[0] != 3 || a[1] != 1 {
+		t.Fatalf("expected x=3,y=1; got %v %v", a, ok)
+	}
+}
+
+func TestSolverEmptyDomain(t *testing.T) {
+	sys := System{Vars: []Var{{5, 2}}}
+	if _, ok := sys.Feasible(); ok {
+		t.Fatal("inverted bounds satisfiable")
+	}
+}
+
+func TestSolverNoConstraints(t *testing.T) {
+	sys := System{Vars: []Var{{-3, 3}, {7, 7}}}
+	a, ok := sys.Feasible()
+	if !ok || a[1] != 7 {
+		t.Fatalf("unconstrained: %v %v", a, ok)
+	}
+}
+
+// TestIntersectSystemMatchesGCDSolver: the literal Section III-B system
+// decided by branch and bound must agree with the closed-form gcd decision
+// on random progressions — the "any other solver" equivalence.
+func TestIntersectSystemMatchesGCDSolver(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Progression{
+			Base:   uint64(r.Intn(500)),
+			Stride: uint64(r.Intn(16)),
+			Count:  uint64(r.Intn(64)),
+			Width:  uint64(1 + r.Intn(8)),
+		}
+		b := Progression{
+			Base:   uint64(r.Intn(500)),
+			Stride: uint64(r.Intn(16)),
+			Count:  uint64(r.Intn(64)),
+			Width:  uint64(1 + r.Intn(8)),
+		}
+		_, gcdOK := Intersect(a, b)
+		assign, bnbOK := IntersectSystem(a, b).Feasible()
+		if gcdOK != bnbOK {
+			t.Logf("disagreement on %+v vs %+v: gcd=%v bnb=%v", a, b, gcdOK, bnbOK)
+			return false
+		}
+		if bnbOK {
+			// The witness must name a genuinely shared byte.
+			a, b := a.normalize(), b.normalize()
+			addr1 := a.Base + uint64(assign[0])*a.Stride + uint64(assign[1])
+			addr2 := b.Base + uint64(assign[2])*b.Stride + uint64(assign[3])
+			if addr1 != addr2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolverPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	System{
+		Vars: []Var{{0, 1}},
+		Cons: []Constraint{{Coefs: []int64{1, 2}, Rel: Eq, RHS: 0}},
+	}.Feasible()
+}
+
+func BenchmarkSolverIntersect(b *testing.B) {
+	p1 := Progression{Base: 10, Stride: 8, Count: 1000, Width: 4}
+	p2 := Progression{Base: 14, Stride: 8, Count: 1000, Width: 4}
+	sys := IntersectSystem(p1, p2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys.Feasible()
+	}
+}

@@ -1,0 +1,197 @@
+package itree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// collect returns all intervals in order.
+func collect(t *Tree) []Node {
+	var out []Node
+	t.Visit(func(n *Node) bool {
+		c := *n
+		c.left, c.right, c.parent = nil, nil, nil
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// covered expands a tree to the multiset of (addr, write, pc) positions.
+func covered(t *Tree) map[[3]uint64]uint64 {
+	out := make(map[[3]uint64]uint64)
+	t.Visit(func(n *Node) bool {
+		w := uint64(0)
+		if n.Write {
+			w = 1
+		}
+		stride := n.Stride
+		if stride == 0 {
+			stride = 1
+		}
+		for pos := n.Low; ; pos += stride {
+			out[[3]uint64{pos, w, n.PC}]++
+			if pos >= n.High {
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func TestCompactDescendingSweep(t *testing.T) {
+	var tr Tree
+	for i := 99; i >= 0; i-- {
+		tr.Insert(Access{Addr: uint64(i) * 8, Width: 8, PC: 1})
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("descending sweep pre-compact: %d nodes", tr.Len())
+	}
+	before := covered(&tr)
+	eliminated := tr.Compact()
+	if eliminated != 99 || tr.Len() != 1 {
+		t.Fatalf("Compact eliminated %d, Len=%d, want 99/1\n%s", eliminated, tr.Len(), tr.String())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	after := covered(&tr)
+	if len(before) != len(after) {
+		t.Fatalf("coverage changed: %d vs %d positions", len(before), len(after))
+	}
+	for k := range before {
+		if _, ok := after[k]; !ok {
+			t.Fatalf("position %v lost", k)
+		}
+	}
+}
+
+func TestCompactKeepsDistinctAttrsApart(t *testing.T) {
+	var tr Tree
+	tr.Insert(Access{Addr: 0, Width: 8, Write: true, PC: 1})
+	tr.Insert(Access{Addr: 16, Width: 8, Write: false, PC: 1}) // direction differs
+	tr.Insert(Access{Addr: 32, Width: 8, Write: true, PC: 2})  // pc differs
+	tr.Compact()
+	if tr.Len() != 3 {
+		t.Fatalf("merged incompatible nodes: %s", tr.String())
+	}
+}
+
+func TestCompactJoinsProgressionPieces(t *testing.T) {
+	var tr Tree
+	// Two runs split artificially (e.g. across fragments): 0..40 and 48..88.
+	for i := 0; i <= 5; i++ {
+		tr.Insert(Access{Addr: uint64(i) * 8, Width: 8, PC: 9})
+	}
+	// Evict the run from the recent-node cache with four other streams.
+	for k := uint64(0); k < 4; k++ {
+		tr.Insert(Access{Addr: 1<<20 + k*256, Width: 8, PC: 100 + k})
+	}
+	for i := 6; i <= 11; i++ {
+		tr.Insert(Access{Addr: uint64(i) * 8, Width: 8, PC: 9})
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("setup: %d nodes\n%s", tr.Len(), tr.String())
+	}
+	tr.Compact()
+	if tr.Len() != 5 {
+		t.Fatalf("pieces not joined: %s", tr.String())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactNoOpStaysValid(t *testing.T) {
+	var tr Tree
+	tr.Insert(Access{Addr: 0, Width: 8, PC: 1})
+	tr.Insert(Access{Addr: 1000, Width: 4, PC: 2, Write: true})
+	if got := tr.Compact(); got != 0 {
+		t.Fatalf("eliminated %d from unmergeable tree", got)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// The tree must remain usable for inserts and queries after Compact.
+	tr.Insert(Access{Addr: 500, Width: 8, PC: 3})
+	hits := 0
+	tr.VisitOverlaps(0, 2000, func(*Node) bool { hits++; return true })
+	if hits != 3 {
+		t.Fatalf("post-compact query found %d nodes", hits)
+	}
+}
+
+func TestCompactEmptyAndSingle(t *testing.T) {
+	var tr Tree
+	if tr.Compact() != 0 {
+		t.Fatal("empty tree compacted")
+	}
+	tr.Insert(Access{Addr: 8, Width: 8, PC: 1})
+	if tr.Compact() != 0 || tr.Len() != 1 {
+		t.Fatal("single-node tree changed")
+	}
+}
+
+// TestQuickCompactPreservesCoverage: compaction never changes the set of
+// (position, direction, pc) tuples a tree represents, and the result is a
+// valid, no-larger tree.
+func TestQuickCompactPreservesCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tr Tree
+		n := 50 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			tr.Insert(Access{
+				Addr:  uint64(r.Intn(64)) * 8,
+				Width: 8,
+				Write: r.Intn(2) == 0,
+				PC:    uint64(r.Intn(3)),
+			})
+		}
+		before := covered(&tr)
+		sizeBefore := tr.Len()
+		accBefore := tr.Accesses()
+		tr.Compact()
+		if err := tr.Check(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if tr.Len() > sizeBefore || tr.Accesses() != accBefore {
+			return false
+		}
+		after := covered(&tr)
+		if len(after) != len(before) {
+			return false
+		}
+		for k := range before {
+			if _, ok := after[k]; !ok {
+				return false
+			}
+		}
+		// Access counts are conserved.
+		total := uint64(0)
+		tr.Visit(func(n *Node) bool { total += n.Count; return true })
+		return total == accBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompactFragmented(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var tr Tree
+		for j := 4095; j >= 0; j-- {
+			tr.Insert(Access{Addr: uint64(j) * 8, Width: 8, PC: 1})
+		}
+		b.StartTimer()
+		tr.Compact()
+	}
+}

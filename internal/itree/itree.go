@@ -1,0 +1,522 @@
+// Package itree implements the augmented red-black interval tree SWORD's
+// offline analysis uses to summarize each thread's memory accesses within a
+// barrier interval.
+//
+// A node summarizes a strided run of accesses sharing the same attributes
+// (program counter, read/write, width, atomicity, held-mutex set): an
+// arithmetic progression of start addresses from Low to High with the given
+// Stride, each access touching Width bytes. Consecutive accesses from array
+// sweeps coalesce into a single node, which is what keeps tree sizes —
+// and therefore pairwise comparison cost — proportional to the number of
+// distinct access patterns rather than the number of accesses
+// (M ≤ N in the paper's complexity discussion).
+//
+// The tree is keyed by Low and augmented with the maximum last-touched byte
+// of each subtree, supporting O(log M + k) overlap enumeration.
+package itree
+
+import (
+	"fmt"
+	"strings"
+
+	"sword/internal/ilp"
+	"sword/internal/trace"
+)
+
+// Node is one interval of summarized accesses. The RB-tree plumbing is
+// unexported; payload fields are read-only for callers once inserted.
+type Node struct {
+	Low     uint64 // first access start address
+	High    uint64 // last access start address (== Low for a single access)
+	Stride  uint64 // distance between consecutive start addresses; 0 if single
+	Width   uint64 // bytes touched per access
+	Write   bool
+	Atomic  bool
+	PC      uint64
+	Mutexes trace.MutexSet
+	Count   uint64 // number of accesses summarized into this node
+
+	left, right, parent *Node
+	red                 bool
+	maxEnd              uint64 // max of lastByte() over this subtree
+}
+
+// lastByte returns the last byte this interval touches.
+func (n *Node) lastByte() uint64 { return n.High + n.Width - 1 }
+
+// Progression returns the node's address set for the constraint solver.
+func (n *Node) Progression() ilp.Progression {
+	count := uint64(0)
+	if n.Stride != 0 {
+		count = (n.High - n.Low) / n.Stride
+	}
+	return ilp.Progression{Base: n.Low, Stride: n.Stride, Count: count, Width: n.Width}
+}
+
+// String renders the node as in the paper's Figure 5, e.g.
+// "[10,50] Δ8 w4 W pc=3".
+func (n *Node) String() string {
+	op := "R"
+	if n.Write {
+		op = "W"
+	}
+	if n.Atomic {
+		op += "a"
+	}
+	return fmt.Sprintf("[%d,%d] Δ%d w%d %s pc=%d", n.Low, n.High, n.Stride, n.Width, op, n.PC)
+}
+
+// Tree is an augmented red-black interval tree. The zero value is an empty
+// tree ready for use. Not safe for concurrent mutation; the offline
+// analyzer builds each thread's trees on a single worker, exactly as the
+// paper notes tree generation is not parallelized.
+type Tree struct {
+	root  *Node
+	size  int
+	accum uint64
+	// recent caches the most recently inserted or extended nodes for
+	// coalescing. A handful of entries covers the common interleavings —
+	// loop bodies alternating a few read and write streams per iteration —
+	// that a single-slot cache misses.
+	recent  [4]*Node
+	nrecent int
+}
+
+// Len returns the number of interval nodes.
+func (t *Tree) Len() int { return t.size }
+
+// Accesses returns the total number of accesses inserted (the paper's N,
+// versus Len which is M).
+func (t *Tree) Accesses() uint64 { return t.accum }
+
+// Access describes one instrumented memory access to insert.
+type Access struct {
+	Addr    uint64
+	Width   uint64
+	Write   bool
+	Atomic  bool
+	PC      uint64
+	Mutexes trace.MutexSet
+}
+
+// Insert adds an access, coalescing it into the most recent node when it
+// continues that node's arithmetic progression with identical attributes.
+func (t *Tree) Insert(a Access) {
+	t.accum++
+	for _, n := range t.recent[:t.nrecent] {
+		if n.PC != a.PC || n.Write != a.Write || n.Atomic != a.Atomic ||
+			n.Width != a.Width || n.Mutexes != a.Mutexes {
+			continue
+		}
+		switch {
+		case a.Addr == n.High:
+			// Repeated access to the same position (e.g. reduction-style
+			// re-reads): absorb without growing the interval.
+			n.Count++
+			return
+		case n.Stride == 0 && a.Addr > n.Low:
+			n.Stride = a.Addr - n.Low
+			n.High = a.Addr
+			n.Count++
+			t.fixMaxEndUp(n)
+			return
+		case n.Stride != 0 && a.Addr == n.High+n.Stride:
+			n.High = a.Addr
+			n.Count++
+			t.fixMaxEndUp(n)
+			return
+		}
+	}
+	n := &Node{Low: a.Addr, High: a.Addr, Width: a.Width, Write: a.Write,
+		Atomic: a.Atomic, PC: a.PC, Mutexes: a.Mutexes, Count: 1, red: true}
+	t.insertNode(n)
+	t.size++
+	// Most-recently-used first; drop the oldest entry.
+	if t.nrecent < len(t.recent) {
+		t.nrecent++
+	}
+	copy(t.recent[1:t.nrecent], t.recent[:t.nrecent-1])
+	t.recent[0] = n
+}
+
+// fixMaxEndUp recomputes maxEnd from n to the root after n's interval grew.
+func (t *Tree) fixMaxEndUp(n *Node) {
+	for m := n; m != nil; m = m.parent {
+		e := m.lastByte()
+		if m.left != nil && m.left.maxEnd > e {
+			e = m.left.maxEnd
+		}
+		if m.right != nil && m.right.maxEnd > e {
+			e = m.right.maxEnd
+		}
+		if m.maxEnd == e && m != n {
+			break
+		}
+		m.maxEnd = e
+	}
+}
+
+func (t *Tree) insertNode(n *Node) {
+	n.maxEnd = n.lastByte()
+	if t.root == nil {
+		n.red = false
+		t.root = n
+		return
+	}
+	cur := t.root
+	for {
+		if cur.maxEnd < n.maxEnd {
+			cur.maxEnd = n.maxEnd
+		}
+		if n.Low < cur.Low {
+			if cur.left == nil {
+				cur.left = n
+				n.parent = cur
+				break
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				cur.right = n
+				n.parent = cur
+				break
+			}
+			cur = cur.right
+		}
+	}
+	t.rebalance(n)
+}
+
+func (t *Tree) rotateLeft(x *Node) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+	y.maxEnd = x.maxEnd
+	t.recomputeMaxEnd(x)
+}
+
+func (t *Tree) rotateRight(x *Node) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+	y.maxEnd = x.maxEnd
+	t.recomputeMaxEnd(x)
+}
+
+func (t *Tree) recomputeMaxEnd(n *Node) {
+	e := n.lastByte()
+	if n.left != nil && n.left.maxEnd > e {
+		e = n.left.maxEnd
+	}
+	if n.right != nil && n.right.maxEnd > e {
+		e = n.right.maxEnd
+	}
+	n.maxEnd = e
+}
+
+func (t *Tree) rebalance(n *Node) {
+	for n != t.root && n.parent.red {
+		g := n.parent.parent
+		if n.parent == g.left {
+			uncle := g.right
+			if uncle != nil && uncle.red {
+				n.parent.red = false
+				uncle.red = false
+				g.red = true
+				n = g
+				continue
+			}
+			if n == n.parent.right {
+				n = n.parent
+				t.rotateLeft(n)
+			}
+			n.parent.red = false
+			g.red = true
+			t.rotateRight(g)
+		} else {
+			uncle := g.left
+			if uncle != nil && uncle.red {
+				n.parent.red = false
+				uncle.red = false
+				g.red = true
+				n = g
+				continue
+			}
+			if n == n.parent.left {
+				n = n.parent
+				t.rotateRight(n)
+			}
+			n.parent.red = false
+			g.red = true
+			t.rotateLeft(g)
+		}
+	}
+	t.root.red = false
+}
+
+// VisitOverlaps calls f for every node whose byte range [Low, High+Width-1]
+// intersects [lo, hi]. It stops early if f returns false. Overlap here is a
+// bounding-box test; precise strided intersection is the constraint
+// solver's job.
+func (t *Tree) VisitOverlaps(lo, hi uint64, f func(*Node) bool) {
+	visitOverlaps(t.root, lo, hi, f)
+}
+
+func visitOverlaps(n *Node, lo, hi uint64, f func(*Node) bool) bool {
+	if n == nil || n.maxEnd < lo {
+		return true
+	}
+	if !visitOverlaps(n.left, lo, hi, f) {
+		return false
+	}
+	if n.Low <= hi && n.lastByte() >= lo {
+		if !f(n) {
+			return false
+		}
+	}
+	if n.Low > hi {
+		// Every node in the right subtree has Low >= n.Low > hi.
+		return true
+	}
+	return visitOverlaps(n.right, lo, hi, f)
+}
+
+// Visit walks all nodes in ascending Low order, stopping early if f
+// returns false.
+func (t *Tree) Visit(f func(*Node) bool) {
+	var walk func(*Node) bool
+	walk = func(n *Node) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && f(n) && walk(n.right)
+	}
+	walk(t.root)
+}
+
+// Height returns the height of the tree (0 for empty), for balance checks.
+func (t *Tree) Height() int {
+	var h func(*Node) int
+	h = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + max(h(n.left), h(n.right))
+	}
+	return h(t.root)
+}
+
+// String renders the intervals in order, one per line.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.Visit(func(n *Node) bool {
+		b.WriteString(n.String())
+		b.WriteByte('\n')
+		return true
+	})
+	return b.String()
+}
+
+// Check validates the red-black and augmentation invariants, returning an
+// error describing the first violation. It is exported for tests and for
+// the property-based suite.
+func (t *Tree) Check() error {
+	if t.root == nil {
+		return nil
+	}
+	if t.root.red {
+		return fmt.Errorf("itree: red root")
+	}
+	if t.root.parent != nil {
+		return fmt.Errorf("itree: root has parent")
+	}
+	count := 0
+	_, err := checkNode(t.root, &count)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("itree: size %d but %d nodes reachable", t.size, count)
+	}
+	return nil
+}
+
+func checkNode(n *Node, count *int) (blackHeight int, err error) {
+	if n == nil {
+		return 1, nil
+	}
+	*count++
+	if n.red {
+		if (n.left != nil && n.left.red) || (n.right != nil && n.right.red) {
+			return 0, fmt.Errorf("itree: red node %s has red child", n)
+		}
+	}
+	if n.left != nil {
+		if n.left.parent != n {
+			return 0, fmt.Errorf("itree: broken parent link at %s", n.left)
+		}
+		if n.left.Low > n.Low {
+			return 0, fmt.Errorf("itree: order violation: %s left of %s", n.left, n)
+		}
+	}
+	if n.right != nil {
+		if n.right.parent != n {
+			return 0, fmt.Errorf("itree: broken parent link at %s", n.right)
+		}
+		if n.right.Low < n.Low {
+			return 0, fmt.Errorf("itree: order violation: %s right of %s", n.right, n)
+		}
+	}
+	if n.Stride != 0 && (n.High-n.Low)%n.Stride != 0 {
+		return 0, fmt.Errorf("itree: ragged interval %s", n)
+	}
+	want := n.lastByte()
+	lh, err := checkNode(n.left, count)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := checkNode(n.right, count)
+	if err != nil {
+		return 0, err
+	}
+	if n.left != nil && n.left.maxEnd > want {
+		want = n.left.maxEnd
+	}
+	if n.right != nil && n.right.maxEnd > want {
+		want = n.right.maxEnd
+	}
+	if n.maxEnd != want {
+		return 0, fmt.Errorf("itree: maxEnd %d != %d at %s", n.maxEnd, want, n)
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("itree: black height mismatch at %s: %d vs %d", n, lh, rh)
+	}
+	if n.red {
+		return lh, nil
+	}
+	return lh + 1, nil
+}
+
+// Compact rebuilds the tree, merging mergeable neighbors that insert-time
+// coalescing missed — descending sweeps, interleaved streams that
+// exhausted the recent-node cache, or fragments split across flushes. Two
+// nodes merge when they share attributes and their positions form one
+// arithmetic progression. Returns the number of nodes eliminated.
+//
+// This is the paper's trace-merging step: comparison cost is O(M log M)
+// in the node count, so shrinking M before pairwise comparison pays for
+// itself on fragmented traces.
+func (t *Tree) Compact() int {
+	if t.size < 2 {
+		return 0
+	}
+	nodes := make([]*Node, 0, t.size)
+	t.Visit(func(n *Node) bool {
+		nodes = append(nodes, n)
+		return true
+	})
+	merged := make([]*Node, 0, len(nodes))
+	for _, n := range nodes {
+		if len(merged) > 0 {
+			last := merged[len(merged)-1]
+			if tryMerge(last, n) {
+				continue
+			}
+		}
+		n.left, n.right, n.parent = nil, nil, nil
+		merged = append(merged, n)
+	}
+	eliminated := t.size - len(merged)
+	if eliminated == 0 {
+		// Restore a valid tree shape (links were cleared above).
+		rebuilt := Tree{accum: t.accum}
+		for _, n := range merged {
+			n.red = true
+			rebuilt.insertNode(n)
+			rebuilt.size++
+		}
+		rebuilt.root.red = false
+		*t = rebuilt
+		return 0
+	}
+	rebuilt := Tree{accum: t.accum}
+	for _, n := range merged {
+		n.red = true
+		rebuilt.insertNode(n)
+		rebuilt.size++
+	}
+	rebuilt.root.red = false
+	*t = rebuilt
+	return eliminated
+}
+
+// tryMerge absorbs b into a when a and b share attributes and concatenate
+// into a single progression (a strictly before b in Low order).
+func tryMerge(a, b *Node) bool {
+	if a.PC != b.PC || a.Write != b.Write || a.Atomic != b.Atomic ||
+		a.Width != b.Width || a.Mutexes != b.Mutexes {
+		return false
+	}
+	switch {
+	case a.Stride == 0 && b.Stride == 0:
+		if b.Low == a.Low {
+			a.Count += b.Count
+			return true
+		}
+		if b.Low > a.Low {
+			a.Stride = b.Low - a.Low
+			a.High = b.Low
+			a.Count += b.Count
+			return true
+		}
+		return false
+	case a.Stride == 0 && b.Stride != 0:
+		if b.Low > a.Low && b.Low-a.Low == b.Stride {
+			a.Stride = b.Stride
+			a.High = b.High
+			a.Count += b.Count
+			return true
+		}
+		return false
+	case a.Stride != 0 && b.Stride == 0:
+		if b.Low == a.High+a.Stride {
+			a.High = b.Low
+			a.Count += b.Count
+			return true
+		}
+		return false
+	default:
+		if a.Stride == b.Stride && b.Low == a.High+a.Stride {
+			a.High = b.High
+			a.Count += b.Count
+			return true
+		}
+		return false
+	}
+}

@@ -1,0 +1,344 @@
+package itree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sword/internal/trace"
+)
+
+func insertSeq(t *Tree, base, stride, n uint64, width uint64, write bool, pc uint64) {
+	for i := uint64(0); i < n; i++ {
+		t.Insert(Access{Addr: base + i*stride, Width: width, Write: write, PC: pc})
+	}
+}
+
+func TestCoalescingSweep(t *testing.T) {
+	var tr Tree
+	insertSeq(&tr, 0x1000, 8, 1000, 8, true, 1)
+	if tr.Len() != 1 {
+		t.Fatalf("ascending sweep produced %d nodes, want 1\n%s", tr.Len(), tr.String())
+	}
+	if tr.Accesses() != 1000 {
+		t.Fatalf("Accesses = %d", tr.Accesses())
+	}
+	var n *Node
+	tr.Visit(func(m *Node) bool { n = m; return false })
+	if n.Low != 0x1000 || n.High != 0x1000+999*8 || n.Stride != 8 || n.Count != 1000 {
+		t.Fatalf("node %s count=%d", n, n.Count)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescingBreaksOnAttrChange(t *testing.T) {
+	var tr Tree
+	tr.Insert(Access{Addr: 0, Width: 8, Write: true, PC: 1})
+	tr.Insert(Access{Addr: 8, Width: 8, Write: true, PC: 1})
+	tr.Insert(Access{Addr: 16, Width: 8, Write: false, PC: 1}) // read breaks run
+	tr.Insert(Access{Addr: 24, Width: 8, Write: true, PC: 2})  // pc breaks run
+	tr.Insert(Access{Addr: 32, Width: 4, Write: true, PC: 2})  // width breaks run
+	tr.Insert(Access{Addr: 40, Width: 4, Write: true, PC: 2, Mutexes: trace.MutexSet(1)})
+	tr.Insert(Access{Addr: 44, Width: 4, Write: true, PC: 2, Atomic: true})
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6\n%s", tr.Len(), tr.String())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescingSamePosition(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 100; i++ {
+		tr.Insert(Access{Addr: 0x2000, Width: 8, PC: 3})
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("repeated same-position access produced %d nodes", tr.Len())
+	}
+	var n *Node
+	tr.Visit(func(m *Node) bool { n = m; return false })
+	if n.Count != 100 || n.Stride != 0 || n.Low != n.High {
+		t.Fatalf("node %s count=%d", n, n.Count)
+	}
+}
+
+func TestCoalescingStrideMismatch(t *testing.T) {
+	var tr Tree
+	tr.Insert(Access{Addr: 0, Width: 8, PC: 1})
+	tr.Insert(Access{Addr: 8, Width: 8, PC: 1})
+	tr.Insert(Access{Addr: 24, Width: 8, PC: 1}) // gap 16 != stride 8: new node
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2\n%s", tr.Len(), tr.String())
+	}
+}
+
+func TestDescendingSweepStaysCorrect(t *testing.T) {
+	var tr Tree
+	for i := 99; i >= 0; i-- {
+		tr.Insert(Access{Addr: uint64(i) * 8, Width: 8, PC: 1})
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// No forward coalescing possible, but every access must be represented.
+	total := uint64(0)
+	tr.Visit(func(n *Node) bool { total += n.Count; return true })
+	if total != 100 {
+		t.Fatalf("represented %d accesses, want 100", total)
+	}
+}
+
+func TestVisitOverlaps(t *testing.T) {
+	var tr Tree
+	// Three separate runs: [0,792], [10000,10792], [20000,20792].
+	insertSeq(&tr, 0, 8, 100, 8, false, 1)
+	insertSeq(&tr, 10000, 8, 100, 8, true, 2)
+	insertSeq(&tr, 20000, 8, 100, 8, false, 3)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d\n%s", tr.Len(), tr.String())
+	}
+	var hits []uint64
+	tr.VisitOverlaps(10100, 20100, func(n *Node) bool {
+		hits = append(hits, n.PC)
+		return true
+	})
+	if len(hits) != 2 || hits[0] != 2 || hits[1] != 3 {
+		t.Fatalf("overlap pcs = %v, want [2 3]", hits)
+	}
+	hits = nil
+	tr.VisitOverlaps(900, 9000, func(n *Node) bool {
+		hits = append(hits, n.PC)
+		return true
+	})
+	if len(hits) != 0 {
+		t.Fatalf("gap query hit %v", hits)
+	}
+	// Early stop.
+	calls := 0
+	tr.VisitOverlaps(0, 1<<40, func(n *Node) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop made %d calls", calls)
+	}
+}
+
+func TestOverlapBoundary(t *testing.T) {
+	var tr Tree
+	tr.Insert(Access{Addr: 100, Width: 8, PC: 1}) // bytes [100,107]
+	for _, tc := range []struct {
+		lo, hi uint64
+		want   int
+	}{
+		{0, 99, 0}, {0, 100, 1}, {107, 200, 1}, {108, 200, 0}, {103, 103, 1},
+	} {
+		got := 0
+		tr.VisitOverlaps(tc.lo, tc.hi, func(*Node) bool { got++; return true })
+		if got != tc.want {
+			t.Errorf("VisitOverlaps(%d,%d) = %d nodes, want %d", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestProgression(t *testing.T) {
+	var tr Tree
+	insertSeq(&tr, 10, 8, 6, 4, true, 1)
+	var n *Node
+	tr.Visit(func(m *Node) bool { n = m; return false })
+	p := n.Progression()
+	if p.Base != 10 || p.Stride != 8 || p.Count != 5 || p.Width != 4 {
+		t.Fatalf("Progression = %+v", p)
+	}
+	if !p.Contains(10) || !p.Contains(50) || p.Contains(14) {
+		t.Fatal("progression membership wrong")
+	}
+}
+
+// TestIntervalTreeExample reproduces the paper's Figure 5 scenario: the
+// loop a[i] = a[i-1] run by two threads splits into per-thread read and
+// write intervals whose read/write ranges overlap at the chunk boundary.
+func TestIntervalTreeExample(t *testing.T) {
+	const elem = 4 // int32 array a[1000]
+	base := uint64(0x10000)
+	addr := func(i int) uint64 { return base + uint64(i)*elem }
+	var t0, t1 Tree
+	// Thread 0: iterations 1..499 — writes a[1..499], reads a[0..498].
+	for i := 1; i < 500; i++ {
+		t0.Insert(Access{Addr: addr(i - 1), Width: elem, PC: 10})
+		t0.Insert(Access{Addr: addr(i), Width: elem, Write: true, PC: 11})
+	}
+	// Thread 1: iterations 500..999.
+	for i := 500; i < 1000; i++ {
+		t1.Insert(Access{Addr: addr(i - 1), Width: elem, PC: 10})
+		t1.Insert(Access{Addr: addr(i), Width: elem, Write: true, PC: 11})
+	}
+	// Interleaved R/W per iteration defeats single-node coalescing, but
+	// trees must stay far smaller than 2×500 accesses... they alternate
+	// between two growing runs, so expect exactly 2 nodes once warm.
+	if t0.Len() > 500 || t1.Len() > 500 {
+		t.Fatalf("trees did not summarize: %d, %d nodes", t0.Len(), t1.Len())
+	}
+	if err := t0.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The cross-thread conflict: T1 reads a[499] which T0 writes.
+	conflict := false
+	t0.Visit(func(w *Node) bool {
+		if !w.Write {
+			return true
+		}
+		t1.VisitOverlaps(w.Low, w.lastByte(), func(r *Node) bool {
+			conflict = true
+			return false
+		})
+		return !conflict
+	})
+	if !conflict {
+		t.Fatal("boundary conflict between thread trees not found")
+	}
+}
+
+func TestRandomizedInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var tr Tree
+	for i := 0; i < 20000; i++ {
+		tr.Insert(Access{
+			Addr:  uint64(r.Intn(1 << 20)),
+			Width: 1 << r.Intn(4),
+			Write: r.Intn(2) == 0,
+			PC:    uint64(r.Intn(32)),
+		})
+		if i%997 == 0 {
+			if err := tr.Check(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Balance: height must be O(log n). 2·log2(n+1) is the RB bound.
+	if h := tr.Height(); h > 2*21 {
+		t.Fatalf("height %d too large for %d nodes", h, tr.Len())
+	}
+}
+
+// TestQuickOverlapMatchesLinearScan cross-checks VisitOverlaps against a
+// full traversal filter.
+func TestQuickOverlapMatchesLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tr Tree
+		for i := 0; i < 300; i++ {
+			tr.Insert(Access{
+				Addr:  uint64(r.Intn(4096)),
+				Width: 1 << r.Intn(4),
+				PC:    uint64(r.Intn(8)),
+				Write: r.Intn(2) == 0,
+			})
+		}
+		if err := tr.Check(); err != nil {
+			t.Log(err)
+			return false
+		}
+		lo := uint64(r.Intn(4096))
+		hi := lo + uint64(r.Intn(512))
+		want := map[*Node]bool{}
+		tr.Visit(func(n *Node) bool {
+			if n.Low <= hi && n.lastByte() >= lo {
+				want[n] = true
+			}
+			return true
+		})
+		got := map[*Node]bool{}
+		tr.VisitOverlaps(lo, hi, func(n *Node) bool {
+			got[n] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Logf("seed %d: got %d overlaps, want %d", seed, len(got), len(want))
+			return false
+		}
+		for n := range want {
+			if !got[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAccessesConserved: the sum of node counts always equals the
+// number of inserted accesses.
+func TestQuickAccessesConserved(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tr Tree
+		n := 100 + r.Intn(400)
+		for i := 0; i < n; i++ {
+			tr.Insert(Access{Addr: uint64(r.Intn(256)) * 8, Width: 8, PC: uint64(r.Intn(4))})
+		}
+		total := uint64(0)
+		tr.Visit(func(m *Node) bool { total += m.Count; return true })
+		return total == uint64(n) && tr.Accesses() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatal("empty tree not empty")
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	tr.VisitOverlaps(0, ^uint64(0), func(*Node) bool { called = true; return true })
+	if called {
+		t.Fatal("VisitOverlaps on empty tree called f")
+	}
+}
+
+func BenchmarkInsertSweep(b *testing.B) {
+	b.ReportAllocs()
+	var tr Tree
+	for i := 0; i < b.N; i++ {
+		tr.Insert(Access{Addr: uint64(i) * 8, Width: 8, PC: 1})
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	var tr Tree
+	for i := 0; i < b.N; i++ {
+		tr.Insert(Access{Addr: uint64(r.Intn(1 << 24)), Width: 8, PC: uint64(r.Intn(64))})
+	}
+}
+
+func BenchmarkVisitOverlaps(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	var tr Tree
+	for i := 0; i < 100000; i++ {
+		tr.Insert(Access{Addr: uint64(r.Intn(1 << 24)), Width: 8, PC: uint64(r.Intn(64))})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(r.Intn(1 << 24))
+		tr.VisitOverlaps(lo, lo+4096, func(*Node) bool { return true })
+	}
+}

@@ -1,0 +1,154 @@
+package memsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestBudgetChargeRelease(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Charge(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Charge(41); !errors.Is(err, ErrOOM) {
+		t.Fatalf("overcharge error = %v, want ErrOOM", err)
+	}
+	if err := b.Charge(40); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 100 {
+		t.Fatalf("Used = %d", b.Used())
+	}
+	b.Release(50)
+	if b.Used() != 50 {
+		t.Fatalf("Used after release = %d", b.Used())
+	}
+	if b.Limit() != 100 {
+		t.Fatalf("Limit = %d", b.Limit())
+	}
+}
+
+func TestBudgetUnlimitedAndNil(t *testing.T) {
+	var nilB *Budget
+	if err := nilB.Charge(1 << 60); err != nil {
+		t.Fatal(err)
+	}
+	nilB.Release(5)
+	if nilB.Used() != 0 || nilB.Limit() != 0 {
+		t.Fatal("nil budget not inert")
+	}
+	b := NewBudget(0)
+	if err := b.Charge(1 << 60); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetConcurrent(t *testing.T) {
+	b := NewBudget(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := b.Charge(3); err != nil {
+					t.Error(err)
+					return
+				}
+				b.Release(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Used() != 8*1000*2 {
+		t.Fatalf("Used = %d, want %d", b.Used(), 8*1000*2)
+	}
+}
+
+func TestSpaceAllocationsDisjoint(t *testing.T) {
+	s := NewSpace(nil)
+	a, err := s.AllocF64(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.AllocI64(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.AllocI32(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.AllocBytes(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rng struct{ lo, hi uint64 }
+	ranges := []rng{
+		{a.Base(), a.Addr(99) + 7},
+		{b.Base(), b.Addr(99) + 7},
+		{c.Base(), c.Addr(99) + 3},
+		{d.Base(), d.Addr(99)},
+	}
+	for i := range ranges {
+		for j := i + 1; j < len(ranges); j++ {
+			if ranges[i].lo <= ranges[j].hi && ranges[j].lo <= ranges[i].hi {
+				t.Fatalf("ranges %d and %d overlap: %+v %+v", i, j, ranges[i], ranges[j])
+			}
+		}
+	}
+	if s.Footprint() != 100*8+100*8+100*4+100 {
+		t.Fatalf("Footprint = %d", s.Footprint())
+	}
+}
+
+func TestSpaceAddressing(t *testing.T) {
+	s := NewSpace(nil)
+	a, _ := s.AllocF64(10)
+	if a.Addr(3)-a.Addr(2) != 8 {
+		t.Fatal("F64 element stride != 8")
+	}
+	if a.Len() != 10 || len(a.Data) != 10 {
+		t.Fatal("length mismatch")
+	}
+	c, _ := s.AllocI32(10)
+	if c.Addr(3)-c.Addr(2) != 4 {
+		t.Fatal("I32 element stride != 4")
+	}
+	d, _ := s.AllocBytes(10)
+	if d.Addr(3)-d.Addr(2) != 1 {
+		t.Fatal("Bytes element stride != 1")
+	}
+}
+
+func TestSpaceBudgetOOM(t *testing.T) {
+	b := NewBudget(1000)
+	s := NewSpace(b)
+	if _, err := s.AllocF64(100); err != nil { // 800 bytes
+		t.Fatal(err)
+	}
+	if _, err := s.AllocF64(100); !errors.Is(err, ErrOOM) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+	if err := s.Reserve(200); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reserve(1); !errors.Is(err, ErrOOM) {
+		t.Fatalf("expected OOM from Reserve, got %v", err)
+	}
+	if s.Budget() != b {
+		t.Fatal("Budget accessor wrong")
+	}
+}
+
+func TestReserveCountsFootprintOnly(t *testing.T) {
+	s := NewSpace(nil)
+	before := s.Footprint()
+	if err := s.Reserve(1 << 30); err != nil { // a gigabyte, no backing
+		t.Fatal(err)
+	}
+	if s.Footprint()-before != 1<<30 {
+		t.Fatal("Reserve did not account footprint")
+	}
+}

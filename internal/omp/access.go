@@ -1,0 +1,142 @@
+package omp
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+
+	"sword/internal/memsim"
+)
+
+// Instrumented memory operations. These helpers stand in for the LLVM
+// pass: each performs the real data movement on the backing Go slice and
+// reports the simulated address, width, direction and program counter to
+// every attached tool. Accesses made outside parallel regions are executed
+// but not reported, matching the paper's instrumentation which skips
+// sequential instructions.
+//
+// The data plane uses atomic loads and stores on the backing words: the
+// *simulated* program still races (that is what the detectors analyze),
+// but the Go process itself stays well-defined, so the repository's own
+// test suite runs clean under `go test -race`. Workload results remain
+// deterministic up to the benign nondeterminism real racy programs have.
+
+func loadWord(p *float64) float64 {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(p))))
+}
+
+func storeWord(p *float64, v float64) {
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(p)), math.Float64bits(v))
+}
+
+// Read reports an instrumented load of size bytes at addr from site pc.
+// Use it directly for access patterns the typed helpers don't cover.
+func (t *Thread) Read(addr uint64, size uint8, pc uint64) {
+	if t.InParallel() {
+		t.rt.tools.access(t, addr, size, false, false, pc)
+	}
+}
+
+// Write reports an instrumented store.
+func (t *Thread) Write(addr uint64, size uint8, pc uint64) {
+	if t.InParallel() {
+		t.rt.tools.access(t, addr, size, true, false, pc)
+	}
+}
+
+// LoadF64 reads element i of a.
+func (t *Thread) LoadF64(a *memsim.F64, i int, pc uint64) float64 {
+	t.Read(a.Addr(i), 8, pc)
+	return loadWord(&a.Data[i])
+}
+
+// StoreF64 writes element i of a.
+func (t *Thread) StoreF64(a *memsim.F64, i int, v float64, pc uint64) {
+	t.Write(a.Addr(i), 8, pc)
+	storeWord(&a.Data[i], v)
+}
+
+// LoadI64 reads element i of a.
+func (t *Thread) LoadI64(a *memsim.I64, i int, pc uint64) int64 {
+	t.Read(a.Addr(i), 8, pc)
+	return atomic.LoadInt64(&a.Data[i])
+}
+
+// StoreI64 writes element i of a.
+func (t *Thread) StoreI64(a *memsim.I64, i int, v int64, pc uint64) {
+	t.Write(a.Addr(i), 8, pc)
+	atomic.StoreInt64(&a.Data[i], v)
+}
+
+// LoadI32 reads element i of a.
+func (t *Thread) LoadI32(a *memsim.I32, i int, pc uint64) int32 {
+	t.Read(a.Addr(i), 4, pc)
+	return atomic.LoadInt32(&a.Data[i])
+}
+
+// StoreI32 writes element i of a.
+func (t *Thread) StoreI32(a *memsim.I32, i int, v int32, pc uint64) {
+	t.Write(a.Addr(i), 4, pc)
+	atomic.StoreInt32(&a.Data[i], v)
+}
+
+// LoadByte reads element i of a.
+func (t *Thread) LoadByte(a *memsim.Bytes, i int, pc uint64) byte {
+	t.Read(a.Addr(i), 1, pc)
+	mu := atomicStripe(a.Addr(i))
+	mu.Lock()
+	v := a.Data[i]
+	mu.Unlock()
+	return v
+}
+
+// StoreByte writes element i of a.
+func (t *Thread) StoreByte(a *memsim.Bytes, i int, v byte, pc uint64) {
+	t.Write(a.Addr(i), 1, pc)
+	mu := atomicStripe(a.Addr(i))
+	mu.Lock()
+	a.Data[i] = v
+	mu.Unlock()
+}
+
+// AtomicAddF64 atomically adds v to element i of a (#pragma omp atomic).
+// Atomic accesses are reported with the atomic flag; two atomics on the
+// same location do not race.
+func (t *Thread) AtomicAddF64(a *memsim.F64, i int, v float64, pc uint64) float64 {
+	mu := atomicStripe(a.Addr(i))
+	mu.Lock()
+	out := loadWord(&a.Data[i]) + v
+	storeWord(&a.Data[i], out)
+	mu.Unlock()
+	if t.InParallel() {
+		t.rt.tools.access(t, a.Addr(i), 8, true, true, pc)
+	}
+	return out
+}
+
+// AtomicAddI64 atomically adds v to element i of a.
+func (t *Thread) AtomicAddI64(a *memsim.I64, i int, v int64, pc uint64) int64 {
+	out := atomic.AddInt64(&a.Data[i], v)
+	if t.InParallel() {
+		t.rt.tools.access(t, a.Addr(i), 8, true, true, pc)
+	}
+	return out
+}
+
+// AtomicLoadF64 atomically reads element i of a (#pragma omp atomic read).
+func (t *Thread) AtomicLoadF64(a *memsim.F64, i int, pc uint64) float64 {
+	out := loadWord(&a.Data[i])
+	if t.InParallel() {
+		t.rt.tools.access(t, a.Addr(i), 8, false, true, pc)
+	}
+	return out
+}
+
+// AtomicStoreF64 atomically writes element i of a
+// (#pragma omp atomic write).
+func (t *Thread) AtomicStoreF64(a *memsim.F64, i int, v float64, pc uint64) {
+	storeWord(&a.Data[i], v)
+	if t.InParallel() {
+		t.rt.tools.access(t, a.Addr(i), 8, true, true, pc)
+	}
+}

@@ -1,0 +1,124 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// OpenMP tasking — the extension the paper relegates to future work
+// (§III-C: "we also plan to ... accommodate tasking"). A task is an
+// asynchronous size-1 region: the encountering thread continues past the
+// spawn, so the task's accesses are concurrent with the spawner's
+// continuation until a taskwait (or the next team barrier, where all
+// outstanding tasks of the binding region complete, per the OpenMP
+// specification).
+//
+// Completion semantics are taskgroup-like: a task's end waits for its own
+// child tasks, and taskwait therefore joins the whole subtree of the
+// waited tasks. This is deeper than base OpenMP's taskwait (which joins
+// direct children only); the approximation is documented in DESIGN.md and
+// errs toward missing the exotic unwaited-grandchild races rather than
+// reporting false ones.
+
+// taskHandle tracks one outstanding child task of a thread.
+type taskHandle struct {
+	id   uint64
+	done chan struct{}
+}
+
+// taskState is the per-team task bookkeeping.
+type taskState struct {
+	wg sync.WaitGroup // all tasks bound to the region, incl. descendants
+
+	mu      sync.Mutex
+	episode []uint64 // tasks completed since the last barrier episode
+}
+
+// Task spawns body as an OpenMP task. Inside a parallel region the task
+// runs asynchronously on its own thread slot; the spawner continues
+// immediately. Outside any parallel region the task is undeferred and runs
+// inline, as the specification prescribes when there is no team.
+func (t *Thread) Task(body func(*Thread)) {
+	if t.team.info.Level == 0 {
+		// Undeferred: a synchronous nested size-1 region.
+		t.Parallel(1, body)
+		return
+	}
+	info := RegionInfo{
+		ID:        t.rt.regionSeq.Add(1) - 1,
+		ParentID:  t.team.info.ID,
+		Size:      1,
+		Level:     t.team.info.Level + 1,
+		ParentTID: uint64(t.id),
+		ParentBID: t.bid,
+		Seq:       t.seq,
+		Async:     true,
+	}
+	t.seq++
+	t.rt.tools.taskSpawn(t, info)
+
+	tm := &team{
+		info:       info,
+		barrier:    newTeamBarrier(1),
+		tasks:      &taskState{},
+		singleDone: make(map[uint64]bool),
+		sectionIdx: make(map[uint64]*atomic.Int64),
+		forChunk:   make(map[uint64]*atomic.Int64),
+		reduceBuf:  make([]float64, 1),
+		reduceI64:  make([]int64, 1),
+	}
+	binding := t.team.tasks
+	binding.wg.Add(1)
+	h := taskHandle{id: info.ID, done: make(chan struct{})}
+	t.pendingTasks = append(t.pendingTasks, h)
+
+	parentLabel := t.label
+	go func() {
+		worker := &Thread{
+			rt:     t.rt,
+			team:   tm,
+			id:     0,
+			slot:   t.rt.slots.acquire(),
+			label:  parentLabel.Fork(0, 1),
+			parent: t,
+		}
+		defer t.rt.slots.release(worker.slot)
+		worker.runMember(body)
+		binding.mu.Lock()
+		binding.episode = append(binding.episode, info.ID)
+		binding.mu.Unlock()
+		close(h.done)
+		binding.wg.Done()
+	}()
+}
+
+// TaskWait blocks until every task spawned by this thread (and, per the
+// completion semantics above, their descendants) has finished — the
+// #pragma omp taskwait construct.
+func (t *Thread) TaskWait() {
+	if len(t.pendingTasks) == 0 {
+		return
+	}
+	ids := make([]uint64, len(t.pendingTasks))
+	for i, h := range t.pendingTasks {
+		<-h.done
+		ids[i] = h.id
+	}
+	t.pendingTasks = nil
+	t.rt.tools.taskWaited(t, ids)
+}
+
+// drainTasksAtBarrier runs inside the barrier's last-arriver action: all
+// team members have arrived, so no further spawns can occur; wait for the
+// region's outstanding tasks and publish their completion to the tools.
+func (t *Thread) drainTasksAtBarrier() {
+	ts := t.team.tasks
+	ts.wg.Wait()
+	ts.mu.Lock()
+	episode := ts.episode
+	ts.episode = nil
+	ts.mu.Unlock()
+	if len(episode) > 0 {
+		t.rt.tools.barrierTasksDone(t, episode)
+	}
+}

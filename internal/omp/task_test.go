@@ -1,0 +1,251 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sword/internal/trace"
+)
+
+// taskRecorder captures task lifecycle callbacks.
+type taskRecorder struct {
+	NopTool
+	mu      sync.Mutex
+	spawned []RegionInfo
+	waited  [][]uint64
+	drained [][]uint64
+}
+
+func (r *taskRecorder) TaskSpawn(_ *Thread, info RegionInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spawned = append(r.spawned, info)
+}
+
+func (r *taskRecorder) TaskWaited(_ *Thread, ids []uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.waited = append(r.waited, append([]uint64(nil), ids...))
+}
+
+func (r *taskRecorder) BarrierTasksDone(_ *Thread, ids []uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drained = append(r.drained, append([]uint64(nil), ids...))
+}
+
+func TestTaskRunsAsynchronously(t *testing.T) {
+	rt := New()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var order []string
+	var mu sync.Mutex
+	rt.Parallel(1, func(th *Thread) {
+		th.Task(func(tt *Thread) {
+			close(started)
+			<-release
+			mu.Lock()
+			order = append(order, "task")
+			mu.Unlock()
+		})
+		<-started // the spawner is running concurrently with the task
+		mu.Lock()
+		order = append(order, "continuation")
+		mu.Unlock()
+		close(release)
+		th.TaskWait()
+		mu.Lock()
+		order = append(order, "after-wait")
+		mu.Unlock()
+	})
+	if len(order) != 3 || order[0] != "continuation" || order[1] != "task" || order[2] != "after-wait" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTaskWaitJoinsAllPending(t *testing.T) {
+	rt := New()
+	var done atomic.Int32
+	rt.Parallel(2, func(th *Thread) {
+		for i := 0; i < 5; i++ {
+			th.Task(func(tt *Thread) {
+				time.Sleep(time.Millisecond)
+				done.Add(1)
+			})
+		}
+		th.TaskWait()
+		if got := done.Load(); got < 5 {
+			// Each thread waits only its own 5, but at least its own must
+			// be complete; with 2 threads the total is 5..10 here.
+			t.Errorf("taskwait returned with %d tasks done", got)
+		}
+	})
+	if done.Load() != 10 {
+		t.Fatalf("region ended with %d tasks done, want 10", done.Load())
+	}
+}
+
+func TestBarrierCompletesTasks(t *testing.T) {
+	rt := New()
+	var done atomic.Int32
+	rt.Parallel(4, func(th *Thread) {
+		th.Task(func(tt *Thread) {
+			time.Sleep(time.Millisecond)
+			done.Add(1)
+		})
+		th.Barrier()
+		if got := done.Load(); got != 4 {
+			t.Errorf("after barrier only %d tasks done", got)
+		}
+	})
+}
+
+func TestRegionEndCompletesTasks(t *testing.T) {
+	rt := New()
+	var done atomic.Int32
+	rt.Parallel(3, func(th *Thread) {
+		th.Task(func(tt *Thread) {
+			time.Sleep(time.Millisecond)
+			done.Add(1)
+		})
+	})
+	if done.Load() != 3 {
+		t.Fatalf("region ended with %d tasks done, want 3", done.Load())
+	}
+}
+
+func TestNestedTasksCompleteWithParent(t *testing.T) {
+	rt := New()
+	var done atomic.Int32
+	rt.Parallel(1, func(th *Thread) {
+		th.Task(func(outer *Thread) {
+			outer.Task(func(inner *Thread) {
+				time.Sleep(time.Millisecond)
+				done.Add(1)
+			})
+			// Taskgroup-like completion: the outer task's end waits for
+			// the inner (see task.go's documented semantics).
+		})
+		th.TaskWait()
+		if done.Load() != 1 {
+			t.Errorf("taskwait did not cover the nested task")
+		}
+	})
+}
+
+func TestTaskCallbacksAndInfo(t *testing.T) {
+	rec := &taskRecorder{}
+	rt := New(WithTool(rec))
+	rt.Parallel(2, func(th *Thread) {
+		th.Task(func(tt *Thread) {
+			if !tt.Region().Async {
+				t.Error("task thread's region not async")
+			}
+			if tt.NumThreads() != 1 || tt.ID() != 0 {
+				t.Error("task team shape wrong")
+			}
+		})
+		th.TaskWait()
+		th.Barrier()
+	})
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.spawned) != 2 {
+		t.Fatalf("%d spawns recorded", len(rec.spawned))
+	}
+	for _, info := range rec.spawned {
+		if !info.Async || info.Size != 1 || info.Level != 2 {
+			t.Fatalf("spawn info %+v", info)
+		}
+	}
+	if len(rec.waited) != 2 {
+		t.Fatalf("%d taskwaits recorded", len(rec.waited))
+	}
+	for _, ids := range rec.waited {
+		if len(ids) != 1 {
+			t.Fatalf("taskwait ids %v", ids)
+		}
+	}
+}
+
+func TestBarrierTasksDoneEpisodes(t *testing.T) {
+	rec := &taskRecorder{}
+	rt := New(WithTool(rec))
+	rt.Parallel(2, func(th *Thread) {
+		th.Task(func(*Thread) {})
+		th.Barrier() // episode 1: 2 tasks
+		th.Task(func(*Thread) {})
+		// implicit region-end barrier: episode 2: 2 tasks
+	})
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	total := 0
+	for _, ids := range rec.drained {
+		total += len(ids)
+	}
+	if total != 4 {
+		t.Fatalf("drained %d task completions, want 4 (%v)", total, rec.drained)
+	}
+}
+
+func TestTaskOutsideParallelIsUndeferred(t *testing.T) {
+	rt := New()
+	ran := false
+	rt.Run(func(initial *Thread) {
+		initial.Task(func(tt *Thread) {
+			ran = true
+			if tt.Region().Async {
+				t.Error("undeferred task flagged async")
+			}
+		})
+		if !ran {
+			t.Error("undeferred task did not run inline")
+		}
+	})
+}
+
+func TestTaskWaitWithoutTasksIsNoop(t *testing.T) {
+	rec := &taskRecorder{}
+	rt := New(WithTool(rec))
+	rt.Parallel(1, func(th *Thread) {
+		th.TaskWait()
+	})
+	if len(rec.waited) != 0 {
+		t.Fatal("empty taskwait fired a callback")
+	}
+}
+
+func TestTaskGetsOwnSlot(t *testing.T) {
+	rt := New()
+	rt.Parallel(1, func(th *Thread) {
+		spawnerSlot := th.Slot()
+		slotCh := make(chan int, 1)
+		th.Task(func(tt *Thread) {
+			slotCh <- tt.Slot()
+		})
+		th.TaskWait()
+		if got := <-slotCh; got == spawnerSlot {
+			t.Error("task shares the spawner's slot while both are live")
+		}
+	})
+}
+
+func TestTaskSeqAdvances(t *testing.T) {
+	rec := &taskRecorder{}
+	rt := New(WithTool(rec))
+	rt.Parallel(1, func(th *Thread) {
+		th.Task(func(*Thread) {})
+		th.Task(func(*Thread) {})
+		th.TaskWait()
+	})
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.spawned) != 2 || rec.spawned[0].Seq == rec.spawned[1].Seq {
+		t.Fatalf("task seqs: %+v", rec.spawned)
+	}
+	if rec.spawned[0].ParentID == trace.NoParent {
+		t.Fatal("task parent region missing")
+	}
+}

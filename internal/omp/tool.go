@@ -1,0 +1,185 @@
+package omp
+
+// Tool is the reproduction's OMPT substitute: the callback surface through
+// which analysis tools observe the runtime. SWORD's collector and the
+// ARCHER baseline both implement it. Callbacks run on the goroutine of the
+// thread they describe; RegionFork and RegionJoin run on the encountering
+// (parent) thread's goroutine, strictly before the team starts and after
+// it fully joins, giving happens-before tools a sound place to snapshot
+// and merge clocks.
+type Tool interface {
+	// ThreadBegin fires when a thread joins a team, after its slot and
+	// label are assigned and before any other callback from it.
+	ThreadBegin(th *Thread)
+	// ThreadEnd fires when a thread leaves its team; its final barrier
+	// interval is complete.
+	ThreadEnd(th *Thread)
+	// RegionFork fires on the encountering thread before a parallel
+	// region's team is created.
+	RegionFork(parent *Thread, region RegionInfo)
+	// RegionJoin fires on the encountering thread after all team members
+	// finished.
+	RegionJoin(parent *Thread, region RegionInfo)
+	// ParallelBegin fires on each team member at region start.
+	ParallelBegin(th *Thread)
+	// ParallelEnd fires on each team member after the region's final
+	// implicit barrier.
+	ParallelEnd(th *Thread)
+	// BarrierArrive fires when a thread reaches a barrier, before waiting.
+	BarrierArrive(th *Thread, implicit bool)
+	// BarrierDepart fires when a thread leaves a barrier; the thread's BID
+	// and label have advanced.
+	BarrierDepart(th *Thread, implicit bool)
+	// MutexAcquired fires after a critical section or lock is entered.
+	MutexAcquired(th *Thread, mutex uint64)
+	// MutexReleased fires before a critical section or lock is exited.
+	MutexReleased(th *Thread, mutex uint64)
+	// Access fires for every instrumented load or store executed inside a
+	// parallel region. Sequential accesses are not reported, mirroring the
+	// paper's instrumentation which skips them.
+	Access(th *Thread, addr uint64, size uint8, write, atomic bool, pc uint64)
+	// TaskSpawn fires on the encountering thread when it creates a task;
+	// unlike RegionFork, the thread continues immediately.
+	TaskSpawn(spawner *Thread, task RegionInfo)
+	// TaskWaited fires on a thread after its taskwait completed, naming
+	// the joined tasks.
+	TaskWaited(spawner *Thread, taskIDs []uint64)
+	// BarrierTasksDone fires once per barrier episode (on the last
+	// arriving thread, before any thread departs) naming the region's
+	// tasks that completed during the episode — the barrier's implicit
+	// task join.
+	BarrierTasksDone(th *Thread, taskIDs []uint64)
+}
+
+// NopTool implements every Tool callback as a no-op; embed it to implement
+// only the callbacks a tool cares about.
+type NopTool struct{}
+
+// ThreadBegin implements Tool.
+func (NopTool) ThreadBegin(*Thread) {}
+
+// ThreadEnd implements Tool.
+func (NopTool) ThreadEnd(*Thread) {}
+
+// RegionFork implements Tool.
+func (NopTool) RegionFork(*Thread, RegionInfo) {}
+
+// RegionJoin implements Tool.
+func (NopTool) RegionJoin(*Thread, RegionInfo) {}
+
+// ParallelBegin implements Tool.
+func (NopTool) ParallelBegin(*Thread) {}
+
+// ParallelEnd implements Tool.
+func (NopTool) ParallelEnd(*Thread) {}
+
+// BarrierArrive implements Tool.
+func (NopTool) BarrierArrive(*Thread, bool) {}
+
+// BarrierDepart implements Tool.
+func (NopTool) BarrierDepart(*Thread, bool) {}
+
+// MutexAcquired implements Tool.
+func (NopTool) MutexAcquired(*Thread, uint64) {}
+
+// MutexReleased implements Tool.
+func (NopTool) MutexReleased(*Thread, uint64) {}
+
+// Access implements Tool.
+func (NopTool) Access(*Thread, uint64, uint8, bool, bool, uint64) {}
+
+// TaskSpawn implements Tool.
+func (NopTool) TaskSpawn(*Thread, RegionInfo) {}
+
+// TaskWaited implements Tool.
+func (NopTool) TaskWaited(*Thread, []uint64) {}
+
+// BarrierTasksDone implements Tool.
+func (NopTool) BarrierTasksDone(*Thread, []uint64) {}
+
+// tools fans callbacks out to every registered tool in order.
+type tools []Tool
+
+func (ts tools) threadBegin(th *Thread) {
+	for _, t := range ts {
+		t.ThreadBegin(th)
+	}
+}
+
+func (ts tools) threadEnd(th *Thread) {
+	for _, t := range ts {
+		t.ThreadEnd(th)
+	}
+}
+
+func (ts tools) regionFork(p *Thread, r RegionInfo) {
+	for _, t := range ts {
+		t.RegionFork(p, r)
+	}
+}
+
+func (ts tools) regionJoin(p *Thread, r RegionInfo) {
+	for _, t := range ts {
+		t.RegionJoin(p, r)
+	}
+}
+
+func (ts tools) parallelBegin(th *Thread) {
+	for _, t := range ts {
+		t.ParallelBegin(th)
+	}
+}
+
+func (ts tools) parallelEnd(th *Thread) {
+	for _, t := range ts {
+		t.ParallelEnd(th)
+	}
+}
+
+func (ts tools) barrierArrive(th *Thread, implicit bool) {
+	for _, t := range ts {
+		t.BarrierArrive(th, implicit)
+	}
+}
+
+func (ts tools) barrierDepart(th *Thread, implicit bool) {
+	for _, t := range ts {
+		t.BarrierDepart(th, implicit)
+	}
+}
+
+func (ts tools) mutexAcquired(th *Thread, m uint64) {
+	for _, t := range ts {
+		t.MutexAcquired(th, m)
+	}
+}
+
+func (ts tools) mutexReleased(th *Thread, m uint64) {
+	for _, t := range ts {
+		t.MutexReleased(th, m)
+	}
+}
+
+func (ts tools) access(th *Thread, addr uint64, size uint8, write, atomic bool, pc uint64) {
+	for _, t := range ts {
+		t.Access(th, addr, size, write, atomic, pc)
+	}
+}
+
+func (ts tools) taskSpawn(th *Thread, r RegionInfo) {
+	for _, t := range ts {
+		t.TaskSpawn(th, r)
+	}
+}
+
+func (ts tools) taskWaited(th *Thread, ids []uint64) {
+	for _, t := range ts {
+		t.TaskWaited(th, ids)
+	}
+}
+
+func (ts tools) barrierTasksDone(th *Thread, ids []uint64) {
+	for _, t := range ts {
+		t.BarrierTasksDone(th, ids)
+	}
+}

@@ -1,0 +1,308 @@
+package omp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects the iteration-distribution policy of a worksharing
+// loop, mirroring OpenMP's schedule clause.
+type Schedule int
+
+const (
+	// ScheduleStatic splits the iteration space into one contiguous block
+	// per thread (OpenMP's default static schedule).
+	ScheduleStatic Schedule = iota
+	// ScheduleStaticCyclic deals iterations round-robin in chunks
+	// (schedule(static, chunk)).
+	ScheduleStaticCyclic
+	// ScheduleDynamic hands out chunks from a shared counter on demand.
+	ScheduleDynamic
+	// ScheduleGuided hands out geometrically shrinking chunks.
+	ScheduleGuided
+)
+
+// String returns the schedule name.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleStatic:
+		return "static"
+	case ScheduleStaticCyclic:
+		return "static-cyclic"
+	case ScheduleDynamic:
+		return "dynamic"
+	case ScheduleGuided:
+		return "guided"
+	default:
+		return fmt.Sprintf("schedule(%d)", int(s))
+	}
+}
+
+// ForOpts configures a worksharing loop.
+type ForOpts struct {
+	Schedule Schedule
+	Chunk    int  // chunk size for cyclic/dynamic/guided; 0 picks a default
+	NoWait   bool // omit the implicit barrier at loop end (#pragma omp for nowait)
+}
+
+// For runs the canonical worksharing loop: iterations [lo, hi) distributed
+// with the default static schedule and an implicit barrier at the end.
+func (t *Thread) For(lo, hi int, body func(i int)) {
+	t.ForOpt(lo, hi, ForOpts{}, body)
+}
+
+// ForNoWait is For with the nowait clause: no barrier at loop end.
+func (t *Thread) ForNoWait(lo, hi int, body func(i int)) {
+	t.ForOpt(lo, hi, ForOpts{NoWait: true}, body)
+}
+
+// ForOpt runs a worksharing loop over [lo, hi) with explicit options.
+// Every thread of the team must call it (SPMD), like an orphaned
+// #pragma omp for.
+func (t *Thread) ForOpt(lo, hi int, opts ForOpts, body func(i int)) {
+	n := hi - lo
+	if n < 0 {
+		n = 0
+	}
+	nt := t.NumThreads()
+	switch opts.Schedule {
+	case ScheduleStatic:
+		// One contiguous block per thread, remainder spread left-to-right.
+		chunk := n / nt
+		rem := n % nt
+		start := lo + t.id*chunk + min(t.id, rem)
+		end := start + chunk
+		if t.id < rem {
+			end++
+		}
+		for i := start; i < end; i++ {
+			body(i)
+		}
+	case ScheduleStaticCyclic:
+		chunk := opts.Chunk
+		if chunk <= 0 {
+			chunk = 1
+		}
+		for base := lo + t.id*chunk; base < hi; base += nt * chunk {
+			for i := base; i < min(base+chunk, hi); i++ {
+				body(i)
+			}
+		}
+	case ScheduleDynamic:
+		chunk := opts.Chunk
+		if chunk <= 0 {
+			chunk = 1
+		}
+		ctr := t.loopCounter()
+		for {
+			base := lo + int(ctr.Add(int64(chunk))) - chunk
+			if base >= hi {
+				break
+			}
+			for i := base; i < min(base+chunk, hi); i++ {
+				body(i)
+			}
+		}
+	case ScheduleGuided:
+		minChunk := opts.Chunk
+		if minChunk <= 0 {
+			minChunk = 1
+		}
+		ctr := t.loopCounter()
+	guided:
+		for {
+			// Claim a chunk proportional to the remaining iterations.
+			for {
+				claimed := ctr.Load()
+				remaining := int64(n) - claimed
+				if remaining <= 0 {
+					break guided
+				}
+				chunk := remaining / int64(2*nt)
+				if chunk < int64(minChunk) {
+					chunk = int64(minChunk)
+				}
+				if chunk > remaining {
+					chunk = remaining
+				}
+				if ctr.CompareAndSwap(claimed, claimed+chunk) {
+					for i := lo + int(claimed); i < lo+int(claimed+chunk); i++ {
+						body(i)
+					}
+					break
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("omp: unknown schedule %v", opts.Schedule))
+	}
+	if !opts.NoWait {
+		t.barrier(true)
+	}
+}
+
+// loopCounter returns the shared chunk counter for this thread's next
+// worksharing construct; construct instances match up across the team
+// because worksharing constructs must be encountered in the same order by
+// all threads (an OpenMP requirement).
+func (t *Thread) loopCounter() *atomic.Int64 {
+	seq := t.forSeq
+	t.forSeq++
+	tm := t.team
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	key := seq | t.bid<<32
+	ctr, ok := tm.forChunk[key]
+	if !ok {
+		ctr = new(atomic.Int64)
+		tm.forChunk[key] = ctr
+	}
+	return ctr
+}
+
+// Single executes f on the first thread to arrive, like
+// #pragma omp single; the construct ends with an implicit barrier.
+func (t *Thread) Single(f func()) {
+	t.singleOpt(f, false)
+}
+
+// SingleNoWait is Single with the nowait clause.
+func (t *Thread) SingleNoWait(f func()) {
+	t.singleOpt(f, true)
+}
+
+func (t *Thread) singleOpt(f func(), nowait bool) {
+	seq := t.singleSeq
+	t.singleSeq++
+	key := seq | t.bid<<32
+	tm := t.team
+	tm.mu.Lock()
+	taken := tm.singleDone[key]
+	if !taken {
+		tm.singleDone[key] = true
+	}
+	tm.mu.Unlock()
+	if !taken {
+		f()
+	}
+	if !nowait {
+		t.barrier(true)
+	}
+}
+
+// Master executes f on the master thread only; no barrier is implied,
+// like #pragma omp master.
+func (t *Thread) Master(f func()) {
+	if t.id == 0 {
+		f()
+	}
+}
+
+// Sections distributes the given section bodies across the team
+// dynamically, with an implicit barrier at the end.
+func (t *Thread) Sections(sections ...func()) {
+	seq := t.sectionSeq
+	t.sectionSeq++
+	key := seq | t.bid<<32
+	tm := t.team
+	tm.mu.Lock()
+	ctr, ok := tm.sectionIdx[key]
+	if !ok {
+		ctr = new(atomic.Int64)
+		tm.sectionIdx[key] = ctr
+	}
+	tm.mu.Unlock()
+	for {
+		idx := int(ctr.Add(1)) - 1
+		if idx >= len(sections) {
+			break
+		}
+		sections[idx]()
+	}
+	t.barrier(true)
+}
+
+// ReduceF64 combines each thread's local value with op across the team and
+// returns the result on every thread, like a reduction clause. op must be
+// associative and commutative. Two implicit barriers synchronize the
+// exchange; reductions therefore cannot race by construction.
+func (t *Thread) ReduceF64(local float64, op func(a, b float64) float64) float64 {
+	tm := t.team
+	tm.reduceBuf[t.id] = local
+	t.barrier(true)
+	acc := tm.reduceBuf[0]
+	for i := 1; i < t.NumThreads(); i++ {
+		acc = op(acc, tm.reduceBuf[i])
+	}
+	t.barrier(true)
+	return acc
+}
+
+// ReduceI64 is ReduceF64 for int64 values.
+func (t *Thread) ReduceI64(local int64, op func(a, b int64) int64) int64 {
+	tm := t.team
+	tm.reduceI64[t.id] = local
+	t.barrier(true)
+	acc := tm.reduceI64[0]
+	for i := 1; i < t.NumThreads(); i++ {
+		acc = op(acc, tm.reduceI64[i])
+	}
+	t.barrier(true)
+	return acc
+}
+
+// OrderedState carries the cross-iteration sequencing of one ordered
+// worksharing loop.
+type orderedState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	next int
+	lock *Lock
+}
+
+// ForOrdered runs a worksharing loop whose body may enter an ordered
+// section: ordered(f) executes f in ascending iteration order, one
+// iteration at a time, like #pragma omp ordered. The section is
+// tool-visible as a mutex region (mutual exclusion) and the runtime
+// additionally enforces the iteration order, so cross-iteration
+// dependences inside ordered sections are race-free.
+func (t *Thread) ForOrdered(lo, hi int, opts ForOpts, body func(i int, ordered func(f func()))) {
+	seq := t.forSeq // peek: loopCounter advances it; ordered state shares the key
+	st := t.orderedState(seq, lo)
+	t.ForOpt(lo, hi, opts, func(i int) {
+		body(i, func(f func()) {
+			st.mu.Lock()
+			for st.next != i {
+				st.cond.Wait()
+			}
+			st.mu.Unlock()
+			t.Acquire(st.lock)
+			f()
+			t.Release(st.lock)
+			st.mu.Lock()
+			st.next = i + 1
+			st.mu.Unlock()
+			st.cond.Broadcast()
+		})
+	})
+}
+
+// orderedState returns the shared sequencing state of the thread's next
+// ordered loop construct.
+func (t *Thread) orderedState(seq uint64, lo int) *orderedState {
+	key := seq | t.bid<<32
+	tm := t.team
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if tm.ordered == nil {
+		tm.ordered = make(map[uint64]*orderedState)
+	}
+	st, ok := tm.ordered[key]
+	if !ok {
+		st = &orderedState{next: lo, lock: t.rt.NewLock()}
+		st.cond = sync.NewCond(&st.mu)
+		tm.ordered[key] = st
+	}
+	return st
+}

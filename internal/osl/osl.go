@@ -1,0 +1,279 @@
+// Package osl implements offset-span labels (Mellor-Crummey, 1991) as used
+// by SWORD to decide whether two OpenMP threads are concurrent.
+//
+// An offset-span label tags a thread's execution point with a sequence of
+// [offset, span] pairs describing its lineage through the fork-join
+// concurrency structure. The span of a pair is the number of threads
+// spawned by the fork the pair originates from; the offset distinguishes
+// the pair among siblings of the same parent and advances by the span at
+// every barrier (and at every join in the parent's own frame), so that
+// offset mod span recovers the thread id and offset / span counts the
+// synchronization epochs the thread has crossed within its team.
+//
+// Two labels are sequential when either (case 1) one is a strict prefix of
+// the other, or (case 2) they share a prefix and then diverge at a pair
+// with equal span whose offsets are congruent modulo the span (the same
+// logical thread separated by barriers or joins). Otherwise the labels are
+// concurrent. See Section II of the SWORD paper.
+//
+// The paper's predicate does not order two *different* threads of a team
+// across a barrier (their offsets are not congruent). SWORD compensates by
+// pairing same-region barrier intervals through the meta-data barrier ids;
+// package core does the same. This package is the faithful label algebra.
+package osl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Pair is one [offset, span] element of an offset-span label.
+type Pair struct {
+	Offset uint64
+	Span   uint64
+}
+
+// Label is an offset-span label: a sequence of pairs from the root of the
+// fork tree (first element) down to the thread's current team (last
+// element). The zero Label is invalid; use Root to start.
+type Label []Pair
+
+// Root returns the label of the initial (master) thread: [0, 1].
+func Root() Label { return Label{{Offset: 0, Span: 1}} }
+
+// Clone returns an independent copy of l.
+func (l Label) Clone() Label {
+	c := make(Label, len(l))
+	copy(c, l)
+	return c
+}
+
+// Depth returns the nesting depth (number of pairs) of the label.
+func (l Label) Depth() int { return len(l) }
+
+// ThreadID returns the thread's id within its innermost team
+// (offset mod span of the last pair). It returns 0 for an empty label.
+func (l Label) ThreadID() uint64 {
+	if len(l) == 0 {
+		return 0
+	}
+	p := l[len(l)-1]
+	if p.Span == 0 {
+		return 0
+	}
+	return p.Offset % p.Span
+}
+
+// Epoch returns the number of synchronization epochs (barriers and sibling
+// joins) the thread has crossed in its innermost team
+// (offset / span of the last pair).
+func (l Label) Epoch() uint64 {
+	if len(l) == 0 {
+		return 0
+	}
+	p := l[len(l)-1]
+	if p.Span == 0 {
+		return 0
+	}
+	return p.Offset / p.Span
+}
+
+// Fork returns the label of child thread tid in a newly forked team of the
+// given span. It does not modify l. Fork panics if span is zero or
+// tid >= span, mirroring the impossibility of such a fork.
+func (l Label) Fork(tid, span uint64) Label {
+	if span == 0 {
+		panic("osl: fork with zero span")
+	}
+	if tid >= span {
+		panic(fmt.Sprintf("osl: fork tid %d out of range for span %d", tid, span))
+	}
+	c := make(Label, len(l)+1)
+	copy(c, l)
+	c[len(l)] = Pair{Offset: tid, Span: span}
+	return c
+}
+
+// Barrier returns the label after the thread crosses a team barrier:
+// the last pair [o, s] becomes [o+s, s]. It does not modify l.
+func (l Label) Barrier() Label {
+	if len(l) == 0 {
+		panic("osl: barrier on empty label")
+	}
+	c := l.Clone()
+	c[len(c)-1].Offset += c[len(c)-1].Span
+	return c
+}
+
+// Join returns the parent's label after the innermost team joins: the last
+// pair is dropped and the new last pair advances by its own span, ordering
+// the parent's pre-fork interval before its post-join interval (the
+// sequential-composition rule). Joining the root label panics.
+func (l Label) Join() Label {
+	if len(l) <= 1 {
+		panic("osl: join on root label")
+	}
+	c := l[:len(l)-1].Clone()
+	c[len(c)-1].Offset += c[len(c)-1].Span
+	return c
+}
+
+// Equal reports whether two labels are identical.
+func (l Label) Equal(m Label) bool {
+	if len(l) != len(m) {
+		return false
+	}
+	for i := range l {
+		if l[i] != m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sequential reports whether the two labels are ordered by the fork-join
+// structure, per the paper's two cases:
+//
+//	case 1: one label is a strict prefix of the other
+//	        (ancestor and descendant of a fork);
+//	case 2: the labels share a (possibly empty) prefix and diverge at a
+//	        pair with equal span and offsets congruent modulo the span
+//	        (the same logical thread across barriers/joins).
+//
+// Equal labels are the same execution point and are reported sequential.
+func Sequential(a, b Label) bool {
+	n := min(len(a), len(b))
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	if i == n {
+		// One is a prefix of the other (or they are equal): case 1.
+		return true
+	}
+	pa, pb := a[i], b[i]
+	if pa.Span != pb.Span || pa.Span == 0 {
+		return false
+	}
+	return pa.Offset%pa.Span == pb.Offset%pb.Span
+}
+
+// Concurrent reports whether the two labels are concurrent, i.e. not
+// ordered by Sequential.
+func Concurrent(a, b Label) bool { return !Sequential(a, b) }
+
+// String renders the label in the paper's notation, e.g. "[0,1][1,2][0,2]".
+func (l Label) String() string {
+	var b strings.Builder
+	for _, p := range l {
+		b.WriteByte('[')
+		b.WriteString(strconv.FormatUint(p.Offset, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(p.Span, 10))
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// Parse parses a label in the notation produced by String. It accepts
+// optional spaces after commas and between pairs.
+func Parse(s string) (Label, error) {
+	var l Label
+	rest := strings.TrimSpace(s)
+	for len(rest) > 0 {
+		if rest[0] != '[' {
+			return nil, fmt.Errorf("osl: parse %q: expected '[' at %q", s, rest)
+		}
+		end := strings.IndexByte(rest, ']')
+		if end < 0 {
+			return nil, fmt.Errorf("osl: parse %q: missing ']'", s)
+		}
+		body := rest[1:end]
+		commaIdx := strings.IndexByte(body, ',')
+		if commaIdx < 0 {
+			return nil, fmt.Errorf("osl: parse %q: pair %q missing ','", s, body)
+		}
+		off, err := strconv.ParseUint(strings.TrimSpace(body[:commaIdx]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("osl: parse %q: bad offset: %w", s, err)
+		}
+		span, err := strconv.ParseUint(strings.TrimSpace(body[commaIdx+1:]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("osl: parse %q: bad span: %w", s, err)
+		}
+		if span == 0 {
+			return nil, fmt.Errorf("osl: parse %q: zero span", s)
+		}
+		l = append(l, Pair{Offset: off, Span: span})
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	if len(l) == 0 {
+		return nil, fmt.Errorf("osl: parse %q: empty label", s)
+	}
+	return l, nil
+}
+
+// Encode appends a compact binary encoding of the label to dst and returns
+// the extended slice. The format is: uvarint count, then uvarint offset and
+// uvarint span per pair.
+func (l Label) Encode(dst []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(l)))
+	for _, p := range l {
+		dst = appendUvarint(dst, p.Offset)
+		dst = appendUvarint(dst, p.Span)
+	}
+	return dst
+}
+
+// Decode decodes a label previously written by Encode, returning the label
+// and the number of bytes consumed.
+func Decode(src []byte) (Label, int, error) {
+	n, k := uvarint(src)
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("osl: decode: bad count")
+	}
+	pos := k
+	if n > uint64(len(src)) { // cheap sanity bound: each pair needs >= 2 bytes
+		return nil, 0, fmt.Errorf("osl: decode: count %d exceeds input", n)
+	}
+	l := make(Label, 0, n)
+	for i := uint64(0); i < n; i++ {
+		off, k1 := uvarint(src[pos:])
+		if k1 <= 0 {
+			return nil, 0, fmt.Errorf("osl: decode: bad offset in pair %d", i)
+		}
+		pos += k1
+		span, k2 := uvarint(src[pos:])
+		if k2 <= 0 {
+			return nil, 0, fmt.Errorf("osl: decode: bad span in pair %d", i)
+		}
+		pos += k2
+		l = append(l, Pair{Offset: off, Span: span})
+	}
+	return l, pos, nil
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func uvarint(src []byte) (uint64, int) {
+	var v uint64
+	var s uint
+	for i, b := range src {
+		if i == 10 {
+			return 0, -1
+		}
+		if b < 0x80 {
+			return v | uint64(b)<<s, i + 1
+		}
+		v |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}

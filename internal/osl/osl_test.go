@@ -1,0 +1,320 @@
+package osl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string) Label {
+	t.Helper()
+	l, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return l
+}
+
+func TestRoot(t *testing.T) {
+	r := Root()
+	if got, want := r.String(), "[0,1]"; got != want {
+		t.Fatalf("Root() = %s, want %s", got, want)
+	}
+	if r.ThreadID() != 0 || r.Epoch() != 0 || r.Depth() != 1 {
+		t.Fatalf("Root properties wrong: %v", r)
+	}
+}
+
+func TestForkBarrierJoin(t *testing.T) {
+	r := Root()
+	c0 := r.Fork(0, 2)
+	c1 := r.Fork(1, 2)
+	if c0.String() != "[0,1][0,2]" || c1.String() != "[0,1][1,2]" {
+		t.Fatalf("fork labels: %s, %s", c0, c1)
+	}
+	if c0.ThreadID() != 0 || c1.ThreadID() != 1 {
+		t.Fatalf("thread ids: %d, %d", c0.ThreadID(), c1.ThreadID())
+	}
+	b := c1.Barrier()
+	if b.String() != "[0,1][3,2]" {
+		t.Fatalf("barrier label: %s", b)
+	}
+	if b.ThreadID() != 1 || b.Epoch() != 1 {
+		t.Fatalf("post-barrier tid/epoch: %d/%d", b.ThreadID(), b.Epoch())
+	}
+	j := c0.Join()
+	if j.String() != "[1,1]" {
+		t.Fatalf("join label: %s", j)
+	}
+}
+
+func TestForkPanics(t *testing.T) {
+	for _, tc := range []struct {
+		tid, span uint64
+	}{{0, 0}, {2, 2}, {5, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Fork(%d,%d) did not panic", tc.tid, tc.span)
+				}
+			}()
+			Root().Fork(tc.tid, tc.span)
+		}()
+	}
+}
+
+func TestJoinRootPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Join on root did not panic")
+		}
+	}()
+	Root().Join()
+}
+
+func TestBarrierEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Barrier on empty label did not panic")
+		}
+	}()
+	Label{}.Barrier()
+}
+
+// TestFigure2Labels reproduces the label of Thread 3 discussed in Section II
+// of the paper: [0,1][0,2][0,2] — thread 0 of an inner team of two, whose
+// parent is thread 0 of an outer team of two, under the root master.
+func TestFigure2Labels(t *testing.T) {
+	outer0 := Root().Fork(0, 2)
+	thread3 := outer0.Fork(0, 2)
+	if got, want := thread3.String(), "[0,1][0,2][0,2]"; got != want {
+		t.Fatalf("thread 3 label = %s, want %s", got, want)
+	}
+	// Thread 4 of Figure 2: thread 1 of the inner team forked by outer
+	// thread 0 — concurrent with thread 3 (race R1 within the same
+	// barrier interval of the inner region).
+	thread4 := outer0.Fork(1, 2)
+	if !Concurrent(thread3, thread4) {
+		t.Fatal("sibling inner threads must be concurrent (R1)")
+	}
+	// Threads of the nested region forked by the *other* outer thread are
+	// concurrent with thread 3 even though their barrier intervals differ
+	// (races R2, R3 across concurrent parallel regions).
+	outer1 := Root().Fork(1, 2)
+	other := outer1.Fork(0, 2)
+	if !Concurrent(thread3, other) {
+		t.Fatal("threads of sibling nested regions must be concurrent (R2/R3)")
+	}
+}
+
+func TestSequentialCases(t *testing.T) {
+	tests := []struct {
+		a, b string
+		seq  bool
+		why  string
+	}{
+		{"[0,1]", "[0,1]", true, "equal labels"},
+		{"[0,1]", "[0,1][0,2]", true, "case 1: prefix (parent before fork vs child)"},
+		{"[0,1][1,2]", "[0,1]", true, "case 1 symmetric"},
+		{"[0,1][0,2]", "[0,1][1,2]", false, "team siblings are concurrent"},
+		{"[0,1][0,2]", "[0,1][2,2]", true, "case 2: same thread across a barrier"},
+		{"[0,1][1,2]", "[0,1][3,2]", true, "case 2: same thread across a barrier (tid 1)"},
+		{"[0,1][0,2]", "[0,1][3,2]", false, "different threads across a barrier: OSL blind spot (documented)"},
+		{"[0,1][0,2][0,2]", "[0,1][1,2][0,2]", false, "nested regions under different outer threads"},
+		{"[0,1][0,2][0,2]", "[0,1][0,2][1,2]", false, "inner team siblings"},
+		{"[0,1][0,2]", "[0,1][0,2][1,2]", true, "outer thread vs its own nested child (prefix)"},
+		{"[1,1]", "[0,1][0,2]", true, "parent after join vs joined child (case 2 at depth 0)"},
+		{"[1,1][0,2]", "[0,1][0,2]", true, "second region child vs first region child (sequential composition)"},
+		{"[1,1][1,2]", "[0,1][0,2]", true, "cross-thread across sequentially composed regions"},
+		{"[0,1][0,3]", "[0,1][0,2]", false, "different spans at divergence"},
+		{"[0,1][1,2][2,2]", "[0,1][1,2][0,2]", true, "same inner thread across inner barrier"},
+	}
+	for _, tc := range tests {
+		a, b := mustParse(t, tc.a), mustParse(t, tc.b)
+		if got := Sequential(a, b); got != tc.seq {
+			t.Errorf("Sequential(%s, %s) = %v, want %v (%s)", tc.a, tc.b, got, tc.seq, tc.why)
+		}
+		if got := Concurrent(a, b); got == tc.seq {
+			t.Errorf("Concurrent(%s, %s) = %v, want %v", tc.a, tc.b, got, !tc.seq)
+		}
+	}
+}
+
+func TestSequentialSymmetric(t *testing.T) {
+	labels := []Label{
+		Root(),
+		Root().Fork(0, 2),
+		Root().Fork(1, 2),
+		Root().Fork(1, 2).Barrier(),
+		Root().Fork(0, 2).Fork(1, 3),
+		Root().Fork(0, 2).Join(),
+	}
+	for _, a := range labels {
+		for _, b := range labels {
+			if Sequential(a, b) != Sequential(b, a) {
+				t.Fatalf("Sequential not symmetric for %s, %s", a, b)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "[0,1", "0,1]", "[a,1]", "[0,b]", "[0,0]", "[0 1]", "x[0,1]"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"[0,1]", "[0,1][1,2]", "[0,1][3,2][5,4]", " [0, 1] [1, 2] "} {
+		l, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		l2, err := Parse(l.String())
+		if err != nil || !l.Equal(l2) {
+			t.Fatalf("round trip of %q failed: %v, %v", s, l2, err)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	labels := []Label{
+		Root(),
+		Root().Fork(1, 2).Barrier().Barrier(),
+		Root().Fork(1, 4).Fork(3, 8).Barrier(),
+	}
+	for _, l := range labels {
+		buf := l.Encode(nil)
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", l, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("Decode(%s) consumed %d of %d bytes", l, n, len(buf))
+		}
+		if !got.Equal(l) {
+			t.Fatalf("Decode(%s) = %s", l, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, src := range [][]byte{
+		nil,
+		{0xff},             // truncated count varint
+		{0x02, 0x01},       // count 2 but only one byte follows
+		{0x01, 0x80},       // truncated offset varint
+		{0x01, 0x01},       // missing span
+		{0xff, 0xff, 0xff}, // huge count
+	} {
+		if _, _, err := Decode(src); err == nil {
+			t.Errorf("Decode(% x) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l := Root().Fork(1, 2)
+	c := l.Clone()
+	c[0].Offset = 99
+	if l[0].Offset == 99 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+// randomLabel builds a random but structurally valid label.
+func randomLabel(r *rand.Rand) Label {
+	l := Root()
+	depth := 1 + r.Intn(4)
+	for i := 0; i < depth; i++ {
+		span := uint64(1 + r.Intn(6))
+		l = l.Fork(uint64(r.Intn(int(span))), span)
+		for b := r.Intn(3); b > 0; b-- {
+			l = l.Barrier()
+		}
+	}
+	return l
+}
+
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLabel(r)
+		got, n, err := Decode(l.Encode(nil))
+		return err == nil && n == len(l.Encode(nil)) && got.Equal(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPrefixSequential: any label is sequential with every label built
+// by extending it with forks (ancestor ordering, case 1).
+func TestQuickPrefixSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLabel(r)
+		span := uint64(1 + r.Intn(5))
+		child := l.Fork(uint64(r.Intn(int(span))), span)
+		return Sequential(l, child) && Sequential(child, l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBarrierSameThreadSequential: a thread is always sequential with
+// its own future self across barriers (case 2).
+func TestQuickBarrierSameThreadSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLabel(r)
+		later := l.Barrier()
+		for i := r.Intn(4); i > 0; i-- {
+			later = later.Barrier()
+		}
+		return Sequential(l, later)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSiblingsConcurrent: two distinct siblings of the same fork are
+// always concurrent.
+func TestQuickSiblingsConcurrent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLabel(r)
+		span := uint64(2 + r.Intn(5))
+		i := uint64(r.Intn(int(span)))
+		j := uint64(r.Intn(int(span)))
+		if i == j {
+			j = (j + 1) % span
+		}
+		return Concurrent(l.Fork(i, span), l.Fork(j, span))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSequential(b *testing.B) {
+	a := Root().Fork(0, 24).Fork(3, 8).Barrier().Barrier()
+	c := Root().Fork(1, 24).Fork(3, 8).Barrier()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sequential(a, c)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	l := Root().Fork(0, 24).Fork(3, 8).Barrier().Barrier()
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = l.Encode(buf[:0])
+	}
+}

@@ -1,0 +1,159 @@
+// Package pcreg interns program counters. The LLVM pass in the original
+// tool records real PCs that are later symbolized; here every
+// instrumentation site registers once — capturing its Go source location —
+// and accesses carry the small interned id through trace logs. The
+// collector persists the table to an auxiliary trace file so the offline
+// analyzer, possibly a different process, can symbolize race reports.
+package pcreg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Table maps interned ids to source locations. The zero value is invalid;
+// use NewTable. A process-wide Default table serves the common case.
+type Table struct {
+	mu    sync.RWMutex
+	names []string
+	index map[string]uint64
+}
+
+// NewTable returns an empty table. Id 0 is reserved for "unknown".
+func NewTable() *Table {
+	t := &Table{index: make(map[string]uint64)}
+	t.names = append(t.names, "unknown")
+	t.index["unknown"] = 0
+	return t
+}
+
+// Default is the process-wide table used by the runtime's instrumentation
+// helpers.
+var Default = NewTable()
+
+// Register interns name and returns its id. Registering the same name
+// twice returns the same id.
+func (t *Table) Register(name string) uint64 {
+	t.mu.RLock()
+	id, ok := t.index[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.index[name]; ok {
+		return id
+	}
+	id = uint64(len(t.names))
+	t.names = append(t.names, name)
+	t.index[name] = id
+	return id
+}
+
+// Name returns the source location for id, or "pc(N)" when unknown.
+func (t *Table) Name(id uint64) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < uint64(len(t.names)) {
+		return t.names[id]
+	}
+	return fmt.Sprintf("pc(%d)", id)
+}
+
+// Len returns the number of interned sites, including the reserved id 0.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}
+
+// Here registers the caller's source location (skip frames above the
+// caller of Here) and returns its id. Call it once per instrumentation
+// site, outside hot loops.
+func (t *Table) Here(skip int) uint64 {
+	_, file, line, ok := runtime.Caller(skip + 1)
+	if !ok {
+		return 0
+	}
+	// Keep the last two path elements: pkg/file.go:NN.
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		if j := strings.LastIndexByte(file[:i], '/'); j >= 0 {
+			file = file[j+1:]
+		}
+	}
+	return t.Register(file + ":" + strconv.Itoa(line))
+}
+
+// Here registers the caller's location in the Default table.
+func Here() uint64 { return Default.Here(1) }
+
+// Site registers a symbolic site name in the Default table.
+func Site(name string) uint64 { return Default.Register(name) }
+
+// WriteTo serializes the table as "id<TAB>name" lines.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	var n int64
+	for id, name := range t.names {
+		k, err := fmt.Fprintf(bw, "%d\t%s\n", id, name)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTable parses a table previously written by WriteTo.
+func ReadTable(r io.Reader) (*Table, error) {
+	t := NewTable()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	entries := make(map[uint64]string)
+	var maxID uint64
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		tab := strings.IndexByte(line, '\t')
+		if tab < 0 {
+			return nil, fmt.Errorf("pcreg: malformed line %q", line)
+		}
+		id, err := strconv.ParseUint(line[:tab], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pcreg: bad id in %q: %w", line, err)
+		}
+		entries[id] = line[tab+1:]
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.names = make([]string, maxID+1)
+	t.index = make(map[string]uint64, len(entries))
+	for id := range t.names {
+		t.names[id] = fmt.Sprintf("pc(%d)", id)
+	}
+	ids := make([]uint64, 0, len(entries))
+	for id := range entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t.names[id] = entries[id]
+		t.index[entries[id]] = id
+	}
+	return t, nil
+}

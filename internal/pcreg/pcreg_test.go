@@ -1,0 +1,101 @@
+package pcreg
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegisterIdempotent(t *testing.T) {
+	tb := NewTable()
+	a := tb.Register("x.go:1")
+	b := tb.Register("x.go:2")
+	if a == b {
+		t.Fatal("distinct names share id")
+	}
+	if tb.Register("x.go:1") != a {
+		t.Fatal("re-register changed id")
+	}
+	if tb.Name(a) != "x.go:1" {
+		t.Fatalf("Name(%d) = %q", a, tb.Name(a))
+	}
+	if tb.Name(0) != "unknown" {
+		t.Fatalf("Name(0) = %q", tb.Name(0))
+	}
+	if got := tb.Name(9999); got != "pc(9999)" {
+		t.Fatalf("Name(9999) = %q", got)
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestHereCapturesLocation(t *testing.T) {
+	tb := NewTable()
+	id := tb.Here(0)
+	name := tb.Name(id)
+	if !strings.Contains(name, "pcreg_test.go:") {
+		t.Fatalf("Here captured %q", name)
+	}
+	if id2 := tb.Here(0); tb.Name(id2) == name {
+		t.Fatalf("two Here calls on different lines interned same name %q", name)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tb := NewTable()
+	tb.Register("a.go:10")
+	tb.Register("b.go:20")
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tb.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), tb.Len())
+	}
+	for _, name := range []string{"unknown", "a.go:10", "b.go:20"} {
+		if got.Name(tb.Register(name)) != name {
+			t.Fatalf("round trip lost %q", name)
+		}
+	}
+}
+
+func TestReadTableErrors(t *testing.T) {
+	if _, err := ReadTable(strings.NewReader("no tab here\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := ReadTable(strings.NewReader("x\tname\n")); err == nil {
+		t.Error("bad id accepted")
+	}
+	got, err := ReadTable(strings.NewReader(""))
+	if err != nil || got.Len() == 0 {
+		t.Errorf("empty table: %v, len %d", err, got.Len())
+	}
+}
+
+func TestConcurrentRegister(t *testing.T) {
+	tb := NewTable()
+	var wg sync.WaitGroup
+	ids := make([]uint64, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ids[g] = tb.Register("shared")
+				tb.Register("own-" + string(rune('a'+g)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatal("concurrent Register returned different ids for same name")
+		}
+	}
+}

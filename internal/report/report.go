@@ -1,0 +1,171 @@
+// Package report defines race records and analysis reports shared by the
+// SWORD offline analyzer and the ARCHER baseline, so the experiment
+// harness can compare tools uniformly.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Side describes one of the two accesses of a race.
+type Side struct {
+	PC     uint64 // interned program-counter id
+	Source string // symbolized source location, e.g. "ompscr/md.go:87"
+	Write  bool
+	Atomic bool
+}
+
+func (s Side) op() string {
+	switch {
+	case s.Write && s.Atomic:
+		return "atomic-write"
+	case s.Write:
+		return "write"
+	case s.Atomic:
+		return "atomic-read"
+	default:
+		return "read"
+	}
+}
+
+// String renders the side as "write ompscr/md.go:87".
+func (s Side) String() string { return s.op() + " " + s.Source }
+
+// Race is one reported data race, deduplicated by the unordered pair of
+// access sites.
+type Race struct {
+	First, Second Side
+	Addr          uint64 // witness address of one conflicting pair
+	Count         int    // distinct detections merged into this record
+}
+
+// String renders the race like the tools' reports:
+// "race: write md.go:87 <-> read md.go:91 @ 0x10000f0".
+func (r Race) String() string {
+	return fmt.Sprintf("race: %s <-> %s @ %#x", r.First, r.Second, r.Addr)
+}
+
+// key identifies a race record regardless of side order.
+type key struct {
+	pcA, pcB uint64
+	wA, wB   bool
+}
+
+func (r Race) normKey() key {
+	a, b := r.First, r.Second
+	if a.PC > b.PC || (a.PC == b.PC && a.Write && !b.Write) {
+		a, b = b, a
+	}
+	return key{pcA: a.PC, pcB: b.PC, wA: a.Write, wB: b.Write}
+}
+
+// Stats captures analysis effort counters for the experiment tables.
+type Stats struct {
+	Intervals       int    // barrier intervals analyzed
+	IntervalPairs   int    // concurrent interval pairs compared
+	TreeNodes       int    // interval-tree nodes built (the paper's M)
+	Accesses        uint64 // accesses summarized (the paper's N)
+	NodeComparisons uint64 // overlapping node pairs examined
+	SolverCalls     uint64 // precise strided-intersection decisions
+	Regions         int    // parallel region instances
+}
+
+// Report accumulates deduplicated races. It is safe for concurrent Add,
+// matching the analyzer's parallel interval-pair comparison.
+type Report struct {
+	mu    sync.Mutex
+	races map[key]*Race
+	Stats Stats
+}
+
+// New returns an empty report.
+func New() *Report { return &Report{races: make(map[key]*Race)} }
+
+// Add records a race, merging duplicates of the same site pair.
+func (r *Report) Add(race Race) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := race.normKey()
+	if existing, ok := r.races[k]; ok {
+		existing.Count += max(race.Count, 1)
+		return
+	}
+	if race.Count == 0 {
+		race.Count = 1
+	}
+	r.races[k] = &race
+}
+
+// Races returns the deduplicated races sorted by source locations.
+func (r *Report) Races() []Race {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Race, 0, len(r.races))
+	for _, race := range r.races {
+		out = append(out, *race)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].First.Source != out[j].First.Source {
+			return out[i].First.Source < out[j].First.Source
+		}
+		return out[i].Second.Source < out[j].Second.Source
+	})
+	return out
+}
+
+// Len returns the number of distinct races.
+func (r *Report) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.races)
+}
+
+// String renders the full report, one race per line, with a summary.
+func (r *Report) String() string {
+	races := r.Races()
+	var b strings.Builder
+	for _, race := range races {
+		b.WriteString(race.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%d race(s)\n", len(races))
+	return b.String()
+}
+
+// jsonReport is the machine-readable form of a report.
+type jsonReport struct {
+	Races []jsonRace `json:"races"`
+	Stats Stats      `json:"stats"`
+}
+
+type jsonRace struct {
+	First  jsonSide `json:"first"`
+	Second jsonSide `json:"second"`
+	Addr   string   `json:"addr"`
+	Count  int      `json:"count"`
+}
+
+type jsonSide struct {
+	PC     uint64 `json:"pc"`
+	Source string `json:"source"`
+	Op     string `json:"op"`
+}
+
+// MarshalJSON renders the report as stable, sorted JSON for tooling.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	races := r.Races()
+	out := jsonReport{Races: make([]jsonRace, 0, len(races)), Stats: r.Stats}
+	for _, race := range races {
+		out.Races = append(out.Races, jsonRace{
+			First:  jsonSide{PC: race.First.PC, Source: race.First.Source, Op: race.First.op()},
+			Second: jsonSide{PC: race.Second.PC, Source: race.Second.Source, Op: race.Second.op()},
+			Addr:   fmt.Sprintf("%#x", race.Addr),
+			Count:  race.Count,
+		})
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,491 @@
+// Package rt implements SWORD's dynamic analysis phase: a per-thread,
+// bounded-memory trace collector attached to the omp runtime through the
+// Tool interface.
+//
+// Each thread slot owns a fixed-capacity event buffer. Instrumented
+// accesses and mutex operations append to it; when it reaches capacity the
+// buffer is compressed and written to the slot's log file — asynchronously
+// by default, through a flusher goroutine, so application threads never
+// wait on the file system (the paper's "each thread collects memory
+// accesses into its own buffer ... compresses and writes out the buffer to
+// disk"). Barrier-interval boundaries (region begin/end, barriers, nested
+// forks) emit meta-data records locating each interval fragment's byte
+// range in the log.
+//
+// The collector's memory use is bounded and application-independent:
+// per slot one event buffer (default 25,000 events ≈ 2 MB backing model)
+// plus fixed auxiliary state — the paper's N × (B + C) formula, surfaced
+// by MemoryModel.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sword/internal/compress"
+	"sword/internal/omp"
+	"sword/internal/pcreg"
+	"sword/internal/trace"
+)
+
+// Default bounds, matching Section III-A of the paper.
+const (
+	// DefaultMaxEvents is the per-thread buffer capacity in events; the
+	// paper found 25,000 (≈ 2 MB) optimal for L3 residency.
+	DefaultMaxEvents = 25000
+	// ModelBufferBytes is the accounted size of one thread's buffer (B).
+	ModelBufferBytes = 2 << 20
+	// ModelAuxBytes is the accounted per-thread auxiliary and OMPT
+	// overhead (C), about 1.3 MB in the paper's measurements.
+	ModelAuxBytes = 1_300_000
+)
+
+// PCTableAux is the auxiliary file name under which the collector persists
+// the interned program-counter table for the offline analyzer.
+const PCTableAux = "pctable"
+
+// TaskWaitsAux is the auxiliary file holding taskwait cuts (tasking
+// extension): one record per waited task region.
+const TaskWaitsAux = "taskwaits"
+
+// Config parameterizes a Collector.
+type Config struct {
+	// MaxEvents bounds the per-thread buffer; 0 means DefaultMaxEvents.
+	MaxEvents int
+	// Codec compresses flushed buffers; nil means the LZ77 codec (the
+	// paper used LZO).
+	Codec compress.Codec
+	// Synchronous disables the asynchronous flusher: buffers are
+	// compressed and written on the application thread. Useful for
+	// deterministic unit tests and the ablation bench.
+	Synchronous bool
+	// PCs is the program-counter table to persist; nil means
+	// pcreg.Default.
+	PCs *pcreg.Table
+}
+
+// Stats aggregates collection counters across all slots.
+type Stats struct {
+	Events          uint64 // instrumented events recorded
+	Flushes         uint64 // buffer flushes
+	RawBytes        uint64 // uncompressed bytes flushed
+	CompressedBytes uint64 // compressed payload bytes written
+	Fragments       uint64 // meta-data records emitted
+	Slots           int    // thread slots that produced logs
+}
+
+// Collector is the SWORD dynamic phase. Create one per run with New,
+// attach it via omp.WithTool, and Close it after the run to flush
+// remaining buffers and persist the PC table.
+type Collector struct {
+	omp.NopTool
+
+	store     trace.Store
+	codec     compress.Codec
+	maxEvents int
+	sync      bool
+	pcs       *pcreg.Table
+
+	mu     sync.Mutex
+	states map[int]*slotState
+	closed bool
+
+	// Region fork/wait boundary cuts, keyed by region id, in the parent
+	// interval's cut coordinates (see trace.Meta.Cut). waitCuts holds
+	// taskwait joins of the tasking extension; unwaited tasks stay absent
+	// (they complete at the barrier, which the interval structure already
+	// orders).
+	cutMu    sync.Mutex
+	forkCuts map[uint64]uint64
+	waitCuts map[uint64]uint64
+
+	flushCh chan flushJob
+	flushWG sync.WaitGroup
+	bufPool sync.Pool
+
+	events    atomic.Uint64
+	flushes   atomic.Uint64
+	fragments atomic.Uint64
+}
+
+type flushJob struct {
+	st  *slotState
+	buf []byte
+}
+
+// slotState is the per-thread-slot collection state. Only the goroutine
+// currently owning the slot mutates it; the flusher goroutine owns the log
+// writer after handoff.
+type slotState struct {
+	slot    int
+	enc     trace.Encoder
+	log     *trace.LogWriter
+	meta    *trace.MetaWriter
+	flushed uint64 // logical bytes handed to the flusher
+
+	frag     trace.Meta
+	fragOpen bool
+	stack    []trace.Meta // suspended enclosing fragments at nested forks
+	cuts     map[trace.IntervalKey]uint64
+}
+
+// New creates a collector writing to store.
+func New(store trace.Store, cfg Config) *Collector {
+	c := &Collector{
+		store:     store,
+		codec:     cfg.Codec,
+		maxEvents: cfg.MaxEvents,
+		sync:      cfg.Synchronous,
+		pcs:       cfg.PCs,
+		states:    make(map[int]*slotState),
+		forkCuts:  make(map[uint64]uint64),
+		waitCuts:  make(map[uint64]uint64),
+	}
+	if c.codec == nil {
+		c.codec = compress.LZSS{}
+	}
+	if c.maxEvents <= 0 {
+		c.maxEvents = DefaultMaxEvents
+	}
+	if c.pcs == nil {
+		c.pcs = pcreg.Default
+	}
+	c.bufPool.New = func() any { return []byte(nil) }
+	if !c.sync {
+		c.flushCh = make(chan flushJob, 64)
+		c.flushWG.Add(1)
+		go c.flusher()
+	}
+	return c
+}
+
+func (c *Collector) flusher() {
+	defer c.flushWG.Done()
+	for job := range c.flushCh {
+		c.writeBlock(job.st, job.buf)
+		c.bufPool.Put(job.buf[:0]) //nolint:staticcheck // slice reuse is the point
+	}
+}
+
+func (c *Collector) writeBlock(st *slotState, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	if err := st.log.WriteBlock(buf); err != nil {
+		// Collection I/O failure is unrecoverable for the analysis; the
+		// real tool would abort the run. Surface loudly.
+		panic(fmt.Sprintf("rt: flush slot %d: %v", st.slot, err))
+	}
+	c.flushes.Add(1)
+}
+
+// state returns (creating if needed) the slot's collection state.
+func (c *Collector) state(slot int) *slotState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.states[slot]
+	if !ok {
+		logSink, err := c.store.CreateLog(slot)
+		if err != nil {
+			panic(fmt.Sprintf("rt: create log for slot %d: %v", slot, err))
+		}
+		metaSink, err := c.store.CreateMeta(slot)
+		if err != nil {
+			panic(fmt.Sprintf("rt: create meta for slot %d: %v", slot, err))
+		}
+		st = &slotState{
+			slot: slot,
+			log:  trace.NewLogWriter(logSink, c.codec),
+			meta: trace.NewMetaWriter(metaSink),
+			cuts: make(map[trace.IntervalKey]uint64),
+		}
+		c.states[slot] = st
+	}
+	return st
+}
+
+// logical returns the slot's current logical byte position: flushed bytes
+// plus the encoder's pending bytes.
+func (st *slotState) logical() uint64 { return st.flushed + uint64(st.enc.Len()) }
+
+// flush hands the current buffer to the flusher (or writes it inline in
+// synchronous mode) and resets the encoder.
+func (c *Collector) flush(st *slotState) {
+	n := st.enc.Len()
+	if n == 0 {
+		return
+	}
+	if c.sync {
+		c.writeBlock(st, st.enc.Bytes())
+	} else {
+		buf := append(c.bufPool.Get().([]byte)[:0], st.enc.Bytes()...)
+		c.flushCh <- flushJob{st: st, buf: buf}
+	}
+	st.flushed += uint64(n)
+	st.enc.Reset()
+}
+
+// openFragment starts a new interval fragment for the thread's current
+// (region, bid) position.
+func (c *Collector) openFragment(st *slotState, th *omp.Thread) {
+	info := th.Region()
+	c.cutMu.Lock()
+	parentCut := c.forkCuts[info.ID]
+	c.cutMu.Unlock()
+	st.frag = trace.Meta{
+		PID:       info.ID,
+		PPID:      info.ParentID,
+		BID:       th.BID(),
+		Offset:    uint64(th.ID()) + th.BID()*uint64(info.Size),
+		Span:      uint64(info.Size),
+		Level:     info.Level,
+		DataBegin: st.logical(),
+		ParentTID: info.ParentTID,
+		ParentBID: info.ParentBID,
+		Seq:       info.Seq,
+		Held:      th.Held(),
+		Cut:       st.cuts[trace.IntervalKey{PID: info.ID, TID: uint64(th.ID()), BID: th.BID()}],
+		ParentCut: parentCut,
+		Async:     info.Async,
+	}
+	st.fragOpen = true
+}
+
+// closeFragment ends the open fragment, emitting its meta record when it
+// captured any data.
+func (c *Collector) closeFragment(st *slotState) {
+	if !st.fragOpen {
+		return
+	}
+	st.fragOpen = false
+	st.cuts[st.frag.Key()]++ // every close is a boundary in cut coordinates
+	st.frag.DataSize = st.logical() - st.frag.DataBegin
+	if st.frag.DataSize == 0 && !(st.frag.BID == 0 && st.frag.TID() == 0) {
+		// Empty interval fragments carry no access data; only the master's
+		// first fragment is kept regardless, so every region instance —
+		// even one whose own intervals are all empty — appears in some
+		// meta-data file with its fork coordinates, which the offline
+		// analyzer needs to rebuild the region tree.
+		return
+	}
+	if err := st.meta.Append(&st.frag); err != nil {
+		panic(fmt.Sprintf("rt: write meta for slot %d: %v", st.slot, err))
+	}
+	c.fragments.Add(1)
+}
+
+// RegionFork implements omp.Tool: the encountering thread suspends its
+// current fragment across the nested region.
+func (c *Collector) RegionFork(parent *omp.Thread, region omp.RegionInfo) {
+	st := c.state(parent.Slot())
+	if st.fragOpen {
+		key := st.frag.Key()
+		c.closeFragment(st)
+		c.cutMu.Lock()
+		c.forkCuts[region.ID] = st.cuts[key]
+		c.cutMu.Unlock()
+		st.stack = append(st.stack, st.frag)
+	} else {
+		st.stack = append(st.stack, trace.Meta{Span: 0}) // marker: nothing to resume
+	}
+}
+
+// TaskSpawn implements omp.Tool: the spawner's fragment splits at the
+// spawn so accesses before it are ordered before the task; the recorded
+// fork cut opens the task's concurrency window within the interval.
+func (c *Collector) TaskSpawn(spawner *omp.Thread, task omp.RegionInfo) {
+	st := c.state(spawner.Slot())
+	if !st.fragOpen {
+		return // spawned outside any instrumented interval
+	}
+	key := st.frag.Key()
+	c.closeFragment(st)
+	c.cutMu.Lock()
+	c.forkCuts[task.ID] = st.cuts[key]
+	c.cutMu.Unlock()
+	c.openFragment(st, spawner)
+}
+
+// TaskWaited implements omp.Tool: the taskwait closes the waited tasks'
+// concurrency windows and splits the fragment so subsequent accesses are
+// ordered after them.
+func (c *Collector) TaskWaited(spawner *omp.Thread, taskIDs []uint64) {
+	st := c.state(spawner.Slot())
+	if !st.fragOpen {
+		return
+	}
+	key := st.frag.Key()
+	c.closeFragment(st)
+	c.cutMu.Lock()
+	for _, id := range taskIDs {
+		c.waitCuts[id] = st.cuts[key]
+	}
+	c.cutMu.Unlock()
+	c.openFragment(st, spawner)
+}
+
+// RegionJoin implements omp.Tool: the encountering thread resumes its
+// suspended fragment as a fresh fragment with the same interval identity.
+func (c *Collector) RegionJoin(parent *omp.Thread, _ omp.RegionInfo) {
+	st := c.state(parent.Slot())
+	top := st.stack[len(st.stack)-1]
+	st.stack = st.stack[:len(st.stack)-1]
+	if top.Span == 0 {
+		return // the fork happened outside any parallel region
+	}
+	c.openFragment(st, parent)
+}
+
+// ParallelBegin implements omp.Tool.
+func (c *Collector) ParallelBegin(th *omp.Thread) {
+	st := c.state(th.Slot())
+	c.openFragment(st, th)
+}
+
+// ParallelEnd implements omp.Tool.
+func (c *Collector) ParallelEnd(th *omp.Thread) {
+	st := c.state(th.Slot())
+	c.closeFragment(st)
+}
+
+// BarrierArrive implements omp.Tool: the interval ends at the barrier.
+// Crucially, the fragment is closed *before* waiting, so threads flush
+// their interval data without waiting for each other — the independence
+// the paper highlights for barrier-heavy codes.
+func (c *Collector) BarrierArrive(th *omp.Thread, _ bool) {
+	c.closeFragment(c.state(th.Slot()))
+}
+
+// BarrierDepart implements omp.Tool: a new interval begins.
+func (c *Collector) BarrierDepart(th *omp.Thread, _ bool) {
+	c.openFragment(c.state(th.Slot()), th)
+}
+
+// MutexAcquired implements omp.Tool.
+func (c *Collector) MutexAcquired(th *omp.Thread, mutex uint64) {
+	st := c.state(th.Slot())
+	st.enc.Acquire(mutex)
+	c.bump(st)
+}
+
+// MutexReleased implements omp.Tool.
+func (c *Collector) MutexReleased(th *omp.Thread, mutex uint64) {
+	st := c.state(th.Slot())
+	st.enc.Release(mutex)
+	c.bump(st)
+}
+
+// Access implements omp.Tool: the hot path.
+func (c *Collector) Access(th *omp.Thread, addr uint64, size uint8, write, atomic bool, pc uint64) {
+	st := c.state(th.Slot())
+	st.enc.Access(addr, size, write, atomic, pc)
+	c.bump(st)
+}
+
+func (c *Collector) bump(st *slotState) {
+	c.events.Add(1)
+	if st.enc.Events() >= c.maxEvents {
+		c.flush(st)
+	}
+}
+
+// Close flushes every slot's remaining buffer, closes all writers, stops
+// the flusher, and persists the PC table. The collector must not be used
+// afterwards.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	states := make([]*slotState, 0, len(c.states))
+	for _, st := range c.states {
+		states = append(states, st)
+	}
+	c.mu.Unlock()
+
+	for _, st := range states {
+		if st.fragOpen {
+			c.closeFragment(st)
+		}
+		c.flush(st)
+	}
+	if !c.sync {
+		close(c.flushCh)
+		c.flushWG.Wait()
+	}
+	var firstErr error
+	for _, st := range states {
+		if err := st.log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := st.meta.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	aux, err := c.store.CreateAux(PCTableAux)
+	if err != nil {
+		if firstErr == nil {
+			firstErr = err
+		}
+	} else {
+		if _, err := c.pcs.WriteTo(aux); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := aux.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := c.writeTaskWaits(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// writeTaskWaits persists the taskwait cuts for the offline analyzer.
+func (c *Collector) writeTaskWaits() error {
+	c.cutMu.Lock()
+	waits := make(map[uint64]uint64, len(c.waitCuts))
+	for id, cut := range c.waitCuts {
+		waits[id] = cut
+	}
+	c.cutMu.Unlock()
+	if len(waits) == 0 {
+		return nil
+	}
+	aux, err := c.store.CreateAux(TaskWaitsAux)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteTaskWaits(aux, waits); err != nil {
+		aux.Close()
+		return err
+	}
+	return aux.Close()
+}
+
+// Stats returns collection counters. Call after Close for final values.
+func (c *Collector) Stats() Stats {
+	s := Stats{
+		Events:    c.events.Load(),
+		Flushes:   c.flushes.Load(),
+		Fragments: c.fragments.Load(),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.Slots = len(c.states)
+	for _, st := range c.states {
+		s.RawBytes += st.log.RawBytes()
+		s.CompressedBytes += st.log.CompressedBytes()
+	}
+	return s
+}
+
+// MemoryModel returns the accounted dynamic-phase memory overhead for the
+// given thread count: N × (B + C), the paper's bounded-overhead formula
+// (≈ 3.3 MB per thread), independent of application footprint.
+func MemoryModel(threads int) uint64 {
+	return uint64(threads) * (ModelBufferBytes + ModelAuxBytes)
+}

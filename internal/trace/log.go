@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sword/internal/compress"
+)
+
+// Log file framing: a sequence of blocks, each
+//
+//	uvarint rawLen | uvarint compLen | codec id byte | compLen payload bytes
+//
+// A block holds exactly one flushed collector buffer, so event decoding
+// state (the address-delta register) resets at block boundaries on both
+// sides. Meta-data offsets are logical (uncompressed) positions; the reader
+// recovers them by accumulating rawLen while streaming.
+
+// LogWriter frames, compresses and writes event blocks to a log sink.
+type LogWriter struct {
+	w       *bufio.Writer
+	c       io.Closer
+	codec   compress.Codec
+	logical uint64
+	scratch []byte
+	head    [2 * binary.MaxVarintLen64]byte
+	rawIn   uint64
+	compOut uint64
+}
+
+// NewLogWriter returns a writer that compresses blocks with codec and
+// writes them to w.
+func NewLogWriter(w io.WriteCloser, codec compress.Codec) *LogWriter {
+	return &LogWriter{w: bufio.NewWriterSize(w, 64<<10), c: w, codec: codec}
+}
+
+// Logical returns the logical (uncompressed) offset at which the next
+// block will begin.
+func (w *LogWriter) Logical() uint64 { return w.logical }
+
+// RawBytes returns the total uncompressed bytes accepted.
+func (w *LogWriter) RawBytes() uint64 { return w.rawIn }
+
+// CompressedBytes returns the total compressed payload bytes emitted.
+func (w *LogWriter) CompressedBytes() uint64 { return w.compOut }
+
+// WriteBlock compresses raw and appends it as one block. Empty blocks are
+// dropped.
+func (w *LogWriter) WriteBlock(raw []byte) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	w.scratch = w.codec.Compress(w.scratch[:0], raw)
+	n := binary.PutUvarint(w.head[:], uint64(len(raw)))
+	n += binary.PutUvarint(w.head[n:], uint64(len(w.scratch)))
+	if _, err := w.w.Write(w.head[:n]); err != nil {
+		return fmt.Errorf("trace: write block header: %w", err)
+	}
+	if err := w.w.WriteByte(w.codec.ID()); err != nil {
+		return fmt.Errorf("trace: write codec id: %w", err)
+	}
+	if _, err := w.w.Write(w.scratch); err != nil {
+		return fmt.Errorf("trace: write block payload: %w", err)
+	}
+	w.logical += uint64(len(raw))
+	w.rawIn += uint64(len(raw))
+	w.compOut += uint64(len(w.scratch))
+	return nil
+}
+
+// Close flushes buffered data and closes the underlying sink.
+func (w *LogWriter) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.c.Close()
+		return fmt.Errorf("trace: flush log: %w", err)
+	}
+	return w.c.Close()
+}
+
+// LogReader streams blocks back from a log source, decompressing each and
+// tracking logical offsets.
+type LogReader struct {
+	r       *bufio.Reader
+	c       io.Closer
+	logical uint64
+	comp    []byte
+	raw     []byte
+}
+
+// NewLogReader returns a reader over r. The codec of each block is
+// identified from its header, so mixed-codec logs decode correctly.
+func NewLogReader(r io.ReadCloser) *LogReader {
+	return &LogReader{r: bufio.NewReaderSize(r, 64<<10), c: r}
+}
+
+// Next returns the logical start offset and decompressed contents of the
+// next block. The returned slice is reused by subsequent calls. It returns
+// io.EOF after the last block.
+func (r *LogReader) Next() (uint64, []byte, error) {
+	rawLen, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("trace: read block raw length: %w", err)
+	}
+	compLen, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("trace: read block compressed length: %w", err)
+	}
+	id, err := r.r.ReadByte()
+	if err != nil {
+		return 0, nil, fmt.Errorf("trace: read codec id: %w", err)
+	}
+	codec, err := compress.ByID(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	if cap(r.comp) < int(compLen) {
+		r.comp = make([]byte, compLen)
+	}
+	r.comp = r.comp[:compLen]
+	if _, err := io.ReadFull(r.r, r.comp); err != nil {
+		return 0, nil, fmt.Errorf("trace: read block payload: %w", err)
+	}
+	r.raw, err = codec.Decompress(r.raw[:0], r.comp, int(rawLen))
+	if err != nil {
+		return 0, nil, err
+	}
+	start := r.logical
+	r.logical += rawLen
+	return start, r.raw, nil
+}
+
+// Close closes the underlying source.
+func (r *LogReader) Close() error { return r.c.Close() }
+
+// MetaWriter writes meta-data records to a sink.
+type MetaWriter struct {
+	w   *bufio.Writer
+	c   io.Closer
+	buf []byte
+	n   int
+}
+
+// NewMetaWriter returns a writer over w.
+func NewMetaWriter(w io.WriteCloser) *MetaWriter {
+	return &MetaWriter{w: bufio.NewWriter(w), c: w}
+}
+
+// Append writes one meta record.
+func (w *MetaWriter) Append(m *Meta) error {
+	w.buf = AppendMeta(w.buf[:0], m)
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("trace: write meta record: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records appended.
+func (w *MetaWriter) Count() int { return w.n }
+
+// Close flushes and closes the sink.
+func (w *MetaWriter) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.c.Close()
+		return fmt.Errorf("trace: flush meta: %w", err)
+	}
+	return w.c.Close()
+}
+
+// ReadAllMeta decodes every meta record from r and closes it.
+func ReadAllMeta(r io.ReadCloser) ([]Meta, error) {
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read meta file: %w", err)
+	}
+	var out []Meta
+	pos := 0
+	for pos < len(data) {
+		var m Meta
+		n, err := DecodeMeta(data[pos:], &m)
+		if err != nil {
+			return nil, fmt.Errorf("trace: meta record %d: %w", len(out), err)
+		}
+		pos += n
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// FormatMetaTable renders meta records in the layout of Table I of the
+// paper: one line per barrier-interval fragment with columns pid, ppid,
+// bid, offset, span, level, data begin, size.
+func FormatMetaTable(metas []Meta) string {
+	var b strings.Builder
+	b.WriteString("pid\tppid\tbid\toffset\tspan\tlevel\tdata begin\tsize\n")
+	for i := range metas {
+		m := &metas[i]
+		pp := "-"
+		if m.PPID != NoParent {
+			pp = strconv.FormatUint(m.PPID, 10)
+		}
+		fmt.Fprintf(&b, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			m.PID, pp, m.BID, m.Offset, m.Span, m.Level, m.DataBegin, m.DataSize)
+	}
+	return b.String()
+}
+
+// WriteTaskWaits serializes taskwait cuts (tasking extension) as binary
+// records: uvarint count, then uvarint (task region id, wait cut) pairs in
+// ascending id order.
+func WriteTaskWaits(w io.Writer, waits map[uint64]uint64) error {
+	ids := make([]uint64, 0, len(waits))
+	for id := range waits {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := binary.AppendUvarint(nil, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, id)
+		buf = binary.AppendUvarint(buf, waits[id])
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("trace: write task waits: %w", err)
+	}
+	return nil
+}
+
+// ReadTaskWaits parses records written by WriteTaskWaits and closes r.
+func ReadTaskWaits(r io.ReadCloser) (map[uint64]uint64, error) {
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read task waits: %w", err)
+	}
+	pos := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("trace: truncated task waits at byte %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	count, err := next()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]uint64, count)
+	for i := uint64(0); i < count; i++ {
+		id, err := next()
+		if err != nil {
+			return nil, err
+		}
+		cut, err := next()
+		if err != nil {
+			return nil, err
+		}
+		out[id] = cut
+	}
+	return out, nil
+}

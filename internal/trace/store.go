@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store is where a run's trace lands: one log and one meta file per
+// analyzed thread slot, plus named auxiliary files (the interned
+// program-counter table). DirStore keeps them on the file system like the
+// real tool; MemStore keeps tests hermetic.
+type Store interface {
+	// CreateLog opens the log file of a thread slot for writing.
+	CreateLog(slot int) (io.WriteCloser, error)
+	// CreateMeta opens the meta-data file of a thread slot for writing.
+	CreateMeta(slot int) (io.WriteCloser, error)
+	// CreateAux opens a named auxiliary file for writing.
+	CreateAux(name string) (io.WriteCloser, error)
+	// OpenLog opens the log file of a thread slot for reading.
+	OpenLog(slot int) (io.ReadCloser, error)
+	// OpenMeta opens the meta-data file of a thread slot for reading.
+	OpenMeta(slot int) (io.ReadCloser, error)
+	// OpenAux opens a named auxiliary file for reading.
+	OpenAux(name string) (io.ReadCloser, error)
+	// Slots lists the thread slots that have a meta file, ascending.
+	Slots() ([]int, error)
+	// BytesWritten reports the total bytes written so far, for I/O
+	// accounting in the experiment harness.
+	BytesWritten() uint64
+}
+
+// countingWriter wraps a WriteCloser and adds written bytes to a shared
+// counter under mu.
+type countingWriter struct {
+	io.WriteCloser
+	mu    *sync.Mutex
+	total *uint64
+}
+
+func (w countingWriter) Write(p []byte) (int, error) {
+	n, err := w.WriteCloser.Write(p)
+	w.mu.Lock()
+	*w.total += uint64(n)
+	w.mu.Unlock()
+	return n, err
+}
+
+// DirStore stores trace files in a directory:
+// sword_<slot>.log, sword_<slot>.meta, sword_<name>.aux.
+type DirStore struct {
+	dir   string
+	mu    sync.Mutex
+	total uint64
+}
+
+// NewDirStore creates the directory if needed and returns a store over it.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: create store dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+func (s *DirStore) logPath(slot int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("sword_%d.log", slot))
+}
+
+func (s *DirStore) metaPath(slot int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("sword_%d.meta", slot))
+}
+
+func (s *DirStore) auxPath(name string) string {
+	return filepath.Join(s.dir, "sword_"+name+".aux")
+}
+
+func (s *DirStore) create(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return countingWriter{WriteCloser: f, mu: &s.mu, total: &s.total}, nil
+}
+
+// CreateLog implements Store.
+func (s *DirStore) CreateLog(slot int) (io.WriteCloser, error) { return s.create(s.logPath(slot)) }
+
+// CreateMeta implements Store.
+func (s *DirStore) CreateMeta(slot int) (io.WriteCloser, error) { return s.create(s.metaPath(slot)) }
+
+// CreateAux implements Store.
+func (s *DirStore) CreateAux(name string) (io.WriteCloser, error) { return s.create(s.auxPath(name)) }
+
+// OpenLog implements Store.
+func (s *DirStore) OpenLog(slot int) (io.ReadCloser, error) { return os.Open(s.logPath(slot)) }
+
+// OpenMeta implements Store.
+func (s *DirStore) OpenMeta(slot int) (io.ReadCloser, error) { return os.Open(s.metaPath(slot)) }
+
+// OpenAux implements Store.
+func (s *DirStore) OpenAux(name string) (io.ReadCloser, error) { return os.Open(s.auxPath(name)) }
+
+// Slots implements Store.
+func (s *DirStore) Slots() ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var slots []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "sword_") || !strings.HasSuffix(name, ".meta") {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "sword_"), ".meta"))
+		if err != nil {
+			continue
+		}
+		slots = append(slots, id)
+	}
+	sort.Ints(slots)
+	return slots, nil
+}
+
+// BytesWritten implements Store.
+func (s *DirStore) BytesWritten() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// MemStore keeps all trace files in memory. It is safe for concurrent use.
+type MemStore struct {
+	mu    sync.Mutex
+	logs  map[int]*bytes.Buffer
+	metas map[int]*bytes.Buffer
+	aux   map[string]*bytes.Buffer
+	total uint64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		logs:  make(map[int]*bytes.Buffer),
+		metas: make(map[int]*bytes.Buffer),
+		aux:   make(map[string]*bytes.Buffer),
+	}
+}
+
+type memWriter struct {
+	s   *MemStore
+	buf *bytes.Buffer
+}
+
+func (w memWriter) Write(p []byte) (int, error) {
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	w.s.total += uint64(len(p))
+	return w.buf.Write(p)
+}
+
+func (w memWriter) Close() error { return nil }
+
+func (s *MemStore) createIn(m map[int]*bytes.Buffer, slot int) (io.WriteCloser, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := &bytes.Buffer{}
+	m[slot] = buf
+	return memWriter{s: s, buf: buf}, nil
+}
+
+// CreateLog implements Store.
+func (s *MemStore) CreateLog(slot int) (io.WriteCloser, error) { return s.createIn(s.logs, slot) }
+
+// CreateMeta implements Store.
+func (s *MemStore) CreateMeta(slot int) (io.WriteCloser, error) { return s.createIn(s.metas, slot) }
+
+// CreateAux implements Store.
+func (s *MemStore) CreateAux(name string) (io.WriteCloser, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := &bytes.Buffer{}
+	s.aux[name] = buf
+	return memWriter{s: s, buf: buf}, nil
+}
+
+func (s *MemStore) openIn(m map[int]*bytes.Buffer, slot int) (io.ReadCloser, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, ok := m[slot]
+	if !ok {
+		return nil, fmt.Errorf("trace: memstore: no file for slot %d", slot)
+	}
+	return io.NopCloser(bytes.NewReader(buf.Bytes())), nil
+}
+
+// OpenLog implements Store.
+func (s *MemStore) OpenLog(slot int) (io.ReadCloser, error) { return s.openIn(s.logs, slot) }
+
+// OpenMeta implements Store.
+func (s *MemStore) OpenMeta(slot int) (io.ReadCloser, error) { return s.openIn(s.metas, slot) }
+
+// OpenAux implements Store.
+func (s *MemStore) OpenAux(name string) (io.ReadCloser, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, ok := s.aux[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: memstore: no aux file %q", name)
+	}
+	return io.NopCloser(bytes.NewReader(buf.Bytes())), nil
+}
+
+// Slots implements Store.
+func (s *MemStore) Slots() ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slots := make([]int, 0, len(s.metas))
+	for slot := range s.metas {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	return slots, nil
+}
+
+// BytesWritten implements Store.
+func (s *MemStore) BytesWritten() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Validate checks the structural integrity of a collected trace: every
+// log decodes block by block and event by event; every meta record is
+// well-formed; fragment byte ranges are in bounds, non-overlapping per
+// slot, and cover every access event. It is the fsck of the trace format,
+// used before shipping logs off a production machine and by the failure
+// injection tests.
+func Validate(store Store) error {
+	slots, err := store.Slots()
+	if err != nil {
+		return fmt.Errorf("trace: validate: %w", err)
+	}
+	for _, slot := range slots {
+		if err := validateSlot(store, slot); err != nil {
+			return fmt.Errorf("trace: validate slot %d: %w", slot, err)
+		}
+	}
+	return nil
+}
+
+func validateSlot(store Store, slot int) error {
+	msrc, err := store.OpenMeta(slot)
+	if err != nil {
+		return fmt.Errorf("open meta: %w", err)
+	}
+	metas, err := ReadAllMeta(msrc)
+	if err != nil {
+		return err
+	}
+	type span struct{ begin, end uint64 }
+	spans := make([]span, 0, len(metas))
+	for i := range metas {
+		m := &metas[i]
+		if m.Span == 0 {
+			return fmt.Errorf("record %d: zero span", i)
+		}
+		if m.TID() >= m.Span {
+			return fmt.Errorf("record %d: tid %d outside span %d", i, m.TID(), m.Span)
+		}
+		if m.Level == 0 {
+			return fmt.Errorf("record %d: zero nesting level", i)
+		}
+		if m.DataSize > 0 {
+			spans = append(spans, span{m.DataBegin, m.DataBegin + m.DataSize})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].begin < spans[j].begin })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].begin < spans[i-1].end {
+			return fmt.Errorf("fragments overlap: [%d,%d) and [%d,%d)",
+				spans[i-1].begin, spans[i-1].end, spans[i].begin, spans[i].end)
+		}
+	}
+
+	lsrc, err := store.OpenLog(slot)
+	if err != nil {
+		return fmt.Errorf("open log: %w", err)
+	}
+	lr := NewLogReader(lsrc)
+	defer lr.Close()
+	var dec Decoder
+	var ev Event
+	var logEnd uint64
+	si := 0
+	for {
+		start, raw, err := lr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		logEnd = start + uint64(len(raw))
+		dec.Reset(raw)
+		for dec.More() {
+			pos := start + uint64(dec.Pos())
+			if err := dec.Next(&ev); err != nil {
+				return err
+			}
+			if ev.Kind != KindAccess {
+				continue
+			}
+			for si < len(spans) && pos >= spans[si].end {
+				si++
+			}
+			if si >= len(spans) || pos < spans[si].begin {
+				return fmt.Errorf("access at %d outside every fragment", pos)
+			}
+		}
+	}
+	for _, sp := range spans {
+		if sp.end > logEnd {
+			return fmt.Errorf("fragment [%d,%d) past log end %d", sp.begin, sp.end, logEnd)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Package vc implements the vector clocks underlying the ARCHER/TSan
+// baseline's happens-before race detection.
+package vc
+
+// Clock is a vector clock indexed by thread slot. The zero value is a
+// clock at zero everywhere.
+type Clock struct {
+	v []uint64
+}
+
+// Get returns component i.
+func (c *Clock) Get(i int) uint64 {
+	if i < len(c.v) {
+		return c.v[i]
+	}
+	return 0
+}
+
+// Tick increments component i.
+func (c *Clock) Tick(i int) {
+	c.grow(i + 1)
+	c.v[i]++
+}
+
+// Set assigns component i.
+func (c *Clock) Set(i int, val uint64) {
+	c.grow(i + 1)
+	c.v[i] = val
+}
+
+// Join raises every component to at least o's value.
+func (c *Clock) Join(o *Clock) {
+	c.grow(len(o.v))
+	for i, val := range o.v {
+		if val > c.v[i] {
+			c.v[i] = val
+		}
+	}
+}
+
+// Copy returns an independent copy.
+func (c *Clock) Copy() *Clock {
+	out := &Clock{v: make([]uint64, len(c.v))}
+	copy(out.v, c.v)
+	return out
+}
+
+// HappensBefore reports whether an event stamped (slot, clock) is ordered
+// before the point this clock represents: clock ≤ c[slot].
+func (c *Clock) HappensBefore(slot int, clock uint64) bool {
+	return clock <= c.Get(slot)
+}
+
+// Len returns the number of tracked components.
+func (c *Clock) Len() int { return len(c.v) }
+
+func (c *Clock) grow(n int) {
+	if n <= len(c.v) {
+		return
+	}
+	if n <= cap(c.v) {
+		c.v = c.v[:n]
+		return
+	}
+	nv := make([]uint64, n, max(n, 2*cap(c.v)))
+	copy(nv, c.v)
+	c.v = nv
+}

@@ -1,0 +1,80 @@
+package vc
+
+import "testing"
+
+func TestZeroClock(t *testing.T) {
+	var c Clock
+	if c.Get(0) != 0 || c.Get(100) != 0 || c.Len() != 0 {
+		t.Fatal("zero clock not zero")
+	}
+	if !c.HappensBefore(3, 0) {
+		t.Fatal("epoch 0 must happen-before anything")
+	}
+	if c.HappensBefore(3, 1) {
+		t.Fatal("epoch 1 not ordered under zero clock")
+	}
+}
+
+func TestTickSetGet(t *testing.T) {
+	var c Clock
+	c.Tick(2)
+	c.Tick(2)
+	c.Set(5, 7)
+	if c.Get(2) != 2 || c.Get(5) != 7 || c.Get(0) != 0 {
+		t.Fatalf("clock state: %v %v %v", c.Get(2), c.Get(5), c.Get(0))
+	}
+	if c.Len() != 6 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestJoinElementwiseMax(t *testing.T) {
+	var a, b Clock
+	a.Set(0, 5)
+	a.Set(1, 1)
+	b.Set(1, 9)
+	b.Set(3, 2)
+	a.Join(&b)
+	for i, want := range []uint64{5, 9, 0, 2} {
+		if a.Get(i) != want {
+			t.Fatalf("component %d = %d, want %d", i, a.Get(i), want)
+		}
+	}
+	// Join must not mutate the source.
+	if b.Get(0) != 0 {
+		t.Fatal("Join mutated source")
+	}
+}
+
+func TestCopyIndependent(t *testing.T) {
+	var a Clock
+	a.Set(1, 3)
+	b := a.Copy()
+	b.Tick(1)
+	if a.Get(1) != 3 || b.Get(1) != 4 {
+		t.Fatal("Copy not independent")
+	}
+}
+
+func TestHappensBefore(t *testing.T) {
+	var a Clock
+	a.Set(2, 10)
+	if !a.HappensBefore(2, 10) || !a.HappensBefore(2, 9) {
+		t.Fatal("ordered epochs not detected")
+	}
+	if a.HappensBefore(2, 11) || a.HappensBefore(3, 1) {
+		t.Fatal("unordered epochs claimed ordered")
+	}
+}
+
+func TestGrowPreservesValues(t *testing.T) {
+	var a Clock
+	for i := 0; i < 100; i++ {
+		a.Set(i, uint64(i)*2)
+	}
+	for i := 0; i < 100; i++ {
+		if a.Get(i) != uint64(i)*2 {
+			t.Fatalf("component %d lost after growth", i)
+		}
+	}
+}

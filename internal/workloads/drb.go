@@ -1,0 +1,393 @@
+package workloads
+
+import (
+	"sword/internal/omp"
+)
+
+// DataRaceBench-style micro kernels (§IV-A). Racy kernels carry "-yes",
+// race-free controls "-no", following the original suite's naming. The
+// indirectaccess kernels document races that do not manifest on the
+// executed control path — every dynamic tool misses them, as the paper
+// reports.
+
+func init() {
+	registerDRBYes()
+	registerDRBNo()
+}
+
+func registerDRBYes() {
+	Register(Workload{
+		Name:        "antidep1-orig-yes",
+		Suite:       "drb",
+		Description: "loop-carried anti-dependence: a[i] = a[i+1] + 1",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 1000,
+		Footprint:   func(size int) uint64 { return uint64(size) * 8 },
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			pcR := omp.Site("drb/antidep1.c:read-a[i+1]")
+			pcW := omp.Site("drb/antidep1.c:write-a[i]")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.For(0, ctx.Size-1, func(i int) {
+					v := th.LoadF64(a, i+1, pcR) // next thread's chunk at the boundary
+					th.StoreF64(a, i, v+1, pcW)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "outputdep-orig-yes",
+		Suite:       "drb",
+		Description: "output dependence: unsynchronized write-write on a shared scalar",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 100,
+		Run: func(ctx *Ctx) {
+			x := mustF64(ctx.Space, 1)
+			a := mustF64(ctx.Space, ctx.Size)
+			pcW := omp.Site("drb/outputdep.c:x=last")
+			pcA := omp.Site("drb/outputdep.c:a[i]")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.For(0, ctx.Size, func(i int) {
+					th.StoreF64(a, i, float64(i), pcA)
+				})
+				raceWW(th, x, 0, pcW)
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "plusplus-orig-yes",
+		Suite:       "drb",
+		Description: "counter++ without protection; the documented race plus the extra undocumented pair every tool reports",
+		Documented:  1,
+		Expect:      Expected{Archer: 2, ArcherLow: 2, Sword: 2},
+		DefaultSize: 1,
+		Run: func(ctx *Ctx) {
+			counter := mustI64(ctx.Space, 1)
+			pcR := omp.Site("drb/plusplus.c:read-counter")
+			pcW := omp.Site("drb/plusplus.c:write-counter")
+			seq := omp.NewSequencer()
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				// Pinned single-file schedule: every increment sees the
+				// previous thread's write cell, so both the read-write and
+				// the write-write pairs surface in every tool.
+				seq.Do(th.ID(), func() {
+					v := th.LoadI64(counter, 0, pcR)
+					th.StoreI64(counter, 0, v+1, pcW)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "lostupdate-orig-yes",
+		Suite:       "drb",
+		Description: "read-modify-write on a shared accumulator without atomics",
+		Documented:  1,
+		Expect:      Expected{Archer: 2, ArcherLow: 2, Sword: 2},
+		DefaultSize: 64,
+		Run: func(ctx *Ctx) {
+			sum := mustF64(ctx.Space, 1)
+			data := mustF64(ctx.Space, ctx.Size)
+			pcR := omp.Site("drb/lostupdate.c:read-sum")
+			pcW := omp.Site("drb/lostupdate.c:write-sum")
+			pcD := omp.Site("drb/lostupdate.c:data")
+			seq := omp.NewSequencer()
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				local := 0.0
+				th.ForNoWait(0, ctx.Size, func(i int) {
+					local += th.LoadF64(data, i, pcD)
+				})
+				seq.Do(th.ID(), func() {
+					v := th.LoadF64(sum, 0, pcR)
+					th.StoreF64(sum, 0, v+local, pcW)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "nowait-orig-yes",
+		Suite:       "drb",
+		Description: "missing barrier between dependent loops (nowait); ARCHER's shadow cells lose the writes to same-thread re-reads",
+		Documented:  1,
+		Expect:      Expected{Archer: 0, ArcherLow: 0, Sword: 1},
+		DefaultSize: 512,
+		Footprint:   func(size int) uint64 { return uint64(size) * 24 },
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			b := mustF64(ctx.Space, ctx.Size)
+			c := mustF64(ctx.Space, ctx.Size)
+			pcW := omp.Site("drb/nowait.c:write-a")
+			pcSelf := omp.Site("drb/nowait.c:reread-a")
+			pcB := omp.Site("drb/nowait.c:read-b")
+			pcR := omp.Site("drb/nowait.c:read-a-shifted")
+			pcC := omp.Site("drb/nowait.c:write-c")
+			inv := NewInvisibleBarrier(ctx.Threads)
+			n := ctx.Size
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.ForOpt(0, n, omp.ForOpts{NoWait: true}, func(i int) {
+					v := th.LoadF64(b, i, pcB)
+					th.StoreF64(a, i, v*2, pcW)
+					// The benchmark's accumulation re-reads a[i] on the
+					// writing thread, overwriting the write's shadow cell.
+					_ = th.LoadF64(a, i, pcSelf)
+				})
+				// Schedule pinning only (no happens-before for the tools):
+				// the racy second loop runs after the first completed.
+				inv.Wait()
+				th.For(0, n, func(i int) {
+					j := (i + n/2) % n // owned by a different thread
+					th.StoreF64(c, i, th.LoadF64(a, j, pcR), pcC)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "privatemissing-orig-yes",
+		Suite:       "drb",
+		Description: "scratch variable that should be private; SWORD reports the documented pair, the write-write pair, and one more the shadow cells lose",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 3},
+		DefaultSize: 1,
+		Run: func(ctx *Ctx) {
+			tmp := mustF64(ctx.Space, 1)
+			out := mustF64(ctx.Space, ctx.Threads*2)
+			pcW := omp.Site("drb/privatemissing.c:tmp=")
+			pcR1 := omp.Site("drb/privatemissing.c:use1-tmp")
+			pcR2 := omp.Site("drb/privatemissing.c:use2-tmp")
+			pcO := omp.Site("drb/privatemissing.c:out")
+			seq := omp.NewSequencer()
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				seq.Do(th.ID(), func() {
+					th.StoreF64(tmp, 0, float64(th.ID()), pcW)
+					v1 := th.LoadF64(tmp, 0, pcR1) // replaces the write cell
+					v2 := th.LoadF64(tmp, 0, pcR2) // replaces the first read cell
+					th.StoreF64(out, th.ID()*2, v1+v2, pcO)
+				})
+			})
+		},
+	})
+
+	// The four indirect-access kernels: the documented races depend on
+	// index data that aliases; the shipped input is a permutation, so the
+	// racy path never executes and every dynamic tool reports nothing.
+	for _, k := range []int{1, 2, 3, 4} {
+		k := k
+		name := []string{"", "indirectaccess1-orig-yes", "indirectaccess2-orig-yes",
+			"indirectaccess3-orig-yes", "indirectaccess4-orig-yes"}[k]
+		Register(Workload{
+			Name:        name,
+			Suite:       "drb",
+			Description: "race via indirect index aliasing that does not manifest on the executed input",
+			Documented:  1,
+			Expect:      Expected{}, // no dynamic tool can see it
+			DefaultSize: 256,
+			Footprint:   func(size int) uint64 { return uint64(size) * 16 },
+			Run: func(ctx *Ctx) {
+				n := ctx.Size
+				x := mustF64(ctx.Space, n)
+				idx := make([]int, n)
+				for i := range idx {
+					// A bijective index map (rotation by k): no aliasing,
+					// so the documented race cannot occur dynamically.
+					idx[i] = (i + k) % n
+				}
+				pcR := omp.Site(name + ":read")
+				pcW := omp.Site(name + ":write")
+				ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+					th.ForOpt(0, n, omp.ForOpts{Schedule: omp.ScheduleStaticCyclic, Chunk: 1}, func(i int) {
+						v := th.LoadF64(x, idx[i], pcR)
+						th.StoreF64(x, idx[i], v+1, pcW)
+					})
+				})
+			},
+		})
+	}
+}
+
+func registerDRBNo() {
+	Register(Workload{
+		Name:        "antidep1-var-no",
+		Suite:       "drb",
+		Description: "restructured anti-dependence loop: each thread stays inside its chunk",
+		DefaultSize: 1000,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			pc := omp.Site("drb/antidep1-var.c:update")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.For(0, ctx.Size, func(i int) {
+					v := th.LoadF64(a, i, pc)
+					th.StoreF64(a, i, v+1, pc)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "reduction-no",
+		Suite:       "drb",
+		Description: "sum with a proper reduction clause",
+		DefaultSize: 4096,
+		Run: func(ctx *Ctx) {
+			data := mustF64(ctx.Space, ctx.Size)
+			total := mustF64(ctx.Space, 1)
+			pc := omp.Site("drb/reduction.c:read-data")
+			pcT := omp.Site("drb/reduction.c:store-total")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				local := 0.0
+				th.ForNoWait(0, ctx.Size, func(i int) {
+					local += th.LoadF64(data, i, pc)
+				})
+				sum := th.ReduceF64(local, func(a, b float64) float64 { return a + b })
+				th.Master(func() { th.StoreF64(total, 0, sum, pcT) })
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "critical-no",
+		Suite:       "drb",
+		Description: "shared counter protected by a critical section",
+		DefaultSize: 64,
+		Run: func(ctx *Ctx) {
+			counter := mustI64(ctx.Space, 1)
+			pcR := omp.Site("drb/critical.c:read")
+			pcW := omp.Site("drb/critical.c:write")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				for k := 0; k < ctx.Size; k++ {
+					th.Critical("counter", func() {
+						v := th.LoadI64(counter, 0, pcR)
+						th.StoreI64(counter, 0, v+1, pcW)
+					})
+				}
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "atomic-no",
+		Suite:       "drb",
+		Description: "shared counter updated with #pragma omp atomic",
+		DefaultSize: 256,
+		Run: func(ctx *Ctx) {
+			counter := mustI64(ctx.Space, 1)
+			pc := omp.Site("drb/atomic.c:counter")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				for k := 0; k < ctx.Size; k++ {
+					th.AtomicAddI64(counter, 0, 1, pc)
+				}
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "barrier-no",
+		Suite:       "drb",
+		Description: "producer phase and consumer phase separated by an explicit barrier",
+		DefaultSize: 512,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			b := mustF64(ctx.Space, ctx.Size)
+			pcW := omp.Site("drb/barrier.c:produce")
+			pcR := omp.Site("drb/barrier.c:consume")
+			n := ctx.Size
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.ForNoWait(0, n, func(i int) {
+					th.StoreF64(a, i, float64(i), pcW)
+				})
+				th.Barrier()
+				th.For(0, n, func(i int) {
+					j := (i + n/2) % n
+					th.StoreF64(b, i, th.LoadF64(a, j, pcR), pcW)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "single-no",
+		Suite:       "drb",
+		Description: "initialization inside single, consumed after its implicit barrier",
+		DefaultSize: 128,
+		Run: func(ctx *Ctx) {
+			shared := mustF64(ctx.Space, 1)
+			out := mustF64(ctx.Space, ctx.Threads*2)
+			pcW := omp.Site("drb/single.c:init")
+			pcR := omp.Site("drb/single.c:use")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.Single(func() {
+					th.StoreF64(shared, 0, 42, pcW)
+				})
+				v := th.LoadF64(shared, 0, pcR)
+				th.StoreF64(out, th.ID()*2, v, pcR)
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "master-no",
+		Suite:       "drb",
+		Description: "master initializes, team reads after an explicit barrier",
+		DefaultSize: 128,
+		Run: func(ctx *Ctx) {
+			shared := mustF64(ctx.Space, 1)
+			pcW := omp.Site("drb/master.c:init")
+			pcR := omp.Site("drb/master.c:use")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.Master(func() {
+					th.StoreF64(shared, 0, 7, pcW)
+				})
+				th.Barrier()
+				_ = th.LoadF64(shared, 0, pcR)
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "firstprivate-no",
+		Suite:       "drb",
+		Description: "per-thread private copies laid out disjointly",
+		DefaultSize: 256,
+		Run: func(ctx *Ctx) {
+			priv := mustF64(ctx.Space, ctx.Threads*8) // padded per-thread slots
+			pc := omp.Site("drb/firstprivate.c:private-slot")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				slot := th.ID() * 8
+				for k := 0; k < ctx.Size; k++ {
+					v := th.LoadF64(priv, slot, pc)
+					th.StoreF64(priv, slot, v+1, pc)
+				}
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "nowait-barrier-no",
+		Suite:       "drb",
+		Description: "nowait loop followed by an explicit barrier before the dependent loop",
+		DefaultSize: 512,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			c := mustF64(ctx.Space, ctx.Size)
+			pcW := omp.Site("drb/nowait-barrier.c:write-a")
+			pcR := omp.Site("drb/nowait-barrier.c:read-a")
+			pcC := omp.Site("drb/nowait-barrier.c:write-c")
+			n := ctx.Size
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.ForOpt(0, n, omp.ForOpts{NoWait: true}, func(i int) {
+					th.StoreF64(a, i, float64(i), pcW)
+				})
+				th.Barrier()
+				th.For(0, n, func(i int) {
+					j := (i + n/2) % n
+					th.StoreF64(c, i, th.LoadF64(a, j, pcR), pcC)
+				})
+			})
+		},
+	})
+}

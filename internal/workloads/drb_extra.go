@@ -1,0 +1,285 @@
+package workloads
+
+import "sword/internal/omp"
+
+// Additional DataRaceBench-style kernels: distinct race mechanisms
+// (worksharing variants, sections, single misuse, ordered dependences)
+// plus race-free numerical controls.
+
+func init() {
+	Register(Workload{
+		Name:        "sections-orig-yes",
+		Suite:       "drb",
+		Description: "two sections write the same shared variable",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 1,
+		Run: func(ctx *Ctx) {
+			x := mustF64(ctx.Space, 1)
+			pc1 := omp.Site("drb/sections.c:section1-write")
+			pc2 := omp.Site("drb/sections.c:section2-write")
+			// Schedule pinning: both sections run on different threads
+			// simultaneously (one thread grabbing both would serialize the
+			// writes and hide the race dynamically).
+			overlap := NewInvisibleBarrier(2)
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.Sections(
+					func() {
+						overlap.Wait()
+						th.StoreF64(x, 0, 1, pc1)
+					},
+					func() {
+						overlap.Wait()
+						th.StoreF64(x, 0, 2, pc2)
+					},
+				)
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "singlemissing-orig-yes",
+		Suite:       "drb",
+		Description: "initialization that should be inside single is executed by every thread",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 1,
+		Run: func(ctx *Ctx) {
+			shared := mustF64(ctx.Space, 1)
+			pc := omp.Site("drb/singlemissing.c:init")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				// Should be th.Single(...): every thread writes instead.
+				th.StoreF64(shared, 0, 42, pc)
+				th.Barrier()
+				_ = th.LoadF64(shared, 0, pc)
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "orderedmissing-orig-yes",
+		Suite:       "drb",
+		Description: "carried dependence under schedule(static,1) without an ordered clause",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 512,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			pcR := omp.Site("drb/orderedmissing.c:read-prev")
+			pcW := omp.Site("drb/orderedmissing.c:write")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.ForOpt(1, ctx.Size, omp.ForOpts{Schedule: omp.ScheduleStaticCyclic, Chunk: 1}, func(i int) {
+					// With cyclic distribution, a[i-1] always belongs to a
+					// different thread (for >1 thread).
+					v := th.LoadF64(a, i-1, pcR)
+					th.StoreF64(a, i, v+1, pcW)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "dynamicchunk-orig-yes",
+		Suite:       "drb",
+		Description: "reduction-style accumulation into a shared scalar under a dynamic schedule",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 512,
+		Run: func(ctx *Ctx) {
+			data := mustF64(ctx.Space, ctx.Size)
+			sum := mustF64(ctx.Space, 1)
+			pcD := omp.Site("drb/dynamicchunk.c:data")
+			pcS := omp.Site("drb/dynamicchunk.c:sum-write")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				local := 0.0
+				th.ForOpt(0, ctx.Size, omp.ForOpts{Schedule: omp.ScheduleDynamic, Chunk: 16, NoWait: true}, func(i int) {
+					local += th.LoadF64(data, i, pcD)
+				})
+				// The "reduction" writes the shared scalar directly.
+				th.StoreF64(sum, 0, local, pcS)
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "matrixmultiply-orig-no",
+		Suite:       "drb",
+		Description: "GEMM over row-partitioned output: race-free",
+		DefaultSize: 24,
+		Footprint:   func(size int) uint64 { return uint64(size*size) * 24 },
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			a := mustF64(ctx.Space, n*n)
+			b := mustF64(ctx.Space, n*n)
+			c := mustF64(ctx.Space, n*n)
+			pcA := omp.Site("drb/matmul.c:a")
+			pcB := omp.Site("drb/matmul.c:b")
+			pcC := omp.Site("drb/matmul.c:c")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.For(0, n*n, func(i int) {
+					th.StoreF64(a, i, float64(i%7), pcA)
+					th.StoreF64(b, i, float64(i%5), pcB)
+				})
+				th.For(0, n, func(r int) {
+					for col := 0; col < n; col++ {
+						acc := 0.0
+						for k := 0; k < n; k++ {
+							acc += th.LoadF64(a, r*n+k, pcA) * th.LoadF64(b, k*n+col, pcB)
+						}
+						th.StoreF64(c, r*n+col, acc, pcC)
+					}
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "doall2-orig-no",
+		Suite:       "drb",
+		Description: "doubly nested parallel loops over disjoint tiles: race-free",
+		DefaultSize: 32,
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			grid := mustF64(ctx.Space, n*n)
+			pc := omp.Site("drb/doall2.c:tile")
+			ctx.RT.Parallel(2, func(outer *omp.Thread) {
+				half := outer.ID() * n / 2
+				outer.Parallel(2, func(in *omp.Thread) {
+					for r := half + in.ID(); r < half+n/2; r += 2 {
+						for c := 0; c < n; c++ {
+							in.StoreF64(grid, r*n+c, float64(r+c), pc)
+						}
+					}
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "threadprivate-orig-no",
+		Suite:       "drb",
+		Description: "threadprivate accumulators, combined under a critical section",
+		DefaultSize: 1024,
+		Run: func(ctx *Ctx) {
+			priv := mustF64(ctx.Space, ctx.Threads*8)
+			total := mustF64(ctx.Space, 1)
+			data := mustF64(ctx.Space, ctx.Size)
+			pcP := omp.Site("drb/threadprivate.c:private")
+			pcT := omp.Site("drb/threadprivate.c:total")
+			pcD := omp.Site("drb/threadprivate.c:data")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				slot := th.ID() * 8
+				th.ForNoWait(0, ctx.Size, func(i int) {
+					v := th.LoadF64(priv, slot, pcP)
+					th.StoreF64(priv, slot, v+th.LoadF64(data, i, pcD), pcP)
+				})
+				th.Critical("total", func() {
+					v := th.LoadF64(total, 0, pcT)
+					th.StoreF64(total, 0, v+th.LoadF64(priv, slot, pcP), pcT)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "guidedschedule-orig-no",
+		Suite:       "drb",
+		Description: "guided schedule over disjoint elements: race-free",
+		DefaultSize: 4096,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			pc := omp.Site("drb/guided.c:element")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.ForOpt(0, ctx.Size, omp.ForOpts{Schedule: omp.ScheduleGuided, Chunk: 8}, func(i int) {
+					v := th.LoadF64(a, i, pc)
+					th.StoreF64(a, i, v*1.5+1, pc)
+				})
+			})
+		},
+	})
+}
+
+func init() {
+	Register(Workload{
+		Name:        "ordered-orig-no",
+		Suite:       "drb",
+		Description: "cross-iteration dependence protected by an ordered section: race-free",
+		DefaultSize: 256,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			pcR := omp.Site("drb/ordered.c:read-prev")
+			pcW := omp.Site("drb/ordered.c:write")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.ForOrdered(1, ctx.Size, omp.ForOpts{Schedule: omp.ScheduleStaticCyclic, Chunk: 4},
+					func(i int, ordered func(func())) {
+						ordered(func() {
+							v := th.LoadF64(a, i-1, pcR)
+							th.StoreF64(a, i, v+1, pcW)
+						})
+					})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "firstprivate-orig-yes",
+		Suite:       "drb",
+		Description: "a variable that needed firstprivate is updated shared by every thread",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 1,
+		Run: func(ctx *Ctx) {
+			scale := mustF64(ctx.Space, 1)
+			out := mustF64(ctx.Space, ctx.Threads*8)
+			pcW := omp.Site("drb/firstprivate-yes.c:scale=")
+			pcO := omp.Site("drb/firstprivate-yes.c:out")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				// Each thread "initializes" the shared scale it believed
+				// was private, then uses it.
+				th.StoreF64(scale, 0, float64(th.ID()+1), pcW)
+				th.StoreF64(out, th.ID()*8, 1, pcO)
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "collapse-orig-no",
+		Suite:       "drb",
+		Description: "collapsed 2D iteration space flattened over disjoint cells: race-free",
+		DefaultSize: 48,
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			grid := mustF64(ctx.Space, n*n)
+			pc := omp.Site("drb/collapse.c:cell")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.For(0, n*n, func(flat int) {
+					th.StoreF64(grid, flat, float64(flat%9), pc)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "nestedloops-orig-yes",
+		Suite:       "drb",
+		Description: "only the outer loop is parallel but the inner loop writes rows of another thread",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 32,
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			grid := mustF64(ctx.Space, n*n)
+			pc := omp.Site("drb/nestedloops.c:neighbour-write")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.For(0, n, func(r int) {
+					for c := 0; c < n; c++ {
+						// Writes spill into the next row (r+1): owned by a
+						// different thread at chunk boundaries.
+						th.StoreF64(grid, ((r+1)%n)*n+c, float64(r+c), pc)
+						th.StoreF64(grid, r*n+c, float64(r*c), pc)
+					}
+				})
+			})
+		},
+	})
+}

@@ -1,0 +1,410 @@
+package workloads
+
+import (
+	"math"
+
+	"sword/internal/memsim"
+	"sword/internal/omp"
+)
+
+// OmpSCR-style kernels (§IV-B, Table II). Each kernel performs its
+// namesake computation on instrumented arrays; racy kernels reproduce the
+// documented races plus — for c_md, c_testPath and the cpp_qsomp variants
+// — the previously undocumented races only SWORD detects (the paper's key
+// Table II result: sword ⊇ archer with strictly more races on six
+// benchmarks).
+
+func init() {
+	registerOmpSCRRacy()
+	registerOmpSCRSafe()
+}
+
+func registerOmpSCRRacy() {
+	Register(Workload{
+		Name:        "c_loopA_bad",
+		Suite:       "ompscr",
+		Description: "loop dependence exercise, bad solution: shared accumulator written by all threads",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 2048,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			last := mustF64(ctx.Space, 1)
+			pcA := omp.Site("ompscr/c_loopA.c:a[i]")
+			pcLast := omp.Site("ompscr/c_loopA.c:lastvalue")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.For(0, ctx.Size, func(i int) {
+					th.StoreF64(a, i, float64(i)*1.5, pcA)
+				})
+				raceWW(th, last, 0, pcLast) // every thread publishes "its" last value
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_loopB_bad1",
+		Suite:       "ompscr",
+		Description: "loop dependence exercise, bad solution 1: chunk boundary read-write",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 2048,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			pcR := omp.Site("ompscr/c_loopB.c:read-prev")
+			pcW := omp.Site("ompscr/c_loopB.c:write")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.For(1, ctx.Size, func(i int) {
+					v := th.LoadF64(a, i-1, pcR)
+					th.StoreF64(a, i, v+2, pcW)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_md",
+		Suite:       "ompscr",
+		Description: "molecular dynamics: force update races at particle overlaps, plus an undocumented virial-accumulation race only complete logs reveal",
+		Documented:  2,
+		Expect:      Expected{Archer: 2, ArcherLow: 2, Sword: 3},
+		DefaultSize: 128,
+		Footprint:   func(size int) uint64 { return uint64(size) * 8 * 6 },
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			pos := mustF64(ctx.Space, n)
+			vel := mustF64(ctx.Space, n)
+			force := mustF64(ctx.Space, n)
+			virial := mustF64(ctx.Space, 1)
+			pcPos := omp.Site("ompscr/c_md.c:pos")
+			pcF := omp.Site("ompscr/c_md.c:force-read")
+			pcFW := omp.Site("ompscr/c_md.c:force-write")
+			vs := Sites{
+				Write:    omp.Site("ompscr/c_md.c:virial-write"),
+				SelfRead: omp.Site("ompscr/c_md.c:virial-accumulate"),
+				Read:     omp.Site("ompscr/c_md.c:virial-read"),
+			}
+			pcV := omp.Site("ompscr/c_md.c:vel")
+			inv := NewInvisibleBarrier(ctx.Threads)
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				// Pairwise force computation; the documented race: each
+				// thread also updates its neighbour's force entry.
+				th.ForOpt(0, n, omp.ForOpts{NoWait: true}, func(i int) {
+					p := th.LoadF64(pos, i, pcPos)
+					f := th.LoadF64(force, i, pcF)
+					th.StoreF64(force, i, f+math.Exp(-p*p), pcFW)
+					j := (i + 1) % n // crosses the chunk boundary
+					fj := th.LoadF64(force, j, pcF)
+					th.StoreF64(force, j, fj*0.5, pcFW)
+				})
+				// The undocumented race: the virial is written and
+				// immediately re-read by thread 0, then read by the team.
+				raceSwordOnly(th, inv, virial, 0, vs)
+				th.Barrier()
+				th.For(0, n, func(i int) {
+					v := th.LoadF64(vel, i, pcV)
+					f := th.LoadF64(force, i, pcF)
+					th.StoreF64(vel, i, v+0.01*f, pcV)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_mandel",
+		Suite:       "ompscr",
+		Description: "Mandelbrot area estimation: unsynchronized write of the shared outside-count",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 64,
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			counts := mustI64(ctx.Space, n)
+			numoutside := mustI64(ctx.Space, 1)
+			pcC := omp.Site("ompscr/c_mandel.c:row-count")
+			pcN := omp.Site("ompscr/c_mandel.c:numoutside")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.ForOpt(0, n, omp.ForOpts{Schedule: omp.ScheduleDynamic, Chunk: 2}, func(row int) {
+					outside := int64(0)
+					for col := 0; col < n; col++ {
+						zr, zi := 0.0, 0.0
+						cr := -2 + 3*float64(col)/float64(n)
+						ci := -1.5 + 3*float64(row)/float64(n)
+						iter := 0
+						for ; iter < 32 && zr*zr+zi*zi < 4; iter++ {
+							zr, zi = zr*zr-zi*zi+cr, 2*zr*zi+ci
+						}
+						if iter < 32 {
+							outside++
+						}
+					}
+					th.StoreI64(counts, row, outside, pcC)
+				})
+				// The documented race: every thread stores its partial sum
+				// into the shared scalar without synchronization.
+				th.StoreI64(numoutside, 0, int64(th.ID()), pcN)
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_fft",
+		Suite:       "ompscr",
+		Description: "radix-2 FFT: twiddle table written concurrently by all threads",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 1024,
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			re := mustF64(ctx.Space, n)
+			im := mustF64(ctx.Space, n)
+			tw := mustF64(ctx.Space, 2)
+			pcRe := omp.Site("ompscr/c_fft.c:re")
+			pcIm := omp.Site("ompscr/c_fft.c:im")
+			pcTw := omp.Site("ompscr/c_fft.c:twiddle-init")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				// Documented race: redundant concurrent initialization of
+				// the shared twiddle seed.
+				raceWW(th, tw, 0, pcTw)
+				th.Barrier()
+				for span := n / 2; span >= 1; span /= 2 {
+					th.For(0, n/2, func(k int) {
+						i := (k / span) * 2 * span
+						j := i + span
+						o := k % span
+						a := th.LoadF64(re, i+o, pcRe)
+						b := th.LoadF64(re, j+o, pcRe)
+						th.StoreF64(re, i+o, a+b, pcRe)
+						th.StoreF64(re, j+o, a-b, pcRe)
+						ai := th.LoadF64(im, i+o, pcIm)
+						bi := th.LoadF64(im, j+o, pcIm)
+						th.StoreF64(im, i+o, ai+bi, pcIm)
+						th.StoreF64(im, j+o, ai-bi, pcIm)
+					})
+				}
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_fft6",
+		Suite:       "ompscr",
+		Description: "six-step FFT: shared plan pointer published without synchronization",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 1024,
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			data := mustF64(ctx.Space, n)
+			plan := mustF64(ctx.Space, 1)
+			pcD := omp.Site("ompscr/c_fft6.c:transpose")
+			pcP := omp.Site("ompscr/c_fft6.c:plan-publish")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				raceWW(th, plan, 0, pcP)
+				th.Barrier()
+				th.For(0, n, func(i int) {
+					v := th.LoadF64(data, i, pcD)
+					th.StoreF64(data, i, v*1.0001, pcD)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_jacobi",
+		Suite:       "ompscr",
+		Description: "Jacobi solver: residual accumulated into a shared scalar without protection",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 64,
+		Footprint:   func(size int) uint64 { return uint64(size*size) * 16 },
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			grid := mustF64(ctx.Space, n*n)
+			next := mustF64(ctx.Space, n*n)
+			resid := mustF64(ctx.Space, 1)
+			pcG := omp.Site("ompscr/c_jacobi.c:grid")
+			pcN := omp.Site("ompscr/c_jacobi.c:next")
+			pcRes := omp.Site("ompscr/c_jacobi.c:residual")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				bufs := [2]*memsim.F64{grid, next}
+				for iter := 0; iter < 2; iter++ {
+					src, dst := bufs[iter%2], bufs[(iter+1)%2]
+					th.For(1, n-1, func(r int) {
+						for c := 1; c < n-1; c++ {
+							v := (th.LoadF64(src, (r-1)*n+c, pcG) +
+								th.LoadF64(src, (r+1)*n+c, pcG) +
+								th.LoadF64(src, r*n+c-1, pcG) +
+								th.LoadF64(src, r*n+c+1, pcG)) * 0.25
+							th.StoreF64(dst, r*n+c, v, pcN)
+						}
+					})
+					// Documented race: unsynchronized residual store.
+					th.StoreF64(resid, 0, float64(th.ID()), pcRes)
+					th.Barrier()
+				}
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_testPath",
+		Suite:       "ompscr",
+		Description: "path testing: documented race on the shared found-flag plus an undocumented one on the path counter",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 2},
+		DefaultSize: 512,
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			grid := mustI32(ctx.Space, n)
+			found := mustF64(ctx.Space, 1)
+			counter := mustF64(ctx.Space, 1)
+			pcG := omp.Site("ompscr/c_testPath.c:grid")
+			pcF := omp.Site("ompscr/c_testPath.c:found-flag")
+			cs := Sites{
+				Write:    omp.Site("ompscr/c_testPath.c:counter-write"),
+				SelfRead: omp.Site("ompscr/c_testPath.c:counter-check"),
+				Read:     omp.Site("ompscr/c_testPath.c:counter-read"),
+			}
+			inv := NewInvisibleBarrier(ctx.Threads)
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.ForOpt(0, n, omp.ForOpts{NoWait: true}, func(i int) {
+					th.StoreI32(grid, i, int32(i%7), pcG)
+				})
+				raceWW(th, found, 0, pcF)              // documented: found flag
+				raceSwordOnly(th, inv, counter, 0, cs) // undocumented: path counter
+			})
+		},
+	})
+
+	// The four racy quicksort variants: a documented race on the shared
+	// stack top plus an undocumented busy-counter race that ARCHER's
+	// shadow cells lose.
+	for _, variant := range []int{1, 2, 5, 6} {
+		variant := variant
+		name := map[int]string{1: "cpp_qsomp1", 2: "cpp_qsomp2", 5: "cpp_qsomp5", 6: "cpp_qsomp6"}[variant]
+		Register(Workload{
+			Name:        name,
+			Suite:       "ompscr",
+			Description: "parallel quicksort with a shared work stack: documented stack-top race plus an undocumented busy-counter race",
+			Documented:  1,
+			Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 2},
+			DefaultSize: 4096,
+			Run: func(ctx *Ctx) {
+				n := ctx.Size
+				data := mustI64(ctx.Space, n)
+				top := mustF64(ctx.Space, 1)
+				busy := mustF64(ctx.Space, 1)
+				pcD := omp.Site(name + ":partition")
+				pcT := omp.Site(name + ":stack-top")
+				bs := Sites{
+					Write:    omp.Site(name + ":busy-write"),
+					SelfRead: omp.Site(name + ":busy-decrement"),
+					Read:     omp.Site(name + ":busy-poll"),
+				}
+				inv := NewInvisibleBarrier(ctx.Threads)
+				ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+					// Local partitioning passes over disjoint chunks
+					// (sorting itself is chunked, hence race-free).
+					th.ForOpt(0, n, omp.ForOpts{Schedule: omp.ScheduleDynamic, Chunk: 64, NoWait: true}, func(i int) {
+						v := th.LoadI64(data, i, pcD)
+						th.StoreI64(data, i, v^int64(variant), pcD)
+					})
+					raceWW(th, top, 0, pcT)             // documented
+					raceSwordOnly(th, inv, busy, 0, bs) // undocumented
+				})
+			},
+		})
+	}
+}
+
+func registerOmpSCRSafe() {
+	Register(Workload{
+		Name:        "c_pi",
+		Suite:       "ompscr",
+		Description: "π by numerical integration with a proper reduction",
+		DefaultSize: 1 << 16,
+		Run: func(ctx *Ctx) {
+			result := mustF64(ctx.Space, 1)
+			pc := omp.Site("ompscr/c_pi.c:store")
+			n := ctx.Size
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				local := 0.0
+				th.ForNoWait(0, n, func(i int) {
+					x := (float64(i) + 0.5) / float64(n)
+					local += 4 / (1 + x*x)
+				})
+				sum := th.ReduceF64(local, func(a, b float64) float64 { return a + b })
+				th.Master(func() { th.StoreF64(result, 0, sum/float64(n), pc) })
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_loopA_sol1",
+		Suite:       "ompscr",
+		Description: "loop dependence exercise, correct solution via master-only publication",
+		DefaultSize: 2048,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			last := mustF64(ctx.Space, 1)
+			pcA := omp.Site("ompscr/c_loopA_sol1.c:a[i]")
+			pcLast := omp.Site("ompscr/c_loopA_sol1.c:lastvalue")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.For(0, ctx.Size, func(i int) {
+					th.StoreF64(a, i, float64(i)*1.5, pcA)
+				})
+				th.Master(func() {
+					th.StoreF64(last, 0, th.LoadF64(a, ctx.Size-1, pcA), pcLast)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_qsort",
+		Suite:       "ompscr",
+		Description: "iterative quicksort over disjoint chunks with critical-protected work sharing",
+		DefaultSize: 4096,
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			data := mustI64(ctx.Space, n)
+			work := mustI64(ctx.Space, 1)
+			pcD := omp.Site("ompscr/c_qsort.c:swap")
+			pcW := omp.Site("ompscr/c_qsort.c:work-counter")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.ForOpt(0, n, omp.ForOpts{Schedule: omp.ScheduleDynamic, Chunk: 32, NoWait: true}, func(i int) {
+					v := th.LoadI64(data, i, pcD)
+					th.StoreI64(data, i, v*2654435761%1000003, pcD)
+				})
+				th.Critical("work", func() {
+					v := th.LoadI64(work, 0, pcW)
+					th.StoreI64(work, 0, v+1, pcW)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_GraphSearch",
+		Suite:       "ompscr",
+		Description: "graph search with a lock-protected frontier",
+		DefaultSize: 512,
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			visited := mustI32(ctx.Space, n)
+			frontier := mustI64(ctx.Space, 1)
+			lock := ctx.RT.NewLock()
+			pcV := omp.Site("ompscr/c_GraphSearch.c:visited")
+			pcF := omp.Site("ompscr/c_GraphSearch.c:frontier")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.ForOpt(0, n, omp.ForOpts{Schedule: omp.ScheduleGuided}, func(i int) {
+					th.StoreI32(visited, i, 1, pcV)
+					th.WithLock(lock, func() {
+						v := th.LoadI64(frontier, 0, pcF)
+						th.StoreI64(frontier, 0, v+int64(i%3), pcF)
+					})
+				})
+			})
+		},
+	})
+}

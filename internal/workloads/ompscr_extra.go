@@ -1,0 +1,165 @@
+package workloads
+
+import "sword/internal/omp"
+
+// Additional OmpSCR kernels: the remaining loopA/loopB exercises and two
+// larger race-free solvers, broadening construct coverage (sections,
+// explicit locks, guided scheduling, single).
+
+func init() {
+	Register(Workload{
+		Name:        "c_loopB_bad2",
+		Suite:       "ompscr",
+		Description: "loop dependence exercise, bad solution 2: misplaced nowait exposes the carried dependence",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 2048,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			b := mustF64(ctx.Space, ctx.Size)
+			pcW := omp.Site("ompscr/c_loopB.c:bad2-write")
+			pcR := omp.Site("ompscr/c_loopB.c:bad2-read")
+			n := ctx.Size
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.ForOpt(0, n, omp.ForOpts{NoWait: true}, func(i int) {
+					th.StoreF64(a, i, float64(i), pcW)
+				})
+				// Missing barrier: reads cross chunk boundaries into data
+				// another thread may still be writing.
+				th.For(0, n, func(i int) {
+					j := (i + n/3) % n
+					th.StoreF64(b, i, th.LoadF64(a, j, pcR), pcR)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_loopA_sol2",
+		Suite:       "ompscr",
+		Description: "loop dependence exercise, correct solution via critical section",
+		DefaultSize: 2048,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			last := mustF64(ctx.Space, 1)
+			pcA := omp.Site("ompscr/c_loopA_sol2.c:a[i]")
+			pcLast := omp.Site("ompscr/c_loopA_sol2.c:lastvalue")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				localLast := 0.0
+				th.ForNoWait(0, ctx.Size, func(i int) {
+					v := float64(i) * 1.5
+					th.StoreF64(a, i, v, pcA)
+					localLast = v
+				})
+				th.Critical("lastvalue", func() {
+					cur := th.LoadF64(last, 0, pcLast)
+					if localLast > cur {
+						th.StoreF64(last, 0, localLast, pcLast)
+					}
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_loopA_sol3",
+		Suite:       "ompscr",
+		Description: "loop dependence exercise, correct solution via an explicit lock",
+		DefaultSize: 2048,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			last := mustF64(ctx.Space, 1)
+			lock := ctx.RT.NewLock()
+			pcA := omp.Site("ompscr/c_loopA_sol3.c:a[i]")
+			pcLast := omp.Site("ompscr/c_loopA_sol3.c:lastvalue")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.ForNoWait(0, ctx.Size, func(i int) {
+					th.StoreF64(a, i, float64(i)*1.5, pcA)
+				})
+				th.WithLock(lock, func() {
+					v := th.LoadF64(last, 0, pcLast)
+					th.StoreF64(last, 0, v+1, pcLast)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_lu",
+		Suite:       "ompscr",
+		Description: "LU decomposition: pivot row broadcast via single, elimination sweeps barrier-separated — race-free",
+		DefaultSize: 24,
+		Footprint:   func(size int) uint64 { return uint64(size*size) * 8 },
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			m := mustF64(ctx.Space, n*n)
+			pcInit := omp.Site("ompscr/c_lu.c:init")
+			pcPivot := omp.Site("ompscr/c_lu.c:pivot-read")
+			pcElim := omp.Site("ompscr/c_lu.c:eliminate")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.For(0, n*n, func(i int) {
+					v := float64((i*2654435761)%1000) / 250.0
+					if i/n == i%n {
+						v += float64(n)
+					}
+					th.StoreF64(m, i, v, pcInit)
+				})
+				for k := 0; k < n-1; k++ {
+					// Rows below the pivot, distributed; reads of the pivot
+					// row are ordered by the previous iteration's barrier.
+					th.For(k+1, n, func(r int) {
+						piv := th.LoadF64(m, k*n+k, pcPivot)
+						f := th.LoadF64(m, r*n+k, pcElim) / piv
+						th.StoreF64(m, r*n+k, f, pcElim)
+						for c := k + 1; c < n; c++ {
+							v := th.LoadF64(m, r*n+c, pcElim) - f*th.LoadF64(m, k*n+c, pcPivot)
+							th.StoreF64(m, r*n+c, v, pcElim)
+						}
+					})
+				}
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "c_fft_sections",
+		Suite:       "ompscr",
+		Description: "FFT butterflies partitioned via sections — race-free control for the sections construct",
+		DefaultSize: 512,
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			re := mustF64(ctx.Space, n)
+			im := mustF64(ctx.Space, n)
+			pcRe := omp.Site("ompscr/c_fft_sections.c:re")
+			pcIm := omp.Site("ompscr/c_fft_sections.c:im")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.Single(func() {
+					th.StoreF64(re, 0, 1, pcRe)
+				})
+				th.Sections(
+					func() {
+						for i := 0; i < n/2; i++ {
+							v := th.LoadF64(re, i, pcRe)
+							th.StoreF64(re, i, v*0.5, pcRe)
+						}
+					},
+					func() {
+						for i := n / 2; i < n; i++ {
+							v := th.LoadF64(re, i, pcRe)
+							th.StoreF64(re, i, v*0.25, pcRe)
+						}
+					},
+					func() {
+						for i := 0; i < n; i++ {
+							th.StoreF64(im, i, float64(i), pcIm)
+						}
+					},
+				)
+				// After the sections' implicit barrier, reads are safe.
+				th.For(0, n, func(i int) {
+					_ = th.LoadF64(re, i, pcRe) + th.LoadF64(im, i, pcIm)
+				})
+			})
+		},
+	})
+}

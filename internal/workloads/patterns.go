@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"sword/internal/memsim"
+	"sword/internal/omp"
+)
+
+// Shared race-pattern building blocks. Each corresponds to one detection
+// mechanism the paper discusses, with a deterministic per-tool outcome:
+//
+//	raceWW          — write-write on a shared word: caught by archer,
+//	                  archer-low and sword (one deduplicated site pair).
+//	raceRWDetected  — a lone write with no same-thread re-read, racing
+//	                  reads by other threads: the write's shadow cell
+//	                  survives, so all tools catch it.
+//	raceSwordOnly   — the §II eviction miss: the writer immediately
+//	                  re-reads the location, overwriting its own write
+//	                  cell; other threads read afterwards (schedule
+//	                  pinned). archer sees only read-read; sword logs
+//	                  everything and reports the write-read race.
+//
+// Each helper runs inside a parallel region on every team member and uses
+// distinct pc sites per call site (pass freshly interned sites).
+
+// Sites groups the interned pc ids of a pattern instance.
+type Sites struct {
+	Write, SelfRead, Read uint64
+}
+
+// raceWW: all threads store to x[idx] unsynchronized.
+func raceWW(th *omp.Thread, x *memsim.F64, idx int, pcWrite uint64) {
+	th.StoreF64(x, idx, float64(th.ID()), pcWrite)
+}
+
+// raceRWDetected: thread 0 writes once (no self re-read); everyone else
+// reads. Detection is order-independent: whichever side arrives second
+// sees the other's live shadow cell.
+func raceRWDetected(th *omp.Thread, x *memsim.F64, idx int, s Sites) float64 {
+	if th.ID() == 0 {
+		th.StoreF64(x, idx, 1, s.Write)
+		return 1
+	}
+	return th.LoadF64(x, idx, s.Read)
+}
+
+// raceSwordOnly: the deterministic eviction miss. bar must be an invisible
+// barrier sized to the team; it pins the schedule (writer finishes before
+// readers start) without creating happens-before edges for the tools.
+func raceSwordOnly(th *omp.Thread, bar *InvisibleBarrier, x *memsim.F64, idx int, s Sites) float64 {
+	var v float64
+	if th.ID() == 0 {
+		th.StoreF64(x, idx, 2, s.Write)
+		v = th.LoadF64(x, idx, s.SelfRead) // replaces the write cell
+	}
+	bar.Wait()
+	if th.ID() != 0 {
+		v = th.LoadF64(x, idx, s.Read)
+	}
+	return v
+}
+
+// sites interns three fresh pc ids under a symbolic prefix.
+func sites(prefix string) Sites {
+	return Sites{
+		Write:    omp.Site(prefix + ":write"),
+		SelfRead: omp.Site(prefix + ":self-read"),
+		Read:     omp.Site(prefix + ":read"),
+	}
+}

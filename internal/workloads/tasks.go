@@ -1,0 +1,124 @@
+package workloads
+
+import "sword/internal/omp"
+
+// Task-based kernels exercising the tasking extension (the paper's §III-C
+// future work, implemented in this reproduction). Named after the
+// DataRaceBench task benchmarks. Both tools support tasks here: archer
+// through spawn/taskwait happens-before edges, sword through task
+// concurrency windows in the offline analysis.
+
+func init() {
+	Register(Workload{
+		Name:        "taskdep1-orig-yes",
+		Suite:       "drb",
+		Description: "task writes a shared value the continuation reads before any taskwait",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 64,
+		Run: func(ctx *Ctx) {
+			x := mustF64(ctx.Space, 1)
+			out := mustF64(ctx.Space, ctx.Threads*8)
+			pcT := omp.Site("drb/taskdep1.c:task-write")
+			pcC := omp.Site("drb/taskdep1.c:continuation-read")
+			seq := omp.NewSequencer()
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				// Pinned single-file schedule so the happens-before tool
+				// sees a deterministic interleaving of the racy pair.
+				seq.Do(th.ID(), func() {
+					if th.ID() == 0 {
+						th.Task(func(tt *omp.Thread) {
+							tt.StoreF64(x, 0, 1, pcT)
+						})
+						// The missing taskwait: read races with the task.
+						th.StoreF64(out, 0, th.LoadF64(x, 0, pcC), pcC)
+						th.TaskWait()
+					}
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "taskwait-orig-no",
+		Suite:       "drb",
+		Description: "task result consumed only after taskwait: race-free",
+		DefaultSize: 64,
+		Run: func(ctx *Ctx) {
+			x := mustF64(ctx.Space, ctx.Threads*8)
+			pcT := omp.Site("drb/taskwait.c:task-write")
+			pcC := omp.Site("drb/taskwait.c:after-wait-read")
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				slot := th.ID() * 8
+				th.Task(func(tt *omp.Thread) {
+					tt.StoreF64(x, slot, float64(slot), pcT)
+				})
+				th.TaskWait()
+				_ = th.LoadF64(x, slot, pcC)
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "taskfor-orig-no",
+		Suite:       "drb",
+		Description: "fan-out of tasks over disjoint chunks, joined at the barrier",
+		DefaultSize: 256,
+		Run: func(ctx *Ctx) {
+			a := mustF64(ctx.Space, ctx.Size)
+			b := mustF64(ctx.Space, ctx.Size)
+			pcW := omp.Site("drb/taskfor.c:chunk-write")
+			pcR := omp.Site("drb/taskfor.c:after-barrier-read")
+			n := ctx.Size
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				th.Master(func() {
+					const chunk = 32
+					for lo := 0; lo < n; lo += chunk {
+						lo := lo
+						th.Task(func(tt *omp.Thread) {
+							for i := lo; i < min(lo+chunk, n); i++ {
+								tt.StoreF64(a, i, float64(i)*0.5, pcW)
+							}
+						})
+					}
+				})
+				th.Barrier() // implicit task join
+				th.For(0, n, func(i int) {
+					j := (i + n/2) % n
+					th.StoreF64(b, i, th.LoadF64(a, j, pcR), pcR)
+				})
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "tasksibling-orig-yes",
+		Suite:       "drb",
+		Description: "two unwaited sibling tasks update the same accumulator",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 16,
+		Run: func(ctx *Ctx) {
+			x := mustF64(ctx.Space, 1)
+			pc1 := omp.Site("drb/tasksibling.c:first-task")
+			pc2 := omp.Site("drb/tasksibling.c:second-task")
+			// Schedule pinning: both tasks are in flight simultaneously (as
+			// on the paper's testbed), so the happens-before tool sees two
+			// live threads rather than a recycled one.
+			overlap := NewInvisibleBarrier(2)
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				if th.ID() == 0 {
+					th.Task(func(tt *omp.Thread) {
+						overlap.Wait()
+						tt.StoreF64(x, 0, 1, pc1)
+					})
+					th.Task(func(tt *omp.Thread) {
+						overlap.Wait()
+						tt.StoreF64(x, 0, 2, pc2)
+					})
+					th.TaskWait()
+				}
+			})
+		},
+	})
+}

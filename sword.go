@@ -1,0 +1,227 @@
+// Package sword is a Go reproduction of SWORD (Atzeni et al., IPDPS
+// 2018): a data race detector for OpenMP-style fork-join programs with a
+// bounded, user-adjustable memory overhead.
+//
+// SWORD splits detection into two phases. During execution, every thread
+// appends its instrumented memory accesses and synchronization events to a
+// fixed-size buffer that is compressed and flushed to per-thread log
+// files; memory overhead is N×(B+C) ≈ 3.3 MB per thread, independent of
+// the application. Afterwards, an offline analyzer recovers the
+// concurrency structure from the meta-data (barrier intervals,
+// offset-span labels), builds augmented red-black interval trees over
+// each thread's accesses, and reports conflicting concurrent accesses —
+// deciding precise overlap of strided intervals with an exact
+// integer-constraint solver.
+//
+// A minimal use:
+//
+//	rep, err := sword.Check(func(rt *sword.Runtime, space *sword.Space) {
+//		a, _ := space.AllocF64(1000)
+//		pcR, pcW := sword.Site("loop:read"), sword.Site("loop:write")
+//		rt.Parallel(8, func(th *sword.Thread) {
+//			th.For(1, 1000, func(i int) {
+//				th.StoreF64(a, i, th.LoadF64(a, i-1, pcR), pcW)
+//			})
+//		})
+//	})
+//	fmt.Print(rep)   // the loop-carried dependence race
+//
+// For production-style runs that collect now and analyze later (or
+// elsewhere), use a Session with a directory store; cmd/swordoffline can
+// then analyze the directory independently.
+package sword
+
+import (
+	"fmt"
+
+	"sword/internal/compress"
+	"sword/internal/core"
+	"sword/internal/memsim"
+	"sword/internal/omp"
+	"sword/internal/report"
+	"sword/internal/rt"
+	"sword/internal/trace"
+)
+
+// Re-exported types: the runtime substrate programs are written against,
+// the simulated memory arrays they allocate, and the race report the
+// analysis produces.
+type (
+	// Runtime executes OpenMP-style programs (see internal/omp).
+	Runtime = omp.Runtime
+	// Thread is a team member's execution context.
+	Thread = omp.Thread
+	// Lock is an OpenMP-style lock.
+	Lock = omp.Lock
+	// ForOpts selects worksharing schedules and the nowait clause.
+	ForOpts = omp.ForOpts
+	// Schedule enumerates worksharing schedules.
+	Schedule = omp.Schedule
+	// Space allocates instrumented arrays with simulated addresses.
+	Space = memsim.Space
+	// F64 is an instrumented float64 array.
+	F64 = memsim.F64
+	// I64 is an instrumented int64 array.
+	I64 = memsim.I64
+	// I32 is an instrumented int32 array.
+	I32 = memsim.I32
+	// Bytes is an instrumented byte array.
+	Bytes = memsim.Bytes
+	// Report is a deduplicated race report.
+	Report = report.Report
+	// Race is one reported data race.
+	Race = report.Race
+	// Store persists trace logs and meta-data.
+	Store = trace.Store
+)
+
+// Worksharing schedules, re-exported.
+const (
+	ScheduleStatic       = omp.ScheduleStatic
+	ScheduleStaticCyclic = omp.ScheduleStaticCyclic
+	ScheduleDynamic      = omp.ScheduleDynamic
+	ScheduleGuided       = omp.ScheduleGuided
+)
+
+// Here interns the caller's source location as an access-site id.
+func Here() uint64 { return omp.Here() }
+
+// Site interns a symbolic access-site name.
+func Site(name string) uint64 { return omp.Site(name) }
+
+// Config parameterizes a Session.
+type Config struct {
+	// LogDir, when non-empty, stores the trace as files under this
+	// directory (sword_<slot>.log / .meta), enabling decoupled offline
+	// analysis. Empty means an in-memory store.
+	LogDir string
+	// Codec names the flush compressor: "lzss" (default), "flate", "raw".
+	Codec string
+	// MaxEvents bounds the per-thread buffer (0 = 25,000 events, the
+	// paper's 2 MB default).
+	MaxEvents int
+	// Workers bounds offline analysis parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Session couples a runtime with SWORD's dynamic collector and drives the
+// offline analysis. Create with NewSession, run the program on Runtime(),
+// then call Finish.
+type Session struct {
+	cfg       Config
+	store     trace.Store
+	collector *rt.Collector
+	runtime   *omp.Runtime
+	space     *memsim.Space
+	finished  bool
+}
+
+// NewSession prepares a collection session.
+func NewSession(cfg Config) (*Session, error) {
+	var store trace.Store
+	if cfg.LogDir != "" {
+		ds, err := trace.NewDirStore(cfg.LogDir)
+		if err != nil {
+			return nil, fmt.Errorf("sword: %w", err)
+		}
+		store = ds
+	} else {
+		store = trace.NewMemStore()
+	}
+	codecName := cfg.Codec
+	if codecName == "" {
+		codecName = "lzss"
+	}
+	codec, err := compress.ByName(codecName)
+	if err != nil {
+		return nil, fmt.Errorf("sword: %w", err)
+	}
+	collector := rt.New(store, rt.Config{Codec: codec, MaxEvents: cfg.MaxEvents})
+	return &Session{
+		cfg:       cfg,
+		store:     store,
+		collector: collector,
+		runtime:   omp.New(omp.WithTool(collector)),
+		space:     memsim.NewSpace(nil),
+	}, nil
+}
+
+// Runtime returns the instrumented runtime to run the program on.
+func (s *Session) Runtime() *Runtime { return s.runtime }
+
+// Space returns the session's address space for instrumented arrays.
+func (s *Session) Space() *Space { return s.space }
+
+// Store exposes the underlying trace store (for inspection or custom
+// offline pipelines).
+func (s *Session) Store() Store { return s.store }
+
+// Finish flushes and closes the trace, runs the offline analysis, and
+// returns the race report. It may be called once.
+func (s *Session) Finish() (*Report, error) {
+	if s.finished {
+		return nil, fmt.Errorf("sword: session already finished")
+	}
+	s.finished = true
+	if err := s.collector.Close(); err != nil {
+		return nil, fmt.Errorf("sword: close collector: %w", err)
+	}
+	rep, err := core.New(s.store, core.Config{Workers: s.cfg.Workers}).Analyze()
+	if err != nil {
+		return nil, fmt.Errorf("sword: offline analysis: %w", err)
+	}
+	return rep, nil
+}
+
+// CollectOnly flushes and closes the trace without analyzing — the
+// production-run half of the pipeline; analyze later with Analyze or
+// cmd/swordoffline.
+func (s *Session) CollectOnly() error {
+	if s.finished {
+		return fmt.Errorf("sword: session already finished")
+	}
+	s.finished = true
+	if err := s.collector.Close(); err != nil {
+		return fmt.Errorf("sword: close collector: %w", err)
+	}
+	return nil
+}
+
+// Analyze runs the offline phase over a previously collected log
+// directory.
+func Analyze(logDir string, workers int) (*Report, error) {
+	store, err := trace.NewDirStore(logDir)
+	if err != nil {
+		return nil, fmt.Errorf("sword: %w", err)
+	}
+	rep, err := core.New(store, core.Config{Workers: workers}).Analyze()
+	if err != nil {
+		return nil, fmt.Errorf("sword: offline analysis: %w", err)
+	}
+	return rep, nil
+}
+
+// Check runs program under SWORD with defaults and returns its race
+// report — the one-shot entry point.
+func Check(program func(rt *Runtime, space *Space)) (*Report, error) {
+	s, err := NewSession(Config{})
+	if err != nil {
+		return nil, err
+	}
+	program(s.Runtime(), s.Space())
+	return s.Finish()
+}
+
+// ValidateTrace checks the structural integrity of a collected trace
+// directory (see docs/FORMAT.md) without analyzing it — cheap to run
+// before shipping logs off a production machine.
+func ValidateTrace(logDir string) error {
+	store, err := trace.NewDirStore(logDir)
+	if err != nil {
+		return fmt.Errorf("sword: %w", err)
+	}
+	if err := trace.Validate(store); err != nil {
+		return fmt.Errorf("sword: %w", err)
+	}
+	return nil
+}
