@@ -1,0 +1,37 @@
+# Development entry points. `make check` is the tier-1 gate: vet, format,
+# build everything, and run the fast packages under the race detector
+# (the harness package regenerates the paper's experiments and is
+# exercised by plain `make test` instead — it is too slow for -race).
+
+GO ?= go
+
+# Every package except the experiment harness: those tests re-run the
+# paper's timing sweeps and dominate wall time without adding race
+# coverage beyond what the collector/analyzer tests already drive.
+FAST_PKGS = . ./internal/archer ./internal/compress ./internal/core \
+	./internal/ilp ./internal/itree ./internal/memsim ./internal/obs \
+	./internal/omp ./internal/osl ./internal/pcreg ./internal/report \
+	./internal/rt ./internal/trace ./internal/vc ./internal/workloads
+
+.PHONY: build test check fmt vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt -w needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race $(FAST_PKGS)
+
+check: vet fmt build race
+	@echo "check: ok"

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sword"
 	"sword/internal/harness"
 )
 
@@ -29,6 +30,8 @@ func main() {
 	repeats := flag.Int("repeats", 3, "timing repetitions per measurement")
 	outDir := flag.String("o", "", "also write each experiment's artifact to <dir>/<id>.txt")
 	csvDir := flag.String("csv", "", "write the figures' data series as CSV to <dir>/<id>.csv")
+	metrics := flag.Bool("metrics", false, "print the aggregated sword metrics of the timing experiments")
+	metricsOut := flag.String("metrics-out", "", "write the aggregated metrics snapshot to this file (.csv for CSV, else JSON)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -49,6 +52,9 @@ func main() {
 		ts = append(ts, n)
 	}
 	cfg := harness.ExpConfig{Threads: ts, Repeats: *repeats}
+	if *metrics || *metricsOut != "" {
+		cfg.Obs = sword.NewMetrics()
+	}
 	experiments := harness.Experiments(cfg)
 
 	ids := harness.ExperimentIDs()
@@ -92,6 +98,26 @@ func main() {
 				fmt.Fprintln(os.Stderr, "swordbench:", err)
 				os.Exit(1)
 			}
+		}
+	}
+	if cfg.Obs != nil {
+		snap := cfg.Obs.Snapshot()
+		if *metrics {
+			fmt.Println("==== aggregated sword metrics ====")
+			for _, m := range snap {
+				if m.Kind == "timer" {
+					fmt.Printf("%s\t%v\t(%d samples)\n", m.Name, m.Duration(), m.Count)
+				} else {
+					fmt.Printf("%s\t%d\n", m.Name, m.Value)
+				}
+			}
+		}
+		if *metricsOut != "" {
+			if err := sword.WriteMetrics(*metricsOut, snap); err != nil {
+				fmt.Fprintln(os.Stderr, "swordbench:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", *metricsOut)
 		}
 	}
 }

@@ -8,6 +8,8 @@
 //	swordoffline -logdir /tmp/trace            # analyze a collected trace
 //	swordoffline -logdir /tmp/trace -workers 1 # single-worker (paper's OA)
 //	swordoffline -logdir /tmp/trace -batch 4   # bounded-memory streaming
+//	swordoffline -logdir /tmp/trace -metrics   # per-phase timing breakdown
+//	swordoffline -logdir /tmp/trace -metrics-out m.json  # export snapshot
 package main
 
 import (
@@ -16,8 +18,7 @@ import (
 	"os"
 	"time"
 
-	"sword/internal/core"
-	"sword/internal/trace"
+	"sword"
 )
 
 func main() {
@@ -25,7 +26,10 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis workers (0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 0, "bound memory by analyzing N top-level region subtrees at a time (0 = all at once)")
 	noSolver := flag.Bool("nosolver", false, "disable the strided-interval constraint solver (ablation)")
+	noCompact := flag.Bool("nocompact", false, "disable interval-tree compaction (ablation)")
 	check := flag.Bool("check", false, "validate trace integrity before analyzing")
+	metrics := flag.Bool("metrics", false, "print the observability breakdown: per-phase timings and pipeline counters")
+	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, else JSON)")
 	quiet := flag.Bool("q", false, "print only the summary line")
 	flag.Parse()
 
@@ -33,20 +37,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swordoffline: -logdir is required")
 		os.Exit(2)
 	}
-	store, err := trace.NewDirStore(*logdir)
-	if err != nil {
+	// Opening a store would silently create a missing directory and then
+	// "analyze" an empty trace; a typo'd path must be an error instead.
+	if fi, err := os.Stat(*logdir); err != nil {
 		fmt.Fprintln(os.Stderr, "swordoffline:", err)
+		os.Exit(1)
+	} else if !fi.IsDir() {
+		fmt.Fprintf(os.Stderr, "swordoffline: %s is not a directory\n", *logdir)
 		os.Exit(1)
 	}
 	if *check {
-		if err := trace.Validate(store); err != nil {
+		if err := sword.ValidateTrace(*logdir); err != nil {
 			fmt.Fprintln(os.Stderr, "swordoffline: trace integrity:", err)
 			os.Exit(1)
 		}
 		fmt.Println("trace integrity: ok")
 	}
 	start := time.Now()
-	rep, err := core.New(store, core.Config{Workers: *workers, NoSolver: *noSolver, SubtreeBatch: *batch}).Analyze()
+	rep, stats, err := sword.Analyze(*logdir,
+		sword.WithWorkers(*workers),
+		sword.WithSubtreeBatch(*batch),
+		sword.WithNoSolver(*noSolver),
+		sword.WithNoCompact(*noCompact),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swordoffline:", err)
 		os.Exit(1)
@@ -58,7 +71,41 @@ func main() {
 	st := rep.Stats
 	fmt.Printf("analyzed %d regions, %d intervals, %d concurrent pairs, %d tree nodes (%d accesses) in %v\n",
 		st.Regions, st.Intervals, st.IntervalPairs, st.TreeNodes, st.Accesses, elapsed)
+	if *metrics {
+		printMetrics(stats)
+	}
+	if *metricsOut != "" {
+		if err := sword.WriteMetrics(*metricsOut, stats.Metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "swordoffline:", err)
+			os.Exit(1)
+		}
+		fmt.Println("metrics written to", *metricsOut)
+	}
 	if rep.Len() > 0 {
 		os.Exit(3)
 	}
+}
+
+// printMetrics renders the RunStats breakdown: where the offline time
+// went, how much trace the analysis consumed, and how overlap decisions
+// split between the solver and the bounding-box fast path.
+func printMetrics(stats *sword.RunStats) {
+	snap := stats.Metrics
+	fmt.Println("--- offline phases ---")
+	fmt.Printf("structure recovery:  %v\n", stats.Structure)
+	fmt.Printf("tree construction:   %v\n", stats.TreeBuild)
+	fmt.Printf("pair comparison:     %v\n", stats.Compare)
+	fmt.Printf("total:               %v\n", stats.AnalyzeTotal)
+	fmt.Println("--- trace consumed ---")
+	fmt.Printf("events:              %d\n", snap.Value("trace.events"))
+	fmt.Printf("blocks (flushes):    %d\n", snap.Value("trace.blocks"))
+	fmt.Printf("raw bytes:           %d\n", snap.Value("trace.raw_bytes"))
+	fmt.Printf("compressed bytes:    %d\n", snap.Value("trace.compressed_bytes"))
+	fmt.Println("--- analysis effort ---")
+	fmt.Printf("interval pairs:      %d\n", snap.Value("core.interval_pairs"))
+	fmt.Printf("node comparisons:    %d\n", snap.Value("core.node_comparisons"))
+	fmt.Printf("solver calls:        %d\n", snap.Value("core.solver_calls"))
+	fmt.Printf("bbox fast-paths:     %d\n", snap.Value("core.bbox_fastpath"))
+	fmt.Printf("peak resident nodes: %d (%d batches)\n",
+		snap.Value("core.tree_nodes_peak"), snap.Value("core.batches"))
 }

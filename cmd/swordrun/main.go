@@ -17,6 +17,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"sword"
 	"sword/internal/harness"
 	"sword/internal/trace"
 	"sword/internal/workloads"
@@ -33,6 +34,8 @@ func main() {
 	list := flag.Bool("list", false, "list workloads and exit")
 	verbose := flag.Bool("v", false, "print per-race details")
 	asJSON := flag.Bool("json", false, "emit the race report as JSON")
+	metrics := flag.Bool("metrics", false, "print sword's observability metrics (per-phase timings and counters)")
+	metricsOut := flag.String("metrics-out", "", "write sword's metrics snapshot to this file (.csv for CSV, else JSON)")
 	flag.Parse()
 
 	if *list {
@@ -103,6 +106,11 @@ func main() {
 		}
 		opts.Store = store
 	}
+	var reg *sword.Metrics
+	if *metrics || *metricsOut != "" {
+		reg = sword.NewMetrics()
+		opts.Obs = reg
+	}
 	res, err := harness.Run(wl, tool, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swordrun:", err)
@@ -141,6 +149,23 @@ func main() {
 			res.Shadow.ShadowWords, res.Shadow.Evictions, res.Shadow.Checks)
 	}
 	fmt.Printf("memory: footprint %d bytes, tool overhead %d bytes\n", res.Footprint, res.MemOverhead)
+	if tool == harness.Sword && res.RunStats != nil {
+		if *metrics {
+			st := res.RunStats
+			fmt.Printf("phases: structure %v, trees %v, compare %v (offline total %v)\n",
+				st.Structure, st.TreeBuild, st.Compare, st.AnalyzeTotal)
+			fmt.Printf("counters: %d interval pairs, %d node comparisons, %d solver calls, %d compressed bytes\n",
+				st.Analysis.IntervalPairs, st.Analysis.NodeComparisons,
+				st.Analysis.SolverCalls, st.Collect.CompressedBytes)
+		}
+		if *metricsOut != "" {
+			if err := sword.WriteMetrics(*metricsOut, res.RunStats.Metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "swordrun:", err)
+				os.Exit(1)
+			}
+			fmt.Println("metrics written to", *metricsOut)
+		}
+	}
 	if res.Races > 0 {
 		os.Exit(3) // races found: nonzero exit, like real race checkers
 	}

@@ -26,7 +26,7 @@ func main() {
 	}
 
 	// --- Production run: collect only. ---
-	session, err := sword.NewSession(sword.Config{LogDir: dir, Codec: "lzss"})
+	session, err := sword.NewSession(sword.WithLogDir(dir), sword.WithCodec("lzss"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,9 +73,11 @@ func main() {
 		len(entries), total, dir)
 
 	// --- Later, elsewhere: the offline analysis. ---
-	rep, err := sword.Analyze(dir, 0)
+	rep, stats, err := sword.Analyze(dir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(rep.String())
+	fmt.Printf("offline phases: structure %v, trees %v, compare %v (total %v)\n",
+		stats.Structure, stats.TreeBuild, stats.Compare, stats.AnalyzeTotal)
 }

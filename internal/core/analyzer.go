@@ -15,9 +15,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sword/internal/ilp"
 	"sword/internal/itree"
+	"sword/internal/obs"
 	"sword/internal/pcreg"
 	"sword/internal/report"
 	"sword/internal/trace"
@@ -49,6 +51,13 @@ type Config struct {
 	// identical to the default whole-run analysis (0 = analyze everything
 	// in one pass).
 	SubtreeBatch int
+	// Obs, when non-nil, receives the offline phase's live metrics
+	// (core.* and trace.* names, see docs/FORMAT.md): per-phase wall
+	// times (structure recovery, tree build, pair comparison), interval
+	// pairs, solver invocations vs bounding-box fast-paths, peak
+	// resident tree nodes under SubtreeBatch, and the trace volume
+	// consumed. nil disables recording.
+	Obs *obs.Metrics
 }
 
 // Analyzer runs the offline phase over one run's trace store.
@@ -68,6 +77,8 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	m := a.cfg.Obs
+	totalStart := time.Now()
 	pcs := a.cfg.PCs
 	if pcs == nil {
 		if aux, err := a.store.OpenAux("pctable"); err == nil {
@@ -81,15 +92,19 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 		}
 	}
 
+	phaseStart := time.Now()
 	s, err := buildStructure(a.store)
 	if err != nil {
 		return nil, err
 	}
+	m.Timer("core.phase.structure").Observe(time.Since(phaseStart))
 
 	rep := report.New()
 	rep.Stats.Intervals = len(s.intervals)
 	rep.Stats.Regions = len(s.regions)
-	var comparisons, solverCalls atomicCounter
+	m.Counter("core.intervals").Add(uint64(len(s.intervals)))
+	m.Counter("core.regions").Add(uint64(len(s.regions)))
+	var comparisons, solverCalls, bboxFast atomicCounter
 
 	// Batches of top-level subtrees: concurrency never crosses them, so
 	// each batch is a self-contained analysis whose trees can be freed
@@ -103,6 +118,7 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 	if batch <= 0 || batch > len(tops) {
 		batch = len(tops)
 	}
+	firstBatch := true
 	for lo := 0; lo < len(tops) || lo == 0; lo += batch {
 		hi := min(lo+batch, len(tops))
 		var include map[uint64]bool // nil = everything (single batch)
@@ -112,19 +128,31 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 				include[id] = true
 			}
 		}
-		if err := a.buildTrees(s, workers, include); err != nil {
+		// Trace-volume counters only on the first pass: every batch
+		// streams the full logs again, which must not double-count.
+		phaseStart = time.Now()
+		if err := a.buildTrees(s, workers, include, firstBatch); err != nil {
 			return nil, err
 		}
+		m.Timer("core.phase.trees").Observe(time.Since(phaseStart))
+		firstBatch = false
 		pairs := enumeratePairs(s, include)
 		rep.Stats.IntervalPairs += len(pairs)
+		batchNodes := 0
 		for _, iv := range s.intervals {
 			if include == nil || include[iv.region.top.id] {
 				for _, u := range iv.units {
-					rep.Stats.TreeNodes += u.tree.Len()
+					batchNodes += u.tree.Len()
 					rep.Stats.Accesses += u.tree.Accesses()
 				}
 			}
 		}
+		rep.Stats.TreeNodes += batchNodes
+		m.Counter("core.batches").Inc()
+		m.Counter("core.interval_pairs").Add(uint64(len(pairs)))
+		m.Counter("core.tree_nodes").Add(uint64(batchNodes))
+		m.Gauge("core.tree_nodes_peak").SetMax(int64(batchNodes))
+		phaseStart = time.Now()
 		var wg sync.WaitGroup
 		ch := make(chan [2]*treeUnit, workers*4)
 		for w := 0; w < workers; w++ {
@@ -132,7 +160,7 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 			go func() {
 				defer wg.Done()
 				for pair := range ch {
-					compareTrees(pair[0], pair[1], pcs, a.cfg.NoSolver, rep, &comparisons, &solverCalls)
+					compareTrees(pair[0], pair[1], pcs, a.cfg.NoSolver, rep, &comparisons, &solverCalls, &bboxFast)
 				}
 			}()
 		}
@@ -141,6 +169,7 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 		}
 		close(ch)
 		wg.Wait()
+		m.Timer("core.phase.compare").Observe(time.Since(phaseStart))
 		if include != nil {
 			// Free this batch's trees before streaming the next one.
 			for _, iv := range s.intervals {
@@ -155,6 +184,12 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 	}
 	rep.Stats.NodeComparisons = comparisons.load()
 	rep.Stats.SolverCalls = solverCalls.load()
+	m.Counter("core.accesses").Add(rep.Stats.Accesses)
+	m.Counter("core.node_comparisons").Add(comparisons.load())
+	m.Counter("core.solver_calls").Add(solverCalls.load())
+	m.Counter("core.bbox_fastpath").Add(bboxFast.load())
+	m.Counter("core.races").Add(uint64(rep.Len()))
+	m.Timer("core.phase.total").Observe(time.Since(totalStart))
 	return rep, nil
 }
 
@@ -162,8 +197,10 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 // interval trees of that slot's intervals (restricted to the top-level
 // subtrees in include when non-nil). Each slot is processed by a single
 // worker — tree construction is not shared, matching the paper's note that
-// each core generates the tree of a different thread.
-func (a *Analyzer) buildTrees(s *structure, workers int, include map[uint64]bool) error {
+// each core generates the tree of a different thread. countIO records the
+// consumed trace volume into the obs registry; the caller sets it only on
+// the first batch, because later batches re-stream the same logs.
+func (a *Analyzer) buildTrees(s *structure, workers int, include map[uint64]bool, countIO bool) error {
 	slots := make([]int, 0, len(s.bySlot))
 	for slot := range s.bySlot {
 		slots = append(slots, slot)
@@ -178,7 +215,7 @@ func (a *Analyzer) buildTrees(s *structure, workers int, include map[uint64]bool
 		go func(slot int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs <- a.buildSlotTrees(s, slot, include)
+			errs <- a.buildSlotTrees(s, slot, include, countIO)
 		}(slot)
 	}
 	wg.Wait()
@@ -245,7 +282,7 @@ func (c *slotCursor) at(pos uint64) (*treeUnit, bool) {
 	return sp.unit, true
 }
 
-func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]bool) error {
+func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]bool, countIO bool) error {
 	defer func() {
 		if a.cfg.NoCompact {
 			return
@@ -265,9 +302,18 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 	cur := newSlotCursor(s.bySlot[slot], include)
 	var dec trace.Decoder
 	var ev trace.Event
+	var events uint64
 	for {
 		start, raw, err := lr.Next()
 		if err == io.EOF {
+			if countIO {
+				if m := a.cfg.Obs; m != nil {
+					m.Counter("trace.events").Add(events)
+					m.Counter("trace.blocks").Add(lr.Blocks())
+					m.Counter("trace.raw_bytes").Add(lr.RawBytes())
+					m.Counter("trace.compressed_bytes").Add(lr.CompressedBytes())
+				}
+			}
 			return nil
 		}
 		if err != nil {
@@ -279,6 +325,7 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 			if err := dec.Next(&ev); err != nil {
 				return fmt.Errorf("core: decode log %d at %d: %w", slot, pos, err)
 			}
+			events++
 			unit, inside := cur.at(pos)
 			switch ev.Kind {
 			case trace.KindMutexAcquire:
@@ -473,17 +520,17 @@ func crossRegionPairs(r1, r2 *region, byRegion map[uint64][]*interval,
 
 // compareTrees reports races between two concurrent tree units by probing
 // each node of the smaller tree against the other tree's overlap index.
-func compareTrees(a, b *treeUnit, pcs *pcreg.Table, noSolver bool, rep *report.Report, comparisons, solverCalls *atomicCounter) {
+func compareTrees(a, b *treeUnit, pcs *pcreg.Table, noSolver bool, rep *report.Report, comparisons, solverCalls, bboxFast *atomicCounter) {
 	ta, tb := &a.tree, &b.tree
 	if ta.Len() > tb.Len() {
 		ta, tb = tb, ta
 	}
-	var comps, solves uint64
+	var comps, solves, bbox uint64
 	ta.Visit(func(na *itree.Node) bool {
 		lo, hi := na.Low, na.High+na.Width-1
 		tb.VisitOverlaps(lo, hi, func(nb *itree.Node) bool {
 			comps++
-			if raceBetween(na, nb, noSolver, &solves) {
+			if raceBetween(na, nb, noSolver, &solves, &bbox) {
 				addr, _ := witness(na, nb, noSolver)
 				rep.Add(report.Race{
 					First:  side(na, pcs),
@@ -497,6 +544,7 @@ func compareTrees(a, b *treeUnit, pcs *pcreg.Table, noSolver bool, rep *report.R
 	})
 	comparisons.add(comps)
 	solverCalls.add(solves)
+	bboxFast.add(bbox)
 }
 
 func side(n *itree.Node, pcs *pcreg.Table) report.Side {
@@ -506,7 +554,7 @@ func side(n *itree.Node, pcs *pcreg.Table) report.Side {
 // raceBetween applies the race conditions of Section III-B: at least one
 // write, not both atomic, disjoint mutex sets, and a genuinely shared
 // address.
-func raceBetween(na, nb *itree.Node, noSolver bool, solverCalls *uint64) bool {
+func raceBetween(na, nb *itree.Node, noSolver bool, solverCalls, bboxFast *uint64) bool {
 	if !na.Write && !nb.Write {
 		return false
 	}
@@ -517,6 +565,7 @@ func raceBetween(na, nb *itree.Node, noSolver bool, solverCalls *uint64) bool {
 		return false
 	}
 	if noSolver {
+		*bboxFast++
 		return true // bounding boxes already overlap
 	}
 	*solverCalls++

@@ -28,7 +28,7 @@ func buildFromProgram(t *testing.T, program func(rtm *omp.Runtime, space *memsim
 	// Materialize interval trees so pairing (which skips empty units) sees
 	// the accesses.
 	a := &Analyzer{store: store}
-	if err := a.buildTrees(s, 1, nil); err != nil {
+	if err := a.buildTrees(s, 1, nil, false); err != nil {
 		t.Fatal(err)
 	}
 	return s

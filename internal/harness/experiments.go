@@ -6,9 +6,11 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"sword"
 	"sword/internal/archer"
 	"sword/internal/core"
 	"sword/internal/memsim"
+	"sword/internal/obs"
 	"sword/internal/omp"
 	"sword/internal/pcreg"
 	"sword/internal/rt"
@@ -24,6 +26,9 @@ import (
 type ExpConfig struct {
 	Threads []int // thread counts to sweep; nil means {2, 4, 8}
 	Repeats int   // timing repetitions; 0 means 3
+	// Obs, when non-nil, aggregates the sword metrics of every run the
+	// timing experiments perform — swordbench -metrics-out exports it.
+	Obs *obs.Metrics
 }
 
 func (c ExpConfig) threads() []int {
@@ -283,7 +288,7 @@ func ExpTab3(cfg ExpConfig) string {
 			if err != nil {
 				panic(err)
 			}
-			s, err := RunAveraged(wl, Sword, Options{Threads: threads, NodeBudget: -1}, cfg.repeats())
+			s, err := RunAveraged(wl, Sword, Options{Threads: threads, NodeBudget: -1, Obs: cfg.Obs}, cfg.repeats())
 			if err != nil {
 				panic(err)
 			}
@@ -449,7 +454,7 @@ func ExpTab5(cfg ExpConfig) string {
 					cells = append(cells, ms(res.DynTime))
 				}
 			}
-			s, err := RunAveraged(wl, Sword, Options{Threads: threads, Size: row.Size}, cfg.repeats())
+			s, err := RunAveraged(wl, Sword, Options{Threads: threads, Size: row.Size, Obs: cfg.Obs}, cfg.repeats())
 			if err != nil {
 				panic(err)
 			}
@@ -460,6 +465,41 @@ func ExpTab5(cfg ExpConfig) string {
 			}
 			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n", row.Label,
 				cells[0], cells[1], cells[2], cells[3], cells[4], cells[5])
+		}
+	})
+}
+
+// ExpPhases renders the observability layer's per-benchmark breakdown of
+// sword's offline analysis on the OmpSCR suite — the phase decomposition
+// behind Tables III and V: where the offline time goes (structure
+// recovery, tree construction, pair comparison), how much pairing work
+// each benchmark generates, and the solver-vs-bounding-box split (the
+// bbox column re-analyzes the same trace under the NoSolver ablation).
+// Every value is read from the public RunStats, so the table measures
+// exactly what the library reports to users.
+func ExpPhases(cfg ExpConfig) string {
+	suite := workloads.BySuite("ompscr")
+	threads := cfg.threads()[len(cfg.threads())-1]
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Offline phase breakdown — observability of Tables III/V")
+		fmt.Fprintln(w, "benchmark\tstructure\ttrees\tcompare\tpairs\tsolver calls\tbbox fast-paths\tpeak nodes")
+		for _, wl := range suite {
+			store := trace.NewMemStore()
+			res, err := Run(wl, Sword, Options{Threads: threads, NodeBudget: -1, Store: store})
+			if err != nil {
+				panic(err)
+			}
+			st := res.RunStats
+			// The ablation leg: same trace, bounding-box decisions only.
+			_, bboxStats, err := sword.AnalyzeStore(store, sword.WithNoSolver(true))
+			if err != nil {
+				panic(err)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\n", wl.Name,
+				ms(st.Structure), ms(st.TreeBuild), ms(st.Compare),
+				st.Analysis.IntervalPairs, st.Analysis.SolverCalls,
+				bboxStats.Metrics.Value("core.bbox_fastpath"),
+				st.Metrics.Value("core.tree_nodes_peak"))
 		}
 	})
 }
@@ -480,22 +520,23 @@ func ExpTask() string {
 // swordbench command.
 func Experiments(cfg ExpConfig) map[string]func() string {
 	return map[string]func() string{
-		"fig1": ExpFig1,
-		"tab1": ExpTab1,
-		"fig2": ExpFig2,
-		"drb":  ExpDRB,
-		"tab2": ExpTab2,
-		"fig6": func() string { return ExpFig6(cfg) },
-		"tab3": func() string { return ExpTab3(cfg) },
-		"tab4": ExpTab4,
-		"fig7": func() string { return ExpFig7(cfg) },
-		"fig8": ExpFig8,
-		"tab5": func() string { return ExpTab5(cfg) },
-		"task": ExpTask,
+		"fig1":   ExpFig1,
+		"tab1":   ExpTab1,
+		"fig2":   ExpFig2,
+		"drb":    ExpDRB,
+		"tab2":   ExpTab2,
+		"fig6":   func() string { return ExpFig6(cfg) },
+		"tab3":   func() string { return ExpTab3(cfg) },
+		"tab4":   ExpTab4,
+		"fig7":   func() string { return ExpFig7(cfg) },
+		"fig8":   ExpFig8,
+		"tab5":   func() string { return ExpTab5(cfg) },
+		"task":   ExpTask,
+		"phases": func() string { return ExpPhases(cfg) },
 	}
 }
 
 // ExperimentIDs lists experiment ids in the paper's order.
 func ExperimentIDs() []string {
-	return []string{"fig1", "tab1", "fig2", "drb", "tab2", "fig6", "tab3", "tab4", "fig7", "fig8", "tab5", "task"}
+	return []string{"fig1", "tab1", "fig2", "drb", "tab2", "fig6", "tab3", "tab4", "fig7", "fig8", "tab5", "task", "phases"}
 }

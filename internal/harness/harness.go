@@ -11,10 +11,11 @@ import (
 	"runtime"
 	"time"
 
+	"sword"
 	"sword/internal/archer"
 	"sword/internal/compress"
-	"sword/internal/core"
 	"sword/internal/memsim"
+	"sword/internal/obs"
 	"sword/internal/omp"
 	"sword/internal/report"
 	"sword/internal/rt"
@@ -75,6 +76,10 @@ type Options struct {
 	// OfflineWorkers for the "MT" (distributed) measurement; 0 means
 	// GOMAXPROCS.
 	OfflineWorkers int
+	// Obs, when non-nil, receives both sword phases' metrics; sharing one
+	// registry across runs aggregates them. nil uses a per-run registry
+	// (RunStats is populated either way).
+	Obs *obs.Metrics
 }
 
 // Result is one run's measurements.
@@ -99,6 +104,11 @@ type Result struct {
 	Collector rt.Stats     // sword only
 	Shadow    archer.Stats // archer only
 	Analysis  report.Stats // sword only
+
+	// RunStats is the public-API observability summary of a sword run:
+	// per-phase offline wall times plus the full metrics snapshot (the MT
+	// analysis when the offline phase ran). nil for other tools.
+	RunStats *sword.RunStats
 }
 
 // TotalTime returns dynamic plus distributed offline time — the end-to-end
@@ -151,7 +161,7 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 
 	var ompOpts []omp.Option
 	var archerTool *archer.Tool
-	var collector *rt.Collector
+	var sess *sword.Session
 	var store trace.Store
 
 	switch tool {
@@ -163,16 +173,39 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 		if store == nil {
 			store = trace.NewMemStore()
 		}
-		collector = rt.New(store, rt.Config{Codec: opts.Codec, MaxEvents: opts.MaxEvents})
-		ompOpts = append(ompOpts, omp.WithTool(collector))
+		// The sword leg goes through the public API — session for
+		// collection, AnalyzeStore for the offline phase — so the harness
+		// measures exactly what library users get, real instrumentation
+		// included.
+		codecName := "lzss"
+		if opts.Codec != nil {
+			codecName = opts.Codec.Name()
+		}
+		m := opts.Obs
+		if m == nil {
+			m = obs.New()
+		}
+		var err error
+		sess, err = sword.NewSession(
+			sword.WithStore(store),
+			sword.WithCodec(codecName),
+			sword.WithMaxEvents(opts.MaxEvents),
+			sword.WithObs(m),
+		)
+		if err != nil {
+			return res, fmt.Errorf("harness: %w", err)
+		}
+		ctx.RT = sess.Runtime()
 	}
-	ctx.RT = omp.New(ompOpts...)
+	if ctx.RT == nil {
+		ctx.RT = omp.New(ompOpts...)
+	}
 
 	start := time.Now()
 	w.Run(ctx)
-	if collector != nil {
-		if err := collector.Close(); err != nil {
-			return res, fmt.Errorf("harness: close collector: %w", err)
+	if sess != nil {
+		if err := sess.CollectOnly(); err != nil {
+			return res, fmt.Errorf("harness: close session: %w", err)
 		}
 	}
 	res.DynTime = time.Since(start)
@@ -183,11 +216,12 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 		res.Races = res.Report.Len()
 		res.Shadow = archerTool.Stats()
 	case Sword:
-		res.Collector = collector.Stats()
+		res.RunStats = sess.RunStats()
+		res.Collector = res.RunStats.Collect
 		res.LogBytes = store.BytesWritten()
 		if !opts.SkipOffline {
 			oaStart := time.Now()
-			oaRep, err := core.New(store, core.Config{Workers: 1}).Analyze()
+			oaRep, _, err := sword.AnalyzeStore(store, sword.WithWorkers(1))
 			if err != nil {
 				return res, fmt.Errorf("harness: offline (OA): %w", err)
 			}
@@ -197,7 +231,8 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 				mtWorkers = runtime.GOMAXPROCS(0)
 			}
 			mtStart := time.Now()
-			mtRep, err := core.New(store, core.Config{Workers: mtWorkers}).Analyze()
+			mtRep, mtStats, err := sword.AnalyzeStore(store,
+				sword.WithWorkers(mtWorkers), sword.WithObs(sess.Metrics()))
 			if err != nil {
 				return res, fmt.Errorf("harness: offline (MT): %w", err)
 			}
@@ -208,6 +243,8 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 			res.Report = mtRep
 			res.Races = mtRep.Len()
 			res.Analysis = mtRep.Stats
+			mtStats.Collect = res.Collector
+			res.RunStats = mtStats
 		}
 	}
 	return res, nil

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"testing"
+
+	"sword/internal/obs"
+	"sword/internal/workloads"
+)
+
+// TestSwordRunStats pins the harness's public-API integration: a sword run
+// must come back with the observability summary populated from real
+// instrumentation — phase timings, matching counters, and an aggregating
+// shared registry.
+func TestSwordRunStats(t *testing.T) {
+	wl, err := workloads.Get("c_md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.New()
+	res, err := Run(wl, Sword, Options{Threads: 4, NodeBudget: -1, Obs: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.RunStats
+	if st == nil {
+		t.Fatal("sword run returned no RunStats")
+	}
+	if st.AnalyzeTotal <= 0 || st.TreeBuild <= 0 {
+		t.Fatalf("phase timings not recorded: %+v", st)
+	}
+	if st.Collect.Events == 0 || st.Collect.CompressedBytes == 0 {
+		t.Fatalf("collection counters not recorded: %+v", st.Collect)
+	}
+	if st.Analysis.IntervalPairs == 0 {
+		t.Fatalf("analysis counters not recorded: %+v", st.Analysis)
+	}
+	snap := m.Snapshot()
+	if got := uint64(snap.Value("rt.events")); got != st.Collect.Events {
+		t.Fatalf("shared registry rt.events = %d, collector counted %d", got, st.Collect.Events)
+	}
+	if snap.Value("core.interval_pairs") == 0 {
+		t.Fatal("shared registry missing offline counters")
+	}
+
+	// Baseline runs carry no sword stats.
+	base, err := Run(wl, Baseline, Options{Threads: 4, NodeBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.RunStats != nil {
+		t.Fatal("baseline run unexpectedly produced RunStats")
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixture builds a registry with deterministic values so the export shape
+// is golden-testable.
+func fixture() *Metrics {
+	m := New()
+	m.Counter("rt.events").Add(25000)
+	m.Counter("rt.flushes").Add(4)
+	m.Counter("core.solver_calls").Add(17)
+	m.Gauge("core.tree_nodes_peak").SetMax(1200)
+	m.Timer("core.phase.trees").Observe(1500 * time.Microsecond)
+	m.Timer("core.phase.trees").Observe(500 * time.Microsecond)
+	return m
+}
+
+func TestJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := (JSONSink{W: &b}).Export(fixture().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"metrics":[` +
+		`{"name":"core.phase.trees","kind":"timer","value":2000000,"count":2},` +
+		`{"name":"core.solver_calls","kind":"counter","value":17},` +
+		`{"name":"core.tree_nodes_peak","kind":"gauge","value":1200},` +
+		`{"name":"rt.events","kind":"counter","value":25000},` +
+		`{"name":"rt.flushes","kind":"counter","value":4}]}` + "\n"
+	if b.String() != want {
+		t.Fatalf("json export:\n got: %s\nwant: %s", b.String(), want)
+	}
+}
+
+func TestCSVGolden(t *testing.T) {
+	var b strings.Builder
+	if err := (CSVSink{W: &b}).Export(fixture().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,kind,value,count\n" +
+		"core.phase.trees,timer,2000000,2\n" +
+		"core.solver_calls,counter,17,0\n" +
+		"core.tree_nodes_peak,gauge,1200,0\n" +
+		"rt.events,counter,25000,0\n" +
+		"rt.flushes,counter,4,0\n"
+	if b.String() != want {
+		t.Fatalf("csv export:\n got: %s\nwant: %s", b.String(), want)
+	}
+}
+
+func TestEmptySnapshotExports(t *testing.T) {
+	var b strings.Builder
+	if err := (JSONSink{W: &b}).Export(New().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.String(), "{\"metrics\":[]}\n"; got != want {
+		t.Fatalf("empty json = %q, want %q", got, want)
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	s := fixture().Snapshot()
+	if v := s.Value("rt.events"); v != 25000 {
+		t.Fatalf("Value(rt.events) = %d", v)
+	}
+	if d := s.Duration("core.phase.trees"); d != 2*time.Millisecond {
+		t.Fatalf("Duration(core.phase.trees) = %v", d)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("Get on absent name succeeded")
+	}
+	m, ok := s.Get("core.phase.trees")
+	if !ok || m.Kind != KindTimer || m.Count != 2 {
+		t.Fatalf("Get(core.phase.trees) = %+v, %v", m, ok)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var m *Metrics
+	// Every instrument from a nil registry must be callable and inert.
+	c := m.Counter("x")
+	c.Add(3)
+	c.Inc()
+	if c.Load() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := m.Gauge("y")
+	g.Set(5)
+	g.SetMax(9)
+	g.Add(1)
+	if g.Load() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	tm := m.Timer("z")
+	tm.Observe(time.Second)
+	if tm.Total() != 0 || tm.Count() != 0 {
+		t.Fatal("nil timer accumulated")
+	}
+	if m.Snapshot() != nil {
+		t.Fatal("nil registry produced a snapshot")
+	}
+}
+
+func TestGaugeSetMaxIsHighWater(t *testing.T) {
+	var g Gauge
+	g.SetMax(10)
+	g.SetMax(3)
+	if g.Load() != 10 {
+		t.Fatalf("gauge dropped below high water: %d", g.Load())
+	}
+	g.SetMax(42)
+	if g.Load() != 42 {
+		t.Fatalf("gauge did not rise: %d", g.Load())
+	}
+}
+
+func TestHandlesAreStable(t *testing.T) {
+	m := New()
+	a, b := m.Counter("same"), m.Counter("same")
+	if a != b {
+		t.Fatal("repeated Counter lookups returned distinct instruments")
+	}
+	a.Add(2)
+	if b.Load() != 2 {
+		t.Fatal("instrument state not shared between handles")
+	}
+}
+
+func TestExpvarSink(t *testing.T) {
+	sink, err := NewExpvarSink("sword-test-metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Export(fixture().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Re-publishing under the same name must adopt the existing map.
+	again, err := NewExpvarSink("sword-test-metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := again.Export(fixture().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.m.Get("rt.events").String(); got != "25000" {
+		t.Fatalf("expvar rt.events = %s", got)
+	}
+	if got := sink.m.Get("core.phase.trees.count").String(); got != "2" {
+		t.Fatalf("expvar timer count = %s", got)
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Sink receives metric snapshots. The CLIs' -metrics-out flags, the
+// experiment harness's overhead curves, and the public sword.Config Obs
+// hook all speak this interface.
+type Sink interface {
+	Export(s Snapshot) error
+}
+
+// JSONSink writes snapshots as a single JSON document
+// {"metrics":[{name,kind,value,count?}, ...]} sorted by name.
+type JSONSink struct {
+	W io.Writer
+	// Indent, when non-empty, pretty-prints with that indentation.
+	Indent string
+}
+
+type jsonSnapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Export implements Sink.
+func (s JSONSink) Export(snap Snapshot) error {
+	doc := jsonSnapshot{Metrics: snap}
+	if doc.Metrics == nil {
+		doc.Metrics = Snapshot{}
+	}
+	enc := json.NewEncoder(s.W)
+	if s.Indent != "" {
+		enc.SetIndent("", s.Indent)
+	}
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("obs: export json: %w", err)
+	}
+	return nil
+}
+
+// CSVSink writes snapshots as "name,kind,value,count" rows with a header,
+// sorted by name. Names never contain commas (they are dotted
+// identifiers), so no quoting is needed.
+type CSVSink struct {
+	W io.Writer
+}
+
+// Export implements Sink.
+func (s CSVSink) Export(snap Snapshot) error {
+	var b strings.Builder
+	b.WriteString("name,kind,value,count\n")
+	for _, m := range snap {
+		b.WriteString(m.Name)
+		b.WriteByte(',')
+		b.WriteString(m.Kind)
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(m.Value, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(m.Count, 10))
+		b.WriteByte('\n')
+	}
+	if _, err := io.WriteString(s.W, b.String()); err != nil {
+		return fmt.Errorf("obs: export csv: %w", err)
+	}
+	return nil
+}
+
+// ExpvarSink publishes snapshots under one expvar.Map, so a process
+// serving expvar (net/http/pprof style) exposes SWORD's counters live.
+// Timer metrics publish both <name>.ns and <name>.count entries.
+type ExpvarSink struct {
+	m *expvar.Map
+}
+
+// NewExpvarSink publishes (or adopts, if already published) an expvar.Map
+// under name and returns a sink writing into it.
+func NewExpvarSink(name string) (*ExpvarSink, error) {
+	if v := expvar.Get(name); v != nil {
+		m, ok := v.(*expvar.Map)
+		if !ok {
+			return nil, fmt.Errorf("obs: expvar %q already published as %T", name, v)
+		}
+		return &ExpvarSink{m: m}, nil
+	}
+	return &ExpvarSink{m: expvar.NewMap(name)}, nil
+}
+
+// Export implements Sink.
+func (s *ExpvarSink) Export(snap Snapshot) error {
+	for _, m := range snap {
+		switch m.Kind {
+		case KindTimer:
+			setInt(s.m, m.Name+".ns", m.Value)
+			setInt(s.m, m.Name+".count", int64(m.Count))
+		default:
+			setInt(s.m, m.Name, m.Value)
+		}
+	}
+	return nil
+}
+
+func setInt(m *expvar.Map, key string, v int64) {
+	iv, ok := m.Get(key).(*expvar.Int)
+	if !ok {
+		iv = new(expvar.Int)
+		m.Set(key, iv)
+	}
+	iv.Set(v)
+}
+
+// WriteFile exports the snapshot to path, choosing the format by
+// extension: ".csv" writes CSV, anything else indented JSON. This backs
+// the CLIs' -metrics-out flags.
+func WriteFile(path string, snap Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	var sink Sink
+	if strings.HasSuffix(path, ".csv") {
+		sink = CSVSink{W: f}
+	} else {
+		sink = JSONSink{W: f, Indent: "  "}
+	}
+	if err := sink.Export(snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	return nil
+}

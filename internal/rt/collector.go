@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sword/internal/compress"
+	"sword/internal/obs"
 	"sword/internal/omp"
 	"sword/internal/pcreg"
 	"sword/internal/trace"
@@ -63,6 +65,11 @@ type Config struct {
 	// PCs is the program-counter table to persist; nil means
 	// pcreg.Default.
 	PCs *pcreg.Table
+	// Obs, when non-nil, receives the dynamic phase's live metrics
+	// (rt.* names, see docs/FORMAT.md): events appended, buffer fills,
+	// flush count and latency, raw vs compressed bytes, fragments, and
+	// slots. Recording is one atomic add per value; nil disables it.
+	Obs *obs.Metrics
 }
 
 // Stats aggregates collection counters across all slots.
@@ -107,6 +114,20 @@ type Collector struct {
 	events    atomic.Uint64
 	flushes   atomic.Uint64
 	fragments atomic.Uint64
+
+	// Observability handles (nil-safe no-ops when Config.Obs is nil).
+	// timed gates the time.Now calls so an uninstrumented collector pays
+	// no clock reads on the flush path.
+	timed       bool
+	mEvents     *obs.Counter
+	mFills      *obs.Counter
+	mFlushes    *obs.Counter
+	mRawBytes   *obs.Counter
+	mCompBytes  *obs.Counter
+	mFragments  *obs.Counter
+	mSlots      *obs.Gauge
+	mFlushLat   *obs.Timer
+	mFlushQueue *obs.Gauge
 }
 
 type flushJob struct {
@@ -151,6 +172,18 @@ func New(store trace.Store, cfg Config) *Collector {
 	if c.pcs == nil {
 		c.pcs = pcreg.Default
 	}
+	if m := cfg.Obs; m != nil {
+		c.timed = true
+		c.mEvents = m.Counter("rt.events")
+		c.mFills = m.Counter("rt.buffer_fills")
+		c.mFlushes = m.Counter("rt.flushes")
+		c.mRawBytes = m.Counter("rt.raw_bytes")
+		c.mCompBytes = m.Counter("rt.compressed_bytes")
+		c.mFragments = m.Counter("rt.fragments")
+		c.mSlots = m.Gauge("rt.slots")
+		c.mFlushLat = m.Timer("rt.flush")
+		c.mFlushQueue = m.Gauge("rt.flush_queue_peak")
+	}
 	c.bufPool.New = func() any { return []byte(nil) }
 	if !c.sync {
 		c.flushCh = make(chan flushJob, 64)
@@ -172,12 +205,23 @@ func (c *Collector) writeBlock(st *slotState, buf []byte) {
 	if len(buf) == 0 {
 		return
 	}
+	var start time.Time
+	if c.timed {
+		start = time.Now()
+	}
+	compBefore := st.log.CompressedBytes()
 	if err := st.log.WriteBlock(buf); err != nil {
 		// Collection I/O failure is unrecoverable for the analysis; the
 		// real tool would abort the run. Surface loudly.
 		panic(fmt.Sprintf("rt: flush slot %d: %v", st.slot, err))
 	}
 	c.flushes.Add(1)
+	if c.timed {
+		c.mFlushLat.Observe(time.Since(start))
+		c.mFlushes.Inc()
+		c.mRawBytes.Add(uint64(len(buf)))
+		c.mCompBytes.Add(st.log.CompressedBytes() - compBefore)
+	}
 }
 
 // state returns (creating if needed) the slot's collection state.
@@ -201,6 +245,7 @@ func (c *Collector) state(slot int) *slotState {
 			cuts: make(map[trace.IntervalKey]uint64),
 		}
 		c.states[slot] = st
+		c.mSlots.Set(int64(len(c.states)))
 	}
 	return st
 }
@@ -221,6 +266,7 @@ func (c *Collector) flush(st *slotState) {
 	} else {
 		buf := append(c.bufPool.Get().([]byte)[:0], st.enc.Bytes()...)
 		c.flushCh <- flushJob{st: st, buf: buf}
+		c.mFlushQueue.SetMax(int64(len(c.flushCh)))
 	}
 	st.flushed += uint64(n)
 	st.enc.Reset()
@@ -273,6 +319,7 @@ func (c *Collector) closeFragment(st *slotState) {
 		panic(fmt.Sprintf("rt: write meta for slot %d: %v", st.slot, err))
 	}
 	c.fragments.Add(1)
+	c.mFragments.Inc()
 }
 
 // RegionFork implements omp.Tool: the encountering thread suspends its
@@ -385,7 +432,9 @@ func (c *Collector) Access(th *omp.Thread, addr uint64, size uint8, write, atomi
 
 func (c *Collector) bump(st *slotState) {
 	c.events.Add(1)
+	c.mEvents.Inc()
 	if st.enc.Events() >= c.maxEvents {
+		c.mFills.Inc()
 		c.flush(st)
 	}
 }

@@ -84,13 +84,17 @@ func (w *LogWriter) Close() error {
 }
 
 // LogReader streams blocks back from a log source, decompressing each and
-// tracking logical offsets.
+// tracking logical offsets. It also counts blocks and compressed payload
+// bytes, so the offline phase can report the trace volume it consumed
+// without a second pass over the store.
 type LogReader struct {
 	r       *bufio.Reader
 	c       io.Closer
 	logical uint64
 	comp    []byte
 	raw     []byte
+	blocks  uint64
+	compIn  uint64
 }
 
 // NewLogReader returns a reader over r. The codec of each block is
@@ -135,8 +139,21 @@ func (r *LogReader) Next() (uint64, []byte, error) {
 	}
 	start := r.logical
 	r.logical += rawLen
+	r.blocks++
+	r.compIn += compLen
 	return start, r.raw, nil
 }
+
+// Blocks returns the number of blocks read so far — one per collector
+// flush on the write side.
+func (r *LogReader) Blocks() uint64 { return r.blocks }
+
+// RawBytes returns the total decompressed bytes read so far.
+func (r *LogReader) RawBytes() uint64 { return r.logical }
+
+// CompressedBytes returns the total compressed payload bytes read so far
+// (excluding block framing).
+func (r *LogReader) CompressedBytes() uint64 { return r.compIn }
 
 // Close closes the underlying source.
 func (r *LogReader) Close() error { return r.c.Close() }

@@ -36,28 +36,45 @@ type Store interface {
 	BytesWritten() uint64
 }
 
-// countingWriter wraps a WriteCloser and adds written bytes to a shared
-// counter under mu.
-type countingWriter struct {
-	io.WriteCloser
-	mu    *sync.Mutex
-	total *uint64
-}
-
-func (w countingWriter) Write(p []byte) (int, error) {
-	n, err := w.WriteCloser.Write(p)
-	w.mu.Lock()
-	*w.total += uint64(n)
-	w.mu.Unlock()
-	return n, err
-}
-
 // DirStore stores trace files in a directory:
 // sword_<slot>.log, sword_<slot>.meta, sword_<name>.aux.
+//
+// The store tracks every writer it hands out; Close deterministically
+// releases any still-open file handles, so a finished Session never leaks
+// descriptors even when a writer's owner aborted mid-stream.
 type DirStore struct {
 	dir   string
 	mu    sync.Mutex
 	total uint64
+	open  map[*dirFile]struct{}
+}
+
+// dirFile is a DirStore writer: it counts written bytes into the store's
+// total and deregisters itself on Close. Close is idempotent.
+type dirFile struct {
+	f      *os.File
+	s      *DirStore
+	closed bool
+}
+
+func (w *dirFile) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.s.mu.Lock()
+	w.s.total += uint64(n)
+	w.s.mu.Unlock()
+	return n, err
+}
+
+func (w *dirFile) Close() error {
+	w.s.mu.Lock()
+	if w.closed {
+		w.s.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	delete(w.s.open, w)
+	w.s.mu.Unlock()
+	return w.f.Close()
 }
 
 // NewDirStore creates the directory if needed and returns a store over it.
@@ -65,7 +82,7 @@ func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("trace: create store dir: %w", err)
 	}
-	return &DirStore{dir: dir}, nil
+	return &DirStore{dir: dir, open: make(map[*dirFile]struct{})}, nil
 }
 
 // Dir returns the backing directory.
@@ -88,7 +105,11 @@ func (s *DirStore) create(path string) (io.WriteCloser, error) {
 	if err != nil {
 		return nil, err
 	}
-	return countingWriter{WriteCloser: f, mu: &s.mu, total: &s.total}, nil
+	w := &dirFile{f: f, s: s}
+	s.mu.Lock()
+	s.open[w] = struct{}{}
+	s.mu.Unlock()
+	return w, nil
 }
 
 // CreateLog implements Store.
@@ -136,6 +157,34 @@ func (s *DirStore) BytesWritten() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.total
+}
+
+// OpenWriters returns the number of writers handed out and not yet
+// closed — zero after an orderly shutdown.
+func (s *DirStore) OpenWriters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.open)
+}
+
+// Close releases any writers still open, returning the first close error.
+// An orderly run has none (the collector closes its own); Close makes the
+// teardown deterministic regardless. Idempotent; reads remain valid
+// afterwards.
+func (s *DirStore) Close() error {
+	s.mu.Lock()
+	remaining := make([]*dirFile, 0, len(s.open))
+	for w := range s.open {
+		remaining = append(remaining, w)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, w := range remaining {
+		if err := w.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // MemStore keeps all trace files in memory. It is safe for concurrent use.

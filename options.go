@@ -1,0 +1,110 @@
+package sword
+
+// Config parameterizes a Session or a standalone offline analysis. The
+// zero value is ready to use: in-memory store, "lzss" codec, the paper's
+// buffer bound, GOMAXPROCS analysis workers.
+//
+// Config remains fully supported as a plain struct — pass it through
+// WithConfig — but the functional options below are the primary surface:
+// they compose, keep call sites readable, and let the zero-value defaults
+// evolve without breaking callers.
+type Config struct {
+	// LogDir, when non-empty, stores the trace as files under this
+	// directory (sword_<slot>.log / .meta), enabling decoupled offline
+	// analysis. Empty means an in-memory store (unless Store is set).
+	LogDir string
+	// Store, when non-nil, is used directly and takes precedence over
+	// LogDir — for custom trace sinks or sharing one store between the
+	// collection and analysis halves in-process. If the store implements
+	// io.Closer it is closed when the session finishes.
+	Store Store
+	// Codec names the flush compressor: "lzss" (default), "flate", "raw".
+	Codec string
+	// MaxEvents bounds the per-thread buffer (0 = 25,000 events, the
+	// paper's 2 MB default).
+	MaxEvents int
+	// Workers bounds offline analysis parallelism (0 = GOMAXPROCS).
+	Workers int
+	// NoSolver replaces the precise strided-intersection decision with
+	// the conservative bounding-box overlap (ablation of the paper's
+	// Section III-B constraint solving; may report false positives).
+	NoSolver bool
+	// NoCompact skips interval-tree compaction after building (ablation
+	// of the trace-summarization merge step).
+	NoCompact bool
+	// SubtreeBatch bounds offline resident memory by analyzing the run in
+	// batches of top-level region subtrees (0 = whole run in one pass).
+	SubtreeBatch int
+	// Obs, when non-nil, is the metrics registry both phases record into;
+	// share one registry across sessions and analyses to aggregate. When
+	// nil, a private registry is created so RunStats is always populated.
+	Obs *Metrics
+}
+
+// Option configures a Session, Analyze, or AnalyzeStore.
+type Option func(*Config)
+
+// WithConfig overlays an explicit Config — the bridge from the plain
+// struct form. Later options still apply on top.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithLogDir stores the trace under dir for decoupled offline analysis.
+func WithLogDir(dir string) Option {
+	return func(c *Config) { c.LogDir = dir }
+}
+
+// WithStore uses store directly as the trace sink (takes precedence over
+// WithLogDir). If it implements io.Closer, finishing the session closes it.
+func WithStore(store Store) Option {
+	return func(c *Config) { c.Store = store }
+}
+
+// WithCodec selects the flush compressor by name: "lzss" (default),
+// "flate", "raw".
+func WithCodec(name string) Option {
+	return func(c *Config) { c.Codec = name }
+}
+
+// WithMaxEvents bounds the per-thread event buffer (0 = the paper's
+// 25,000-event default).
+func WithMaxEvents(n int) Option {
+	return func(c *Config) { c.MaxEvents = n }
+}
+
+// WithWorkers bounds offline analysis parallelism (0 = GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *Config) { c.Workers = n }
+}
+
+// WithNoSolver toggles the bounding-box ablation: overlap is decided
+// without the exact strided-intersection solver.
+func WithNoSolver(on bool) Option {
+	return func(c *Config) { c.NoSolver = on }
+}
+
+// WithNoCompact toggles the tree-compaction ablation.
+func WithNoCompact(on bool) Option {
+	return func(c *Config) { c.NoCompact = on }
+}
+
+// WithSubtreeBatch analyzes in batches of n top-level region subtrees to
+// bound resident memory (0 = one pass).
+func WithSubtreeBatch(n int) Option {
+	return func(c *Config) { c.SubtreeBatch = n }
+}
+
+// WithObs records both phases' metrics into m, e.g. a registry shared
+// with the rest of the application or exported via an expvar sink.
+func WithObs(m *Metrics) Option {
+	return func(c *Config) { c.Obs = m }
+}
+
+func applyOptions(opts []Option) Config {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}

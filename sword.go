@@ -32,11 +32,14 @@
 package sword
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"sword/internal/compress"
 	"sword/internal/core"
 	"sword/internal/memsim"
+	"sword/internal/obs"
 	"sword/internal/omp"
 	"sword/internal/report"
 	"sword/internal/rt"
@@ -89,20 +92,9 @@ func Here() uint64 { return omp.Here() }
 // Site interns a symbolic access-site name.
 func Site(name string) uint64 { return omp.Site(name) }
 
-// Config parameterizes a Session.
-type Config struct {
-	// LogDir, when non-empty, stores the trace as files under this
-	// directory (sword_<slot>.log / .meta), enabling decoupled offline
-	// analysis. Empty means an in-memory store.
-	LogDir string
-	// Codec names the flush compressor: "lzss" (default), "flate", "raw".
-	Codec string
-	// MaxEvents bounds the per-thread buffer (0 = 25,000 events, the
-	// paper's 2 MB default).
-	MaxEvents int
-	// Workers bounds offline analysis parallelism (0 = GOMAXPROCS).
-	Workers int
-}
+// ErrFinished is returned by Finish and CollectOnly when the session has
+// already been finished.
+var ErrFinished = errors.New("sword: session already finished")
 
 // Session couples a runtime with SWORD's dynamic collector and drives the
 // offline analysis. Create with NewSession, run the program on Runtime(),
@@ -113,20 +105,28 @@ type Session struct {
 	collector *rt.Collector
 	runtime   *omp.Runtime
 	space     *memsim.Space
+	metrics   *obs.Metrics
 	finished  bool
+	closed    bool
+	closeErr  error
 }
 
-// NewSession prepares a collection session.
-func NewSession(cfg Config) (*Session, error) {
-	var store trace.Store
-	if cfg.LogDir != "" {
-		ds, err := trace.NewDirStore(cfg.LogDir)
-		if err != nil {
-			return nil, fmt.Errorf("sword: %w", err)
+// NewSession prepares a collection session. With no options it collects
+// into memory with the paper's defaults; see Config and the With*
+// options for the knobs.
+func NewSession(opts ...Option) (*Session, error) {
+	cfg := applyOptions(opts)
+	store := cfg.Store
+	if store == nil {
+		if cfg.LogDir != "" {
+			ds, err := trace.NewDirStore(cfg.LogDir)
+			if err != nil {
+				return nil, fmt.Errorf("sword: %w", err)
+			}
+			store = ds
+		} else {
+			store = trace.NewMemStore()
 		}
-		store = ds
-	} else {
-		store = trace.NewMemStore()
 	}
 	codecName := cfg.Codec
 	if codecName == "" {
@@ -136,13 +136,22 @@ func NewSession(cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sword: %w", err)
 	}
-	collector := rt.New(store, rt.Config{Codec: codec, MaxEvents: cfg.MaxEvents})
+	m := cfg.Obs
+	if m == nil {
+		m = obs.New()
+	}
+	collector := rt.New(store, rt.Config{
+		Codec:     compress.Instrument(codec, m),
+		MaxEvents: cfg.MaxEvents,
+		Obs:       m,
+	})
 	return &Session{
 		cfg:       cfg,
 		store:     store,
 		collector: collector,
 		runtime:   omp.New(omp.WithTool(collector)),
 		space:     memsim.NewSpace(nil),
+		metrics:   m,
 	}, nil
 }
 
@@ -156,60 +165,126 @@ func (s *Session) Space() *Space { return s.space }
 // offline pipelines).
 func (s *Session) Store() Store { return s.store }
 
+// Metrics returns the session's observability registry — the one passed
+// via WithObs, or the private registry created in its absence.
+func (s *Session) Metrics() *Metrics { return s.metrics }
+
+// Close flushes and closes the collector and, when the store implements
+// io.Closer (DirStore does), closes the store — deterministically
+// releasing every file handle even after an error mid-run. Idempotent:
+// repeated calls return the first close error. Finish and CollectOnly
+// call it; reaching for Close directly is only needed on error paths
+// where neither ran.
+func (s *Session) Close() error {
+	if s.closed {
+		return s.closeErr
+	}
+	s.closed = true
+	err := s.collector.Close()
+	if c, ok := s.store.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	s.closeErr = err
+	return err
+}
+
+// RunStats summarizes the session's observability state so far: dynamic
+// counters plus any offline timings recorded into its registry. Finish
+// returns the same summary with Analysis populated.
+func (s *Session) RunStats() *RunStats {
+	st := newRunStats(s.metrics.Snapshot())
+	st.Collect = s.collector.Stats()
+	return st
+}
+
 // Finish flushes and closes the trace, runs the offline analysis, and
-// returns the race report. It may be called once.
-func (s *Session) Finish() (*Report, error) {
+// returns the race report and the run's observability summary. It may be
+// called once; later calls return ErrFinished (the underlying resources
+// are closed exactly once regardless).
+func (s *Session) Finish() (*Report, *RunStats, error) {
 	if s.finished {
-		return nil, fmt.Errorf("sword: session already finished")
+		return nil, nil, ErrFinished
 	}
 	s.finished = true
-	if err := s.collector.Close(); err != nil {
-		return nil, fmt.Errorf("sword: close collector: %w", err)
+	if err := s.Close(); err != nil {
+		return nil, nil, fmt.Errorf("sword: close session: %w", err)
 	}
-	rep, err := core.New(s.store, core.Config{Workers: s.cfg.Workers}).Analyze()
+	rep, err := core.New(s.store, core.Config{
+		Workers:      s.cfg.Workers,
+		NoSolver:     s.cfg.NoSolver,
+		NoCompact:    s.cfg.NoCompact,
+		SubtreeBatch: s.cfg.SubtreeBatch,
+		Obs:          s.metrics,
+	}).Analyze()
 	if err != nil {
-		return nil, fmt.Errorf("sword: offline analysis: %w", err)
+		return nil, nil, fmt.Errorf("sword: offline analysis: %w", err)
 	}
-	return rep, nil
+	st := newRunStats(s.metrics.Snapshot())
+	st.Collect = s.collector.Stats()
+	st.Analysis = rep.Stats
+	return rep, st, nil
 }
 
 // CollectOnly flushes and closes the trace without analyzing — the
 // production-run half of the pipeline; analyze later with Analyze or
-// cmd/swordoffline.
+// cmd/swordoffline. Like Finish it may be called once.
 func (s *Session) CollectOnly() error {
 	if s.finished {
-		return fmt.Errorf("sword: session already finished")
+		return ErrFinished
 	}
 	s.finished = true
-	if err := s.collector.Close(); err != nil {
-		return fmt.Errorf("sword: close collector: %w", err)
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("sword: close session: %w", err)
 	}
 	return nil
 }
 
 // Analyze runs the offline phase over a previously collected log
-// directory.
-func Analyze(logDir string, workers int) (*Report, error) {
+// directory, returning the report and the run's observability summary.
+func Analyze(logDir string, opts ...Option) (*Report, *RunStats, error) {
 	store, err := trace.NewDirStore(logDir)
 	if err != nil {
-		return nil, fmt.Errorf("sword: %w", err)
+		return nil, nil, fmt.Errorf("sword: %w", err)
 	}
-	rep, err := core.New(store, core.Config{Workers: workers}).Analyze()
+	return AnalyzeStore(store, opts...)
+}
+
+// AnalyzeStore runs the offline phase over an already-open trace store —
+// the in-process variant of Analyze for custom pipelines and the
+// experiment harness.
+func AnalyzeStore(store Store, opts ...Option) (*Report, *RunStats, error) {
+	cfg := applyOptions(opts)
+	m := cfg.Obs
+	if m == nil {
+		m = obs.New()
+	}
+	rep, err := core.New(store, core.Config{
+		Workers:      cfg.Workers,
+		NoSolver:     cfg.NoSolver,
+		NoCompact:    cfg.NoCompact,
+		SubtreeBatch: cfg.SubtreeBatch,
+		Obs:          m,
+	}).Analyze()
 	if err != nil {
-		return nil, fmt.Errorf("sword: offline analysis: %w", err)
+		return nil, nil, fmt.Errorf("sword: offline analysis: %w", err)
 	}
-	return rep, nil
+	st := newRunStats(m.Snapshot())
+	st.Analysis = rep.Stats
+	return rep, st, nil
 }
 
 // Check runs program under SWORD with defaults and returns its race
 // report — the one-shot entry point.
 func Check(program func(rt *Runtime, space *Space)) (*Report, error) {
-	s, err := NewSession(Config{})
+	s, err := NewSession()
 	if err != nil {
 		return nil, err
 	}
 	program(s.Runtime(), s.Space())
-	return s.Finish()
+	rep, _, err := s.Finish()
+	return rep, err
 }
 
 // ValidateTrace checks the structural integrity of a collected trace

@@ -1,6 +1,7 @@
 package sword_test
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -53,7 +54,7 @@ func TestCheckCleanProgram(t *testing.T) {
 
 func TestSessionWithLogDir(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "trace")
-	s, err := sword.NewSession(sword.Config{LogDir: dir, Codec: "flate"})
+	s, err := sword.NewSession(sword.WithLogDir(dir), sword.WithCodec("flate"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,31 +72,37 @@ func TestSessionWithLogDir(t *testing.T) {
 		t.Fatalf("trace dir: %v entries, err %v", len(entries), err)
 	}
 	// Decoupled offline analysis, as a separate process would do it.
-	rep, err := sword.Analyze(dir, 0)
+	rep, stats, err := sword.Analyze(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Len() != 1 {
 		t.Fatalf("got %d races, want 1:\n%s", rep.Len(), rep)
 	}
+	if stats == nil || stats.AnalyzeTotal <= 0 {
+		t.Fatalf("offline RunStats not populated: %+v", stats)
+	}
+	if got := stats.Metrics.Value("trace.events"); got <= 0 {
+		t.Fatalf("trace.events not recorded: %d", got)
+	}
 }
 
 func TestSessionFinishTwiceFails(t *testing.T) {
-	s, err := sword.NewSession(sword.Config{})
+	s, err := sword.NewSession()
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Runtime().Parallel(1, func(th *sword.Thread) {})
-	if _, err := s.Finish(); err != nil {
+	if _, _, err := s.Finish(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Finish(); err == nil {
-		t.Fatal("second Finish succeeded")
+	if _, _, err := s.Finish(); !errors.Is(err, sword.ErrFinished) {
+		t.Fatalf("second Finish: got %v, want ErrFinished", err)
 	}
 }
 
 func TestBadCodecRejected(t *testing.T) {
-	if _, err := sword.NewSession(sword.Config{Codec: "zstd"}); err == nil {
+	if _, err := sword.NewSession(sword.WithCodec("zstd")); err == nil {
 		t.Fatal("unknown codec accepted")
 	}
 }
@@ -165,7 +172,7 @@ func TestTaskingPublicAPI(t *testing.T) {
 
 func TestValidateTracePublicAPI(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "trace")
-	s, err := sword.NewSession(sword.Config{LogDir: dir})
+	s, err := sword.NewSession(sword.WithLogDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
