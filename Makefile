@@ -13,7 +13,7 @@ FAST_PKGS = . ./internal/archer ./internal/compress ./internal/core \
 	./internal/omp ./internal/osl ./internal/pcreg ./internal/report \
 	./internal/rt ./internal/trace ./internal/vc ./internal/workloads
 
-.PHONY: build test check fmt vet race
+.PHONY: build test check fmt vet race bench
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,11 @@ fmt:
 
 race:
 	$(GO) test -race $(FAST_PKGS)
+
+# Micro-benchmark suite (collector hot paths, flush pipeline, codecs);
+# writes BENCH_2.json in the schema documented in EXPERIMENTS.md.
+bench:
+	$(GO) run ./cmd/swordbench -bench BENCH_2.json
 
 check: vet fmt build race
 	@echo "check: ok"

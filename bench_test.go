@@ -338,6 +338,32 @@ func BenchmarkCollectorHotPath(b *testing.B) {
 	col.Close()
 }
 
+// BenchmarkCollectorContended measures the multi-threaded collection hot
+// path: 8 goroutines appending to distinct slots with frequent buffer
+// fills, so both the slot lookup and the flush pipeline are under
+// contention — the scenario the lock-free slot table and the parallel
+// flusher exist for. Reported as events/s (higher is better).
+func BenchmarkCollectorContended(b *testing.B) {
+	const threads = 8
+	store := trace.NewMemStore()
+	col := rt.New(store, rt.Config{MaxEvents: 4096})
+	rtm := omp.New(omp.WithTool(col))
+	pc := pcreg.Site("bench:contended")
+	b.ReportAllocs()
+	b.ResetTimer()
+	rtm.Parallel(threads, func(th *omp.Thread) {
+		base := 0x100000 + uint64(th.ID())<<24
+		for i := 0; i < b.N; i++ {
+			th.Write(base+uint64(i&4095)*8, 8, pc)
+		}
+	})
+	b.StopTimer()
+	if err := col.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(threads*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkAblationCompact compares offline analysis with and without the
 // interval-tree compaction pass on a fragmentation-heavy trace
 // (descending sweeps defeat insert-time coalescing).

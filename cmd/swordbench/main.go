@@ -9,6 +9,7 @@
 //	                           # tab2, fig6, tab3, tab4, fig7, fig8, tab5)
 //	swordbench -threads 2,4,8  # thread counts for the sweep experiments
 //	swordbench -repeats 10     # timing repetitions (the paper used 10)
+//	swordbench -bench BENCH.json  # micro-benchmark suite (hot paths, codecs)
 //	swordbench -list           # list experiment ids
 package main
 
@@ -32,8 +33,18 @@ func main() {
 	csvDir := flag.String("csv", "", "write the figures' data series as CSV to <dir>/<id>.csv")
 	metrics := flag.Bool("metrics", false, "print the aggregated sword metrics of the timing experiments")
 	metricsOut := flag.String("metrics-out", "", "write the aggregated metrics snapshot to this file (.csv for CSV, else JSON)")
+	bench := flag.String("bench", "", "run the performance micro-benchmark suite and write JSON results to this file (schema in EXPERIMENTS.md)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	if *bench != "" {
+		if err := harness.WriteMicroBenches(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, "swordbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *bench)
+		return
+	}
 
 	if *list {
 		for _, id := range harness.ExperimentIDs() {

@@ -101,6 +101,8 @@ func printMetrics(stats *sword.RunStats) {
 	fmt.Printf("blocks (flushes):    %d\n", snap.Value("trace.blocks"))
 	fmt.Printf("raw bytes:           %d\n", snap.Value("trace.raw_bytes"))
 	fmt.Printf("compressed bytes:    %d\n", snap.Value("trace.compressed_bytes"))
+	fmt.Printf("blocks skipped:      %d (batched fast path)\n", snap.Value("trace.blocks_skipped"))
+	fmt.Printf("skipped bytes:       %d\n", snap.Value("trace.skipped_bytes"))
 	fmt.Println("--- analysis effort ---")
 	fmt.Printf("interval pairs:      %d\n", snap.Value("core.interval_pairs"))
 	fmt.Printf("node comparisons:    %d\n", snap.Value("core.node_comparisons"))

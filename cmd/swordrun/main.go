@@ -31,6 +31,8 @@ func main() {
 	size := flag.Int("size", 0, "problem size (default: workload default)")
 	budget := flag.Int64("budget", 0, "node memory budget in bytes (0 = default, <0 = unlimited)")
 	logdir := flag.String("logdir", "", "directory for sword trace files (default: in-memory)")
+	flushWorkers := flag.Int("flush-workers", 0, "sword flush pipeline workers (0 = min(GOMAXPROCS, 4))")
+	batch := flag.Int("batch", 0, "sword offline analysis: N top-level subtrees per batch (0 = one pass)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	verbose := flag.Bool("v", false, "print per-race details")
 	asJSON := flag.Bool("json", false, "emit the race report as JSON")
@@ -97,7 +99,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "swordrun: unknown tool %q\n", *toolName)
 		os.Exit(2)
 	}
-	opts := harness.Options{Threads: *threads, Size: *size, NodeBudget: *budget}
+	opts := harness.Options{
+		Threads: *threads, Size: *size, NodeBudget: *budget,
+		FlushWorkers: *flushWorkers, SubtreeBatch: *batch,
+	}
 	if *logdir != "" {
 		store, err := trace.NewDirStore(*logdir)
 		if err != nil {
@@ -157,6 +162,10 @@ func main() {
 			fmt.Printf("counters: %d interval pairs, %d node comparisons, %d solver calls, %d compressed bytes\n",
 				st.Analysis.IntervalPairs, st.Analysis.NodeComparisons,
 				st.Analysis.SolverCalls, st.Collect.CompressedBytes)
+			if st.BlocksSkipped > 0 {
+				fmt.Printf("batched streaming: %d blocks skipped (%d compressed bytes not decoded)\n",
+					st.BlocksSkipped, st.SkippedBytes)
+			}
 		}
 		if *metricsOut != "" {
 			if err := sword.WriteMetrics(*metricsOut, res.RunStats.Metrics); err != nil {

@@ -87,22 +87,27 @@ func (Raw) Decompress(dst, src []byte, rawLen int) ([]byte, error) {
 	return append(dst, src...), nil
 }
 
-// Flate wraps compress/flate at a fast level. Writers are pooled; readers
-// are created per call.
+// Flate wraps compress/flate at a fast level. Writers and staging buffers
+// are pooled so the flush path stays allocation-free at steady state;
+// readers are created per call.
 type Flate struct {
 	writers *sync.Pool
+	bufs    *sync.Pool
 }
 
 // NewFlate returns a flate codec at compression level 1 (fastest), the
 // right trade-off for a hot flush path.
 func NewFlate() *Flate {
-	return &Flate{writers: &sync.Pool{New: func() any {
-		w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
-		if err != nil {
-			panic(err) // only fails for invalid levels
-		}
-		return w
-	}}}
+	return &Flate{
+		writers: &sync.Pool{New: func() any {
+			w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+			if err != nil {
+				panic(err) // only fails for invalid levels
+			}
+			return w
+		}},
+		bufs: &sync.Pool{New: func() any { return new(bytes.Buffer) }},
+	}
 }
 
 // Name implements Codec.
@@ -111,12 +116,15 @@ func (*Flate) Name() string { return "flate" }
 // ID implements Codec.
 func (*Flate) ID() byte { return IDZip }
 
-// Compress implements Codec.
+// Compress implements Codec. The flate writer cannot emit straight into
+// dst (it needs an io.Writer and flushes in chunks), so the output is
+// staged through a pooled buffer whose capacity survives across calls —
+// no per-call allocation once the pools are warm.
 func (f *Flate) Compress(dst, src []byte) []byte {
-	var buf bytes.Buffer
-	buf.Grow(len(src)/2 + 64)
+	buf := f.bufs.Get().(*bytes.Buffer)
+	buf.Reset()
 	w := f.writers.Get().(*flate.Writer)
-	w.Reset(&buf)
+	w.Reset(buf)
 	if _, err := w.Write(src); err != nil {
 		panic(fmt.Sprintf("compress: flate write to buffer failed: %v", err))
 	}
@@ -124,7 +132,9 @@ func (f *Flate) Compress(dst, src []byte) []byte {
 		panic(fmt.Sprintf("compress: flate close failed: %v", err))
 	}
 	f.writers.Put(w)
-	return append(dst, buf.Bytes()...)
+	dst = append(dst, buf.Bytes()...)
+	f.bufs.Put(buf)
+	return dst
 }
 
 // Decompress implements Codec.

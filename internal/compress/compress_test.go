@@ -229,3 +229,25 @@ func BenchmarkDecompress(b *testing.B) {
 		})
 	}
 }
+
+// TestCompressSteadyStateAllocs pins the flush path's allocation behavior:
+// with a capacity-sized dst and warm pools, Compress must not allocate —
+// the collector calls it once per buffer fill, on every thread.
+func TestCompressSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; steady-state allocs are meaningless")
+	}
+	src := benchData()
+	for _, c := range codecs() {
+		dst := c.Compress(nil, src)
+		for i := 0; i < 4; i++ { // warm the writer/buffer pools
+			dst = c.Compress(dst[:0], src)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			dst = c.Compress(dst[:0], src)
+		})
+		if allocs > 0.5 {
+			t.Errorf("%s: Compress allocates %.1f times per op at steady state, want 0", c.Name(), allocs)
+		}
+	}
+}

@@ -1,16 +1,17 @@
 package compress
 
 import (
+	"sync/atomic"
 	"time"
 
 	"sword/internal/obs"
 )
 
-// instrumented wraps a codec and records per-codec ratio and throughput
-// into an obs registry — the paper's codec bake-off (LZO vs Snappy vs LZ4)
-// as live counters instead of a one-off bench. Metric names are namespaced
-// by codec: compress.<name>.{raw_bytes,compressed_bytes,blocks,compress,
-// decompress}.
+// instrumented wraps a codec and records per-codec ratio, throughput and
+// saturation into an obs registry — the paper's codec bake-off (LZO vs
+// Snappy vs LZ4) as live counters instead of a one-off bench. Metric names
+// are namespaced by codec: compress.<name>.{raw_bytes,compressed_bytes,
+// blocks,compress,decompress,inflight_peak}.
 type instrumented struct {
 	Codec
 	rawBytes  *obs.Counter
@@ -18,6 +19,11 @@ type instrumented struct {
 	blocks    *obs.Counter
 	compTime  *obs.Timer
 	decTime   *obs.Timer
+	// inflight tracks concurrent Compress calls; its high-water mark is
+	// the codec's saturation under the parallel flush pipeline (how many
+	// flush workers actually compressed at once).
+	inflight     atomic.Int64
+	inflightPeak *obs.Gauge
 }
 
 // Instrument returns c with its Compress/Decompress paths recording into
@@ -30,20 +36,23 @@ func Instrument(c Codec, m *obs.Metrics) Codec {
 	}
 	prefix := "compress." + c.Name() + "."
 	return &instrumented{
-		Codec:     c,
-		rawBytes:  m.Counter(prefix + "raw_bytes"),
-		compBytes: m.Counter(prefix + "compressed_bytes"),
-		blocks:    m.Counter(prefix + "blocks"),
-		compTime:  m.Timer(prefix + "compress"),
-		decTime:   m.Timer(prefix + "decompress"),
+		Codec:        c,
+		rawBytes:     m.Counter(prefix + "raw_bytes"),
+		compBytes:    m.Counter(prefix + "compressed_bytes"),
+		blocks:       m.Counter(prefix + "blocks"),
+		compTime:     m.Timer(prefix + "compress"),
+		decTime:      m.Timer(prefix + "decompress"),
+		inflightPeak: m.Gauge(prefix + "inflight_peak"),
 	}
 }
 
 // Compress implements Codec.
 func (i *instrumented) Compress(dst, src []byte) []byte {
+	i.inflightPeak.SetMax(i.inflight.Add(1))
 	start := time.Now()
 	out := i.Codec.Compress(dst, src)
 	i.compTime.Observe(time.Since(start))
+	i.inflight.Add(-1)
 	i.blocks.Inc()
 	i.rawBytes.Add(uint64(len(src)))
 	i.compBytes.Add(uint64(len(out) - len(dst)))

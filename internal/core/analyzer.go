@@ -300,19 +300,49 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 	lr := trace.NewLogReader(src)
 	defer lr.Close()
 	cur := newSlotCursor(s.bySlot[slot], include)
+	// In batched mode a block whose logical span intersects none of the
+	// batch's fragments holds only data this pass would decode and throw
+	// away; skip its compressed payload entirely. Blocks arrive in
+	// ascending logical order, so one cursor over the wanted spans
+	// suffices. The full single-pass analysis keeps decoding everything —
+	// there, out-of-fragment events are a trace-integrity error the
+	// decoder must see, not dead weight.
+	var skipBlock func(start, rawLen uint64) bool
+	if include != nil {
+		var wanted [][2]uint64
+		for _, sp := range cur.spans {
+			if sp.unit != nil {
+				wanted = append(wanted, [2]uint64{sp.begin, sp.end})
+			}
+		}
+		wIdx := 0
+		skipBlock = func(start, rawLen uint64) bool {
+			end := start + rawLen
+			for wIdx < len(wanted) && wanted[wIdx][1] <= start {
+				wIdx++
+			}
+			return wIdx >= len(wanted) || wanted[wIdx][0] >= end
+		}
+	}
 	var dec trace.Decoder
 	var ev trace.Event
 	var events uint64
 	for {
-		start, raw, err := lr.Next()
+		start, raw, err := lr.NextFrom(skipBlock)
 		if err == io.EOF {
-			if countIO {
-				if m := a.cfg.Obs; m != nil {
+			if m := a.cfg.Obs; m != nil {
+				if countIO {
 					m.Counter("trace.events").Add(events)
 					m.Counter("trace.blocks").Add(lr.Blocks())
 					m.Counter("trace.raw_bytes").Add(lr.RawBytes())
 					m.Counter("trace.compressed_bytes").Add(lr.CompressedBytes())
 				}
+				// Skip totals accumulate across every batch: they measure
+				// the decompression work the fast path avoided, which is
+				// exactly the cost batched re-streaming would otherwise
+				// multiply.
+				m.Counter("trace.blocks_skipped").Add(lr.BlocksSkipped())
+				m.Counter("trace.skipped_bytes").Add(lr.SkippedBytes())
 			}
 			return nil
 		}

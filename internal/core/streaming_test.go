@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"sword/internal/memsim"
+	"sword/internal/obs"
 	"sword/internal/omp"
 	"sword/internal/pcreg"
 	"sword/internal/rt"
@@ -133,6 +134,68 @@ func TestSubtreeBatchEmptyStore(t *testing.T) {
 	}
 	if rep.Len() != 0 {
 		t.Fatal("empty store produced races")
+	}
+}
+
+// TestBatchedAnalysisSkipsBlocks: with many blocks per slot (small
+// collection buffers) and per-subtree batches, the reader must fly over
+// blocks belonging to other batches without decompressing them — and still
+// report exactly the single-pass races.
+func TestBatchedAnalysisSkipsBlocks(t *testing.T) {
+	store := trace.NewMemStore()
+	col := rt.New(store, rt.Config{Synchronous: true, MaxEvents: 32})
+	rtm := omp.New(omp.WithTool(col))
+	space := memsim.NewSpace(nil)
+	shared, _ := space.AllocF64(8)
+	arr, _ := space.AllocF64(256)
+	pcRace := pcreg.Site("skip:ww")
+	pcClean := pcreg.Site("skip:clean")
+	rtm.Run(func(initial *omp.Thread) {
+		for reg := 0; reg < 8; reg++ {
+			racy := reg == 2
+			initial.Parallel(2, func(th *omp.Thread) {
+				if racy {
+					th.StoreF64(shared, 0, 1, pcRace)
+				}
+				th.For(0, 256, func(i int) {
+					th.StoreF64(arr, i, float64(reg), pcClean)
+				})
+			})
+		}
+	})
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mSingle := obs.New()
+	base, err := New(store, Config{Obs: mSingle}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Len() != 1 {
+		t.Fatalf("single pass found %d races, want 1:\n%s", base.Len(), base.String())
+	}
+	if v := mSingle.Snapshot().Value("trace.blocks_skipped"); v != 0 {
+		t.Fatalf("single pass skipped %d blocks, want 0 (it must decode everything)", v)
+	}
+
+	m := obs.New()
+	rep, err := New(store, Config{SubtreeBatch: 1, Obs: m}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != base.Len() {
+		t.Fatalf("batched analysis found %d races, want %d:\n%s", rep.Len(), base.Len(), rep.String())
+	}
+	if rep.Races()[0].First.Source != base.Races()[0].First.Source {
+		t.Fatalf("batched race %v, want %v", rep.Races()[0], base.Races()[0])
+	}
+	snap := m.Snapshot()
+	if snap.Value("trace.blocks_skipped") == 0 {
+		t.Fatal("batched analysis skipped no blocks; the fast path never engaged")
+	}
+	if snap.Value("trace.skipped_bytes") == 0 {
+		t.Fatal("blocks were skipped but no bytes counted")
 	}
 }
 

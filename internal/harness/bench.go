@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"sword/internal/compress"
+	"sword/internal/omp"
+	"sword/internal/pcreg"
+	"sword/internal/rt"
+	"sword/internal/trace"
+)
+
+// BenchResult is one micro-benchmark's measurements, the schema of the
+// BENCH_*.json artifacts (documented in EXPERIMENTS.md).
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	EventsPerS  float64 `json:"events_per_s,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchCollectorContended measures the collection hot path under
+// contention: 8 team members hammer their own slots concurrently, so any
+// shared lock on the slot-lookup path serializes the whole team. The async
+// variant exercises the parallel flush pipeline; the sync variant
+// compresses on the application threads.
+func benchCollectorContended(synchronous bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const threads = 8
+		store := trace.NewMemStore()
+		col := rt.New(store, rt.Config{MaxEvents: 4096, Synchronous: synchronous})
+		rtm := omp.New(omp.WithTool(col))
+		pc := pcreg.Site("bench:contended")
+		b.ReportAllocs()
+		b.ResetTimer()
+		rtm.Parallel(threads, func(th *omp.Thread) {
+			base := 0x100000 + uint64(th.ID())<<24
+			for i := 0; i < b.N; i++ {
+				th.Write(base+uint64(i&4095)*8, 8, pc)
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(threads*b.N)/b.Elapsed().Seconds(), "events/s")
+		if err := col.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCollectorHotPath measures the uncontended single-thread append.
+func benchCollectorHotPath(b *testing.B) {
+	store := trace.NewMemStore()
+	col := rt.New(store, rt.Config{})
+	rtm := omp.New(omp.WithTool(col))
+	pc := pcreg.Site("bench:hotpath")
+	b.ReportAllocs()
+	b.ResetTimer()
+	rtm.Parallel(1, func(th *omp.Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Write(0x100000+uint64(i&4095)*8, 8, pc)
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	if err := col.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchCompress measures one codec on trace-shaped data (repetitive tags,
+// small varint deltas) — the block the collector flushes.
+func benchCompress(c compress.Codec) func(b *testing.B) {
+	return func(b *testing.B) {
+		src := make([]byte, 0, 75000)
+		for i := 0; i < 25000; i++ {
+			src = append(src, 0x9c, byte(8+i%3), byte(i%5+1))
+		}
+		var dst []byte
+		b.SetBytes(int64(len(src)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = c.Compress(dst[:0], src)
+		}
+	}
+}
+
+// MicroBenches runs the performance micro-benchmark suite programmatically
+// (testing.Benchmark, default 1s per benchmark) and returns benchmark name
+// → result. It covers the hot paths the perf work targets: contended
+// multi-slot collection (async pipeline vs synchronous flushing), the
+// uncontended append, and each flush codec.
+func MicroBenches() map[string]BenchResult {
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"CollectorContended", benchCollectorContended(false)},
+		{"CollectorContendedSync", benchCollectorContended(true)},
+		{"CollectorHotPath", benchCollectorHotPath},
+		{"Compress/raw", benchCompress(compress.Raw{})},
+		{"Compress/lzss", benchCompress(compress.LZSS{})},
+		{"Compress/flate", benchCompress(compress.NewFlate())},
+	}
+	out := make(map[string]BenchResult, len(benches))
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		res := BenchResult{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+		}
+		if v, ok := r.Extra["events/s"]; ok {
+			res.EventsPerS = v
+		}
+		out[bench.name] = res
+	}
+	return out
+}
+
+// WriteMicroBenches runs MicroBenches and writes the results to path as
+// indented JSON (keys sorted), the BENCH_*.json artifact format.
+func WriteMicroBenches(path string) error {
+	data, err := json.MarshalIndent(MicroBenches(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: marshal bench results: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -70,6 +70,13 @@ type Options struct {
 	Codec compress.Codec
 	// MaxEvents bounds sword's per-thread buffer; 0 means the default.
 	MaxEvents int
+	// FlushWorkers bounds sword's asynchronous flush pipeline; 0 means
+	// the collector default (min(GOMAXPROCS, 4)).
+	FlushWorkers int
+	// SubtreeBatch analyzes sword's offline phase in batches of N
+	// top-level region subtrees (bounded resident memory, block-skipping
+	// streaming); 0 means one pass.
+	SubtreeBatch int
 	// SkipOffline skips sword's offline phase (dynamic-only measurements,
 	// as in Figures 6-8 which plot log collection).
 	SkipOffline bool
@@ -190,6 +197,7 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 			sword.WithStore(store),
 			sword.WithCodec(codecName),
 			sword.WithMaxEvents(opts.MaxEvents),
+			sword.WithFlushWorkers(opts.FlushWorkers),
 			sword.WithObs(m),
 		)
 		if err != nil {
@@ -221,7 +229,8 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 		res.LogBytes = store.BytesWritten()
 		if !opts.SkipOffline {
 			oaStart := time.Now()
-			oaRep, _, err := sword.AnalyzeStore(store, sword.WithWorkers(1))
+			oaRep, _, err := sword.AnalyzeStore(store, sword.WithWorkers(1),
+				sword.WithSubtreeBatch(opts.SubtreeBatch))
 			if err != nil {
 				return res, fmt.Errorf("harness: offline (OA): %w", err)
 			}
@@ -232,7 +241,9 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 			}
 			mtStart := time.Now()
 			mtRep, mtStats, err := sword.AnalyzeStore(store,
-				sword.WithWorkers(mtWorkers), sword.WithObs(sess.Metrics()))
+				sword.WithWorkers(mtWorkers),
+				sword.WithSubtreeBatch(opts.SubtreeBatch),
+				sword.WithObs(sess.Metrics()))
 			if err != nil {
 				return res, fmt.Errorf("harness: offline (MT): %w", err)
 			}

@@ -51,3 +51,41 @@ func TestSwordRunStats(t *testing.T) {
 		t.Fatal("baseline run unexpectedly produced RunStats")
 	}
 }
+
+// TestSwordBatchedRunSkipsBlocks drives the full public-API pipeline on a
+// many-region workload with small collection buffers: the batched offline
+// phase must skip log blocks belonging to other batches (the reader's fast
+// path) and still produce the same race report as the single-pass run,
+// with the parallel flush pipeline enabled.
+func TestSwordBatchedRunSkipsBlocks(t *testing.T) {
+	wl, err := workloads.Get("lulesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Threads: 4, Size: 12, NodeBudget: -1, MaxEvents: 256, FlushWorkers: 2}
+	plain, err := Run(wl, Sword, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.RunStats.BlocksSkipped != 0 {
+		t.Fatalf("single-pass run skipped %d blocks, want 0", plain.RunStats.BlocksSkipped)
+	}
+	opts.SubtreeBatch = 2
+	batched, err := Run(wl, Sword, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Races != plain.Races {
+		t.Fatalf("batched run found %d races, single pass %d", batched.Races, plain.Races)
+	}
+	if batched.Report.String() != plain.Report.String() {
+		t.Fatalf("batched report differs from single-pass report:\n%s\nvs\n%s",
+			batched.Report, plain.Report)
+	}
+	if batched.RunStats.BlocksSkipped == 0 {
+		t.Fatal("batched run skipped no blocks; the fast path never engaged")
+	}
+	if batched.RunStats.SkippedBytes == 0 {
+		t.Fatal("batched run skipped blocks but counted no bytes")
+	}
+}

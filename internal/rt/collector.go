@@ -5,12 +5,22 @@
 // Each thread slot owns a fixed-capacity event buffer. Instrumented
 // accesses and mutex operations append to it; when it reaches capacity the
 // buffer is compressed and written to the slot's log file — asynchronously
-// by default, through a flusher goroutine, so application threads never
-// wait on the file system (the paper's "each thread collects memory
-// accesses into its own buffer ... compresses and writes out the buffer to
-// disk"). Barrier-interval boundaries (region begin/end, barriers, nested
-// forks) emit meta-data records locating each interval fragment's byte
-// range in the log.
+// by default, through a pool of flush workers, so application threads
+// never wait on compression or the file system (the paper's "each thread
+// collects memory accesses into its own buffer ... compresses and writes
+// out the buffer to disk"). Barrier-interval boundaries (region begin/end,
+// barriers, nested forks) emit meta-data records locating each interval
+// fragment's byte range in the log.
+//
+// Two invariants keep the hot path scalable:
+//
+//   - Slot lookup is lock-free. The slot table is an atomically published
+//     slice, grown copy-on-write under a mutex only when a new slot first
+//     appears; Access/MutexAcquired/MutexReleased pay one atomic load.
+//   - The flush pipeline preserves per-slot block order while compressing
+//     different slots concurrently: each slot owns a FIFO of pending
+//     buffers and is scheduled on at most one worker at a time, so blocks
+//     of one log are always written in collection order.
 //
 // The collector's memory use is bounded and application-independent:
 // per slot one event buffer (default 25,000 events ≈ 2 MB backing model)
@@ -20,6 +30,7 @@ package rt
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,10 +69,15 @@ type Config struct {
 	// Codec compresses flushed buffers; nil means the LZ77 codec (the
 	// paper used LZO).
 	Codec compress.Codec
-	// Synchronous disables the asynchronous flusher: buffers are
+	// Synchronous disables the asynchronous flush pipeline: buffers are
 	// compressed and written on the application thread. Useful for
 	// deterministic unit tests and the ablation bench.
 	Synchronous bool
+	// FlushWorkers bounds the asynchronous flush pipeline's worker pool:
+	// how many slots may compress and write concurrently. 0 picks
+	// min(GOMAXPROCS, 4); ignored in Synchronous mode. Per-slot block
+	// order is preserved regardless of the worker count.
+	FlushWorkers int
 	// PCs is the program-counter table to persist; nil means
 	// pcreg.Default.
 	PCs *pcreg.Table
@@ -88,14 +104,18 @@ type Stats struct {
 type Collector struct {
 	omp.NopTool
 
-	store     trace.Store
-	codec     compress.Codec
-	maxEvents int
-	sync      bool
-	pcs       *pcreg.Table
+	store        trace.Store
+	codec        compress.Codec
+	maxEvents    int
+	sync         bool
+	flushWorkers int
+	pcs          *pcreg.Table
 
+	// table is the atomically published slot table, indexed by slot id.
+	// Readers pay one atomic load; mu guards creation and the
+	// copy-on-write growth, never the per-event path.
+	table  atomic.Pointer[[]*slotState]
 	mu     sync.Mutex
-	states map[int]*slotState
 	closed bool
 
 	// Region fork/wait boundary cuts, keyed by region id, in the parent
@@ -107,67 +127,90 @@ type Collector struct {
 	forkCuts map[uint64]uint64
 	waitCuts map[uint64]uint64
 
-	flushCh chan flushJob
-	flushWG sync.WaitGroup
-	bufPool sync.Pool
+	// Asynchronous flush pipeline: slots with pending buffers are
+	// scheduled on flushCh and drained by flushWorkers workers. queued
+	// buffers are counted in queueLen (for the high-water gauge) and in
+	// pendingWG so Close can drain deterministically.
+	flushCh   chan *slotState
+	flushWG   sync.WaitGroup
+	pendingWG sync.WaitGroup
+	queueLen  atomic.Int64
+	active    atomic.Int64
+	bufPool   sync.Pool // *[]byte (pointer avoids boxing on Put, SA6002)
 
 	events    atomic.Uint64
 	flushes   atomic.Uint64
 	fragments atomic.Uint64
 
+	// Protocol diagnostics: malformed tool-event sequences (for example a
+	// RegionJoin with no matching RegionFork) are recorded here instead of
+	// panicking mid-run.
+	diagMu sync.Mutex
+	diags  []string
+
 	// Observability handles (nil-safe no-ops when Config.Obs is nil).
 	// timed gates the time.Now calls so an uninstrumented collector pays
 	// no clock reads on the flush path.
-	timed       bool
-	mEvents     *obs.Counter
-	mFills      *obs.Counter
-	mFlushes    *obs.Counter
-	mRawBytes   *obs.Counter
-	mCompBytes  *obs.Counter
-	mFragments  *obs.Counter
-	mSlots      *obs.Gauge
-	mFlushLat   *obs.Timer
-	mFlushQueue *obs.Gauge
-}
-
-type flushJob struct {
-	st  *slotState
-	buf []byte
+	timed        bool
+	mEvents      *obs.Counter
+	mFills       *obs.Counter
+	mFlushes     *obs.Counter
+	mRawBytes    *obs.Counter
+	mCompBytes   *obs.Counter
+	mFragments   *obs.Counter
+	mSlots       *obs.Gauge
+	mFlushLat    *obs.Timer
+	mFlushQueue  *obs.Gauge
+	mFlushActive *obs.Gauge
+	mProtoErrs   *obs.Counter
 }
 
 // slotState is the per-thread-slot collection state. Only the goroutine
-// currently owning the slot mutates it; the flusher goroutine owns the log
-// writer after handoff.
+// currently owning the slot mutates the encoder and fragment state; the
+// flush pipeline owns the log writer, one worker at a time.
 type slotState struct {
 	slot    int
 	enc     trace.Encoder
 	log     *trace.LogWriter
 	meta    *trace.MetaWriter
-	flushed uint64 // logical bytes handed to the flusher
+	flushed uint64 // logical bytes handed to the flush pipeline
 
 	frag     trace.Meta
 	fragOpen bool
 	stack    []trace.Meta // suspended enclosing fragments at nested forks
 	cuts     map[trace.IntervalKey]uint64
+
+	// Pending flush queue. qmu orders producers against the draining
+	// worker; queued means the slot is scheduled (or running) on a worker,
+	// which guarantees at most one in-flight compression per slot and
+	// therefore in-order blocks within the log.
+	qmu    sync.Mutex
+	queue  []*[]byte
+	queued bool
 }
 
 // New creates a collector writing to store.
 func New(store trace.Store, cfg Config) *Collector {
 	c := &Collector{
-		store:     store,
-		codec:     cfg.Codec,
-		maxEvents: cfg.MaxEvents,
-		sync:      cfg.Synchronous,
-		pcs:       cfg.PCs,
-		states:    make(map[int]*slotState),
-		forkCuts:  make(map[uint64]uint64),
-		waitCuts:  make(map[uint64]uint64),
+		store:        store,
+		codec:        cfg.Codec,
+		maxEvents:    cfg.MaxEvents,
+		sync:         cfg.Synchronous,
+		flushWorkers: cfg.FlushWorkers,
+		pcs:          cfg.PCs,
+		forkCuts:     make(map[uint64]uint64),
+		waitCuts:     make(map[uint64]uint64),
 	}
+	empty := make([]*slotState, 0)
+	c.table.Store(&empty)
 	if c.codec == nil {
 		c.codec = compress.LZSS{}
 	}
 	if c.maxEvents <= 0 {
 		c.maxEvents = DefaultMaxEvents
+	}
+	if c.flushWorkers <= 0 {
+		c.flushWorkers = min(runtime.GOMAXPROCS(0), 4)
 	}
 	if c.pcs == nil {
 		c.pcs = pcreg.Default
@@ -183,21 +226,46 @@ func New(store trace.Store, cfg Config) *Collector {
 		c.mSlots = m.Gauge("rt.slots")
 		c.mFlushLat = m.Timer("rt.flush")
 		c.mFlushQueue = m.Gauge("rt.flush_queue_peak")
+		c.mFlushActive = m.Gauge("rt.flush_active_peak")
+		c.mProtoErrs = m.Counter("rt.protocol_errors")
 	}
-	c.bufPool.New = func() any { return []byte(nil) }
+	c.bufPool.New = func() any { return new([]byte) }
 	if !c.sync {
-		c.flushCh = make(chan flushJob, 64)
-		c.flushWG.Add(1)
-		go c.flusher()
+		c.flushCh = make(chan *slotState, 256)
+		for w := 0; w < c.flushWorkers; w++ {
+			c.flushWG.Add(1)
+			go c.flushWorker()
+		}
+		if m := cfg.Obs; m != nil {
+			m.Gauge("rt.flush_workers").Set(int64(c.flushWorkers))
+		}
 	}
 	return c
 }
 
-func (c *Collector) flusher() {
+// flushWorker drains scheduled slots. A slot is on the channel at most
+// once (the queued flag), so two workers never touch the same log writer;
+// within one slot, buffers leave the FIFO in collection order.
+func (c *Collector) flushWorker() {
 	defer c.flushWG.Done()
-	for job := range c.flushCh {
-		c.writeBlock(job.st, job.buf)
-		c.bufPool.Put(job.buf[:0]) //nolint:staticcheck // slice reuse is the point
+	for st := range c.flushCh {
+		c.mFlushActive.SetMax(c.active.Add(1))
+		for {
+			st.qmu.Lock()
+			if len(st.queue) == 0 {
+				st.queued = false
+				st.qmu.Unlock()
+				break
+			}
+			buf := st.queue[0]
+			st.queue = st.queue[1:]
+			st.qmu.Unlock()
+			c.writeBlock(st, *buf)
+			c.queueLen.Add(-1)
+			c.bufPool.Put(buf)
+			c.pendingWG.Done()
+		}
+		c.active.Add(-1)
 	}
 }
 
@@ -224,38 +292,75 @@ func (c *Collector) writeBlock(st *slotState, buf []byte) {
 	}
 }
 
-// state returns (creating if needed) the slot's collection state.
+// state returns (creating if needed) the slot's collection state. The
+// common case — the slot already exists — is one atomic load and an
+// indexed read, with no shared lock between threads.
 func (c *Collector) state(slot int) *slotState {
+	tab := *c.table.Load()
+	if slot < len(tab) {
+		if st := tab[slot]; st != nil {
+			return st
+		}
+	}
+	return c.newState(slot)
+}
+
+// newState is the slow path: create the slot's writers and publish a new
+// table. Publication is copy-on-write so concurrent lock-free readers
+// never observe a partially initialized entry.
+func (c *Collector) newState(slot int) *slotState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st, ok := c.states[slot]
-	if !ok {
-		logSink, err := c.store.CreateLog(slot)
-		if err != nil {
-			panic(fmt.Sprintf("rt: create log for slot %d: %v", slot, err))
-		}
-		metaSink, err := c.store.CreateMeta(slot)
-		if err != nil {
-			panic(fmt.Sprintf("rt: create meta for slot %d: %v", slot, err))
-		}
-		st = &slotState{
-			slot: slot,
-			log:  trace.NewLogWriter(logSink, c.codec),
-			meta: trace.NewMetaWriter(metaSink),
-			cuts: make(map[trace.IntervalKey]uint64),
-		}
-		c.states[slot] = st
-		c.mSlots.Set(int64(len(c.states)))
+	tab := *c.table.Load()
+	if slot < len(tab) && tab[slot] != nil {
+		return tab[slot] // lost the creation race
 	}
+	logSink, err := c.store.CreateLog(slot)
+	if err != nil {
+		panic(fmt.Sprintf("rt: create log for slot %d: %v", slot, err))
+	}
+	metaSink, err := c.store.CreateMeta(slot)
+	if err != nil {
+		panic(fmt.Sprintf("rt: create meta for slot %d: %v", slot, err))
+	}
+	st := &slotState{
+		slot: slot,
+		log:  trace.NewLogWriter(logSink, c.codec),
+		meta: trace.NewMetaWriter(metaSink),
+		cuts: make(map[trace.IntervalKey]uint64),
+	}
+	grown := make([]*slotState, max(len(tab), slot+1))
+	copy(grown, tab)
+	grown[slot] = st
+	c.table.Store(&grown)
+	slots := 0
+	for _, s := range grown {
+		if s != nil {
+			slots++
+		}
+	}
+	c.mSlots.Set(int64(slots))
 	return st
+}
+
+// snapshot returns the current slot states, skipping unused table entries.
+func (c *Collector) snapshot() []*slotState {
+	tab := *c.table.Load()
+	states := make([]*slotState, 0, len(tab))
+	for _, st := range tab {
+		if st != nil {
+			states = append(states, st)
+		}
+	}
+	return states
 }
 
 // logical returns the slot's current logical byte position: flushed bytes
 // plus the encoder's pending bytes.
 func (st *slotState) logical() uint64 { return st.flushed + uint64(st.enc.Len()) }
 
-// flush hands the current buffer to the flusher (or writes it inline in
-// synchronous mode) and resets the encoder.
+// flush hands the current buffer to the flush pipeline (or writes it
+// inline in synchronous mode) and resets the encoder.
 func (c *Collector) flush(st *slotState) {
 	n := st.enc.Len()
 	if n == 0 {
@@ -264,12 +369,50 @@ func (c *Collector) flush(st *slotState) {
 	if c.sync {
 		c.writeBlock(st, st.enc.Bytes())
 	} else {
-		buf := append(c.bufPool.Get().([]byte)[:0], st.enc.Bytes()...)
-		c.flushCh <- flushJob{st: st, buf: buf}
-		c.mFlushQueue.SetMax(int64(len(c.flushCh)))
+		buf := c.bufPool.Get().(*[]byte)
+		*buf = append((*buf)[:0], st.enc.Bytes()...)
+		c.enqueue(st, buf)
 	}
 	st.flushed += uint64(n)
 	st.enc.Reset()
+}
+
+// enqueue appends a buffer to the slot's FIFO and schedules the slot on a
+// worker unless one already holds it. The queued transition happens under
+// the slot's lock, so a slot is never scheduled twice.
+func (c *Collector) enqueue(st *slotState, buf *[]byte) {
+	c.pendingWG.Add(1)
+	c.mFlushQueue.SetMax(c.queueLen.Add(1))
+	st.qmu.Lock()
+	st.queue = append(st.queue, buf)
+	schedule := !st.queued
+	if schedule {
+		st.queued = true
+	}
+	st.qmu.Unlock()
+	if schedule {
+		c.flushCh <- st
+	}
+}
+
+// diag records a protocol diagnostic: the collector keeps collecting, the
+// malformed sequence is surfaced through Diagnostics and the
+// rt.protocol_errors counter instead of a mid-run panic.
+func (c *Collector) diag(msg string) {
+	c.diagMu.Lock()
+	c.diags = append(c.diags, msg)
+	c.diagMu.Unlock()
+	c.mProtoErrs.Inc()
+}
+
+// Diagnostics returns the protocol diagnostics recorded so far (malformed
+// tool-event sequences). Empty on a well-formed run.
+func (c *Collector) Diagnostics() []string {
+	c.diagMu.Lock()
+	defer c.diagMu.Unlock()
+	out := make([]string, len(c.diags))
+	copy(out, c.diags)
+	return out
 }
 
 // openFragment starts a new interval fragment for the thread's current
@@ -374,8 +517,14 @@ func (c *Collector) TaskWaited(spawner *omp.Thread, taskIDs []uint64) {
 
 // RegionJoin implements omp.Tool: the encountering thread resumes its
 // suspended fragment as a fresh fragment with the same interval identity.
-func (c *Collector) RegionJoin(parent *omp.Thread, _ omp.RegionInfo) {
+// A join with no matching fork (a malformed tool-event sequence) is
+// recorded as a diagnostic rather than panicking.
+func (c *Collector) RegionJoin(parent *omp.Thread, region omp.RegionInfo) {
 	st := c.state(parent.Slot())
+	if len(st.stack) == 0 {
+		c.diag(fmt.Sprintf("rt: slot %d: RegionJoin of region %d without a matching RegionFork", st.slot, region.ID))
+		return
+	}
 	top := st.stack[len(st.stack)-1]
 	st.stack = st.stack[:len(st.stack)-1]
 	if top.Span == 0 {
@@ -439,9 +588,9 @@ func (c *Collector) bump(st *slotState) {
 	}
 }
 
-// Close flushes every slot's remaining buffer, closes all writers, stops
-// the flusher, and persists the PC table. The collector must not be used
-// afterwards.
+// Close flushes every slot's remaining buffer, drains the flush pipeline,
+// closes all writers, and persists the PC table. The collector must not be
+// used afterwards.
 func (c *Collector) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -449,11 +598,8 @@ func (c *Collector) Close() error {
 		return nil
 	}
 	c.closed = true
-	states := make([]*slotState, 0, len(c.states))
-	for _, st := range c.states {
-		states = append(states, st)
-	}
 	c.mu.Unlock()
+	states := c.snapshot()
 
 	for _, st := range states {
 		if st.fragOpen {
@@ -462,6 +608,7 @@ func (c *Collector) Close() error {
 		c.flush(st)
 	}
 	if !c.sync {
+		c.pendingWG.Wait() // every queued buffer is on disk
 		close(c.flushCh)
 		c.flushWG.Wait()
 	}
@@ -522,10 +669,8 @@ func (c *Collector) Stats() Stats {
 		Flushes:   c.flushes.Load(),
 		Fragments: c.fragments.Load(),
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s.Slots = len(c.states)
-	for _, st := range c.states {
+	for _, st := range c.snapshot() {
+		s.Slots++
 		s.RawBytes += st.log.RawBytes()
 		s.CompressedBytes += st.log.CompressedBytes()
 	}

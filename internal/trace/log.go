@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"sword/internal/compress"
 )
@@ -23,6 +24,10 @@ import (
 // recovers them by accumulating rawLen while streaming.
 
 // LogWriter frames, compresses and writes event blocks to a log sink.
+// WriteBlock must be called from one goroutine at a time (the collector's
+// flush pipeline schedules each slot on at most one worker); the byte
+// counters are atomic so live Stats reads never race with a flush in
+// flight.
 type LogWriter struct {
 	w       *bufio.Writer
 	c       io.Closer
@@ -30,8 +35,8 @@ type LogWriter struct {
 	logical uint64
 	scratch []byte
 	head    [2 * binary.MaxVarintLen64]byte
-	rawIn   uint64
-	compOut uint64
+	rawIn   atomic.Uint64
+	compOut atomic.Uint64
 }
 
 // NewLogWriter returns a writer that compresses blocks with codec and
@@ -45,10 +50,10 @@ func NewLogWriter(w io.WriteCloser, codec compress.Codec) *LogWriter {
 func (w *LogWriter) Logical() uint64 { return w.logical }
 
 // RawBytes returns the total uncompressed bytes accepted.
-func (w *LogWriter) RawBytes() uint64 { return w.rawIn }
+func (w *LogWriter) RawBytes() uint64 { return w.rawIn.Load() }
 
 // CompressedBytes returns the total compressed payload bytes emitted.
-func (w *LogWriter) CompressedBytes() uint64 { return w.compOut }
+func (w *LogWriter) CompressedBytes() uint64 { return w.compOut.Load() }
 
 // WriteBlock compresses raw and appends it as one block. Empty blocks are
 // dropped.
@@ -69,8 +74,8 @@ func (w *LogWriter) WriteBlock(raw []byte) error {
 		return fmt.Errorf("trace: write block payload: %w", err)
 	}
 	w.logical += uint64(len(raw))
-	w.rawIn += uint64(len(raw))
-	w.compOut += uint64(len(w.scratch))
+	w.rawIn.Add(uint64(len(raw)))
+	w.compOut.Add(uint64(len(w.scratch)))
 	return nil
 }
 
@@ -88,13 +93,15 @@ func (w *LogWriter) Close() error {
 // bytes, so the offline phase can report the trace volume it consumed
 // without a second pass over the store.
 type LogReader struct {
-	r       *bufio.Reader
-	c       io.Closer
-	logical uint64
-	comp    []byte
-	raw     []byte
-	blocks  uint64
-	compIn  uint64
+	r        *bufio.Reader
+	c        io.Closer
+	logical  uint64
+	comp     []byte
+	raw      []byte
+	blocks   uint64
+	compIn   uint64
+	skipped  uint64
+	skippedB uint64
 }
 
 // NewLogReader returns a reader over r. The codec of each block is
@@ -106,42 +113,70 @@ func NewLogReader(r io.ReadCloser) *LogReader {
 // Next returns the logical start offset and decompressed contents of the
 // next block. The returned slice is reused by subsequent calls. It returns
 // io.EOF after the last block.
-func (r *LogReader) Next() (uint64, []byte, error) {
-	rawLen, err := binary.ReadUvarint(r.r)
-	if err != nil {
-		if errors.Is(err, io.EOF) {
-			return 0, nil, io.EOF
+func (r *LogReader) Next() (uint64, []byte, error) { return r.NextFrom(nil) }
+
+// NextFrom is Next with a block-skipping fast path: for every block it
+// first reads only the framing (raw length, compressed length, codec id)
+// and consults skip with the block's logical span; a skipped block's
+// compressed payload is discarded without decompressing or decoding, and
+// the scan continues with the following block. A nil skip decodes
+// everything, exactly like Next.
+//
+// Skipped blocks still count into Blocks, RawBytes and CompressedBytes —
+// their framing was consumed, and the write-side totals must keep agreeing
+// with the read-side ones — and additionally into BlocksSkipped and
+// SkippedBytes, the work the fast path avoided. The offline analyzer uses
+// this under SubtreeBatch to fly over blocks whose span intersects no
+// interval fragment of the current batch.
+func (r *LogReader) NextFrom(skip func(start, rawLen uint64) bool) (uint64, []byte, error) {
+	for {
+		rawLen, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return 0, nil, io.EOF
+			}
+			return 0, nil, fmt.Errorf("trace: read block raw length: %w", err)
 		}
-		return 0, nil, fmt.Errorf("trace: read block raw length: %w", err)
+		compLen, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return 0, nil, fmt.Errorf("trace: read block compressed length: %w", err)
+		}
+		id, err := r.r.ReadByte()
+		if err != nil {
+			return 0, nil, fmt.Errorf("trace: read codec id: %w", err)
+		}
+		start := r.logical
+		if skip != nil && skip(start, rawLen) {
+			if _, err := r.r.Discard(int(compLen)); err != nil {
+				return 0, nil, fmt.Errorf("trace: skip block payload: %w", err)
+			}
+			r.logical += rawLen
+			r.blocks++
+			r.compIn += compLen
+			r.skipped++
+			r.skippedB += compLen
+			continue
+		}
+		codec, err := compress.ByID(id)
+		if err != nil {
+			return 0, nil, err
+		}
+		if cap(r.comp) < int(compLen) {
+			r.comp = make([]byte, compLen)
+		}
+		r.comp = r.comp[:compLen]
+		if _, err := io.ReadFull(r.r, r.comp); err != nil {
+			return 0, nil, fmt.Errorf("trace: read block payload: %w", err)
+		}
+		r.raw, err = codec.Decompress(r.raw[:0], r.comp, int(rawLen))
+		if err != nil {
+			return 0, nil, err
+		}
+		r.logical += rawLen
+		r.blocks++
+		r.compIn += compLen
+		return start, r.raw, nil
 	}
-	compLen, err := binary.ReadUvarint(r.r)
-	if err != nil {
-		return 0, nil, fmt.Errorf("trace: read block compressed length: %w", err)
-	}
-	id, err := r.r.ReadByte()
-	if err != nil {
-		return 0, nil, fmt.Errorf("trace: read codec id: %w", err)
-	}
-	codec, err := compress.ByID(id)
-	if err != nil {
-		return 0, nil, err
-	}
-	if cap(r.comp) < int(compLen) {
-		r.comp = make([]byte, compLen)
-	}
-	r.comp = r.comp[:compLen]
-	if _, err := io.ReadFull(r.r, r.comp); err != nil {
-		return 0, nil, fmt.Errorf("trace: read block payload: %w", err)
-	}
-	r.raw, err = codec.Decompress(r.raw[:0], r.comp, int(rawLen))
-	if err != nil {
-		return 0, nil, err
-	}
-	start := r.logical
-	r.logical += rawLen
-	r.blocks++
-	r.compIn += compLen
-	return start, r.raw, nil
 }
 
 // Blocks returns the number of blocks read so far — one per collector
@@ -154,6 +189,14 @@ func (r *LogReader) RawBytes() uint64 { return r.logical }
 // CompressedBytes returns the total compressed payload bytes read so far
 // (excluding block framing).
 func (r *LogReader) CompressedBytes() uint64 { return r.compIn }
+
+// BlocksSkipped returns how many blocks NextFrom discarded without
+// decompressing.
+func (r *LogReader) BlocksSkipped() uint64 { return r.skipped }
+
+// SkippedBytes returns the compressed payload bytes NextFrom discarded
+// without decompressing.
+func (r *LogReader) SkippedBytes() uint64 { return r.skippedB }
 
 // Close closes the underlying source.
 func (r *LogReader) Close() error { return r.c.Close() }

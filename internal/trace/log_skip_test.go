@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"sword/internal/compress"
+)
+
+// writeSkipFixture stores five blocks of known raw sizes and returns their
+// contents. Sizes differ so logical spans are distinguishable.
+func writeSkipFixture(t *testing.T, store Store, codec compress.Codec) [][]byte {
+	t.Helper()
+	sink, err := store.CreateLog(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewLogWriter(sink, codec)
+	blocks := [][]byte{
+		bytes.Repeat([]byte{1}, 100),
+		bytes.Repeat([]byte{2}, 200),
+		bytes.Repeat([]byte{3}, 300),
+		bytes.Repeat([]byte{4}, 400),
+		bytes.Repeat([]byte{5}, 500),
+	}
+	for _, b := range blocks {
+		if err := w.WriteBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return blocks
+}
+
+func TestNextFromSkipsBlocks(t *testing.T) {
+	for _, codec := range []compress.Codec{compress.Raw{}, compress.LZSS{}, compress.NewFlate()} {
+		t.Run(codec.Name(), func(t *testing.T) {
+			store := NewMemStore()
+			blocks := writeSkipFixture(t, store, codec)
+
+			// Full decode first, for the byte-accounting baseline.
+			src, err := store.OpenLog(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := NewLogReader(src)
+			for {
+				if _, _, err := full.Next(); err == io.EOF {
+					break
+				} else if err != nil {
+					t.Fatal(err)
+				}
+			}
+			full.Close()
+			if full.BlocksSkipped() != 0 || full.SkippedBytes() != 0 {
+				t.Fatalf("full decode skipped %d blocks / %d bytes", full.BlocksSkipped(), full.SkippedBytes())
+			}
+
+			// Skip the 2nd and 4th block (starts 100 and 600) by span.
+			src, err = store.OpenLog(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := NewLogReader(src)
+			skip := func(start, rawLen uint64) bool {
+				return start == 100 || start == 600
+			}
+			wantStarts := []uint64{0, 300, 1000}
+			wantBlocks := [][]byte{blocks[0], blocks[2], blocks[4]}
+			for i := range wantBlocks {
+				start, raw, err := r.NextFrom(skip)
+				if err != nil {
+					t.Fatalf("block %d: %v", i, err)
+				}
+				if start != wantStarts[i] {
+					t.Fatalf("block %d starts at %d, want %d", i, start, wantStarts[i])
+				}
+				if !bytes.Equal(raw, wantBlocks[i]) {
+					t.Fatalf("block %d content mismatch (%d bytes)", i, len(raw))
+				}
+			}
+			if _, _, err := r.NextFrom(skip); err != io.EOF {
+				t.Fatalf("after last block: %v, want EOF", err)
+			}
+			r.Close()
+
+			// Skipped blocks still count into the read-side totals (they must
+			// agree with the write side) and into the skip counters.
+			if r.Blocks() != 5 || r.RawBytes() != 1500 {
+				t.Fatalf("blocks=%d raw=%d, want 5/1500", r.Blocks(), r.RawBytes())
+			}
+			if r.CompressedBytes() != full.CompressedBytes() {
+				t.Fatalf("compressed bytes %d, want %d as in full decode", r.CompressedBytes(), full.CompressedBytes())
+			}
+			if r.BlocksSkipped() != 2 {
+				t.Fatalf("BlocksSkipped = %d, want 2", r.BlocksSkipped())
+			}
+			if r.SkippedBytes() == 0 || r.SkippedBytes() >= r.CompressedBytes() {
+				t.Fatalf("SkippedBytes = %d, want in (0, %d)", r.SkippedBytes(), r.CompressedBytes())
+			}
+		})
+	}
+}
+
+func TestNextFromSkipAll(t *testing.T) {
+	store := NewMemStore()
+	writeSkipFixture(t, store, compress.LZSS{})
+	src, err := store.OpenLog(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewLogReader(src)
+	if _, _, err := r.NextFrom(func(uint64, uint64) bool { return true }); err != io.EOF {
+		t.Fatalf("skip-all: %v, want EOF", err)
+	}
+	r.Close()
+	if r.BlocksSkipped() != 5 || r.Blocks() != 5 || r.RawBytes() != 1500 {
+		t.Fatalf("skip-all counters: skipped=%d blocks=%d raw=%d", r.BlocksSkipped(), r.Blocks(), r.RawBytes())
+	}
+	if r.SkippedBytes() != r.CompressedBytes() {
+		t.Fatalf("skip-all: SkippedBytes %d != CompressedBytes %d", r.SkippedBytes(), r.CompressedBytes())
+	}
+}

@@ -23,6 +23,11 @@ type Config struct {
 	// MaxEvents bounds the per-thread buffer (0 = 25,000 events, the
 	// paper's 2 MB default).
 	MaxEvents int
+	// FlushWorkers bounds the collector's asynchronous flush pipeline:
+	// how many thread slots may compress and write concurrently
+	// (0 = min(GOMAXPROCS, 4)). Per-slot block order is preserved for
+	// any worker count, so the stored trace is identical.
+	FlushWorkers int
 	// Workers bounds offline analysis parallelism (0 = GOMAXPROCS).
 	Workers int
 	// NoSolver replaces the precise strided-intersection decision with
@@ -76,6 +81,13 @@ func WithMaxEvents(n int) Option {
 // WithWorkers bounds offline analysis parallelism (0 = GOMAXPROCS).
 func WithWorkers(n int) Option {
 	return func(c *Config) { c.Workers = n }
+}
+
+// WithFlushWorkers bounds the collection-phase flush pipeline: how many
+// thread slots may compress and write concurrently (0 = min(GOMAXPROCS,
+// 4)). The stored trace is byte-identical for any worker count.
+func WithFlushWorkers(n int) Option {
+	return func(c *Config) { c.FlushWorkers = n }
 }
 
 // WithNoSolver toggles the bounding-box ablation: overlap is decided

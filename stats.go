@@ -48,6 +48,12 @@ type RunStats struct {
 	TreeBuild    time.Duration // interval-tree construction (all batches)
 	Compare      time.Duration // pair comparison (all batches)
 	AnalyzeTotal time.Duration // whole offline phase
+	// Block-skipping effect of batched analysis (WithSubtreeBatch): how
+	// many log blocks the reader flew over without decompressing, and
+	// their compressed payload volume, summed across all batches. Zero in
+	// single-pass analyses, which decode everything.
+	BlocksSkipped uint64
+	SkippedBytes  uint64
 	// Metrics is the registry snapshot the durations were read from.
 	Metrics Snapshot
 }
@@ -55,10 +61,12 @@ type RunStats struct {
 // newRunStats folds a registry snapshot into the summary struct.
 func newRunStats(snap Snapshot) *RunStats {
 	return &RunStats{
-		Structure:    snap.Duration("core.phase.structure"),
-		TreeBuild:    snap.Duration("core.phase.trees"),
-		Compare:      snap.Duration("core.phase.compare"),
-		AnalyzeTotal: snap.Duration("core.phase.total"),
-		Metrics:      snap,
+		Structure:     snap.Duration("core.phase.structure"),
+		TreeBuild:     snap.Duration("core.phase.trees"),
+		Compare:       snap.Duration("core.phase.compare"),
+		AnalyzeTotal:  snap.Duration("core.phase.total"),
+		BlocksSkipped: uint64(snap.Value("trace.blocks_skipped")),
+		SkippedBytes:  uint64(snap.Value("trace.skipped_bytes")),
+		Metrics:       snap,
 	}
 }

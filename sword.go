@@ -141,9 +141,10 @@ func NewSession(opts ...Option) (*Session, error) {
 		m = obs.New()
 	}
 	collector := rt.New(store, rt.Config{
-		Codec:     compress.Instrument(codec, m),
-		MaxEvents: cfg.MaxEvents,
-		Obs:       m,
+		Codec:        compress.Instrument(codec, m),
+		MaxEvents:    cfg.MaxEvents,
+		FlushWorkers: cfg.FlushWorkers,
+		Obs:          m,
 	})
 	return &Session{
 		cfg:       cfg,
