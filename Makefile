@@ -13,7 +13,7 @@ FAST_PKGS = . ./internal/archer ./internal/compress ./internal/core \
 	./internal/omp ./internal/osl ./internal/pcreg ./internal/report \
 	./internal/rt ./internal/trace ./internal/vc ./internal/workloads
 
-.PHONY: build test check fmt vet race bench
+.PHONY: build test check fmt vet race bench fuzz
 
 build:
 	$(GO) build ./...
@@ -33,10 +33,22 @@ fmt:
 race:
 	$(GO) test -race $(FAST_PKGS)
 
+# Short fuzz pass over the trace readers: adversarial inputs must never
+# panic or allocate unboundedly (seed corpus built in internal/trace).
+# One invocation per target — go test allows a single -fuzz match.
+fuzz:
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzLogReader$$' -fuzztime 10s
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzDecodeMeta$$' -fuzztime 10s
+
 # Micro-benchmark suite (collector hot paths, flush pipeline, codecs);
 # writes BENCH_2.json in the schema documented in EXPERIMENTS.md.
+# CHAOS=1 additionally runs the crash-tolerance chaos experiment
+# (mid-run store failure, then salvage analysis of the wreckage).
 bench:
 	$(GO) run ./cmd/swordbench -bench BENCH_2.json
+ifdef CHAOS
+	$(GO) run ./cmd/swordbench -chaos
+endif
 
-check: vet fmt build race
+check: vet fmt build race fuzz
 	@echo "check: ok"

@@ -34,8 +34,15 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the aggregated sword metrics of the timing experiments")
 	metricsOut := flag.String("metrics-out", "", "write the aggregated metrics snapshot to this file (.csv for CSV, else JSON)")
 	bench := flag.String("bench", "", "run the performance micro-benchmark suite and write JSON results to this file (schema in EXPERIMENTS.md)")
+	chaos := flag.Bool("chaos", false, "run the crash-tolerance chaos experiment (mid-run store failure + salvage analysis)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	if *chaos {
+		fmt.Println("==== chaos ====")
+		fmt.Print(harness.ChaosExperiment())
+		return
+	}
 
 	if *bench != "" {
 		if err := harness.WriteMicroBenches(*bench); err != nil {

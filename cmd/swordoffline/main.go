@@ -10,6 +10,11 @@
 //	swordoffline -logdir /tmp/trace -batch 4   # bounded-memory streaming
 //	swordoffline -logdir /tmp/trace -metrics   # per-phase timing breakdown
 //	swordoffline -logdir /tmp/trace -metrics-out m.json  # export snapshot
+//	swordoffline -logdir /tmp/trace -salvage   # analyze a damaged trace
+//
+// Exit codes: 0 = clean trace, no races; 3 = races found; 4 = partial
+// trace (salvage mode recovered a damaged trace), no races in what
+// survived; 5 = partial trace with races; 1 = analysis failed; 2 = usage.
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 	batch := flag.Int("batch", 0, "bound memory by analyzing N top-level region subtrees at a time (0 = all at once)")
 	noSolver := flag.Bool("nosolver", false, "disable the strided-interval constraint solver (ablation)")
 	noCompact := flag.Bool("nocompact", false, "disable interval-tree compaction (ablation)")
+	salvage := flag.Bool("salvage", false, "graceful-degradation mode for damaged traces: recover and analyze what survived")
 	check := flag.Bool("check", false, "validate trace integrity before analyzing")
 	metrics := flag.Bool("metrics", false, "print the observability breakdown: per-phase timings and pipeline counters")
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, else JSON)")
@@ -48,10 +54,15 @@ func main() {
 	}
 	if *check {
 		if err := sword.ValidateTrace(*logdir); err != nil {
-			fmt.Fprintln(os.Stderr, "swordoffline: trace integrity:", err)
-			os.Exit(1)
+			if !*salvage {
+				fmt.Fprintln(os.Stderr, "swordoffline: trace integrity:", err)
+				os.Exit(1)
+			}
+			// Salvage mode exists precisely for traces that fail this check.
+			fmt.Fprintln(os.Stderr, "swordoffline: trace integrity:", err, "(continuing in salvage mode)")
+		} else {
+			fmt.Println("trace integrity: ok")
 		}
-		fmt.Println("trace integrity: ok")
 	}
 	start := time.Now()
 	rep, stats, err := sword.Analyze(*logdir,
@@ -59,6 +70,7 @@ func main() {
 		sword.WithSubtreeBatch(*batch),
 		sword.WithNoSolver(*noSolver),
 		sword.WithNoCompact(*noCompact),
+		sword.WithSalvage(*salvage),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swordoffline:", err)
@@ -81,7 +93,12 @@ func main() {
 		}
 		fmt.Println("metrics written to", *metricsOut)
 	}
-	if rep.Len() > 0 {
+	switch {
+	case rep.Stats.Partial() && rep.Len() > 0:
+		os.Exit(5)
+	case rep.Stats.Partial():
+		os.Exit(4)
+	case rep.Len() > 0:
 		os.Exit(3)
 	}
 }

@@ -33,6 +33,7 @@ func main() {
 	logdir := flag.String("logdir", "", "directory for sword trace files (default: in-memory)")
 	flushWorkers := flag.Int("flush-workers", 0, "sword flush pipeline workers (0 = min(GOMAXPROCS, 4))")
 	batch := flag.Int("batch", 0, "sword offline analysis: N top-level subtrees per batch (0 = one pass)")
+	salvage := flag.Bool("salvage", false, "sword offline analysis: graceful-degradation mode for damaged traces")
 	list := flag.Bool("list", false, "list workloads and exit")
 	verbose := flag.Bool("v", false, "print per-race details")
 	asJSON := flag.Bool("json", false, "emit the race report as JSON")
@@ -101,7 +102,7 @@ func main() {
 	}
 	opts := harness.Options{
 		Threads: *threads, Size: *size, NodeBudget: *budget,
-		FlushWorkers: *flushWorkers, SubtreeBatch: *batch,
+		FlushWorkers: *flushWorkers, SubtreeBatch: *batch, Salvage: *salvage,
 	}
 	if *logdir != "" {
 		store, err := trace.NewDirStore(*logdir)

@@ -51,6 +51,16 @@ type Config struct {
 	// identical to the default whole-run analysis (0 = analyze everything
 	// in one pass).
 	SubtreeBatch int
+	// Salvage switches the analyzer into graceful-degradation mode for
+	// damaged traces: tolerant readers recover the intact prefix of every
+	// log and meta stream, intervals whose data was lost (corrupt blocks,
+	// torn tails, unrecoverable structure) are quarantined, and every
+	// concurrent pair whose data survived is still analyzed. The report's
+	// Stats carry the coverage (intervals analyzed vs quarantined, bytes
+	// salvaged vs lost) and its Notes say exactly what was lost and why.
+	// Block skipping is disabled under Salvage so every payload is
+	// integrity-checked even in SubtreeBatch mode.
+	Salvage bool
 	// Obs, when non-nil, receives the offline phase's live metrics
 	// (core.* and trace.* names, see docs/FORMAT.md): per-phase wall
 	// times (structure recovery, tree build, pair comparison), interval
@@ -64,11 +74,52 @@ type Config struct {
 type Analyzer struct {
 	store trace.Store
 	cfg   Config
+
+	// Salvage-mode damage records, one per slot, filled by the first
+	// (full-stream) pass over the logs.
+	salvMu   sync.Mutex
+	slotSalv map[int]*slotSalvage
+}
+
+// slotSalvage is what salvage-mode log streaming learned about one slot.
+type slotSalvage struct {
+	rep        *trace.SalvageReport
+	logEnd     uint64      // logical end of the salvaged log stream
+	truncated  bool        // stream ended before a clean block boundary
+	extraLost  [][2]uint64 // CRC-clean blocks whose events failed to decode
+	openFailed bool        // the log file could not even be opened
+	notes      []string
+}
+
+// damaged reports whether any of the interval's fragments lost data: a
+// fragment intersecting a lost logical range, or extending past the
+// salvaged end of the log (data the crashed collector never wrote).
+func (ss *slotSalvage) damaged(iv *interval) bool {
+	if ss.openFailed {
+		return true
+	}
+	var lost [][2]uint64
+	if ss.rep != nil {
+		lost = ss.rep.LostRanges()
+	}
+	lost = append(lost, ss.extraLost...)
+	for _, f := range iv.frags {
+		fEnd := f.begin + f.size
+		if fEnd > ss.logEnd {
+			return true
+		}
+		for _, lr := range lost {
+			if f.begin < lr[1] && lr[0] < fEnd {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // New returns an analyzer over store.
 func New(store trace.Store, cfg Config) *Analyzer {
-	return &Analyzer{store: store, cfg: cfg}
+	return &Analyzer{store: store, cfg: cfg, slotSalv: make(map[int]*slotSalvage)}
 }
 
 // Analyze performs the full offline analysis and returns the race report.
@@ -80,12 +131,19 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 	m := a.cfg.Obs
 	totalStart := time.Now()
 	pcs := a.cfg.PCs
+	var pcNote string
 	if pcs == nil {
 		if aux, err := a.store.OpenAux("pctable"); err == nil {
 			pcs, err = pcreg.ReadTable(aux)
 			aux.Close()
 			if err != nil {
-				return nil, fmt.Errorf("core: read pc table: %w", err)
+				if !a.cfg.Salvage {
+					return nil, fmt.Errorf("core: read pc table: %w", err)
+				}
+				// A crash can tear the aux file too; symbolization is a
+				// nicety, not a reason to abandon the race analysis.
+				pcs = pcreg.NewTable()
+				pcNote = fmt.Sprintf("pc table damaged (%v); race sites reported as numeric ids", err)
 			}
 		} else {
 			pcs = pcreg.NewTable()
@@ -93,13 +151,16 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 	}
 
 	phaseStart := time.Now()
-	s, err := buildStructure(a.store)
+	s, err := buildStructure(a.store, a.cfg.Salvage)
 	if err != nil {
 		return nil, err
 	}
 	m.Timer("core.phase.structure").Observe(time.Since(phaseStart))
 
 	rep := report.New()
+	if pcNote != "" {
+		rep.Note("%s", pcNote)
+	}
 	rep.Stats.Intervals = len(s.intervals)
 	rep.Stats.Regions = len(s.regions)
 	m.Counter("core.intervals").Add(uint64(len(s.intervals)))
@@ -135,6 +196,12 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 			return nil, err
 		}
 		m.Timer("core.phase.trees").Observe(time.Since(phaseStart))
+		if a.cfg.Salvage {
+			// The first pass streamed every log end to end, so the damage
+			// records are complete: quarantine intervals whose data was
+			// lost before any pairing or accounting sees their trees.
+			a.applyQuarantine(s, rep, firstBatch)
+		}
 		firstBatch = false
 		pairs := enumeratePairs(s, include)
 		rep.Stats.IntervalPairs += len(pairs)
@@ -182,6 +249,9 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 			break
 		}
 	}
+	if a.cfg.Salvage {
+		a.finishSalvage(s, rep, m)
+	}
 	rep.Stats.NodeComparisons = comparisons.load()
 	rep.Stats.SolverCalls = solverCalls.load()
 	m.Counter("core.accesses").Add(rep.Stats.Accesses)
@@ -191,6 +261,91 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 	m.Counter("core.races").Add(uint64(rep.Len()))
 	m.Timer("core.phase.total").Observe(time.Since(totalStart))
 	return rep, nil
+}
+
+// applyQuarantine marks intervals whose data the salvage pass found
+// damaged and frees any trees already built for them, so neither pairing
+// nor the effort accounting sees partial data. Idempotent; the flags
+// persist across SubtreeBatch batches.
+func (a *Analyzer) applyQuarantine(s *structure, rep *report.Report, firstBatch bool) {
+	a.salvMu.Lock()
+	defer a.salvMu.Unlock()
+	for slot, ivs := range s.bySlot {
+		ss := a.slotSalv[slot]
+		for _, iv := range ivs {
+			if !iv.quarantined && ss != nil && ss.damaged(iv) {
+				iv.quarantined = true
+				if firstBatch {
+					rep.Note("interval %+v quarantined: its log data was lost", iv.key)
+				}
+			}
+			if iv.quarantined && iv.units != nil {
+				iv.resetUnits()
+			}
+		}
+	}
+}
+
+// finishSalvage folds the damage records into the report: coverage stats,
+// notes, and the trace.* salvage metrics.
+func (a *Analyzer) finishSalvage(s *structure, rep *report.Report, m *obs.Metrics) {
+	for _, n := range s.notes {
+		rep.Note("%s", n)
+	}
+	quarantined := 0
+	for _, iv := range s.intervals {
+		if iv.quarantined {
+			quarantined++
+		}
+	}
+	salvaged := s.metaSalvagedBytes
+	var lost uint64
+	corrupt := 0
+	truncSlots := make(map[int]bool, len(s.truncatedMeta))
+	for slot := range s.truncatedMeta {
+		truncSlots[slot] = true
+	}
+	a.salvMu.Lock()
+	for slot, ss := range a.slotSalv {
+		if ss.openFailed || ss.truncated {
+			truncSlots[slot] = true
+		}
+		if ss.rep != nil {
+			corrupt += ss.rep.CorruptBlocks
+			salvaged += ss.rep.SalvagedBytes
+			lost += ss.rep.LostBytes
+		}
+		corrupt += len(ss.extraLost)
+		for _, r := range ss.extraLost {
+			lost += r[1] - r[0]
+		}
+		for _, n := range ss.notes {
+			rep.Note("%s", n)
+		}
+	}
+	a.salvMu.Unlock()
+	rep.Stats.IntervalsQuarantined = quarantined
+	rep.Stats.CorruptBlocks = corrupt
+	rep.Stats.TruncatedSlots = len(truncSlots)
+	rep.Stats.SalvagedBytes = salvaged
+	rep.Stats.LostBytes = lost
+	m.Counter("trace.corrupt_blocks").Add(uint64(corrupt))
+	m.Counter("trace.truncated_slots").Add(uint64(len(truncSlots)))
+	m.Counter("trace.salvaged_bytes").Add(salvaged)
+	m.Counter("trace.lost_bytes").Add(lost)
+	m.Counter("core.intervals_quarantined").Add(uint64(quarantined))
+	if rep.Stats.Partial() {
+		rep.Note("partial trace: %d of %d interval(s) quarantined; races hold for the surviving data only",
+			quarantined, len(s.intervals))
+	}
+}
+
+// recordSalvage stores one slot's damage record; called once per slot by
+// the first (full-stream) pass.
+func (a *Analyzer) recordSalvage(slot int, ss *slotSalvage) {
+	a.salvMu.Lock()
+	a.slotSalv[slot] = ss
+	a.salvMu.Unlock()
 }
 
 // buildTrees streams every slot's log once, routing access events into the
@@ -245,7 +400,7 @@ type fragSpan struct {
 func newSlotCursor(ivs []*interval, include map[uint64]bool) *slotCursor {
 	c := &slotCursor{}
 	for _, iv := range ivs {
-		included := include == nil || include[iv.region.top.id]
+		included := (include == nil || include[iv.region.top.id]) && !iv.quarantined
 		if included {
 			iv.materializeUnits()
 		}
@@ -295,10 +450,24 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 	}()
 	src, err := a.store.OpenLog(slot)
 	if err != nil {
+		if a.cfg.Salvage {
+			// The whole log is gone; quarantine the slot's intervals and
+			// keep analyzing everything else.
+			if countIO {
+				a.recordSalvage(slot, &slotSalvage{openFailed: true, notes: []string{
+					fmt.Sprintf("slot %d: log unreadable (%v); all its intervals quarantined", slot, err)}})
+			}
+			return nil
+		}
 		return fmt.Errorf("core: open log %d: %w", slot, err)
 	}
 	lr := trace.NewLogReader(src)
 	defer lr.Close()
+	var ss *slotSalvage
+	if a.cfg.Salvage {
+		lr.SetTolerant(true)
+		ss = &slotSalvage{}
+	}
 	cur := newSlotCursor(s.bySlot[slot], include)
 	// In batched mode a block whose logical span intersects none of the
 	// batch's fragments holds only data this pass would decode and throw
@@ -307,8 +476,10 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 	// suffices. The full single-pass analysis keeps decoding everything —
 	// there, out-of-fragment events are a trace-integrity error the
 	// decoder must see, not dead weight.
+	// Under Salvage skipping is disabled: every payload must pass through
+	// the integrity check so the damage records stay complete.
 	var skipBlock func(start, rawLen uint64) bool
-	if include != nil {
+	if include != nil && !a.cfg.Salvage {
 		var wanted [][2]uint64
 		for _, sp := range cur.spans {
 			if sp.unit != nil {
@@ -330,6 +501,16 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 	for {
 		start, raw, err := lr.NextFrom(skipBlock)
 		if err == io.EOF {
+			if ss != nil && countIO {
+				srep := lr.Salvage()
+				ss.rep = srep
+				ss.logEnd = lr.RawBytes()
+				ss.truncated = srep.Truncated
+				if !srep.Clean() {
+					ss.notes = append(ss.notes, fmt.Sprintf("slot %d: log damaged: %s", slot, srep))
+				}
+				a.recordSalvage(slot, ss)
+			}
 			if m := a.cfg.Obs; m != nil {
 				if countIO {
 					m.Counter("trace.events").Add(events)
@@ -353,6 +534,16 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 		for dec.More() {
 			pos := start + uint64(dec.Pos())
 			if err := dec.Next(&ev); err != nil {
+				if ss != nil {
+					// The block passed its CRC but the event stream inside
+					// is malformed: write the rest of the block off as lost
+					// and resync at the next block boundary.
+					end := start + uint64(len(raw))
+					ss.extraLost = append(ss.extraLost, [2]uint64{pos, end})
+					ss.notes = append(ss.notes,
+						fmt.Sprintf("slot %d: undecodable events in [%d, %d): %v", slot, pos, end, err))
+					break
+				}
 				return fmt.Errorf("core: decode log %d at %d: %w", slot, pos, err)
 			}
 			events++
@@ -364,6 +555,11 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 				cur.held = cur.held.Without(ev.Mutex)
 			case trace.KindAccess:
 				if !inside {
+					if ss != nil {
+						// Its interval's meta record was lost with a damaged
+						// stream; the access has no home, drop it.
+						continue
+					}
 					return fmt.Errorf("core: slot %d access at %d outside any interval fragment", slot, pos)
 				}
 				if unit == nil {
@@ -429,6 +625,9 @@ func enumeratePairs(s *structure, include map[uint64]bool) [][2]*treeUnit {
 	groups := make(map[groupKey][]*interval)
 	byRegion := make(map[uint64][]*interval)
 	for _, iv := range s.intervals {
+		if iv.quarantined {
+			continue // salvage: the interval's data did not survive
+		}
 		if include != nil && !include[iv.region.top.id] {
 			continue
 		}

@@ -21,7 +21,7 @@ func buildFromProgram(t *testing.T, program func(rtm *omp.Runtime, space *memsim
 	if err := col.Close(); err != nil {
 		t.Fatal(err)
 	}
-	s, err := buildStructure(store)
+	s, err := buildStructure(store, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,12 @@ type region struct {
 	// since the initial thread forks top-level regions in program order);
 	// frames[i] positions the chain within ancestor i.
 	frames []frame
+
+	// quarantined marks a region whose concurrency structure could not be
+	// recovered from a damaged trace (a lost parent, an unresolvable
+	// chain): salvage-mode analysis excludes its intervals rather than
+	// guessing at concurrency.
+	quarantined bool
 }
 
 // frame is a fork coordinate: where, inside an enclosing region, the next
@@ -71,6 +77,12 @@ type interval struct {
 	frags      []fragment
 	taskParent bool
 	units      []*treeUnit
+
+	// quarantined excludes the interval from salvage-mode analysis: its
+	// log data intersects a lost range, extends past a truncated log, or
+	// its region's structure is unrecoverable. The flag persists across
+	// SubtreeBatch batches.
+	quarantined bool
 }
 
 // treeUnit is a comparable chunk of an interval's accesses.
@@ -123,20 +135,39 @@ type structure struct {
 	intervals map[trace.IntervalKey]*interval
 	bySlot    map[int][]*interval // used to route log events to trees
 	topGroups map[uint64][]*region
+
+	// Salvage-mode bookkeeping (empty after a strict build).
+	notes             []string     // human-readable damage annotations
+	truncatedMeta     map[int]bool // slots whose meta stream ended torn
+	metaSalvagedBytes uint64       // encoded bytes of intact meta records
+}
+
+func (s *structure) note(format string, args ...any) {
+	s.notes = append(s.notes, fmt.Sprintf(format, args...))
 }
 
 // buildStructure loads every slot's meta-data file plus the taskwaits
-// table and reconstructs regions and intervals.
-func buildStructure(store trace.Store) (*structure, error) {
+// table and reconstructs regions and intervals. In salvage mode damage is
+// tolerated: torn meta streams contribute their intact prefix, and regions
+// whose structure cannot be recovered (a parent lost with a damaged slot)
+// are quarantined together with their intervals instead of failing the
+// analysis.
+func buildStructure(store trace.Store, salvage bool) (*structure, error) {
 	slots, err := store.Slots()
 	if err != nil {
 		return nil, fmt.Errorf("core: list slots: %w", err)
 	}
 	taskWaits := map[uint64]uint64{}
 	if aux, err := store.OpenAux("taskwaits"); err == nil {
-		taskWaits, err = trace.ReadTaskWaits(aux)
-		if err != nil {
-			return nil, err
+		var twErr error
+		taskWaits, twErr = trace.ReadTaskWaits(aux)
+		if twErr != nil {
+			if !salvage {
+				return nil, twErr
+			}
+			// Without taskwait cuts, task windows stay conservatively open
+			// ([forkCut, ∞)), which can only widen concurrency, not miss it.
+			taskWaits = map[uint64]uint64{}
 		}
 	}
 	s := &structure{
@@ -145,14 +176,38 @@ func buildStructure(store trace.Store) (*structure, error) {
 		bySlot:    make(map[int][]*interval),
 		topGroups: make(map[uint64][]*region),
 	}
+	if salvage {
+		s.truncatedMeta = make(map[int]bool)
+	}
 	for _, slot := range slots {
 		src, err := store.OpenMeta(slot)
 		if err != nil {
+			if salvage {
+				s.note("slot %d: meta file unreadable: %v", slot, err)
+				s.truncatedMeta[slot] = true
+				continue
+			}
 			return nil, fmt.Errorf("core: open meta %d: %w", slot, err)
 		}
-		metas, err := trace.ReadAllMeta(src)
-		if err != nil {
-			return nil, fmt.Errorf("core: read meta %d: %w", slot, err)
+		var metas []trace.Meta
+		if salvage {
+			var srep *trace.SalvageReport
+			metas, srep, err = trace.ReadAllMetaTolerant(src)
+			if err != nil {
+				s.note("slot %d: meta file unreadable: %v", slot, err)
+				s.truncatedMeta[slot] = true
+				continue
+			}
+			s.metaSalvagedBytes += srep.SalvagedBytes
+			if !srep.Clean() {
+				s.truncatedMeta[slot] = true
+				s.note("slot %d: meta stream damaged after %d record(s): %s", slot, srep.IntactRecords, srep)
+			}
+		} else {
+			metas, err = trace.ReadAllMeta(src)
+			if err != nil {
+				return nil, fmt.Errorf("core: read meta %d: %w", slot, err)
+			}
 		}
 		for i := range metas {
 			m := &metas[i]
@@ -173,6 +228,10 @@ func buildStructure(store trace.Store) (*structure, error) {
 				s.bySlot[slot] = append(s.bySlot[slot], iv)
 			}
 			if iv.slot != slot {
+				if salvage {
+					s.note("slot %d: meta record for interval %+v conflicts with slot %d; record dropped", slot, key, iv.slot)
+					continue
+				}
 				return nil, fmt.Errorf("core: interval %+v spans slots %d and %d", key, iv.slot, slot)
 			}
 			iv.frags = append(iv.frags, fragment{begin: m.DataBegin, size: m.DataSize, held: m.Held, cut: m.Cut})
@@ -189,13 +248,43 @@ func buildStructure(store trace.Store) (*structure, error) {
 		if r.ppid != trace.NoParent {
 			p, ok := s.regions[r.ppid]
 			if !ok {
+				if salvage {
+					// The parent's meta records were lost with a damaged
+					// slot: this region's position in the concurrency
+					// structure is unknowable, so its subtree is excluded.
+					r.quarantined = true
+					s.note("region %d references parent %d, lost with a damaged slot; subtree quarantined", r.id, r.ppid)
+					continue
+				}
 				return nil, fmt.Errorf("core: region %d references unknown parent %d", r.id, r.ppid)
 			}
 			r.parent = p
 		}
 	}
+	if salvage {
+		// Quarantine is hereditary: a region below a quarantined ancestor
+		// has no recoverable position either.
+		for _, r := range s.regions {
+			for p := r.parent; p != nil; p = p.parent {
+				if p.quarantined {
+					r.quarantined = true
+					break
+				}
+			}
+		}
+	}
 	for _, r := range s.regions {
+		if r.quarantined {
+			r.top = r // self-reference keeps lookups total; not a topGroup
+			continue
+		}
 		if _, err := s.resolveFrames(r, 0); err != nil {
+			if salvage {
+				r.quarantined = true
+				r.top = r
+				s.note("region %d: %v; quarantined", r.id, err)
+				continue
+			}
 			return nil, err
 		}
 		top := r
@@ -208,13 +297,20 @@ func buildStructure(store trace.Store) (*structure, error) {
 	// Mark intervals that spawn tasks: their trees must be per-fragment so
 	// accesses order against the spawn and wait cuts.
 	for _, r := range s.regions {
-		if !r.async || r.parent == nil {
+		if !r.async || r.parent == nil || r.quarantined {
 			continue
 		}
 		f := r.frames[len(r.frames)-1]
 		key := trace.IntervalKey{PID: r.ppid, TID: f.tid, BID: f.bid}
 		if iv, ok := s.intervals[key]; ok {
 			iv.taskParent = true
+		}
+	}
+	if salvage {
+		for _, iv := range s.intervals {
+			if iv.region.quarantined {
+				iv.quarantined = true
+			}
 		}
 	}
 	// Deterministic fragment order within each interval and interval order

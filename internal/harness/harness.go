@@ -77,6 +77,11 @@ type Options struct {
 	// top-level region subtrees (bounded resident memory, block-skipping
 	// streaming); 0 means one pass.
 	SubtreeBatch int
+	// Salvage analyzes sword's offline phase in graceful-degradation mode:
+	// damaged traces are recovered instead of failing the run (see
+	// sword.WithSalvage). The chaos experiment uses it; regular
+	// measurements leave it off so trace damage fails loudly.
+	Salvage bool
 	// SkipOffline skips sword's offline phase (dynamic-only measurements,
 	// as in Figures 6-8 which plot log collection).
 	SkipOffline bool
@@ -230,7 +235,8 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 		if !opts.SkipOffline {
 			oaStart := time.Now()
 			oaRep, _, err := sword.AnalyzeStore(store, sword.WithWorkers(1),
-				sword.WithSubtreeBatch(opts.SubtreeBatch))
+				sword.WithSubtreeBatch(opts.SubtreeBatch),
+				sword.WithSalvage(opts.Salvage))
 			if err != nil {
 				return res, fmt.Errorf("harness: offline (OA): %w", err)
 			}
@@ -243,6 +249,7 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 			mtRep, mtStats, err := sword.AnalyzeStore(store,
 				sword.WithWorkers(mtWorkers),
 				sword.WithSubtreeBatch(opts.SubtreeBatch),
+				sword.WithSalvage(opts.Salvage),
 				sword.WithObs(sess.Metrics()))
 			if err != nil {
 				return res, fmt.Errorf("harness: offline (MT): %w", err)

@@ -63,7 +63,8 @@ func (r Race) normKey() key {
 	return key{pcA: a.PC, pcB: b.PC, wA: a.Write, wB: b.Write}
 }
 
-// Stats captures analysis effort counters for the experiment tables.
+// Stats captures analysis effort counters for the experiment tables, plus
+// the coverage counters of salvage-mode analysis over a damaged trace.
 type Stats struct {
 	Intervals       int    // barrier intervals analyzed
 	IntervalPairs   int    // concurrent interval pairs compared
@@ -72,6 +73,21 @@ type Stats struct {
 	NodeComparisons uint64 // overlapping node pairs examined
 	SolverCalls     uint64 // precise strided-intersection decisions
 	Regions         int    // parallel region instances
+
+	// Salvage coverage: how much of the trace survived. All zero for a
+	// clean trace (or strict-mode analysis, which errors out instead).
+	IntervalsQuarantined int    // intervals excluded because their data was lost
+	CorruptBlocks        int    // log blocks that failed their integrity check
+	TruncatedSlots       int    // slots whose log or meta stream ended torn
+	SalvagedBytes        uint64 // logical trace bytes recovered and analyzed
+	LostBytes            uint64 // logical trace bytes lost to corruption
+}
+
+// Partial reports whether the analysis ran over a damaged trace: some
+// intervals were quarantined or trace bytes were lost, so a clean result
+// means "no races found in what survived", not "no races".
+func (s *Stats) Partial() bool {
+	return s.IntervalsQuarantined > 0 || s.CorruptBlocks > 0 || s.TruncatedSlots > 0 || s.LostBytes > 0
 }
 
 // Report accumulates deduplicated races. It is safe for concurrent Add,
@@ -79,6 +95,7 @@ type Stats struct {
 type Report struct {
 	mu    sync.Mutex
 	races map[key]*Race
+	notes []string
 	Stats Stats
 }
 
@@ -124,7 +141,23 @@ func (r *Report) Len() int {
 	return len(r.races)
 }
 
-// String renders the full report, one race per line, with a summary.
+// Note records an annotation about the analysis — salvage mode uses it to
+// say what was lost and why. Safe for concurrent use.
+func (r *Report) Note(format string, args ...any) {
+	r.mu.Lock()
+	r.notes = append(r.notes, fmt.Sprintf(format, args...))
+	r.mu.Unlock()
+}
+
+// Notes returns the annotations in recording order.
+func (r *Report) Notes() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.notes...)
+}
+
+// String renders the full report, one race per line, with a summary and
+// any salvage notes.
 func (r *Report) String() string {
 	races := r.Races()
 	var b strings.Builder
@@ -133,6 +166,13 @@ func (r *Report) String() string {
 		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "%d race(s)\n", len(races))
+	for _, n := range r.Notes() {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if r.Stats.Partial() {
+		fmt.Fprintf(&b, "partial trace: %d interval(s) quarantined, %d corrupt block(s), %d truncated slot(s), %d byte(s) lost\n",
+			r.Stats.IntervalsQuarantined, r.Stats.CorruptBlocks, r.Stats.TruncatedSlots, r.Stats.LostBytes)
+	}
 	return b.String()
 }
 
@@ -140,6 +180,7 @@ func (r *Report) String() string {
 type jsonReport struct {
 	Races []jsonRace `json:"races"`
 	Stats Stats      `json:"stats"`
+	Notes []string   `json:"notes,omitempty"`
 }
 
 type jsonRace struct {
@@ -158,7 +199,7 @@ type jsonSide struct {
 // MarshalJSON renders the report as stable, sorted JSON for tooling.
 func (r *Report) MarshalJSON() ([]byte, error) {
 	races := r.Races()
-	out := jsonReport{Races: make([]jsonRace, 0, len(races)), Stats: r.Stats}
+	out := jsonReport{Races: make([]jsonRace, 0, len(races)), Stats: r.Stats, Notes: r.Notes()}
 	for _, race := range races {
 		out.Races = append(out.Races, jsonRace{
 			First:  jsonSide{PC: race.First.PC, Source: race.First.Source, Op: race.First.op()},

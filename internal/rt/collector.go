@@ -29,6 +29,7 @@
 package rt
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -96,6 +97,8 @@ type Stats struct {
 	CompressedBytes uint64 // compressed payload bytes written
 	Fragments       uint64 // meta-data records emitted
 	Slots           int    // thread slots that produced logs
+	FlushErrors     uint64 // trace writes that failed (slots degraded, run kept alive)
+	DegradedSlots   int    // slots whose trace was truncated by a write failure
 }
 
 // Collector is the SWORD dynamic phase. Create one per run with New,
@@ -138,9 +141,10 @@ type Collector struct {
 	active    atomic.Int64
 	bufPool   sync.Pool // *[]byte (pointer avoids boxing on Put, SA6002)
 
-	events    atomic.Uint64
-	flushes   atomic.Uint64
-	fragments atomic.Uint64
+	events      atomic.Uint64
+	flushes     atomic.Uint64
+	fragments   atomic.Uint64
+	flushErrors atomic.Uint64
 
 	// Protocol diagnostics: malformed tool-event sequences (for example a
 	// RegionJoin with no matching RegionFork) are recorded here instead of
@@ -163,6 +167,7 @@ type Collector struct {
 	mFlushQueue  *obs.Gauge
 	mFlushActive *obs.Gauge
 	mProtoErrs   *obs.Counter
+	mFlushErrs   *obs.Counter
 }
 
 // slotState is the per-thread-slot collection state. Only the goroutine
@@ -187,6 +192,14 @@ type slotState struct {
 	qmu    sync.Mutex
 	queue  []*[]byte
 	queued bool
+
+	// degraded is set when a trace write for this slot fails. The policy
+	// for production runs is graceful degradation, not abort: the failure
+	// is counted (rt.flush_errors) and diagnosed, further log blocks and
+	// meta records for the slot are dropped — truncating its trace at the
+	// last successfully written byte, a prefix the salvage-mode analyzer
+	// recovers — and the application keeps running undisturbed.
+	degraded atomic.Bool
 }
 
 // New creates a collector writing to store.
@@ -228,6 +241,7 @@ func New(store trace.Store, cfg Config) *Collector {
 		c.mFlushQueue = m.Gauge("rt.flush_queue_peak")
 		c.mFlushActive = m.Gauge("rt.flush_active_peak")
 		c.mProtoErrs = m.Counter("rt.protocol_errors")
+		c.mFlushErrs = m.Counter("rt.flush_errors")
 	}
 	c.bufPool.New = func() any { return new([]byte) }
 	if !c.sync {
@@ -270,7 +284,7 @@ func (c *Collector) flushWorker() {
 }
 
 func (c *Collector) writeBlock(st *slotState, buf []byte) {
-	if len(buf) == 0 {
+	if len(buf) == 0 || st.degraded.Load() {
 		return
 	}
 	var start time.Time
@@ -279,9 +293,8 @@ func (c *Collector) writeBlock(st *slotState, buf []byte) {
 	}
 	compBefore := st.log.CompressedBytes()
 	if err := st.log.WriteBlock(buf); err != nil {
-		// Collection I/O failure is unrecoverable for the analysis; the
-		// real tool would abort the run. Surface loudly.
-		panic(fmt.Sprintf("rt: flush slot %d: %v", st.slot, err))
+		c.degrade(st, fmt.Sprintf("rt: flush slot %d: %v", st.slot, err))
+		return
 	}
 	c.flushes.Add(1)
 	if c.timed {
@@ -291,6 +304,25 @@ func (c *Collector) writeBlock(st *slotState, buf []byte) {
 		c.mCompBytes.Add(st.log.CompressedBytes() - compBefore)
 	}
 }
+
+// degrade marks a slot's trace as truncated after a write failure: the
+// error is counted and diagnosed, and the slot stops writing. The
+// application thread is never interrupted — that is the whole point of a
+// production-run detector.
+func (c *Collector) degrade(st *slotState, msg string) {
+	c.flushErrors.Add(1)
+	c.mFlushErrs.Inc()
+	if st.degraded.CompareAndSwap(false, true) {
+		c.diag(msg)
+	}
+}
+
+// discardCloser backs the writers of a slot whose files could not even be
+// created: collection proceeds into the void so the run stays alive.
+type discardCloser struct{}
+
+func (discardCloser) Write(p []byte) (int, error) { return len(p), nil }
+func (discardCloser) Close() error                { return nil }
 
 // state returns (creating if needed) the slot's collection state. The
 // common case — the slot already exists — is one atomic load and an
@@ -315,19 +347,26 @@ func (c *Collector) newState(slot int) *slotState {
 	if slot < len(tab) && tab[slot] != nil {
 		return tab[slot] // lost the creation race
 	}
+	var createErr error
 	logSink, err := c.store.CreateLog(slot)
 	if err != nil {
-		panic(fmt.Sprintf("rt: create log for slot %d: %v", slot, err))
+		logSink, createErr = discardCloser{}, err
 	}
 	metaSink, err := c.store.CreateMeta(slot)
 	if err != nil {
-		panic(fmt.Sprintf("rt: create meta for slot %d: %v", slot, err))
+		metaSink = discardCloser{}
+		if createErr == nil {
+			createErr = err
+		}
 	}
 	st := &slotState{
 		slot: slot,
 		log:  trace.NewLogWriter(logSink, c.codec),
 		meta: trace.NewMetaWriter(metaSink),
 		cuts: make(map[trace.IntervalKey]uint64),
+	}
+	if createErr != nil {
+		c.degrade(st, fmt.Sprintf("rt: create trace files for slot %d: %v", slot, createErr))
 	}
 	grown := make([]*slotState, max(len(tab), slot+1))
 	copy(grown, tab)
@@ -458,8 +497,12 @@ func (c *Collector) closeFragment(st *slotState) {
 		// analyzer needs to rebuild the region tree.
 		return
 	}
+	if st.degraded.Load() {
+		return
+	}
 	if err := st.meta.Append(&st.frag); err != nil {
-		panic(fmt.Sprintf("rt: write meta for slot %d: %v", st.slot, err))
+		c.degrade(st, fmt.Sprintf("rt: write meta for slot %d: %v", st.slot, err))
+		return
 	}
 	c.fragments.Add(1)
 	c.mFragments.Inc()
@@ -612,32 +655,41 @@ func (c *Collector) Close() error {
 		close(c.flushCh)
 		c.flushWG.Wait()
 	}
-	var firstErr error
+	var errs []error
+	degraded := 0
 	for _, st := range states {
-		if err := st.log.Close(); err != nil && firstErr == nil {
-			firstErr = err
+		wasDegraded := st.degraded.Load()
+		if err := st.log.Close(); err != nil && !wasDegraded {
+			errs = append(errs, err)
 		}
-		if err := st.meta.Close(); err != nil && firstErr == nil {
-			firstErr = err
+		if err := st.meta.Close(); err != nil && !wasDegraded {
+			errs = append(errs, err)
+		}
+		if st.degraded.Load() {
+			degraded++
 		}
 	}
 	aux, err := c.store.CreateAux(PCTableAux)
 	if err != nil {
-		if firstErr == nil {
-			firstErr = err
-		}
+		errs = append(errs, err)
 	} else {
-		if _, err := c.pcs.WriteTo(aux); err != nil && firstErr == nil {
-			firstErr = err
+		if _, err := c.pcs.WriteTo(aux); err != nil {
+			errs = append(errs, err)
 		}
-		if err := aux.Close(); err != nil && firstErr == nil {
-			firstErr = err
+		if err := aux.Close(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	if err := c.writeTaskWaits(); err != nil && firstErr == nil {
-		firstErr = err
+	if err := c.writeTaskWaits(); err != nil {
+		errs = append(errs, err)
 	}
-	return firstErr
+	// Degraded slots already reported their write failures through
+	// Diagnostics and rt.flush_errors; summarize rather than repeating each
+	// underlying I/O error.
+	if n := c.flushErrors.Load(); n > 0 {
+		errs = append(errs, fmt.Errorf("rt: %d trace write(s) failed; %d slot(s) degraded, intact trace prefix preserved for salvage", n, degraded))
+	}
+	return errors.Join(errs...)
 }
 
 // writeTaskWaits persists the taskwait cuts for the offline analyzer.
@@ -665,14 +717,18 @@ func (c *Collector) writeTaskWaits() error {
 // Stats returns collection counters. Call after Close for final values.
 func (c *Collector) Stats() Stats {
 	s := Stats{
-		Events:    c.events.Load(),
-		Flushes:   c.flushes.Load(),
-		Fragments: c.fragments.Load(),
+		Events:      c.events.Load(),
+		Flushes:     c.flushes.Load(),
+		Fragments:   c.fragments.Load(),
+		FlushErrors: c.flushErrors.Load(),
 	}
 	for _, st := range c.snapshot() {
 		s.Slots++
 		s.RawBytes += st.log.RawBytes()
 		s.CompressedBytes += st.log.CompressedBytes()
+		if st.degraded.Load() {
+			s.DegradedSlots++
+		}
 	}
 	return s
 }

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrNoSpace is the default write fault: the fault-injection analogue of
+// ENOSPC, the way production trace runs actually die.
+var ErrNoSpace = errors.New("trace: no space left on device")
+
+// FaultStore wraps a Store and injects the failure modes that kill
+// production trace runs — a filling disk (error after N bytes), short
+// writes that persist a torn final block, close-time errors, and read-side
+// bit rot — so crash tests can drive the collector, readers and analyzer
+// through them deterministically. The zero configuration injects nothing:
+// a FaultStore with no faults armed is byte-transparent.
+//
+// The write budget is global across all files, like a shared disk: once N
+// bytes have been accepted, every subsequent write on every writer fails.
+// FaultStore is safe for concurrent use to the extent the wrapped store is.
+type FaultStore struct {
+	inner Store
+
+	mu         sync.Mutex
+	armed      bool  // false = unlimited budget
+	budget     int64 // bytes still accepted once armed
+	writeErr   error
+	torn       bool // persist the in-budget prefix of the failing write
+	closeErr   error
+	mutateRead func(name string, data []byte) []byte
+	writeFails int
+}
+
+// NewFaultStore wraps inner with no faults armed.
+func NewFaultStore(inner Store) *FaultStore { return &FaultStore{inner: inner} }
+
+// FailWritesAfter arms the write fault: the next n bytes are accepted,
+// then every write fails with err (ErrNoSpace if err is nil). n = 0 fails
+// the very next write.
+func (s *FaultStore) FailWritesAfter(n int64, err error) {
+	if err == nil {
+		err = ErrNoSpace
+	}
+	s.mu.Lock()
+	s.armed, s.budget, s.writeErr = true, n, err
+	s.mu.Unlock()
+}
+
+// SetTornWrites controls what happens to the write that exhausts the
+// budget: when on, the in-budget prefix is persisted before the error is
+// returned — a short write, leaving a torn final block or record exactly
+// as a crash mid-write would; when off the failing write persists nothing.
+func (s *FaultStore) SetTornWrites(on bool) {
+	s.mu.Lock()
+	s.torn = on
+	s.mu.Unlock()
+}
+
+// FailClose makes every writer's Close return err (after closing the
+// underlying file, so nothing leaks).
+func (s *FaultStore) FailClose(err error) {
+	s.mu.Lock()
+	s.closeErr = err
+	s.mu.Unlock()
+}
+
+// SetMutateRead installs a read-side corruption hook: every opened file's
+// contents pass through f before the reader sees them. The name is
+// "log:<slot>", "meta:<slot>" or "aux:<name>"; returning the input
+// unchanged leaves that file alone. Reads are materialized in memory to
+// apply the hook.
+func (s *FaultStore) SetMutateRead(f func(name string, data []byte) []byte) {
+	s.mu.Lock()
+	s.mutateRead = f
+	s.mu.Unlock()
+}
+
+// WriteFailures returns how many writes have been failed so far.
+func (s *FaultStore) WriteFailures() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeFails
+}
+
+type faultWriter struct {
+	s *FaultStore
+	w io.WriteCloser
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	w.s.mu.Lock()
+	if !w.s.armed {
+		w.s.mu.Unlock()
+		return w.w.Write(p)
+	}
+	if w.s.budget >= int64(len(p)) {
+		w.s.budget -= int64(len(p))
+		w.s.mu.Unlock()
+		return w.w.Write(p)
+	}
+	keep := w.s.budget
+	w.s.budget = 0
+	w.s.writeFails++
+	err := w.s.writeErr
+	torn := w.s.torn
+	w.s.mu.Unlock()
+	if torn && keep > 0 {
+		n, werr := w.w.Write(p[:keep])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return 0, err
+}
+
+func (w *faultWriter) Close() error {
+	err := w.w.Close()
+	w.s.mu.Lock()
+	ce := w.s.closeErr
+	w.s.mu.Unlock()
+	if ce != nil {
+		return ce
+	}
+	return err
+}
+
+func (s *FaultStore) wrapWriter(w io.WriteCloser, err error) (io.WriteCloser, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &faultWriter{s: s, w: w}, nil
+}
+
+func (s *FaultStore) wrapReader(name string, r io.ReadCloser, err error) (io.ReadCloser, error) {
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	mutate := s.mutateRead
+	s.mu.Unlock()
+	if mutate == nil {
+		return r, nil
+	}
+	data, rerr := io.ReadAll(r)
+	r.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	return io.NopCloser(bytes.NewReader(mutate(name, data))), nil
+}
+
+// CreateLog implements Store.
+func (s *FaultStore) CreateLog(slot int) (io.WriteCloser, error) {
+	return s.wrapWriter(s.inner.CreateLog(slot))
+}
+
+// CreateMeta implements Store.
+func (s *FaultStore) CreateMeta(slot int) (io.WriteCloser, error) {
+	return s.wrapWriter(s.inner.CreateMeta(slot))
+}
+
+// CreateAux implements Store.
+func (s *FaultStore) CreateAux(name string) (io.WriteCloser, error) {
+	return s.wrapWriter(s.inner.CreateAux(name))
+}
+
+// OpenLog implements Store.
+func (s *FaultStore) OpenLog(slot int) (io.ReadCloser, error) {
+	r, err := s.inner.OpenLog(slot)
+	return s.wrapReader(fmt.Sprintf("log:%d", slot), r, err)
+}
+
+// OpenMeta implements Store.
+func (s *FaultStore) OpenMeta(slot int) (io.ReadCloser, error) {
+	r, err := s.inner.OpenMeta(slot)
+	return s.wrapReader(fmt.Sprintf("meta:%d", slot), r, err)
+}
+
+// OpenAux implements Store.
+func (s *FaultStore) OpenAux(name string) (io.ReadCloser, error) {
+	r, err := s.inner.OpenAux(name)
+	return s.wrapReader("aux:"+name, r, err)
+}
+
+// Slots implements Store.
+func (s *FaultStore) Slots() ([]int, error) { return s.inner.Slots() }
+
+// BytesWritten implements Store.
+func (s *FaultStore) BytesWritten() uint64 { return s.inner.BytesWritten() }

@@ -2,9 +2,11 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 	"strconv"
@@ -14,14 +16,63 @@ import (
 	"sword/internal/compress"
 )
 
-// Log file framing: a sequence of blocks, each
+// Log file framing, format v2 (the default): the file opens with the magic
+// "SWL2\x00", followed by a sequence of blocks, each
 //
-//	uvarint rawLen | uvarint compLen | codec id byte | compLen payload bytes
+//	uvarint rawLen | uvarint compLen | codec id byte |
+//	uint32 LE CRC32-C of payload | compLen payload bytes
+//
+// Format v1 has no magic and no checksum — a block is
+// rawLen|compLen|codec|payload. The reader auto-detects the version from
+// the magic: no valid v1 log can begin with the magic bytes, because they
+// would parse as a block with codec id 'L', which no codec uses.
 //
 // A block holds exactly one flushed collector buffer, so event decoding
 // state (the address-delta register) resets at block boundaries on both
 // sides. Meta-data offsets are logical (uncompressed) positions; the reader
 // recovers them by accumulating rawLen while streaming.
+//
+// The CRC is computed over the compressed payload. Torn or bit-flipped
+// payloads therefore lose exactly one block: its framing still tells the
+// reader how many bytes to skip and which logical span was lost, which is
+// what the tolerant (salvage) mode reports instead of aborting.
+
+// Format versions of the log and meta streams.
+const (
+	// FormatV1 is the original unchecksummed framing, still read
+	// transparently for traces collected before v2.
+	FormatV1 = 1
+	// FormatV2 adds the file magic, per-block payload CRC32-C in logs, and
+	// length-prefixed, checksummed, commit-marked meta records.
+	FormatV2 = 2
+)
+
+const (
+	logMagic  = "SWL2\x00"
+	metaMagic = "SWM2\x00"
+	// metaCommit trails every v2 meta record: an appended record counts
+	// only once its commit marker is present, so a crash mid-append leaves
+	// a detectable torn tail instead of a silently misparsed stream.
+	metaCommit = 0xC5
+)
+
+// MaxBlockBytes bounds the declared decompressed size of one log block.
+// The collector flushes buffers far smaller than this (the paper's default
+// is ~2 MB); the bound exists so corrupt framing in an untrusted log can
+// never coerce the reader into a multi-gigabyte allocation.
+const MaxBlockBytes = 64 << 20
+
+// maxCompBlockBytes bounds the declared compressed payload size: raw size
+// plus a generous incompressibility margin.
+const maxCompBlockBytes = MaxBlockBytes + MaxBlockBytes/8 + 1024
+
+// maxMetaRecordBytes bounds a v2 meta record body: a record is fifteen
+// uvarints, at most ten bytes each.
+const maxMetaRecordBytes = 4096
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64), the integrity check of the v2 framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // LogWriter frames, compresses and writes event blocks to a log sink.
 // WriteBlock must be called from one goroutine at a time (the collector's
@@ -32,18 +83,35 @@ type LogWriter struct {
 	w       *bufio.Writer
 	c       io.Closer
 	codec   compress.Codec
+	version int
 	logical uint64
 	scratch []byte
-	head    [2 * binary.MaxVarintLen64]byte
+	head    [2*binary.MaxVarintLen64 + 5]byte
 	rawIn   atomic.Uint64
 	compOut atomic.Uint64
 }
 
 // NewLogWriter returns a writer that compresses blocks with codec and
-// writes them to w.
+// writes them to w in the current format (v2, checksummed).
 func NewLogWriter(w io.WriteCloser, codec compress.Codec) *LogWriter {
-	return &LogWriter{w: bufio.NewWriterSize(w, 64<<10), c: w, codec: codec}
+	return NewLogWriterVersion(w, codec, FormatV2)
 }
+
+// NewLogWriterVersion is NewLogWriter with an explicit format version —
+// FormatV1 reproduces the legacy unchecksummed framing byte for byte.
+func NewLogWriterVersion(w io.WriteCloser, codec compress.Codec, version int) *LogWriter {
+	if version != FormatV1 {
+		version = FormatV2
+	}
+	lw := &LogWriter{w: bufio.NewWriterSize(w, 64<<10), c: w, codec: codec, version: version}
+	if version == FormatV2 {
+		lw.w.WriteString(logMagic) // buffered; errors surface at flush/close
+	}
+	return lw
+}
+
+// Version returns the format version the writer emits.
+func (w *LogWriter) Version() int { return w.version }
 
 // Logical returns the logical (uncompressed) offset at which the next
 // block will begin.
@@ -56,19 +124,26 @@ func (w *LogWriter) RawBytes() uint64 { return w.rawIn.Load() }
 func (w *LogWriter) CompressedBytes() uint64 { return w.compOut.Load() }
 
 // WriteBlock compresses raw and appends it as one block. Empty blocks are
-// dropped.
+// dropped; blocks over MaxBlockBytes are rejected (the reader would refuse
+// their framing).
 func (w *LogWriter) WriteBlock(raw []byte) error {
 	if len(raw) == 0 {
 		return nil
 	}
+	if len(raw) > MaxBlockBytes {
+		return fmt.Errorf("trace: block of %d bytes exceeds MaxBlockBytes (%d)", len(raw), MaxBlockBytes)
+	}
 	w.scratch = w.codec.Compress(w.scratch[:0], raw)
 	n := binary.PutUvarint(w.head[:], uint64(len(raw)))
 	n += binary.PutUvarint(w.head[n:], uint64(len(w.scratch)))
+	w.head[n] = w.codec.ID()
+	n++
+	if w.version == FormatV2 {
+		binary.LittleEndian.PutUint32(w.head[n:], crc32.Checksum(w.scratch, castagnoli))
+		n += 4
+	}
 	if _, err := w.w.Write(w.head[:n]); err != nil {
 		return fmt.Errorf("trace: write block header: %w", err)
-	}
-	if err := w.w.WriteByte(w.codec.ID()); err != nil {
-		return fmt.Errorf("trace: write codec id: %w", err)
 	}
 	if _, err := w.w.Write(w.scratch); err != nil {
 		return fmt.Errorf("trace: write block payload: %w", err)
@@ -92,9 +167,16 @@ func (w *LogWriter) Close() error {
 // tracking logical offsets. It also counts blocks and compressed payload
 // bytes, so the offline phase can report the trace volume it consumed
 // without a second pass over the store.
+//
+// By default the reader is strict: any framing or integrity damage is an
+// error. SetTolerant switches it to salvage mode, where a payload-damaged
+// block is skipped (its declared logical span recorded as lost) and a torn
+// tail ends the stream early; Salvage reports what was recovered and lost.
 type LogReader struct {
 	r        *bufio.Reader
 	c        io.Closer
+	version  int // 0 until the first read detects it
+	off      uint64
 	logical  uint64
 	comp     []byte
 	raw      []byte
@@ -102,12 +184,74 @@ type LogReader struct {
 	compIn   uint64
 	skipped  uint64
 	skippedB uint64
+	tolerant bool
+	dead     bool
+	salvage  SalvageReport
 }
 
-// NewLogReader returns a reader over r. The codec of each block is
-// identified from its header, so mixed-codec logs decode correctly.
+// NewLogReader returns a strict reader over r. The format version and the
+// codec of each block are identified from the stream, so v1 logs and
+// mixed-codec logs decode correctly.
 func NewLogReader(r io.ReadCloser) *LogReader {
 	return &LogReader{r: bufio.NewReaderSize(r, 64<<10), c: r}
+}
+
+// SetTolerant switches the reader into (or out of) salvage mode. In
+// salvage mode Next never returns a corruption error: payload-damaged
+// blocks are skipped, unrecoverable framing damage terminates the stream
+// as io.EOF, and the damage is recorded in Salvage.
+func (r *LogReader) SetTolerant(on bool) { r.tolerant = on }
+
+// Salvage returns the damage report accumulated so far. Call after the
+// stream returned io.EOF; Clean reports whether the log decoded fully.
+func (r *LogReader) Salvage() *SalvageReport { return &r.salvage }
+
+// Version returns the detected format version, 0 before the first read.
+func (r *LogReader) Version() int { return r.version }
+
+// uvarintReader adapts the reader's counted byte reads for binary.ReadUvarint.
+type uvarintReader struct{ r *LogReader }
+
+func (u uvarintReader) ReadByte() (byte, error) { return u.r.readByte() }
+
+func (r *LogReader) readByte() (byte, error) {
+	b, err := r.r.ReadByte()
+	if err == nil {
+		r.off++
+	}
+	return b, err
+}
+
+func (r *LogReader) readUvarint() (uint64, error) {
+	return binary.ReadUvarint(uvarintReader{r})
+}
+
+func (r *LogReader) readFull(p []byte) error {
+	n, err := io.ReadFull(r.r, p)
+	r.off += uint64(n)
+	return err
+}
+
+func (r *LogReader) discard(n int) error {
+	m, err := r.r.Discard(n)
+	r.off += uint64(m)
+	return err
+}
+
+// detect identifies the stream's format version from the file magic. No
+// valid v1 log starts with the magic bytes (they would declare codec id
+// 'L', which does not exist), so absence of the magic means v1.
+func (r *LogReader) detect() {
+	if r.version != 0 {
+		return
+	}
+	b, err := r.r.Peek(len(logMagic))
+	if err == nil && string(b) == logMagic {
+		r.discard(len(logMagic))
+		r.version = FormatV2
+		return
+	}
+	r.version = FormatV1
 }
 
 // Next returns the logical start offset and decompressed contents of the
@@ -116,39 +260,59 @@ func NewLogReader(r io.ReadCloser) *LogReader {
 func (r *LogReader) Next() (uint64, []byte, error) { return r.NextFrom(nil) }
 
 // NextFrom is Next with a block-skipping fast path: for every block it
-// first reads only the framing (raw length, compressed length, codec id)
-// and consults skip with the block's logical span; a skipped block's
-// compressed payload is discarded without decompressing or decoding, and
-// the scan continues with the following block. A nil skip decodes
-// everything, exactly like Next.
+// first reads only the framing (raw length, compressed length, codec id,
+// checksum) and consults skip with the block's logical span; a skipped
+// block's compressed payload is discarded without decompressing — and, in
+// v2, without verifying its checksum — and the scan continues with the
+// following block. A nil skip decodes everything, exactly like Next.
 //
 // Skipped blocks still count into Blocks, RawBytes and CompressedBytes —
 // their framing was consumed, and the write-side totals must keep agreeing
 // with the read-side ones — and additionally into BlocksSkipped and
 // SkippedBytes, the work the fast path avoided. The offline analyzer uses
 // this under SubtreeBatch to fly over blocks whose span intersects no
-// interval fragment of the current batch.
+// interval fragment of the current batch; salvage-mode analysis passes a
+// nil skip so every payload is integrity-checked.
 func (r *LogReader) NextFrom(skip func(start, rawLen uint64) bool) (uint64, []byte, error) {
+	if r.dead {
+		return 0, nil, io.EOF
+	}
+	r.detect()
 	for {
-		rawLen, err := binary.ReadUvarint(r.r)
+		blockOff := r.off
+		rawLen, err := r.readUvarint()
 		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return 0, nil, io.EOF
+			if errors.Is(err, io.EOF) && r.off == blockOff {
+				return 0, nil, io.EOF // clean end at a block boundary
 			}
-			return 0, nil, fmt.Errorf("trace: read block raw length: %w", err)
+			return 0, nil, r.fail(blockOff, "truncated block header", err)
 		}
-		compLen, err := binary.ReadUvarint(r.r)
+		compLen, err := r.readUvarint()
 		if err != nil {
-			return 0, nil, fmt.Errorf("trace: read block compressed length: %w", err)
+			return 0, nil, r.fail(blockOff, "truncated block header", err)
 		}
-		id, err := r.r.ReadByte()
+		// Sanity-cap the declared sizes before allocating: corrupt framing
+		// must become a decode error, not a multi-gigabyte allocation.
+		if rawLen == 0 || rawLen > MaxBlockBytes || compLen == 0 || compLen > maxCompBlockBytes {
+			return 0, nil, r.fail(blockOff,
+				fmt.Sprintf("implausible block framing (raw %d, compressed %d)", rawLen, compLen), nil)
+		}
+		id, err := r.readByte()
 		if err != nil {
-			return 0, nil, fmt.Errorf("trace: read codec id: %w", err)
+			return 0, nil, r.fail(blockOff, "truncated block header", err)
+		}
+		var wantCRC uint32
+		if r.version == FormatV2 {
+			var crcBuf [4]byte
+			if err := r.readFull(crcBuf[:]); err != nil {
+				return 0, nil, r.fail(blockOff, "truncated block checksum", err)
+			}
+			wantCRC = binary.LittleEndian.Uint32(crcBuf[:])
 		}
 		start := r.logical
 		if skip != nil && skip(start, rawLen) {
-			if _, err := r.r.Discard(int(compLen)); err != nil {
-				return 0, nil, fmt.Errorf("trace: skip block payload: %w", err)
+			if err := r.discard(int(compLen)); err != nil {
+				return 0, nil, r.fail(blockOff, "truncated block payload", err)
 			}
 			r.logical += rawLen
 			r.blocks++
@@ -157,26 +321,79 @@ func (r *LogReader) NextFrom(skip func(start, rawLen uint64) bool) (uint64, []by
 			r.skippedB += compLen
 			continue
 		}
-		codec, err := compress.ByID(id)
-		if err != nil {
-			return 0, nil, err
-		}
 		if cap(r.comp) < int(compLen) {
 			r.comp = make([]byte, compLen)
 		}
 		r.comp = r.comp[:compLen]
-		if _, err := io.ReadFull(r.r, r.comp); err != nil {
-			return 0, nil, fmt.Errorf("trace: read block payload: %w", err)
+		if err := r.readFull(r.comp); err != nil {
+			return 0, nil, r.fail(blockOff, "truncated block payload", err)
+		}
+		// Payload-level damage loses exactly this block: the framing was
+		// fully consumed, so the stream stays in sync and, in tolerant
+		// mode, reading continues at the next block.
+		if r.version == FormatV2 && crc32.Checksum(r.comp, castagnoli) != wantCRC {
+			if r.corrupt(blockOff, start, rawLen, compLen, "payload crc mismatch") {
+				continue
+			}
+			return 0, nil, fmt.Errorf("trace: block %d at offset %d: payload crc mismatch", r.blocks, blockOff)
+		}
+		codec, err := compress.ByID(id)
+		if err != nil {
+			if r.corrupt(blockOff, start, rawLen, compLen, err.Error()) {
+				continue
+			}
+			return 0, nil, err
 		}
 		r.raw, err = codec.Decompress(r.raw[:0], r.comp, int(rawLen))
 		if err != nil {
+			if r.corrupt(blockOff, start, rawLen, compLen, err.Error()) {
+				continue
+			}
 			return 0, nil, err
 		}
 		r.logical += rawLen
 		r.blocks++
 		r.compIn += compLen
+		r.salvage.SalvagedBytes += rawLen
 		return start, r.raw, nil
 	}
+}
+
+// corrupt records a payload-damaged block. In tolerant mode the block's
+// declared logical span is recorded as lost and the scan continues; the
+// return reports whether to do so.
+func (r *LogReader) corrupt(blockOff, start, rawLen, compLen uint64, cause string) bool {
+	if !r.tolerant {
+		return false
+	}
+	r.salvage.add(SalvageEntry{
+		Block: int(r.blocks), Offset: blockOff,
+		LogicalStart: start, LogicalEnd: start + rawLen,
+		Cause: cause,
+	})
+	r.salvage.CorruptBlocks++
+	r.salvage.LostBytes += rawLen
+	r.logical += rawLen
+	r.blocks++
+	r.compIn += compLen
+	return true
+}
+
+// fail ends the stream at unrecoverable framing damage — a torn tail or
+// framing bytes the reader cannot resynchronize past. Strict mode returns
+// an error; tolerant mode records a truncation and reports io.EOF, so the
+// caller keeps everything read before the damage.
+func (r *LogReader) fail(off uint64, cause string, err error) error {
+	if r.tolerant {
+		r.dead = true
+		r.salvage.Truncated = true
+		r.salvage.add(SalvageEntry{Block: int(r.blocks), Offset: off, Cause: cause})
+		return io.EOF
+	}
+	if err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("trace: block %d at offset %d: %s: %w", r.blocks, off, cause, err)
+	}
+	return fmt.Errorf("trace: block %d at offset %d: %s", r.blocks, off, cause)
 }
 
 // Blocks returns the number of blocks read so far — one per collector
@@ -201,24 +418,73 @@ func (r *LogReader) SkippedBytes() uint64 { return r.skippedB }
 // Close closes the underlying source.
 func (r *LogReader) Close() error { return r.c.Close() }
 
+// Meta stream framing, format v2 (the default): the file opens with the
+// magic "SWM2\x00", followed by records, each
+//
+//	uvarint bodyLen | bodyLen bytes (the v1 record encoding) |
+//	uint32 LE CRC32-C of body | commit byte 0xC5
+//
+// The writer flushes after every record, so the commit marker doubles as a
+// durability boundary: a crash mid-append leaves a torn tail that the
+// tolerant reader detects and cuts off, keeping every committed record.
+// Format v1 is bare concatenated records; the reader auto-detects the
+// version (no valid v1 stream starts with the magic — it would declare a
+// zero span in its fifth field, which DecodeMeta rejects).
+
 // MetaWriter writes meta-data records to a sink.
 type MetaWriter struct {
-	w   *bufio.Writer
-	c   io.Closer
-	buf []byte
-	n   int
+	w       *bufio.Writer
+	c       io.Closer
+	version int
+	buf     []byte
+	head    []byte
+	n       int
 }
 
-// NewMetaWriter returns a writer over w.
+// NewMetaWriter returns a writer over w in the current format (v2,
+// checksummed and commit-marked).
 func NewMetaWriter(w io.WriteCloser) *MetaWriter {
-	return &MetaWriter{w: bufio.NewWriter(w), c: w}
+	return NewMetaWriterVersion(w, FormatV2)
 }
 
-// Append writes one meta record.
+// NewMetaWriterVersion is NewMetaWriter with an explicit format version —
+// FormatV1 reproduces the legacy bare-record stream byte for byte.
+func NewMetaWriterVersion(w io.WriteCloser, version int) *MetaWriter {
+	if version != FormatV1 {
+		version = FormatV2
+	}
+	mw := &MetaWriter{w: bufio.NewWriter(w), c: w, version: version}
+	if version == FormatV2 {
+		mw.w.WriteString(metaMagic) // buffered; errors surface at flush/close
+	}
+	return mw
+}
+
+// Version returns the format version the writer emits.
+func (w *MetaWriter) Version() int { return w.version }
+
+// Append writes one meta record. In v2 the record is committed — length,
+// body, checksum, commit marker — and the stream is flushed, so records a
+// crash loses are exactly the ones Append never returned from.
 func (w *MetaWriter) Append(m *Meta) error {
 	w.buf = AppendMeta(w.buf[:0], m)
+	if w.version == FormatV2 {
+		w.head = binary.AppendUvarint(w.head[:0], uint64(len(w.buf)))
+		var tail [5]byte
+		binary.LittleEndian.PutUint32(tail[:4], crc32.Checksum(w.buf, castagnoli))
+		tail[4] = metaCommit
+		w.buf = append(w.buf, tail[:]...)
+		if _, err := w.w.Write(w.head); err != nil {
+			return fmt.Errorf("trace: write meta record: %w", err)
+		}
+	}
 	if _, err := w.w.Write(w.buf); err != nil {
 		return fmt.Errorf("trace: write meta record: %w", err)
+	}
+	if w.version == FormatV2 {
+		if err := w.w.Flush(); err != nil {
+			return fmt.Errorf("trace: commit meta record: %w", err)
+		}
 	}
 	w.n++
 	return nil
@@ -236,25 +502,104 @@ func (w *MetaWriter) Close() error {
 	return w.c.Close()
 }
 
-// ReadAllMeta decodes every meta record from r and closes it.
+// ReadAllMeta decodes every meta record from r and closes it. It is
+// strict: any damage is an error, with the count of intact records before
+// the damage included in the message.
 func ReadAllMeta(r io.ReadCloser) ([]Meta, error) {
 	defer r.Close()
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("trace: read meta file: %w", err)
 	}
-	var out []Meta
+	metas, _, err := decodeAllMeta(data, false)
+	if err != nil {
+		return nil, err
+	}
+	return metas, nil
+}
+
+// ReadAllMetaTolerant decodes meta records from r in salvage mode: on a
+// torn or damaged record it returns the intact prefix plus a report
+// describing the damage, instead of an error. The error return is non-nil
+// only for I/O failures reading r itself.
+func ReadAllMetaTolerant(r io.ReadCloser) ([]Meta, *SalvageReport, error) {
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: read meta file: %w", err)
+	}
+	metas, rep, _ := decodeAllMeta(data, true)
+	return metas, rep, nil
+}
+
+func decodeAllMeta(data []byte, tolerant bool) ([]Meta, *SalvageReport, error) {
+	rep := &SalvageReport{}
+	version := FormatV1
 	pos := 0
+	if bytes.HasPrefix(data, []byte(metaMagic)) {
+		version = FormatV2
+		pos = len(metaMagic)
+	}
+	var out []Meta
 	for pos < len(data) {
 		var m Meta
-		n, err := DecodeMeta(data[pos:], &m)
+		var n int
+		var err error
+		if version == FormatV2 {
+			n, err = decodeMetaV2(data[pos:], &m)
+		} else {
+			n, err = DecodeMeta(data[pos:], &m)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: meta record %d: %w", len(out), err)
+			if tolerant {
+				rep.Truncated = true
+				rep.add(SalvageEntry{Block: len(out), Offset: uint64(pos), Cause: err.Error()})
+				break
+			}
+			return nil, nil, fmt.Errorf("trace: meta record %d at offset %d (%d intact record(s) before it): %w",
+				len(out), pos, len(out), err)
 		}
 		pos += n
+		rep.SalvagedBytes += uint64(n)
 		out = append(out, m)
 	}
-	return out, nil
+	rep.IntactRecords = len(out)
+	return out, rep, nil
+}
+
+// decodeMetaV2 decodes one committed v2 meta record from src, returning
+// the bytes consumed.
+func decodeMetaV2(src []byte, m *Meta) (int, error) {
+	bodyLen, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, errors.New("torn record length (crash mid-append)")
+	}
+	if bodyLen == 0 || bodyLen > maxMetaRecordBytes {
+		return 0, fmt.Errorf("implausible record length %d", bodyLen)
+	}
+	pos := n
+	if len(src) < pos+int(bodyLen)+5 {
+		return 0, errors.New("torn record (crash mid-append)")
+	}
+	body := src[pos : pos+int(bodyLen)]
+	pos += int(bodyLen)
+	want := binary.LittleEndian.Uint32(src[pos:])
+	pos += 4
+	if src[pos] != metaCommit {
+		return 0, errors.New("missing commit marker")
+	}
+	pos++
+	if crc32.Checksum(body, castagnoli) != want {
+		return 0, errors.New("record crc mismatch")
+	}
+	used, err := DecodeMeta(body, m)
+	if err != nil {
+		return 0, err
+	}
+	if used != len(body) {
+		return 0, fmt.Errorf("record body is %d bytes but its encoding uses %d", len(body), used)
+	}
+	return pos, nil
 }
 
 // FormatMetaTable renders meta records in the layout of Table I of the

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SalvageReport is the structured damage record a tolerant reader produces
+// alongside the data it recovered. Production runs crash, fill disks and
+// get OOM-killed mid-flush; post-mortem analysis only works if the reader
+// can hand back the intact prefix of a damaged file and say exactly what
+// was lost instead of aborting on the first bad byte. A nil report, or one
+// for which Clean reports true, means the file decoded fully.
+type SalvageReport struct {
+	// Entries describe each piece of damage in file order.
+	Entries []SalvageEntry
+	// CorruptBlocks counts log blocks whose payload failed its integrity
+	// check (CRC mismatch, unknown codec, decompression failure) but whose
+	// framing was intact, so reading continued with the next block.
+	CorruptBlocks int
+	// Truncated reports that the stream ended before a clean block or
+	// record boundary — a torn tail from a crash mid-append, or framing
+	// damage the reader cannot resynchronize past.
+	Truncated bool
+	// SalvagedBytes is the volume recovered: logical (decompressed) bytes
+	// of good log blocks, or encoded bytes of intact meta records.
+	SalvagedBytes uint64
+	// LostBytes is the declared logical span of corrupt log blocks — data
+	// that was written but cannot be decoded. Truncated tails are not
+	// included (their extent is unknown to the reader; the analyzer bounds
+	// it against the meta-data instead).
+	LostBytes uint64
+	// IntactRecords counts meta records recovered before the damage.
+	IntactRecords int
+}
+
+// SalvageEntry is one piece of damage: where it sits in the file, which
+// logical span it takes out (logs only), and why the bytes were rejected.
+type SalvageEntry struct {
+	// Block is the block (log) or record (meta) index the damage was
+	// detected at.
+	Block int
+	// Offset is the byte offset in the file where the damaged region
+	// starts (the block or record header).
+	Offset uint64
+	// LogicalStart and LogicalEnd delimit the lost logical byte span for
+	// corrupt log blocks; both zero for meta damage and truncated tails.
+	LogicalStart, LogicalEnd uint64
+	// Cause says what failed, e.g. "payload crc mismatch" or
+	// "truncated block payload".
+	Cause string
+}
+
+func (e SalvageEntry) String() string {
+	if e.LogicalEnd > e.LogicalStart {
+		return fmt.Sprintf("block %d at offset %d: %s (logical [%d,%d) lost)",
+			e.Block, e.Offset, e.Cause, e.LogicalStart, e.LogicalEnd)
+	}
+	return fmt.Sprintf("block %d at offset %d: %s", e.Block, e.Offset, e.Cause)
+}
+
+// Clean reports whether the reader found no damage at all.
+func (r *SalvageReport) Clean() bool {
+	return r == nil || (len(r.Entries) == 0 && !r.Truncated)
+}
+
+// LostRanges returns the logical byte spans taken out by corrupt blocks,
+// in ascending order. The analyzer quarantines interval fragments that
+// intersect any of them.
+func (r *SalvageReport) LostRanges() [][2]uint64 {
+	if r == nil {
+		return nil
+	}
+	var out [][2]uint64
+	for _, e := range r.Entries {
+		if e.LogicalEnd > e.LogicalStart {
+			out = append(out, [2]uint64{e.LogicalStart, e.LogicalEnd})
+		}
+	}
+	return out
+}
+
+// String summarizes the damage on one line, empty when clean.
+func (r *SalvageReport) String() string {
+	if r.Clean() {
+		return ""
+	}
+	parts := make([]string, 0, len(r.Entries))
+	for _, e := range r.Entries {
+		parts = append(parts, e.String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+func (r *SalvageReport) add(e SalvageEntry) {
+	r.Entries = append(r.Entries, e)
+}

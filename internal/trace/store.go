@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -146,6 +147,11 @@ func (s *DirStore) Slots() ([]int, error) {
 		if err != nil {
 			continue
 		}
+		// A crash between creating a slot's meta file and committing its
+		// first record leaves a zero-length file: not a slot, skip it.
+		if info, err := e.Info(); err == nil && info.Size() == 0 {
+			continue
+		}
 		slots = append(slots, id)
 	}
 	sort.Ints(slots)
@@ -167,7 +173,9 @@ func (s *DirStore) OpenWriters() int {
 	return len(s.open)
 }
 
-// Close releases any writers still open, returning the first close error.
+// Close releases any writers still open, aggregating every close error
+// with errors.Join — on a full disk each file's close can fail for its own
+// reason, and dropping all but the first hides which files lost data.
 // An orderly run has none (the collector closes its own); Close makes the
 // teardown deterministic regardless. Idempotent; reads remain valid
 // afterwards.
@@ -178,13 +186,13 @@ func (s *DirStore) Close() error {
 		remaining = append(remaining, w)
 	}
 	s.mu.Unlock()
-	var firstErr error
+	var errs []error
 	for _, w := range remaining {
-		if err := w.Close(); err != nil && firstErr == nil {
-			firstErr = err
+		if err := w.Close(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // MemStore keeps all trace files in memory. It is safe for concurrent use.

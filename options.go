@@ -40,6 +40,15 @@ type Config struct {
 	// SubtreeBatch bounds offline resident memory by analyzing the run in
 	// batches of top-level region subtrees (0 = whole run in one pass).
 	SubtreeBatch int
+	// Salvage switches the offline analysis into graceful-degradation mode
+	// for damaged traces (a crashed run, a filled disk, bit rot): tolerant
+	// readers recover the intact prefix of every log and meta stream,
+	// intervals whose data was lost are quarantined, and every concurrent
+	// pair whose data survived is still analyzed. The report's stats carry
+	// the coverage (Partial reports whether anything was lost) and its
+	// notes say what was lost and why. Off by default: an undamaged trace
+	// should fail loudly when it doesn't parse.
+	Salvage bool
 	// Obs, when non-nil, is the metrics registry both phases record into;
 	// share one registry across sessions and analyses to aggregate. When
 	// nil, a private registry is created so RunStats is always populated.
@@ -105,6 +114,13 @@ func WithNoCompact(on bool) Option {
 // bound resident memory (0 = one pass).
 func WithSubtreeBatch(n int) Option {
 	return func(c *Config) { c.SubtreeBatch = n }
+}
+
+// WithSalvage toggles graceful-degradation analysis of damaged traces:
+// the analyzer recovers what survived, quarantines what didn't, and the
+// report says how much coverage was lost (see AnalysisStats.Partial).
+func WithSalvage(on bool) Option {
+	return func(c *Config) { c.Salvage = on }
 }
 
 // WithObs records both phases' metrics into m, e.g. a registry shared

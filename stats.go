@@ -58,6 +58,11 @@ type RunStats struct {
 	Metrics Snapshot
 }
 
+// Partial reports whether the analysis ran over a damaged trace in
+// salvage mode: races found hold for the surviving data only, and the
+// Analysis coverage fields say how much was lost.
+func (s *RunStats) Partial() bool { return s.Analysis.Partial() }
+
 // newRunStats folds a registry snapshot into the summary struct.
 func newRunStats(snap Snapshot) *RunStats {
 	return &RunStats{

@@ -217,6 +217,7 @@ func (s *Session) Finish() (*Report, *RunStats, error) {
 		NoSolver:     s.cfg.NoSolver,
 		NoCompact:    s.cfg.NoCompact,
 		SubtreeBatch: s.cfg.SubtreeBatch,
+		Salvage:      s.cfg.Salvage,
 		Obs:          s.metrics,
 	}).Analyze()
 	if err != nil {
@@ -266,6 +267,7 @@ func AnalyzeStore(store Store, opts ...Option) (*Report, *RunStats, error) {
 		NoSolver:     cfg.NoSolver,
 		NoCompact:    cfg.NoCompact,
 		SubtreeBatch: cfg.SubtreeBatch,
+		Salvage:      cfg.Salvage,
 		Obs:          m,
 	}).Analyze()
 	if err != nil {
