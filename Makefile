@@ -13,7 +13,7 @@ FAST_PKGS = . ./internal/archer ./internal/compress ./internal/core \
 	./internal/omp ./internal/osl ./internal/pcreg ./internal/report \
 	./internal/rt ./internal/trace ./internal/vc ./internal/workloads
 
-.PHONY: build test check fmt vet race bench fuzz
+.PHONY: build test check fmt vet race bench bench-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ fmt:
 
 race:
 	$(GO) test -race $(FAST_PKGS)
+	$(GO) test -race -short -run 'TestDifferentialSweepVsProbe|TestAnalyzerBenchSmoke' ./internal/harness
 
 # Short fuzz pass over the trace readers: adversarial inputs must never
 # panic or allocate unboundedly (seed corpus built in internal/trace).
@@ -40,15 +41,22 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzLogReader$$' -fuzztime 10s
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzDecodeMeta$$' -fuzztime 10s
 
-# Micro-benchmark suite (collector hot paths, flush pipeline, codecs);
-# writes BENCH_2.json in the schema documented in EXPERIMENTS.md.
-# CHAOS=1 additionally runs the crash-tolerance chaos experiment
-# (mid-run store failure, then salvage analysis of the wreckage).
+# Micro-benchmark suite (collector hot paths, flush pipeline, codecs,
+# analyzer phases); writes BENCH_4.json in the schema documented in
+# EXPERIMENTS.md. CHAOS=1 additionally runs the crash-tolerance chaos
+# experiment (mid-run store failure, then salvage analysis of the
+# wreckage).
 bench:
-	$(GO) run ./cmd/swordbench -bench BENCH_2.json
+	$(GO) run ./cmd/swordbench -bench BENCH_4.json
 ifdef CHAOS
 	$(GO) run ./cmd/swordbench -chaos
 endif
 
-check: vet fmt build race fuzz
+# Analyzer-engine regression guard: the solver memo and race-site
+# suppression must keep answering at least half the requested decisions
+# without a real solve.
+bench-smoke:
+	$(GO) test -short -run 'TestAnalyzerBenchSmoke' ./internal/harness
+
+check: vet fmt build race fuzz bench-smoke
 	@echo "check: ok"

@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"testing"
 
+	"sword"
 	"sword/internal/compress"
 	"sword/internal/core"
 	"sword/internal/harness"
+	"sword/internal/itree"
 	"sword/internal/memsim"
 	"sword/internal/omp"
 	"sword/internal/pcreg"
@@ -362,6 +364,98 @@ func BenchmarkCollectorContended(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(float64(threads*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// --- Analyzer-phase family: the comparison-engine overhaul's numbers ---
+
+// BenchmarkAnalyzerTreeBuild measures interval-tree construction in
+// isolation: strided inserts from four interleaved lanes plus compaction,
+// the exact input shape pair enumeration receives.
+func BenchmarkAnalyzerTreeBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var t itree.Tree
+		for th := 0; th < 4; th++ {
+			acc := itree.Access{Width: 8, Write: th%2 == 0, PC: uint64(100 + th)}
+			for k := 0; k < 2048; k++ {
+				acc.Addr = 0x10000 + uint64(th)*8 + uint64(k)*32
+				t.Insert(acc)
+			}
+		}
+		t.Compact()
+	}
+}
+
+// analyzerStridedStore collects the strided DRB-style trace the
+// pair-comparison benchmarks analyze: interleaved disjoint strides (heavy
+// negative solver traffic), barrier rounds repeating the same shapes (memo
+// fodder), and one racy site re-confirmed every round (suppression fodder).
+func analyzerStridedStore(b *testing.B) trace.Store {
+	b.Helper()
+	store := trace.NewMemStore()
+	col := rt.New(store, rt.Config{Synchronous: true})
+	rtm := omp.New(omp.WithTool(col))
+	rtm.Parallel(4, func(th *omp.Thread) {
+		pc := pcreg.Site(fmt.Sprintf("analyzer:lane%d", th.ID()))
+		tail := pcreg.Site("analyzer:tail")
+		for round := 0; round < 8; round++ {
+			for i := th.ID(); i < 2048; i += 4 {
+				th.Write(0x200000+uint64(i)*8, 8, pc)
+			}
+			th.Write(0x200000+uint64(round)*8, 8, tail)
+			th.Barrier()
+		}
+	})
+	if err := col.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+// BenchmarkAnalyzerPairComparison measures the pair-comparison phase on a
+// strided workload under both engines: the merge sweep with memo and
+// suppression against the legacy tree-probing engine. The sweep leg reports
+// the solver-effort split — requested decisions versus actual solves.
+func BenchmarkAnalyzerPairComparison(b *testing.B) {
+	store := analyzerStridedStore(b)
+	b.Run("sweep", func(b *testing.B) {
+		var st *sword.RunStats
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, st, err = sword.AnalyzeStore(store)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(st.Analysis.SolverCalls), "solver_calls")
+		b.ReportMetric(float64(st.SolverCacheHits), "solver_cache_hits")
+		b.ReportMetric(float64(st.SitesSuppressed), "sites_suppressed")
+	})
+	b.Run("probe", func(b *testing.B) {
+		var calls uint64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := core.New(store, core.Config{ProbeEngine: true}).Analyze()
+			if err != nil {
+				b.Fatal(err)
+			}
+			calls = rep.Stats.SolverCalls
+		}
+		b.ReportMetric(float64(calls), "solver_calls")
+	})
+}
+
+// BenchmarkAnalyzerEndToEnd measures full sword runs — collection plus
+// both offline legs — on representative DRB and OmpSCR workloads.
+func BenchmarkAnalyzerEndToEnd(b *testing.B) {
+	for _, name := range []string{"antidep1-orig-yes", "nowait-orig-yes", "c_jacobi", "c_md"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runOnce(b, name, harness.Sword, harness.Options{Threads: 4, NodeBudget: -1})
+			}
+		})
+	}
 }
 
 // BenchmarkAblationCompact compares offline analysis with and without the

@@ -32,6 +32,7 @@ func main() {
 	batch := flag.Int("batch", 0, "bound memory by analyzing N top-level region subtrees at a time (0 = all at once)")
 	noSolver := flag.Bool("nosolver", false, "disable the strided-interval constraint solver (ablation)")
 	noCompact := flag.Bool("nocompact", false, "disable interval-tree compaction (ablation)")
+	allRaces := flag.Bool("all-races", false, "disable race-site suppression: solve every instance of already-confirmed race sites so per-race counts are exact")
 	salvage := flag.Bool("salvage", false, "graceful-degradation mode for damaged traces: recover and analyze what survived")
 	check := flag.Bool("check", false, "validate trace integrity before analyzing")
 	metrics := flag.Bool("metrics", false, "print the observability breakdown: per-phase timings and pipeline counters")
@@ -70,6 +71,7 @@ func main() {
 		sword.WithSubtreeBatch(*batch),
 		sword.WithNoSolver(*noSolver),
 		sword.WithNoCompact(*noCompact),
+		sword.WithAllRaces(*allRaces),
 		sword.WithSalvage(*salvage),
 	)
 	if err != nil {
@@ -124,6 +126,9 @@ func printMetrics(stats *sword.RunStats) {
 	fmt.Printf("interval pairs:      %d\n", snap.Value("core.interval_pairs"))
 	fmt.Printf("node comparisons:    %d\n", snap.Value("core.node_comparisons"))
 	fmt.Printf("solver calls:        %d\n", snap.Value("core.solver_calls"))
+	fmt.Printf("solver cache hits:   %d\n", snap.Value("core.solver_cache_hits"))
+	fmt.Printf("solver cache misses: %d\n", snap.Value("core.solver_cache_misses"))
+	fmt.Printf("sites suppressed:    %d\n", snap.Value("core.sites_suppressed"))
 	fmt.Printf("bbox fast-paths:     %d\n", snap.Value("core.bbox_fastpath"))
 	fmt.Printf("peak resident nodes: %d (%d batches)\n",
 		snap.Value("core.tree_nodes_peak"), snap.Value("core.batches"))

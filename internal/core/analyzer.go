@@ -17,7 +17,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"sword/internal/ilp"
 	"sword/internal/itree"
 	"sword/internal/obs"
 	"sword/internal/pcreg"
@@ -51,6 +50,19 @@ type Config struct {
 	// identical to the default whole-run analysis (0 = analyze everything
 	// in one pass).
 	SubtreeBatch int
+	// AllRaces disables race-site suppression. By default, once a
+	// (PC, PC) site pair is confirmed racy, later node pairs mapping to
+	// the same report record skip the solver — they could only merge into
+	// the already-reported race. AllRaces spends those extra solves so the
+	// report's per-race Count reflects every detected node-pair instance.
+	AllRaces bool
+	// ProbeEngine selects the legacy tree-probing comparison path: each
+	// node of the smaller tree probes the other tree's overlap index, and
+	// every eligible pair is solved directly (no solver memo, no race-site
+	// suppression). The flattened-run merge sweep is the default; the
+	// probe engine is kept as the reference implementation for the
+	// differential tests and A/B benchmarks.
+	ProbeEngine bool
 	// Salvage switches the analyzer into graceful-degradation mode for
 	// damaged traces: tolerant readers recover the intact prefix of every
 	// log and meta stream, intervals whose data was lost (corrupt blocks,
@@ -165,7 +177,7 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 	rep.Stats.Regions = len(s.regions)
 	m.Counter("core.intervals").Add(uint64(len(s.intervals)))
 	m.Counter("core.regions").Add(uint64(len(s.regions)))
-	var comparisons, solverCalls, bboxFast atomicCounter
+	eng := newCompareEngine(a.cfg, pcs, rep)
 
 	// Batches of top-level subtrees: concurrency never crosses them, so
 	// each batch is a self-contained analysis whose trees can be freed
@@ -204,6 +216,7 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 		}
 		firstBatch = false
 		pairs := enumeratePairs(s, include)
+		schedulePairs(pairs)
 		rep.Stats.IntervalPairs += len(pairs)
 		batchNodes := 0
 		for _, iv := range s.intervals {
@@ -226,9 +239,11 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				worker := eng.newWorker()
 				for pair := range ch {
-					compareTrees(pair[0], pair[1], pcs, a.cfg.NoSolver, rep, &comparisons, &solverCalls, &bboxFast)
+					worker.comparePair(pair[0], pair[1])
 				}
+				worker.flush()
 			}()
 		}
 		for _, p := range pairs {
@@ -252,12 +267,18 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 	if a.cfg.Salvage {
 		a.finishSalvage(s, rep, m)
 	}
-	rep.Stats.NodeComparisons = comparisons.load()
-	rep.Stats.SolverCalls = solverCalls.load()
+	rep.Stats.NodeComparisons = eng.comparisons.load()
+	rep.Stats.SolverCalls = eng.solverCalls.load()
+	rep.Stats.SolverCacheHits = eng.cacheHits.load()
+	rep.Stats.SolverCacheMisses = eng.cacheMisses.load()
+	rep.Stats.SitesSuppressed = eng.suppressed.load()
 	m.Counter("core.accesses").Add(rep.Stats.Accesses)
-	m.Counter("core.node_comparisons").Add(comparisons.load())
-	m.Counter("core.solver_calls").Add(solverCalls.load())
-	m.Counter("core.bbox_fastpath").Add(bboxFast.load())
+	m.Counter("core.node_comparisons").Add(eng.comparisons.load())
+	m.Counter("core.solver_calls").Add(eng.solverCalls.load())
+	m.Counter("core.bbox_fastpath").Add(eng.bboxFast.load())
+	m.Counter("core.solver_cache_hits").Add(eng.cacheHits.load())
+	m.Counter("core.solver_cache_misses").Add(eng.cacheMisses.load())
+	m.Counter("core.sites_suppressed").Add(eng.suppressed.load())
 	m.Counter("core.races").Add(uint64(rep.Len()))
 	m.Timer("core.phase.total").Observe(time.Since(totalStart))
 	return rep, nil
@@ -585,8 +606,35 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 // the common flat codes. Intervals that spawn tasks contribute one unit
 // per fragment, filtered against the tasks' concurrency windows.
 func enumeratePairs(s *structure, include map[uint64]bool) [][2]*treeUnit {
-	var pairs [][2]*treeUnit
-	seen := make(map[[2]*treeUnit]bool)
+	// Same-region pairs, grouped by (pid, bid).
+	type groupKey struct{ pid, bid uint64 }
+	groups := make(map[groupKey][]*interval)
+	byRegion := make(map[uint64][]*interval)
+	for _, iv := range s.intervals {
+		if iv.quarantined {
+			continue // salvage: the interval's data did not survive
+		}
+		if include != nil && !include[iv.region.top.id] {
+			continue
+		}
+		groups[groupKey{iv.key.PID, iv.key.BID}] = append(groups[groupKey{iv.key.PID, iv.key.BID}], iv)
+		byRegion[iv.key.PID] = append(byRegion[iv.key.PID], iv)
+	}
+	// Pre-size from the per-group unit counts: same-region pairing
+	// dominates, contributing Σ_{i<j} u_i·u_j = (U² − Σu_i²)/2 candidates
+	// per group. Cross-region pairs come on top; the maps simply grow then.
+	est := 0
+	for _, g := range groups {
+		sumU, sumSq := 0, 0
+		for _, iv := range g {
+			u := len(iv.units)
+			sumU += u
+			sumSq += u * u
+		}
+		est += (sumU*sumU - sumSq) / 2
+	}
+	pairs := make([][2]*treeUnit, 0, est)
+	seen := make(map[[2]*treeUnit]struct{}, est)
 	addUnits := func(x, y *treeUnit) {
 		if x.tree.Len() == 0 || y.tree.Len() == 0 {
 			return
@@ -595,8 +643,11 @@ func enumeratePairs(s *structure, include map[uint64]bool) [][2]*treeUnit {
 		if lessKey(y.iv.key, x.iv.key) || (x.iv.key == y.iv.key && y.cut < x.cut) {
 			k = [2]*treeUnit{y, x}
 		}
-		if !seen[k] {
-			seen[k] = true
+		// One map operation per candidate: the insert's effect on len
+		// doubles as the membership probe.
+		before := len(seen)
+		seen[k] = struct{}{}
+		if len(seen) != before {
 			pairs = append(pairs, k)
 		}
 	}
@@ -618,21 +669,6 @@ func enumeratePairs(s *structure, include map[uint64]bool) [][2]*treeUnit {
 				addUnits(ux, uy)
 			}
 		}
-	}
-
-	// Same-region pairs, grouped by (pid, bid).
-	type groupKey struct{ pid, bid uint64 }
-	groups := make(map[groupKey][]*interval)
-	byRegion := make(map[uint64][]*interval)
-	for _, iv := range s.intervals {
-		if iv.quarantined {
-			continue // salvage: the interval's data did not survive
-		}
-		if include != nil && !include[iv.region.top.id] {
-			continue
-		}
-		groups[groupKey{iv.key.PID, iv.key.BID}] = append(groups[groupKey{iv.key.PID, iv.key.BID}], iv)
-		byRegion[iv.key.PID] = append(byRegion[iv.key.PID], iv)
 	}
 	for _, g := range groups {
 		sort.Slice(g, func(i, j int) bool { return g[i].key.TID < g[j].key.TID })
@@ -657,7 +693,8 @@ func enumeratePairs(s *structure, include map[uint64]bool) [][2]*treeUnit {
 			}
 		}
 	}
-	// Deterministic order for reproducible parallel scheduling.
+	// Canonical order: schedulePairs sorts by descending cost with a
+	// stable sort, so this is the deterministic tie-break.
 	sort.Slice(pairs, func(i, j int) bool {
 		a, b := pairs[i], pairs[j]
 		if a[0].iv.key != b[0].iv.key {
@@ -747,69 +784,8 @@ func crossRegionPairs(r1, r2 *region, byRegion map[uint64][]*interval,
 	}
 }
 
-// compareTrees reports races between two concurrent tree units by probing
-// each node of the smaller tree against the other tree's overlap index.
-func compareTrees(a, b *treeUnit, pcs *pcreg.Table, noSolver bool, rep *report.Report, comparisons, solverCalls, bboxFast *atomicCounter) {
-	ta, tb := &a.tree, &b.tree
-	if ta.Len() > tb.Len() {
-		ta, tb = tb, ta
-	}
-	var comps, solves, bbox uint64
-	ta.Visit(func(na *itree.Node) bool {
-		lo, hi := na.Low, na.High+na.Width-1
-		tb.VisitOverlaps(lo, hi, func(nb *itree.Node) bool {
-			comps++
-			if raceBetween(na, nb, noSolver, &solves, &bbox) {
-				addr, _ := witness(na, nb, noSolver)
-				rep.Add(report.Race{
-					First:  side(na, pcs),
-					Second: side(nb, pcs),
-					Addr:   addr,
-				})
-			}
-			return true
-		})
-		return true
-	})
-	comparisons.add(comps)
-	solverCalls.add(solves)
-	bboxFast.add(bbox)
-}
-
 func side(n *itree.Node, pcs *pcreg.Table) report.Side {
 	return report.Side{PC: n.PC, Source: pcs.Name(n.PC), Write: n.Write, Atomic: n.Atomic}
-}
-
-// raceBetween applies the race conditions of Section III-B: at least one
-// write, not both atomic, disjoint mutex sets, and a genuinely shared
-// address.
-func raceBetween(na, nb *itree.Node, noSolver bool, solverCalls, bboxFast *uint64) bool {
-	if !na.Write && !nb.Write {
-		return false
-	}
-	if na.Atomic && nb.Atomic {
-		return false
-	}
-	if na.Mutexes.Intersects(nb.Mutexes) {
-		return false
-	}
-	if noSolver {
-		*bboxFast++
-		return true // bounding boxes already overlap
-	}
-	*solverCalls++
-	_, ok := ilp.Intersect(na.Progression(), nb.Progression())
-	return ok
-}
-
-func witness(na, nb *itree.Node, noSolver bool) (uint64, bool) {
-	if noSolver {
-		if na.Low > nb.Low {
-			return na.Low, true
-		}
-		return nb.Low, true
-	}
-	return ilp.Intersect(na.Progression(), nb.Progression())
 }
 
 // atomicCounter counts analysis effort across comparison workers.

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sword/internal/ilp"
+	"sword/internal/itree"
+	"sword/internal/memsim"
+	"sword/internal/omp"
+	"sword/internal/pcreg"
+	"sword/internal/report"
+	"sword/internal/trace"
+)
+
+// randomTree builds a tree of random strided nodes: clustered bases so
+// runs genuinely overlap, mixed widths, a few PCs, occasional atomics and
+// lock protection.
+func randomTree(r *rand.Rand, nodes int) *treeUnit {
+	u := &treeUnit{}
+	for k := 0; k < nodes; k++ {
+		base := 0x1000 + uint64(r.Intn(256))*8
+		stride := uint64(1+r.Intn(4)) * 4
+		count := r.Intn(24)
+		width := uint64(1) << r.Intn(4)
+		var mu trace.MutexSet
+		if r.Intn(8) == 0 {
+			mu = mu.With(uint64(r.Intn(2)))
+		}
+		acc := itree.Access{
+			Width:   width,
+			Write:   r.Intn(2) == 0,
+			Atomic:  r.Intn(10) == 0,
+			PC:      uint64(1 + r.Intn(6)),
+			Mutexes: mu,
+		}
+		for i := 0; i <= count; i++ {
+			acc.Addr = base + uint64(i)*stride
+			u.tree.Insert(acc)
+		}
+	}
+	u.tree.Compact()
+	return u
+}
+
+func racePairs(rep *report.Report) map[[2]uint64]bool {
+	out := make(map[[2]uint64]bool)
+	for _, race := range rep.Races() {
+		a, b := race.First.PC, race.Second.PC
+		if a > b {
+			a, b = b, a
+		}
+		out[[2]uint64{a, b}] = true
+	}
+	return out
+}
+
+// TestSweepMatchesProbe: on random tree pairs, the merge sweep must emit
+// exactly the node pairs the tree-probing engine emits (same comparison
+// count) and report the identical race set.
+func TestSweepMatchesProbe(t *testing.T) {
+	pcs := pcreg.NewTable()
+	for seed := int64(1); seed <= 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		a := randomTree(r, 1+r.Intn(12))
+		b := randomTree(r, 1+r.Intn(12))
+
+		repSweep := report.New()
+		sweep := newCompareEngine(Config{AllRaces: true}, pcs, repSweep).newWorker()
+		sweep.comparePair(a, b)
+
+		repProbe := report.New()
+		probe := newCompareEngine(Config{ProbeEngine: true}, pcs, repProbe).newWorker()
+		probe.comparePair(a, b)
+
+		if sweep.comps != probe.comps {
+			t.Fatalf("seed %d: sweep examined %d node pairs, probe %d", seed, sweep.comps, probe.comps)
+		}
+		got, want := racePairs(repSweep), racePairs(repProbe)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: sweep found %d races, probe %d", seed, len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("seed %d: sweep missed race %v", seed, p)
+			}
+		}
+	}
+}
+
+func randomProgression(r *rand.Rand) ilp.Progression {
+	p := ilp.Progression{
+		Base:   0x2000 + uint64(r.Intn(512)),
+		Stride: uint64(r.Intn(9)),
+		Count:  uint64(r.Intn(40)),
+		Width:  uint64(1 + r.Intn(8)),
+	}
+	if r.Intn(6) == 0 {
+		p.Stride = 0
+	}
+	return p
+}
+
+// TestSolverMemoMatchesIntersect property-tests the memoized solver
+// against direct ilp.Intersect on random progression pairs, including
+// translated replays of earlier shapes (the case the offset-normalized
+// key exists for): the verdict must always agree, and any witness must be
+// a byte both progressions actually touch.
+func TestSolverMemoMatchesIntersect(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	eng := newCompareEngine(Config{}, pcreg.NewTable(), report.New())
+	w := eng.newWorker()
+	var shapes [][2]ilp.Progression
+	for i := 0; i < 4000; i++ {
+		var pa, pb ilp.Progression
+		if len(shapes) > 0 && r.Intn(3) == 0 {
+			// Replay an earlier pair at a different base offset: must hit
+			// the memo and still agree with the direct solve.
+			s := shapes[r.Intn(len(shapes))]
+			shift := uint64(r.Intn(1 << 16))
+			pa, pb = s[0], s[1]
+			pa.Base += shift
+			pb.Base += shift
+		} else {
+			pa, pb = randomProgression(r), randomProgression(r)
+			shapes = append(shapes, [2]ilp.Progression{pa, pb})
+		}
+		gotAddr, gotOK := w.intersect(pa, pb)
+		_, wantOK := ilp.Intersect(pa, pb)
+		if gotOK != wantOK {
+			t.Fatalf("pair %v / %v: memo says %v, direct solve says %v", pa, pb, gotOK, wantOK)
+		}
+		if gotOK && (!pa.Contains(gotAddr) || !pb.Contains(gotAddr)) {
+			t.Fatalf("pair %v / %v: witness %#x not shared", pa, pb, gotAddr)
+		}
+	}
+	if w.hits == 0 {
+		t.Fatal("translated replays produced no memo hits")
+	}
+	if w.hits+w.misses == 0 || w.misses != w.solves {
+		t.Fatalf("inconsistent memo counters: hits=%d misses=%d solves=%d", w.hits, w.misses, w.solves)
+	}
+}
+
+// TestSuppressionKeepsRaceSet: with and without race-site suppression the
+// distinct race set must be identical on a strided racy workload; only the
+// per-race instance counts and the solver effort may differ.
+func TestSuppressionKeepsRaceSet(t *testing.T) {
+	program := func(rtm *omp.Runtime, _ *memsim.Space) {
+		// Many barrier-separated rounds of the same racy strided loop: the
+		// same site pair is re-confirmed every round, which is exactly what
+		// suppression retires.
+		rtm.Parallel(2, func(th *omp.Thread) {
+			for round := 0; round < 8; round++ {
+				for i := th.ID(); i < 64; i += 2 {
+					th.Write(0x4000+uint64(i)*8, 8, 100+uint64(th.ID()))
+				}
+				// Overlapping tail both threads write: the race.
+				th.Write(0x4000+uint64(round)*8, 8, 200)
+				th.Barrier()
+			}
+		})
+	}
+	def := analyze(t, Config{}, program)
+	all := analyze(t, Config{AllRaces: true}, program)
+	gotDef, gotAll := racePairs(def), racePairs(all)
+	if len(gotDef) != len(gotAll) {
+		t.Fatalf("suppression changed the race set: %d vs %d races", len(gotDef), len(gotAll))
+	}
+	for p := range gotAll {
+		if !gotDef[p] {
+			t.Fatalf("suppression lost race %v", p)
+		}
+	}
+	if def.Stats.SitesSuppressed == 0 {
+		t.Fatal("default run suppressed nothing on a repetitive racy workload")
+	}
+	if all.Stats.SitesSuppressed != 0 {
+		t.Fatalf("AllRaces still suppressed %d pairs", all.Stats.SitesSuppressed)
+	}
+	if all.Stats.SolverCalls < def.Stats.SolverCalls {
+		t.Fatalf("AllRaces solved less (%d) than the suppressing run (%d)",
+			all.Stats.SolverCalls, def.Stats.SolverCalls)
+	}
+}
+
+// TestMemoCutsSolverCalls: a workload repeating the same strided shape
+// across many barrier intervals must hit the memo, and with suppression on
+// top the actual solver invocations must be at least halved relative to
+// the decisions requested — the engine's headline claim.
+func TestMemoCutsSolverCalls(t *testing.T) {
+	st := analyze(t, Config{}, func(rtm *omp.Runtime, _ *memsim.Space) {
+		rtm.Parallel(2, func(th *omp.Thread) {
+			for round := 0; round < 16; round++ {
+				for i := th.ID(); i < 128; i += 2 {
+					th.Write(0x8000+uint64(i)*4, 4, 300+uint64(th.ID()))
+				}
+				th.Barrier()
+			}
+		})
+	}).Stats
+	requested := st.SolverCacheHits + st.SolverCacheMisses + st.SitesSuppressed
+	if st.SolverCacheHits == 0 {
+		t.Fatal("no memo hits on a shape-repeating workload")
+	}
+	if st.SolverCalls != st.SolverCacheMisses {
+		t.Fatalf("solver calls (%d) != memo misses (%d)", st.SolverCalls, st.SolverCacheMisses)
+	}
+	if st.SolverCalls*2 > requested {
+		t.Fatalf("memo+suppression saved too little: %d solves for %d decisions", st.SolverCalls, requested)
+	}
+}
+
+// TestScheduleOrder: schedulePairs must order by descending run-length
+// product while keeping the canonical order within equal costs.
+func TestScheduleOrder(t *testing.T) {
+	mk := func(nodes int) *treeUnit {
+		u := &treeUnit{}
+		for i := 0; i < nodes; i++ {
+			u.tree.Insert(itree.Access{Addr: uint64(0x100 * (i + 1)), Width: 1, Write: true, PC: uint64(i)})
+		}
+		return u
+	}
+	small, mid, big := mk(1), mk(3), mk(9)
+	pairs := [][2]*treeUnit{{small, small}, {big, big}, {mid, small}, {big, mid}}
+	schedulePairs(pairs)
+	for i := 1; i < len(pairs); i++ {
+		if pairCost(pairs[i-1]) < pairCost(pairs[i]) {
+			t.Fatalf("pair %d cheaper than its successor: %d < %d", i-1, pairCost(pairs[i-1]), pairCost(pairs[i]))
+		}
+	}
+	if pairs[0][0] != big || pairs[0][1] != big {
+		t.Fatalf("heaviest pair not scheduled first")
+	}
+}

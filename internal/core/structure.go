@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sword/internal/itree"
 	"sword/internal/trace"
@@ -90,6 +91,19 @@ type treeUnit struct {
 	iv   *interval
 	cut  uint64 // fragment cut; 0 for whole-interval units
 	tree itree.Tree
+
+	// flat caches the tree's nodes in ascending Low order: flattened once
+	// per unit and reused by every sweep comparison the unit joins. Built
+	// lazily under flatOnce because units are shared between concurrently
+	// compared pairs; freed with the unit when resetUnits drops the batch.
+	flatOnce sync.Once
+	flat     []*itree.Node
+}
+
+// run returns the unit's flattened, Low-sorted interval run.
+func (u *treeUnit) run() []*itree.Node {
+	u.flatOnce.Do(func() { u.flat = u.tree.Nodes() })
+	return u.flat
 }
 
 // fragment is one contiguous byte range of the interval in its slot's log.

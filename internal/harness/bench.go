@@ -6,11 +6,14 @@ import (
 	"os"
 	"testing"
 
+	"sword"
 	"sword/internal/compress"
+	"sword/internal/itree"
 	"sword/internal/omp"
 	"sword/internal/pcreg"
 	"sword/internal/rt"
 	"sword/internal/trace"
+	"sword/internal/workloads"
 )
 
 // BenchResult is one micro-benchmark's measurements, the schema of the
@@ -19,6 +22,10 @@ type BenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	EventsPerS  float64 `json:"events_per_s,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics carries any further benchmark-specific values reported via
+	// b.ReportMetric — the analyzer benchmarks use it for solver-effort
+	// counters (solver_calls, solver_cache_hits, sites_suppressed).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchCollectorContended measures the collection hot path under
@@ -87,6 +94,93 @@ func benchCompress(c compress.Codec) func(b *testing.B) {
 	}
 }
 
+// stridedTrace collects a DRB-style strided workload into a memory store:
+// threads interleave disjoint strided writes over a shared region (heavy
+// solver traffic, all negative) across barrier-separated rounds that repeat
+// the same shapes (memo fodder), plus one genuinely racy site re-confirmed
+// every round (suppression fodder).
+func stridedTrace(tb testing.TB, threads, iters, rounds int) trace.Store {
+	store := trace.NewMemStore()
+	col := rt.New(store, rt.Config{Synchronous: true})
+	rtm := omp.New(omp.WithTool(col))
+	rtm.Parallel(threads, func(th *omp.Thread) {
+		pc := uint64(0x40 + th.ID())
+		for round := 0; round < rounds; round++ {
+			for i := th.ID(); i < iters; i += threads {
+				th.Write(0x200000+uint64(i)*8, 8, pc)
+			}
+			th.Write(0x200000+uint64(round)*8, 8, 0x80)
+			th.Barrier()
+		}
+	})
+	if err := col.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return store
+}
+
+// benchAnalyzerTreeBuild measures the tree-construction phase in
+// isolation: strided inserts from four interleaved threads followed by
+// compaction, the exact shape enumeratePairs receives.
+func benchAnalyzerTreeBuild(b *testing.B) {
+	b.ReportAllocs()
+	inserts := 0
+	for i := 0; i < b.N; i++ {
+		var t itree.Tree
+		for th := 0; th < 4; th++ {
+			acc := itree.Access{Width: 8, Write: th%2 == 0, PC: uint64(100 + th)}
+			for k := 0; k < 2048; k++ {
+				acc.Addr = 0x10000 + uint64(th)*8 + uint64(k)*32
+				t.Insert(acc)
+				inserts++
+			}
+		}
+		t.Compact()
+	}
+	b.ReportMetric(float64(inserts)/b.Elapsed().Seconds(), "inserts/s")
+}
+
+// benchAnalyzerPairComparison measures the pair-comparison phase on a
+// strided DRB-style trace: one collection, repeated analyses. The reported
+// solver-effort metrics are the engine's headline — requested decisions
+// split into real solves, memo hits, and suppressed pairs.
+func benchAnalyzerPairComparison(b *testing.B) {
+	store := stridedTrace(b, 4, 2048, 8)
+	var st *sword.RunStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, st, err = sword.AnalyzeStore(store)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(st.Analysis.NodeComparisons), "node_comparisons")
+	b.ReportMetric(float64(st.Analysis.SolverCalls), "solver_calls")
+	b.ReportMetric(float64(st.SolverCacheHits), "solver_cache_hits")
+	b.ReportMetric(float64(st.SitesSuppressed), "sites_suppressed")
+}
+
+// benchAnalyzerEndToEnd measures a full sword run — collection plus both
+// offline legs — on a named evaluation workload, through the same harness
+// path the experiments use.
+func benchAnalyzerEndToEnd(name string) func(b *testing.B) {
+	return func(b *testing.B) {
+		wl, err := workloads.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(wl, Sword, Options{Threads: 4, NodeBudget: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // MicroBenches runs the performance micro-benchmark suite programmatically
 // (testing.Benchmark, default 1s per benchmark) and returns benchmark name
 // → result. It covers the hot paths the perf work targets: contended
@@ -103,6 +197,10 @@ func MicroBenches() map[string]BenchResult {
 		{"Compress/raw", benchCompress(compress.Raw{})},
 		{"Compress/lzss", benchCompress(compress.LZSS{})},
 		{"Compress/flate", benchCompress(compress.NewFlate())},
+		{"AnalyzerTreeBuild", benchAnalyzerTreeBuild},
+		{"AnalyzerPairComparison", benchAnalyzerPairComparison},
+		{"AnalyzerEndToEnd/antidep1-orig-yes", benchAnalyzerEndToEnd("antidep1-orig-yes")},
+		{"AnalyzerEndToEnd/c_jacobi", benchAnalyzerEndToEnd("c_jacobi")},
 	}
 	out := make(map[string]BenchResult, len(benches))
 	for _, bench := range benches {
@@ -111,8 +209,15 @@ func MicroBenches() map[string]BenchResult {
 			NsPerOp:     float64(r.NsPerOp()),
 			AllocsPerOp: float64(r.AllocsPerOp()),
 		}
-		if v, ok := r.Extra["events/s"]; ok {
-			res.EventsPerS = v
+		for k, v := range r.Extra {
+			if k == "events/s" {
+				res.EventsPerS = v
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64, len(r.Extra))
+			}
+			res.Metrics[k] = v
 		}
 		out[bench.name] = res
 	}

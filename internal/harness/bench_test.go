@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"testing"
+
+	"sword"
+)
+
+// TestAnalyzerBenchSmoke is the make-check regression guard for the
+// comparison engine: on the strided DRB-style workload the analyzer
+// benchmarks use, the solver memo and race-site suppression together must
+// answer at least half of the requested strided-intersection decisions
+// without invoking the solver — the engine's acceptance criterion. It runs
+// in short mode so the guard is part of every check.
+func TestAnalyzerBenchSmoke(t *testing.T) {
+	store := stridedTrace(t, 4, 2048, 8)
+	rep, st, err := sword.AnalyzeStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() == 0 {
+		t.Fatal("strided workload's engineered race not reported")
+	}
+	if st.SolverCacheHits == 0 {
+		t.Fatal("no solver-memo hits on a shape-repeating workload")
+	}
+	if st.SitesSuppressed == 0 {
+		t.Fatal("no suppressed pairs despite a racy site repeating across rounds")
+	}
+	if st.Analysis.SolverCalls != st.SolverCacheMisses {
+		t.Fatalf("solver calls (%d) != memo misses (%d)",
+			st.Analysis.SolverCalls, st.SolverCacheMisses)
+	}
+	requested := st.SolverCacheHits + st.SolverCacheMisses + st.SitesSuppressed
+	if st.Analysis.SolverCalls*2 > requested {
+		t.Fatalf("memo+suppression saved too little: %d solves for %d requested decisions",
+			st.Analysis.SolverCalls, requested)
+	}
+}

@@ -467,6 +467,57 @@ func TestDifferentialSwordMatchesOracle(t *testing.T) {
 	}
 }
 
+// TestDifferentialSweepVsProbe: the sweep comparison engine — with its
+// solver memo and race-site suppression active — must report exactly the
+// race set of the legacy tree-probing engine on the same trace, after
+// examining exactly the same number of node pairs. Short mode runs a
+// reduced seed range so the race-detector leg of make check covers it.
+func TestDifferentialSweepVsProbe(t *testing.T) {
+	last := int64(120)
+	if testing.Short() {
+		last = 25
+	}
+	for seed := int64(1); seed <= last; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			store := trace.NewMemStore()
+			col := rt.New(store, rt.Config{Synchronous: true, MaxEvents: 64})
+			rtm := omp.New(omp.WithTool(col))
+			space := memsim.NewSpace(nil)
+			randomProgram(seed, rtm, space)
+			if err := col.Close(); err != nil {
+				t.Fatal(err)
+			}
+			sweepRep, err := core.New(store, core.Config{}).Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			probeRep, err := core.New(store, core.Config{ProbeEngine: true}).Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want := reportPairs(sweepRep), reportPairs(probeRep)
+			for pair := range want {
+				if !got[pair] {
+					t.Errorf("sweep engine missed race %s <-> %s",
+						pcreg.Default.Name(pair[0]), pcreg.Default.Name(pair[1]))
+				}
+			}
+			for pair := range got {
+				if !want[pair] {
+					t.Errorf("sweep engine extra race %s <-> %s",
+						pcreg.Default.Name(pair[0]), pcreg.Default.Name(pair[1]))
+				}
+			}
+			if sweepRep.Stats.NodeComparisons != probeRep.Stats.NodeComparisons {
+				t.Errorf("engines examined different pair counts: sweep %d, probe %d",
+					sweepRep.Stats.NodeComparisons, probeRep.Stats.NodeComparisons)
+			}
+		})
+	}
+}
+
 // TestDifferentialArcherSubsetOfSword: on the same trace, archer's report
 // must be a subset of sword's (the paper's headline detection claim), and
 // neither may report outside the semantic race set.

@@ -504,6 +504,41 @@ func ExpPhases(cfg ExpConfig) string {
 	})
 }
 
+// ExpEngine renders the comparison-engine effectiveness table: per
+// benchmark, the requested strided-intersection decisions split into real
+// solver invocations, memo hits, and suppressed pairs, next to the solver
+// effort of an AllRaces re-analysis of the same trace (suppression off —
+// every instance solved). The reduction column is requested decisions over
+// actual solves, the engine's headline number.
+func ExpEngine(cfg ExpConfig) string {
+	threads := cfg.threads()[len(cfg.threads())-1]
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Comparison engine — sweep, solver memo, race-site suppression")
+		fmt.Fprintln(w, "benchmark\tpairs\tcomparisons\tsolves\tcache hits\tsuppressed\tall-races solves\treduction")
+		for _, wl := range workloads.BySuite("ompscr") {
+			store := trace.NewMemStore()
+			res, err := Run(wl, Sword, Options{Threads: threads, NodeBudget: -1, Store: store})
+			if err != nil {
+				panic(err)
+			}
+			st := res.RunStats
+			_, allStats, err := sword.AnalyzeStore(store, sword.WithAllRaces(true))
+			if err != nil {
+				panic(err)
+			}
+			requested := st.SolverCacheHits + st.SolverCacheMisses + st.SitesSuppressed
+			reduction := "-"
+			if st.Analysis.SolverCalls > 0 {
+				reduction = fmt.Sprintf("%.1fx", float64(requested)/float64(st.Analysis.SolverCalls))
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n", wl.Name,
+				st.Analysis.IntervalPairs, st.Analysis.NodeComparisons,
+				st.Analysis.SolverCalls, st.SolverCacheHits, st.SitesSuppressed,
+				allStats.Analysis.SolverCalls, reduction)
+		}
+	})
+}
+
 // ExpTask renders the tasking-extension results: the task kernels of the
 // drb suite under every tool — the paper's future work made measurable.
 func ExpTask() string {
@@ -533,10 +568,11 @@ func Experiments(cfg ExpConfig) map[string]func() string {
 		"tab5":   func() string { return ExpTab5(cfg) },
 		"task":   ExpTask,
 		"phases": func() string { return ExpPhases(cfg) },
+		"engine": func() string { return ExpEngine(cfg) },
 	}
 }
 
 // ExperimentIDs lists experiment ids in the paper's order.
 func ExperimentIDs() []string {
-	return []string{"fig1", "tab1", "fig2", "drb", "tab2", "fig6", "tab3", "tab4", "fig7", "fig8", "tab5", "task", "phases"}
+	return []string{"fig1", "tab1", "fig2", "drb", "tab2", "fig6", "tab3", "tab4", "fig7", "fig8", "tab5", "task", "phases", "engine"}
 }

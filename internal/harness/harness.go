@@ -82,6 +82,10 @@ type Options struct {
 	// sword.WithSalvage). The chaos experiment uses it; regular
 	// measurements leave it off so trace damage fails loudly.
 	Salvage bool
+	// AllRaces disables sword's race-site suppression in the offline
+	// phase (see sword.WithAllRaces): every node pair of a confirmed-racy
+	// site is still solved so each race's Count reflects every instance.
+	AllRaces bool
 	// SkipOffline skips sword's offline phase (dynamic-only measurements,
 	// as in Figures 6-8 which plot log collection).
 	SkipOffline bool
@@ -236,7 +240,8 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 			oaStart := time.Now()
 			oaRep, _, err := sword.AnalyzeStore(store, sword.WithWorkers(1),
 				sword.WithSubtreeBatch(opts.SubtreeBatch),
-				sword.WithSalvage(opts.Salvage))
+				sword.WithSalvage(opts.Salvage),
+				sword.WithAllRaces(opts.AllRaces))
 			if err != nil {
 				return res, fmt.Errorf("harness: offline (OA): %w", err)
 			}
@@ -250,6 +255,7 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 				sword.WithWorkers(mtWorkers),
 				sword.WithSubtreeBatch(opts.SubtreeBatch),
 				sword.WithSalvage(opts.Salvage),
+				sword.WithAllRaces(opts.AllRaces),
 				sword.WithObs(sess.Metrics()))
 			if err != nil {
 				return res, fmt.Errorf("harness: offline (MT): %w", err)

@@ -37,6 +37,13 @@ func (p Progression) normalize() Progression {
 	return p
 }
 
+// Normalized returns the canonical form of the progression: Width at
+// least 1, and Stride/Count zeroed together so degenerate shapes compare
+// equal. Callers memoizing Intersect decisions must key on this form —
+// Intersect normalizes internally, so distinct representations of the
+// same address set always produce the same verdict.
+func (p Progression) Normalized() Progression { return p.normalize() }
+
 // Last returns the last byte the progression touches.
 func (p Progression) Last() uint64 {
 	p = p.normalize()

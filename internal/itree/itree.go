@@ -44,6 +44,10 @@ type Node struct {
 // lastByte returns the last byte this interval touches.
 func (n *Node) lastByte() uint64 { return n.High + n.Width - 1 }
 
+// LastByte returns the last byte this interval touches — the right edge of
+// the node's bounding box.
+func (n *Node) LastByte() uint64 { return n.lastByte() }
+
 // Progression returns the node's address set for the constraint solver.
 func (n *Node) Progression() ilp.Progression {
 	count := uint64(0)
@@ -318,6 +322,19 @@ func (t *Tree) Visit(f func(*Node) bool) {
 		return walk(n.left) && f(n) && walk(n.right)
 	}
 	walk(t.root)
+}
+
+// Nodes returns every interval node in ascending Low order — the flattened
+// run the sweep-based comparison engine merges instead of probing the tree
+// per node. The slice is freshly allocated; the nodes stay owned by the
+// tree and must not be mutated.
+func (t *Tree) Nodes() []*Node {
+	out := make([]*Node, 0, t.size)
+	t.Visit(func(n *Node) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
 }
 
 // Height returns the height of the tree (0 for empty), for balance checks.

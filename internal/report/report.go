@@ -71,8 +71,16 @@ type Stats struct {
 	TreeNodes       int    // interval-tree nodes built (the paper's M)
 	Accesses        uint64 // accesses summarized (the paper's N)
 	NodeComparisons uint64 // overlapping node pairs examined
-	SolverCalls     uint64 // precise strided-intersection decisions
+	SolverCalls     uint64 // strided-intersection solver invocations (memo misses)
 	Regions         int    // parallel region instances
+
+	// Comparison-engine effectiveness: decisions the solver memo answered
+	// from cache, distinct offset-normalized shapes actually solved, and
+	// node pairs retired without any solve because their race site was
+	// already confirmed. All zero under NoSolver or the probe engine.
+	SolverCacheHits   uint64
+	SolverCacheMisses uint64
+	SitesSuppressed   uint64
 
 	// Salvage coverage: how much of the trace survived. All zero for a
 	// clean trace (or strict-mode analysis, which errors out instead).

@@ -40,6 +40,12 @@ type Config struct {
 	// SubtreeBatch bounds offline resident memory by analyzing the run in
 	// batches of top-level region subtrees (0 = whole run in one pass).
 	SubtreeBatch int
+	// AllRaces disables the analyzer's race-site suppression: by default,
+	// once a site pair is confirmed racy, further node pairs mapping to
+	// the same race record skip the solver (the record they would merge
+	// into already exists). AllRaces spends those extra solves so each
+	// race's Count reflects every detected instance.
+	AllRaces bool
 	// Salvage switches the offline analysis into graceful-degradation mode
 	// for damaged traces (a crashed run, a filled disk, bit rot): tolerant
 	// readers recover the intact prefix of every log and meta stream,
@@ -114,6 +120,15 @@ func WithNoCompact(on bool) Option {
 // bound resident memory (0 = one pass).
 func WithSubtreeBatch(n int) Option {
 	return func(c *Config) { c.SubtreeBatch = n }
+}
+
+// WithAllRaces disables race-site suppression in the offline analysis:
+// every node pair of a confirmed-racy site is still solved and counted
+// into the race record's Count, instead of being skipped once the record
+// exists. The set of reported races is identical either way; suppression
+// only trades instance counts for solver work.
+func WithAllRaces(on bool) Option {
+	return func(c *Config) { c.AllRaces = on }
 }
 
 // WithSalvage toggles graceful-degradation analysis of damaged traces:

@@ -54,6 +54,15 @@ type RunStats struct {
 	// single-pass analyses, which decode everything.
 	BlocksSkipped uint64
 	SkippedBytes  uint64
+	// Comparison-engine effectiveness (core.solver_cache_hits /
+	// core.solver_cache_misses / core.sites_suppressed): how many
+	// strided-intersection decisions the solver memo answered from cache,
+	// how many distinct shapes were actually solved, and how many node
+	// pairs race-site suppression retired without any solve. SolverCalls
+	// in Analysis equals the misses — the solves that actually ran.
+	SolverCacheHits   uint64
+	SolverCacheMisses uint64
+	SitesSuppressed   uint64
 	// Metrics is the registry snapshot the durations were read from.
 	Metrics Snapshot
 }
@@ -66,12 +75,15 @@ func (s *RunStats) Partial() bool { return s.Analysis.Partial() }
 // newRunStats folds a registry snapshot into the summary struct.
 func newRunStats(snap Snapshot) *RunStats {
 	return &RunStats{
-		Structure:     snap.Duration("core.phase.structure"),
-		TreeBuild:     snap.Duration("core.phase.trees"),
-		Compare:       snap.Duration("core.phase.compare"),
-		AnalyzeTotal:  snap.Duration("core.phase.total"),
-		BlocksSkipped: uint64(snap.Value("trace.blocks_skipped")),
-		SkippedBytes:  uint64(snap.Value("trace.skipped_bytes")),
-		Metrics:       snap,
+		Structure:         snap.Duration("core.phase.structure"),
+		TreeBuild:         snap.Duration("core.phase.trees"),
+		Compare:           snap.Duration("core.phase.compare"),
+		AnalyzeTotal:      snap.Duration("core.phase.total"),
+		BlocksSkipped:     uint64(snap.Value("trace.blocks_skipped")),
+		SkippedBytes:      uint64(snap.Value("trace.skipped_bytes")),
+		SolverCacheHits:   uint64(snap.Value("core.solver_cache_hits")),
+		SolverCacheMisses: uint64(snap.Value("core.solver_cache_misses")),
+		SitesSuppressed:   uint64(snap.Value("core.sites_suppressed")),
+		Metrics:           snap,
 	}
 }

@@ -217,6 +217,7 @@ func (s *Session) Finish() (*Report, *RunStats, error) {
 		NoSolver:     s.cfg.NoSolver,
 		NoCompact:    s.cfg.NoCompact,
 		SubtreeBatch: s.cfg.SubtreeBatch,
+		AllRaces:     s.cfg.AllRaces,
 		Salvage:      s.cfg.Salvage,
 		Obs:          s.metrics,
 	}).Analyze()
@@ -267,6 +268,7 @@ func AnalyzeStore(store Store, opts ...Option) (*Report, *RunStats, error) {
 		NoSolver:     cfg.NoSolver,
 		NoCompact:    cfg.NoCompact,
 		SubtreeBatch: cfg.SubtreeBatch,
+		AllRaces:     cfg.AllRaces,
 		Salvage:      cfg.Salvage,
 		Obs:          m,
 	}).Analyze()
