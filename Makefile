@@ -9,11 +9,12 @@ GO ?= go
 # paper's timing sweeps and dominate wall time without adding race
 # coverage beyond what the collector/analyzer tests already drive.
 FAST_PKGS = . ./internal/archer ./internal/compress ./internal/core \
-	./internal/ilp ./internal/itree ./internal/memsim ./internal/obs \
-	./internal/omp ./internal/osl ./internal/pcreg ./internal/report \
-	./internal/rt ./internal/trace ./internal/vc ./internal/workloads
+	./internal/dist ./internal/ilp ./internal/itree ./internal/memsim \
+	./internal/obs ./internal/omp ./internal/osl ./internal/pcreg \
+	./internal/report ./internal/rt ./internal/trace ./internal/vc \
+	./internal/workloads
 
-.PHONY: build test check fmt vet race bench bench-smoke fuzz
+.PHONY: build test check fmt vet race bench bench-smoke dist-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -48,9 +49,16 @@ fuzz:
 # wreckage).
 bench:
 	$(GO) run ./cmd/swordbench -bench BENCH_4.json
+	$(GO) run ./cmd/swordbench -dist BENCH_5.json
 ifdef CHAOS
 	$(GO) run ./cmd/swordbench -chaos
 endif
+
+# Distributed-analysis smoke: collect a racy trace, then assert that
+# single-process swordoffline, `sworddist -local`, and a real coordinator
+# plus two worker processes over loopback TCP all report the same races.
+dist-smoke:
+	GO="$(GO)" sh scripts/dist_smoke.sh
 
 # Analyzer-engine regression guard: the solver memo and race-site
 # suppression must keep answering at least half the requested decisions
@@ -58,5 +66,5 @@ endif
 bench-smoke:
 	$(GO) test -short -run 'TestAnalyzerBenchSmoke' ./internal/harness
 
-check: vet fmt build race fuzz bench-smoke
+check: vet fmt build race fuzz bench-smoke dist-smoke
 	@echo "check: ok"

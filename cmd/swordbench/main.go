@@ -10,6 +10,7 @@
 //	swordbench -threads 2,4,8  # thread counts for the sweep experiments
 //	swordbench -repeats 10     # timing repetitions (the paper used 10)
 //	swordbench -bench BENCH.json  # micro-benchmark suite (hot paths, codecs)
+//	swordbench -dist BENCH.json   # distributed analysis vs single-process
 //	swordbench -list           # list experiment ids
 package main
 
@@ -34,6 +35,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the aggregated sword metrics of the timing experiments")
 	metricsOut := flag.String("metrics-out", "", "write the aggregated metrics snapshot to this file (.csv for CSV, else JSON)")
 	bench := flag.String("bench", "", "run the performance micro-benchmark suite and write JSON results to this file (schema in EXPERIMENTS.md)")
+	distBench := flag.String("dist", "", "run the distributed-analysis experiment (single-process vs N loopback workers) and write JSON results to this file (schema in EXPERIMENTS.md)")
 	chaos := flag.Bool("chaos", false, "run the crash-tolerance chaos experiment (mid-run store failure + salvage analysis)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -50,6 +52,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *bench)
+		return
+	}
+
+	if *distBench != "" {
+		if err := harness.WriteDistBench(*distBench); err != nil {
+			fmt.Fprintln(os.Stderr, "swordbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *distBench)
 		return
 	}
 

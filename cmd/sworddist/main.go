@@ -1,0 +1,197 @@
+// Command sworddist runs SWORD's offline analysis as a distributed
+// service — the paper's cluster mode (§V), where pairs of concurrent
+// barrier intervals are analyzed across many nodes, here reproduced as a
+// coordinator/worker protocol over TCP (see internal/dist and
+// docs/FORMAT.md, "Distributed analysis").
+//
+// One process serves the plan; any number of workers join it. Every
+// process needs read access to the same trace directory (a shared
+// filesystem in the paper's setting):
+//
+//	sworddist -logdir /shared/trace -serve :7077       # coordinator
+//	sworddist -logdir /shared/trace -join host:7077    # worker (repeat per node)
+//	sworddist -logdir /tmp/trace -local 4              # both, in one process
+//
+// The coordinator prints the merged race report and exits like
+// swordoffline: 0 = no races, 3 = races found, 1 = analysis failed,
+// 2 = usage. A worker exits 0 after a clean drain (the coordinator sent
+// shutdown) and 1 on any error. Analysis ablations (-nosolver,
+// -nocompact, -all-races) must be passed identically to the coordinator
+// and every worker: the coordinator plans with them, workers analyze
+// with them, and a mismatch changes what a batch reports.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sword"
+	"sword/internal/core"
+	"sword/internal/dist"
+	"sword/internal/obs"
+	"sword/internal/report"
+	"sword/internal/trace"
+)
+
+func main() {
+	logdir := flag.String("logdir", "", "directory containing sword_*.log / sword_*.meta files (shared by all processes)")
+	serve := flag.String("serve", "", "run the coordinator, listening on this address (e.g. :7077)")
+	join := flag.String("join", "", "run a worker, connecting to the coordinator at this address")
+	local := flag.Int("local", 0, "run a coordinator plus N loopback workers in this process")
+	workers := flag.Int("workers", 0, "per-worker analysis parallelism (<= 0 = GOMAXPROCS)")
+	name := flag.String("name", "", "worker name shown in the coordinator's notes (default: the hostname)")
+	batchUnits := flag.Int("batch-units", 0, "pair units per batch (0 = 64)")
+	workerTimeout := flag.Duration("worker-timeout", 0, "drop a worker silent for this long (0 = 10s)")
+	batchTimeout := flag.Duration("batch-timeout", 0, "per-batch deadline, heartbeats or not (0 = 2m)")
+	maxAttempts := flag.Int("max-attempts", 0, "dispatches per unit before the run fails (0 = 5)")
+	noSolver := flag.Bool("nosolver", false, "disable the strided-interval constraint solver (ablation)")
+	noCompact := flag.Bool("nocompact", false, "disable interval-tree compaction (ablation)")
+	allRaces := flag.Bool("all-races", false, "disable race-site suppression so per-race counts are exact")
+	metricsOut := flag.String("metrics-out", "", "write the dist.* metrics snapshot to this file (.csv for CSV, else JSON)")
+	quiet := flag.Bool("q", false, "print only the summary line")
+	flag.Parse()
+
+	modes := 0
+	for _, on := range []bool{*serve != "", *join != "", *local > 0} {
+		if on {
+			modes++
+		}
+	}
+	if *logdir == "" || modes != 1 {
+		fmt.Fprintln(os.Stderr, "sworddist: -logdir plus exactly one of -serve, -join, -local is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Opening a store would silently create a missing directory and then
+	// "analyze" an empty trace; a typo'd path must be an error instead.
+	if fi, err := os.Stat(*logdir); err != nil {
+		fmt.Fprintln(os.Stderr, "sworddist:", err)
+		os.Exit(1)
+	} else if !fi.IsDir() {
+		fmt.Fprintf(os.Stderr, "sworddist: %s is not a directory\n", *logdir)
+		os.Exit(1)
+	}
+	store, err := trace.NewDirStore(*logdir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sworddist:", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+
+	m := obs.New()
+	ccfg := core.Config{
+		Workers:   *workers,
+		NoSolver:  *noSolver,
+		NoCompact: *noCompact,
+		AllRaces:  *allRaces,
+		Obs:       m,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var rep *report.Report
+	start := time.Now()
+	switch {
+	case *join != "":
+		wname := *name
+		if wname == "" {
+			wname, _ = os.Hostname()
+		}
+		err = dist.Work(ctx, *join, store, dist.WorkerConfig{Core: ccfg, Name: wname, Obs: m})
+		if err == nil {
+			fmt.Printf("worker drained: %d units in %d batches in %v\n",
+				m.Snapshot().Value("dist.worker_units_done"),
+				m.Snapshot().Value("dist.worker_batches_done"), time.Since(start))
+		}
+	case *serve != "":
+		rep, err = runCoordinator(ctx, store, *serve, dist.CoordinatorConfig{
+			Core:          ccfg,
+			BatchUnits:    *batchUnits,
+			WorkerTimeout: *workerTimeout,
+			BatchTimeout:  *batchTimeout,
+			MaxAttempts:   *maxAttempts,
+			Obs:           m,
+		})
+	default:
+		rep, err = dist.Local(ctx, store, *local, dist.CoordinatorConfig{
+			Core:          ccfg,
+			BatchUnits:    *batchUnits,
+			WorkerTimeout: *workerTimeout,
+			BatchTimeout:  *batchTimeout,
+			MaxAttempts:   *maxAttempts,
+			Obs:           m,
+		}, dist.WorkerConfig{Core: ccfg, Obs: m})
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "sworddist: interrupted")
+		} else {
+			fmt.Fprintln(os.Stderr, "sworddist:", err)
+		}
+		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if werr := sword.WriteMetrics(*metricsOut, m.Snapshot()); werr != nil {
+			fmt.Fprintln(os.Stderr, "sworddist:", werr)
+			os.Exit(1)
+		}
+		fmt.Println("metrics written to", *metricsOut)
+	}
+	if rep == nil {
+		return // worker mode: no report of its own
+	}
+	if !*quiet {
+		fmt.Print(rep.String())
+	}
+	snap := m.Snapshot()
+	fmt.Printf("analyzed %d regions, %d intervals, %d pair units across %d worker connection(s) in %v\n",
+		rep.Stats.Regions, rep.Stats.Intervals,
+		snap.Value("dist.units_done"), snap.Value("dist.workers_connected"), time.Since(start))
+	if rep.Len() > 0 {
+		os.Exit(3)
+	}
+}
+
+// runCoordinator serves the plan on addr until it drains, honoring ctx:
+// an interrupt closes the listener and fails the wait instead of leaving
+// the process hanging with workers mid-batch.
+func runCoordinator(ctx context.Context, store trace.Store, addr string, cfg dist.CoordinatorConfig) (*report.Report, error) {
+	coord, err := dist.NewCoordinator(store, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	fmt.Printf("sworddist: coordinator listening on %s\n", ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- coord.Serve(ln) }()
+	done := make(chan struct{})
+	var rep *report.Report
+	var waitErr error
+	go func() {
+		rep, waitErr = coord.Wait()
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		ln.Close()
+		return nil, ctx.Err()
+	case <-done:
+	}
+	if waitErr != nil {
+		return nil, waitErr
+	}
+	if err := <-serveErr; err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -18,9 +18,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sword"
@@ -28,7 +32,7 @@ import (
 
 func main() {
 	logdir := flag.String("logdir", "", "directory containing sword_*.log / sword_*.meta files")
-	workers := flag.Int("workers", 0, "analysis workers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "analysis workers (<= 0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 0, "bound memory by analyzing N top-level region subtrees at a time (0 = all at once)")
 	noSolver := flag.Bool("nosolver", false, "disable the strided-interval constraint solver (ablation)")
 	noCompact := flag.Bool("nocompact", false, "disable interval-tree compaction (ablation)")
@@ -65,8 +69,12 @@ func main() {
 			fmt.Println("trace integrity: ok")
 		}
 	}
+	// Ctrl-C aborts the analysis between tree-build blocks and pair
+	// comparisons instead of leaving a long run unkillable-in-flight.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	start := time.Now()
-	rep, stats, err := sword.Analyze(*logdir,
+	rep, stats, err := sword.AnalyzeContext(ctx, *logdir,
 		sword.WithWorkers(*workers),
 		sword.WithSubtreeBatch(*batch),
 		sword.WithNoSolver(*noSolver),
@@ -75,7 +83,11 @@ func main() {
 		sword.WithSalvage(*salvage),
 	)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "swordoffline:", err)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "swordoffline: interrupted")
+		} else {
+			fmt.Fprintln(os.Stderr, "swordoffline:", err)
+		}
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)

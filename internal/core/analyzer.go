@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -24,11 +25,24 @@ import (
 	"sword/internal/trace"
 )
 
+// EffectiveWorkers resolves a Workers configuration value to the actual
+// pool size: any non-positive value falls back to GOMAXPROCS. Every layer
+// that documents a worker-count default defers to this one definition
+// (Config.Workers here, sword.WithWorkers, swordoffline -workers,
+// sworddist -workers — see docs/FORMAT.md "Worker-count defaults").
+func EffectiveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
 // Config parameterizes the offline analyzer.
 type Config struct {
 	// Workers bounds the parallelism of tree construction (one worker per
 	// thread log, as in the paper) and of interval-pair comparison (the
-	// "distributed across a cluster" mode). 0 means GOMAXPROCS.
+	// "distributed across a cluster" mode). Non-positive means GOMAXPROCS
+	// (see EffectiveWorkers — the single definition of this fallback).
 	Workers int
 	// PCs symbolizes race reports. When nil the analyzer loads the table
 	// the collector persisted into the store, falling back to numeric ids.
@@ -136,30 +150,47 @@ func New(store trace.Store, cfg Config) *Analyzer {
 
 // Analyze performs the full offline analysis and returns the race report.
 func (a *Analyzer) Analyze() (*report.Report, error) {
-	workers := a.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return a.AnalyzeContext(context.Background())
+}
+
+// loadPCs resolves the symbolization table: the configured one, the table
+// the collector persisted into the store, or a fresh empty table. In
+// salvage mode a damaged persisted table degrades to numeric ids with a
+// note instead of failing the analysis.
+func (a *Analyzer) loadPCs() (*pcreg.Table, string, error) {
+	pcs := a.cfg.PCs
+	if pcs != nil {
+		return pcs, "", nil
 	}
+	aux, err := a.store.OpenAux("pctable")
+	if err != nil {
+		return pcreg.NewTable(), "", nil
+	}
+	pcs, err = pcreg.ReadTable(aux)
+	aux.Close()
+	if err != nil {
+		if !a.cfg.Salvage {
+			return nil, "", fmt.Errorf("core: read pc table: %w", err)
+		}
+		// A crash can tear the aux file too; symbolization is a
+		// nicety, not a reason to abandon the race analysis.
+		return pcreg.NewTable(),
+			fmt.Sprintf("pc table damaged (%v); race sites reported as numeric ids", err), nil
+	}
+	return pcs, "", nil
+}
+
+// AnalyzeContext is Analyze with cancellation: the analysis aborts with
+// ctx.Err() at the next block read or pair comparison once ctx is done —
+// the hook distributed per-batch deadlines and swordoffline's Ctrl-C
+// handling need.
+func (a *Analyzer) AnalyzeContext(ctx context.Context) (*report.Report, error) {
+	workers := EffectiveWorkers(a.cfg.Workers)
 	m := a.cfg.Obs
 	totalStart := time.Now()
-	pcs := a.cfg.PCs
-	var pcNote string
-	if pcs == nil {
-		if aux, err := a.store.OpenAux("pctable"); err == nil {
-			pcs, err = pcreg.ReadTable(aux)
-			aux.Close()
-			if err != nil {
-				if !a.cfg.Salvage {
-					return nil, fmt.Errorf("core: read pc table: %w", err)
-				}
-				// A crash can tear the aux file too; symbolization is a
-				// nicety, not a reason to abandon the race analysis.
-				pcs = pcreg.NewTable()
-				pcNote = fmt.Sprintf("pc table damaged (%v); race sites reported as numeric ids", err)
-			}
-		} else {
-			pcs = pcreg.NewTable()
-		}
+	pcs, pcNote, err := a.loadPCs()
+	if err != nil {
+		return nil, err
 	}
 
 	phaseStart := time.Now()
@@ -204,7 +235,7 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 		// Trace-volume counters only on the first pass: every batch
 		// streams the full logs again, which must not double-count.
 		phaseStart = time.Now()
-		if err := a.buildTrees(s, workers, include, firstBatch); err != nil {
+		if err := a.buildTrees(ctx, s, workers, include, nil, firstBatch); err != nil {
 			return nil, err
 		}
 		m.Timer("core.phase.trees").Observe(time.Since(phaseStart))
@@ -215,7 +246,7 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 			a.applyQuarantine(s, rep, firstBatch)
 		}
 		firstBatch = false
-		pairs := enumeratePairs(s, include)
+		pairs := enumeratePairs(s, include, true)
 		schedulePairs(pairs)
 		rep.Stats.IntervalPairs += len(pairs)
 		batchNodes := 0
@@ -233,24 +264,9 @@ func (a *Analyzer) Analyze() (*report.Report, error) {
 		m.Counter("core.tree_nodes").Add(uint64(batchNodes))
 		m.Gauge("core.tree_nodes_peak").SetMax(int64(batchNodes))
 		phaseStart = time.Now()
-		var wg sync.WaitGroup
-		ch := make(chan [2]*treeUnit, workers*4)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				worker := eng.newWorker()
-				for pair := range ch {
-					worker.comparePair(pair[0], pair[1])
-				}
-				worker.flush()
-			}()
+		if err := comparePairs(ctx, eng, workers, pairs); err != nil {
+			return nil, err
 		}
-		for _, p := range pairs {
-			ch <- p
-		}
-		close(ch)
-		wg.Wait()
 		m.Timer("core.phase.compare").Observe(time.Since(phaseStart))
 		if include != nil {
 			// Free this batch's trees before streaming the next one.
@@ -369,16 +385,63 @@ func (a *Analyzer) recordSalvage(slot int, ss *slotSalvage) {
 	a.salvMu.Unlock()
 }
 
+// comparePairs drains the scheduled pairs through a pool of engine
+// workers. A done ctx aborts between pairs: workers skip remaining work
+// and the error returned is ctx.Err().
+func comparePairs(ctx context.Context, eng *compareEngine, workers int, pairs [][2]*treeUnit) error {
+	var wg sync.WaitGroup
+	ch := make(chan [2]*treeUnit, workers*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker := eng.newWorker()
+			for pair := range ch {
+				if ctx.Err() != nil {
+					continue // drain without comparing
+				}
+				worker.comparePair(pair[0], pair[1])
+			}
+			worker.flush()
+		}()
+	}
+send:
+	for _, p := range pairs {
+		select {
+		case ch <- p:
+		case <-ctx.Done():
+			break send
+		}
+	}
+	close(ch)
+	wg.Wait()
+	return ctx.Err()
+}
+
 // buildTrees streams every slot's log once, routing access events into the
 // interval trees of that slot's intervals (restricted to the top-level
-// subtrees in include when non-nil). Each slot is processed by a single
+// subtrees in include when non-nil, and to the explicit interval set in
+// only when non-nil — the distributed batch path, which also skips slots
+// owning no wanted interval entirely). Each slot is processed by a single
 // worker — tree construction is not shared, matching the paper's note that
 // each core generates the tree of a different thread. countIO records the
 // consumed trace volume into the obs registry; the caller sets it only on
 // the first batch, because later batches re-stream the same logs.
-func (a *Analyzer) buildTrees(s *structure, workers int, include map[uint64]bool, countIO bool) error {
+func (a *Analyzer) buildTrees(ctx context.Context, s *structure, workers int, include map[uint64]bool, only map[*interval]bool, countIO bool) error {
 	slots := make([]int, 0, len(s.bySlot))
 	for slot := range s.bySlot {
+		if only != nil {
+			wanted := false
+			for _, iv := range s.bySlot[slot] {
+				if only[iv] {
+					wanted = true
+					break
+				}
+			}
+			if !wanted {
+				continue // no referenced interval lives here: skip the log
+			}
+		}
 		slots = append(slots, slot)
 	}
 	sort.Ints(slots)
@@ -391,7 +454,7 @@ func (a *Analyzer) buildTrees(s *structure, workers int, include map[uint64]bool
 		go func(slot int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs <- a.buildSlotTrees(s, slot, include, countIO)
+			errs <- a.buildSlotTrees(ctx, s, slot, include, only, countIO)
 		}(slot)
 	}
 	wg.Wait()
@@ -418,10 +481,11 @@ type fragSpan struct {
 	held       trace.MutexSet
 }
 
-func newSlotCursor(ivs []*interval, include map[uint64]bool) *slotCursor {
+func newSlotCursor(ivs []*interval, include map[uint64]bool, only map[*interval]bool) *slotCursor {
 	c := &slotCursor{}
 	for _, iv := range ivs {
-		included := (include == nil || include[iv.region.top.id]) && !iv.quarantined
+		included := (include == nil || include[iv.region.top.id]) &&
+			(only == nil || only[iv]) && !iv.quarantined
 		if included {
 			iv.materializeUnits()
 		}
@@ -458,7 +522,7 @@ func (c *slotCursor) at(pos uint64) (*treeUnit, bool) {
 	return sp.unit, true
 }
 
-func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]bool, countIO bool) error {
+func (a *Analyzer) buildSlotTrees(ctx context.Context, s *structure, slot int, include map[uint64]bool, only map[*interval]bool, countIO bool) error {
 	defer func() {
 		if a.cfg.NoCompact {
 			return
@@ -489,7 +553,7 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 		lr.SetTolerant(true)
 		ss = &slotSalvage{}
 	}
-	cur := newSlotCursor(s.bySlot[slot], include)
+	cur := newSlotCursor(s.bySlot[slot], include, only)
 	// In batched mode a block whose logical span intersects none of the
 	// batch's fragments holds only data this pass would decode and throw
 	// away; skip its compressed payload entirely. Blocks arrive in
@@ -500,7 +564,7 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 	// Under Salvage skipping is disabled: every payload must pass through
 	// the integrity check so the damage records stay complete.
 	var skipBlock func(start, rawLen uint64) bool
-	if include != nil && !a.cfg.Salvage {
+	if (include != nil || only != nil) && !a.cfg.Salvage {
 		var wanted [][2]uint64
 		for _, sp := range cur.spans {
 			if sp.unit != nil {
@@ -520,6 +584,9 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 	var ev trace.Event
 	var events uint64
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		start, raw, err := lr.NextFrom(skipBlock)
 		if err == io.EOF {
 			if ss != nil && countIO {
@@ -605,7 +672,13 @@ func (a *Analyzer) buildSlotTrees(s *structure, slot int, include map[uint64]boo
 // program order by the initial thread), which keeps enumeration linear for
 // the common flat codes. Intervals that spawn tasks contribute one unit
 // per fragment, filtered against the tasks' concurrency windows.
-func enumeratePairs(s *structure, include map[uint64]bool) [][2]*treeUnit {
+//
+// skipEmpty drops pairs where either unit's tree holds no accesses — the
+// in-process path, which enumerates after building trees. The distributed
+// planner enumerates from structure alone (no trees exist yet) and passes
+// false, accepting some empty work units in exchange for never touching
+// the logs on the coordinator.
+func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty bool) [][2]*treeUnit {
 	// Same-region pairs, grouped by (pid, bid).
 	type groupKey struct{ pid, bid uint64 }
 	groups := make(map[groupKey][]*interval)
@@ -636,7 +709,7 @@ func enumeratePairs(s *structure, include map[uint64]bool) [][2]*treeUnit {
 	pairs := make([][2]*treeUnit, 0, est)
 	seen := make(map[[2]*treeUnit]struct{}, est)
 	addUnits := func(x, y *treeUnit) {
-		if x.tree.Len() == 0 || y.tree.Len() == 0 {
+		if skipEmpty && (x.tree.Len() == 0 || y.tree.Len() == 0) {
 			return
 		}
 		k := [2]*treeUnit{x, y}

@@ -77,6 +77,30 @@ func (e *compareEngine) newWorker() *engineWorker {
 	return &engineWorker{e: e, local: make(map[solverKey]solverResult)}
 }
 
+// setReport swaps the report the comparison workers feed. The distributed
+// BatchAnalyzer gives every batch a fresh report while the engine's solver
+// memo and confirmed race sites stay warm across batches. Callers must not
+// swap while a comparePairs pool is running.
+func (e *compareEngine) setReport(rep *report.Report) { e.rep = rep }
+
+// engineCounters is a point-in-time copy of the engine's effort counters;
+// distributed batches subtract two snapshots to report per-batch deltas.
+type engineCounters struct {
+	comparisons, solverCalls, bboxFast uint64
+	cacheHits, cacheMisses, suppressed uint64
+}
+
+func (e *compareEngine) snapshot() engineCounters {
+	return engineCounters{
+		comparisons: e.comparisons.load(),
+		solverCalls: e.solverCalls.load(),
+		bboxFast:    e.bboxFast.load(),
+		cacheHits:   e.cacheHits.load(),
+		cacheMisses: e.cacheMisses.load(),
+		suppressed:  e.suppressed.load(),
+	}
+}
+
 // flush folds the worker's counters into the engine; called once per
 // worker after the pair channel drains.
 func (w *engineWorker) flush() {

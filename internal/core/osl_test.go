@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"sword/internal/memsim"
@@ -28,7 +29,7 @@ func buildFromProgram(t *testing.T, program func(rtm *omp.Runtime, space *memsim
 	// Materialize interval trees so pairing (which skips empty units) sees
 	// the accesses.
 	a := &Analyzer{store: store}
-	if err := a.buildTrees(s, 1, nil, false); err != nil {
+	if err := a.buildTrees(context.Background(), s, 1, nil, nil, false); err != nil {
 		t.Fatal(err)
 	}
 	return s
@@ -38,7 +39,7 @@ func buildFromProgram(t *testing.T, program func(rtm *omp.Runtime, space *memsim
 // intervals (the rule enumeratePairs applies in bulk), for comparison with
 // the OSL judgment.
 func lineageConcurrent(s *structure, a, b *interval) bool {
-	pairs := enumeratePairs(s, nil)
+	pairs := enumeratePairs(s, nil, true)
 	for _, p := range pairs {
 		x, y := p[0].iv, p[1].iv
 		if (x == a && y == b) || (x == b && y == a) {

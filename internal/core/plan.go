@@ -1,0 +1,200 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"sword/internal/report"
+	"sword/internal/trace"
+)
+
+// This file is the distributed-analysis surface of the core package: a
+// process-independent naming of the comparable work (UnitID, PairUnit) and
+// a BatchAnalyzer that executes arbitrary subsets of that work against a
+// shared trace store. The coordinator in internal/dist plans work units
+// from the meta files alone — no log is streamed and no tree is built on
+// the coordinator — and workers resolve the same UnitIDs against their own
+// identically-recovered structure, build only the trees a batch touches,
+// and compare exactly the pairs they were handed.
+
+// UnitID names one comparable tree unit across process boundaries. Key is
+// the owning interval; Unit indexes the interval's deterministic unit list
+// (one unit per fragment for task-spawning intervals, a single unit 0
+// otherwise). Fragments are sorted by log offset during structure
+// recovery, so every process that read the same meta files resolves a
+// UnitID to the same chunk of the same interval.
+type UnitID struct {
+	Key  trace.IntervalKey
+	Unit int
+}
+
+// PairUnit is one unit of distributable comparison work: two concurrent
+// tree units plus a cost estimate the coordinator schedules by. Cost is
+// the product of the units' fragment byte sizes — computable from meta
+// data alone, a stand-in for the run-length product the in-process
+// scheduler uses once trees exist.
+type PairUnit struct {
+	A, B UnitID
+	Cost uint64
+}
+
+// BatchAnalyzer executes distributed analysis batches over one trace
+// store. Construction recovers the region structure and enumerates the
+// full work plan without touching the logs; AnalyzeUnits then builds only
+// the interval trees a batch references (block-skipping past everything
+// else), compares the batch's pairs with the persistent sweep engine —
+// solver memo and race-site suppression stay warm across batches — and
+// frees the trees again. The same type serves both sides of the wire: the
+// coordinator plans with Units and never analyzes, workers analyze what
+// they are handed.
+type BatchAnalyzer struct {
+	a     *Analyzer
+	s     *structure
+	eng   *compareEngine
+	units map[UnitID]*treeUnit
+	plan  []PairUnit
+}
+
+// NewBatchAnalyzer recovers the structure and plans the full unit-pair
+// work list. Salvage mode is rejected: quarantine decisions depend on a
+// full stream over every log, which is exactly what distribution avoids —
+// damaged traces are a single-process `swordoffline -salvage` job.
+func NewBatchAnalyzer(store trace.Store, cfg Config) (*BatchAnalyzer, error) {
+	if cfg.Salvage {
+		return nil, fmt.Errorf("core: batch analysis does not support salvage mode; analyze damaged traces in one process")
+	}
+	a := New(store, cfg)
+	pcs, _, err := a.loadPCs()
+	if err != nil {
+		return nil, err
+	}
+	s, err := buildStructure(store, false)
+	if err != nil {
+		return nil, err
+	}
+	b := &BatchAnalyzer{
+		a:     a,
+		s:     s,
+		eng:   newCompareEngine(cfg, pcs, nil),
+		units: make(map[UnitID]*treeUnit, len(s.intervals)),
+	}
+	for _, iv := range s.intervals {
+		iv.materializeUnits()
+		for i, u := range iv.units {
+			b.units[UnitID{Key: iv.key, Unit: i}] = u
+		}
+	}
+	// Empty trees cannot be skipped here — they do not exist yet — so the
+	// plan may carry units whose trees turn out to hold no accesses; those
+	// pairs compare in O(1).
+	pairs := enumeratePairs(s, nil, false)
+	b.plan = make([]PairUnit, len(pairs))
+	for i, p := range pairs {
+		b.plan[i] = PairUnit{
+			A:    b.idOf(p[0]),
+			B:    b.idOf(p[1]),
+			Cost: satMul(unitBytes(p[0]), unitBytes(p[1])),
+		}
+	}
+	// Descending cost with the canonical enumeration order as the stable
+	// tie-break: the same deterministic schedule the in-process analyzer
+	// uses, just with byte sizes standing in for run lengths.
+	sort.SliceStable(b.plan, func(i, j int) bool { return b.plan[i].Cost > b.plan[j].Cost })
+	return b, nil
+}
+
+// idOf inverts the unit index: the unit's position in its interval's list.
+func (b *BatchAnalyzer) idOf(u *treeUnit) UnitID {
+	for i, v := range u.iv.units {
+		if v == u {
+			return UnitID{Key: u.iv.key, Unit: i}
+		}
+	}
+	panic("core: tree unit not in its interval's unit list")
+}
+
+// unitBytes is the unit's trace volume: its own fragment for per-fragment
+// units, the whole interval otherwise.
+func unitBytes(u *treeUnit) uint64 {
+	var total uint64
+	for _, f := range u.iv.frags {
+		if f.unit == u {
+			total += f.size
+		}
+	}
+	return total
+}
+
+// satMul multiplies with saturation so pathological log sizes cannot wrap
+// the cost ordering.
+func satMul(a, b uint64) uint64 {
+	if a != 0 && b > ^uint64(0)/a {
+		return ^uint64(0)
+	}
+	return a * b
+}
+
+// Units returns the full work plan in schedule order (descending cost).
+// The slice is the caller's to partition into batches.
+func (b *BatchAnalyzer) Units() []PairUnit {
+	out := make([]PairUnit, len(b.plan))
+	copy(out, b.plan)
+	return out
+}
+
+// StructureStats returns the run-level structure counts the coordinator
+// folds into the merged report — fields no worker can report without
+// double counting, since a batch only sees its own slice of the run.
+func (b *BatchAnalyzer) StructureStats() report.Stats {
+	return report.Stats{Intervals: len(b.s.intervals), Regions: len(b.s.regions)}
+}
+
+// AnalyzeUnits compares one batch of pair units and returns a report
+// holding the races found plus this batch's effort deltas in its Stats
+// (node comparisons, solver calls, memo hits/misses, suppressed sites,
+// interval pairs). Trees for the referenced intervals are built before and
+// freed after; a done ctx aborts the batch with ctx.Err().
+func (b *BatchAnalyzer) AnalyzeUnits(ctx context.Context, units []PairUnit) (*report.Report, error) {
+	workers := EffectiveWorkers(b.a.cfg.Workers)
+	pairs := make([][2]*treeUnit, 0, len(units))
+	only := make(map[*interval]bool)
+	for _, pu := range units {
+		ua, ok := b.units[pu.A]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown work unit %+v", pu.A)
+		}
+		ub, ok := b.units[pu.B]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown work unit %+v", pu.B)
+		}
+		pairs = append(pairs, [2]*treeUnit{ua, ub})
+		only[ua.iv] = true
+		only[ub.iv] = true
+	}
+	if err := b.a.buildTrees(ctx, b.s, workers, nil, only, false); err != nil {
+		return nil, err
+	}
+	defer func() {
+		for iv := range only {
+			for _, u := range iv.units {
+				u.resetTree()
+			}
+		}
+	}()
+	rep := report.New()
+	b.eng.setReport(rep)
+	before := b.eng.snapshot()
+	schedulePairs(pairs) // real run-length costs now that trees exist
+	if err := comparePairs(ctx, b.eng, workers, pairs); err != nil {
+		return nil, err
+	}
+	after := b.eng.snapshot()
+	rep.Stats.IntervalPairs = len(pairs)
+	rep.Stats.NodeComparisons = after.comparisons - before.comparisons
+	rep.Stats.SolverCalls = after.solverCalls - before.solverCalls
+	rep.Stats.SolverCacheHits = after.cacheHits - before.cacheHits
+	rep.Stats.SolverCacheMisses = after.cacheMisses - before.cacheMisses
+	rep.Stats.SitesSuppressed = after.suppressed - before.suppressed
+	return rep, nil
+}

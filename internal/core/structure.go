@@ -135,6 +135,15 @@ func (iv *interval) materializeUnits() {
 	}
 }
 
+// resetTree frees the unit's tree and flattened run between distributed
+// batches while keeping the unit object itself — and with it the UnitID
+// index pointing at it — stable, unlike resetUnits which drops the units.
+func (u *treeUnit) resetTree() {
+	u.tree = itree.Tree{}
+	u.flatOnce = sync.Once{}
+	u.flat = nil
+}
+
 // resetUnits frees the interval's trees (streaming batches).
 func (iv *interval) resetUnits() {
 	iv.units = nil

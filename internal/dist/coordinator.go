@@ -1,0 +1,355 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"sword/internal/core"
+	"sword/internal/obs"
+	"sword/internal/report"
+	"sword/internal/trace"
+)
+
+// CoordinatorConfig parameterizes the work-distribution side.
+type CoordinatorConfig struct {
+	// Core configures the planning pass (and must match what workers use:
+	// NoSolver/AllRaces/NoCompact change what a batch reports).
+	Core core.Config
+	// BatchUnits is how many pair units one batch carries (default 64).
+	// Small batches spread better and lose less on a worker death; large
+	// batches amortize tree builds — a worker builds each referenced
+	// interval's tree once per batch.
+	BatchUnits int
+	// WorkerTimeout is the liveness bound: a worker that sends no frame
+	// (result or heartbeat) for this long is considered dead, its batch is
+	// requeued, and its connection is closed (default 10s).
+	WorkerTimeout time.Duration
+	// BatchTimeout is the per-batch deadline, heartbeats or not: a batch
+	// outstanding longer than this is requeued and its worker dropped —
+	// the slow-worker guard (default 2m). Workers receive the limit with
+	// the batch and abort their analysis when it expires.
+	BatchTimeout time.Duration
+	// MaxAttempts bounds how often one unit may be dispatched before the
+	// coordinator declares the run failed (default 5). Exhausting it means
+	// every attempt hit a dying or disagreeing worker — retrying further
+	// would hide a systemic problem behind an incomplete report.
+	MaxAttempts int
+	// RetryBackoff is the base requeue delay; attempt k waits
+	// RetryBackoff·2^(k-1) before redispatch (default 250ms).
+	RetryBackoff time.Duration
+	// Obs receives the dist.* counters (see docs/FORMAT.md). nil disables.
+	Obs *obs.Metrics
+}
+
+func (cfg *CoordinatorConfig) fill() {
+	if cfg.BatchUnits <= 0 {
+		cfg.BatchUnits = 64
+	}
+	if cfg.WorkerTimeout <= 0 {
+		cfg.WorkerTimeout = 10 * time.Second
+	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = 2 * time.Minute
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+}
+
+// unitState tracks one pair unit through dispatch, failure, and retry.
+type unitState struct {
+	pu       core.PairUnit
+	planIdx  int       // position in the cost-descending schedule
+	attempts int       // dispatches so far
+	readyAt  time.Time // earliest next dispatch (exponential backoff)
+}
+
+// Coordinator plans the analysis from the meta files, serves batches to
+// workers, merges their results through the report's dedup, and survives
+// worker death by requeueing. One Coordinator runs one analysis.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	rep *report.Report
+	m   *obs.Metrics
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*unitState // undispatched units; readyAt may lie ahead
+	remaining int          // units not yet accepted into the report
+	failed    error        // fatal: a unit exhausted MaxAttempts
+	nextSeq   uint64
+	nextWID   int
+	done      chan struct{}
+	doneOnce  sync.Once
+}
+
+// NewCoordinator plans the full analysis of store. Only meta files are
+// read — the coordinator never streams a log or builds a tree; that is
+// the workers' job.
+func NewCoordinator(store trace.Store, cfg CoordinatorConfig) (*Coordinator, error) {
+	cfg.fill()
+	plan, err := core.NewBatchAnalyzer(store, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	units := plan.Units()
+	c := &Coordinator{
+		cfg:  cfg,
+		rep:  report.New(),
+		m:    cfg.Obs,
+		done: make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.rep.Stats = plan.StructureStats()
+	c.queue = make([]*unitState, len(units))
+	for i, pu := range units {
+		c.queue[i] = &unitState{pu: pu, planIdx: i}
+	}
+	c.remaining = len(units)
+	c.m.Counter("dist.units_planned").Add(uint64(len(units)))
+	if c.remaining == 0 {
+		c.finish()
+	}
+	return c, nil
+}
+
+// finish closes done exactly once; callers hold c.mu or are in New.
+func (c *Coordinator) finish() {
+	c.doneOnce.Do(func() { close(c.done) })
+}
+
+// Serve accepts worker connections on ln until the plan is drained or
+// failed, then closes the listener. It blocks; run it in a goroutine and
+// collect the result with Wait.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	go func() {
+		<-c.done
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-c.done:
+				return nil
+			default:
+				return fmt.Errorf("dist: accept: %w", err)
+			}
+		}
+		go c.handle(conn)
+	}
+}
+
+// Wait blocks until the analysis completes and returns the merged report,
+// or the fatal error if a unit exhausted its attempts.
+func (c *Coordinator) Wait() (*report.Report, error) {
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return nil, c.failed
+	}
+	return c.rep, nil
+}
+
+// takeBatch blocks until up to BatchUnits units are ready for dispatch and
+// returns them, or nil when the plan is drained or failed. Backed-off
+// units become ready when their readyAt passes; a timer wakes the wait.
+func (c *Coordinator) takeBatch() []*unitState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.failed != nil || c.remaining == 0 {
+			return nil
+		}
+		now := time.Now()
+		var batch []*unitState
+		rest := c.queue[:0]
+		for _, u := range c.queue {
+			if len(batch) < c.cfg.BatchUnits && !u.readyAt.After(now) {
+				batch = append(batch, u)
+			} else {
+				rest = append(rest, u)
+			}
+		}
+		if len(batch) > 0 {
+			c.queue = rest
+			for _, u := range batch {
+				u.attempts++
+			}
+			return batch
+		}
+		// Nothing ready. If units are backing off, arm a wake-up at the
+		// earliest readyAt; if everything is in flight, results or requeues
+		// will broadcast.
+		if len(c.queue) > 0 {
+			earliest := c.queue[0].readyAt
+			for _, u := range c.queue[1:] {
+				if u.readyAt.Before(earliest) {
+					earliest = u.readyAt
+				}
+			}
+			t := time.AfterFunc(time.Until(earliest), c.cond.Broadcast)
+			c.cond.Wait()
+			t.Stop()
+		} else {
+			c.cond.Wait()
+		}
+	}
+}
+
+// accept merges one batch's result into the report and retires its units.
+func (c *Coordinator) accept(batch []*unitState, res *Result) {
+	for _, r := range res.Races {
+		c.rep.Add(r)
+	}
+	c.mu.Lock()
+	c.rep.Stats.Merge(res.Stats)
+	c.remaining -= len(batch)
+	remaining := c.remaining
+	c.mu.Unlock()
+	c.m.Counter("dist.units_done").Add(uint64(len(batch)))
+	c.m.Counter("dist.batches_done").Inc()
+	if remaining == 0 {
+		c.finish()
+	}
+	c.cond.Broadcast()
+}
+
+// requeue returns a failed batch to the queue with exponential backoff,
+// or declares the run failed once a unit is out of attempts.
+func (c *Coordinator) requeue(worker string, batch []*unitState, cause error) {
+	c.mu.Lock()
+	now := time.Now()
+	lost := 0
+	for _, u := range batch {
+		if u.attempts >= c.cfg.MaxAttempts {
+			lost++
+			if c.failed == nil {
+				c.failed = fmt.Errorf("dist: unit %+v vs %+v failed %d attempts (last: %v)",
+					u.pu.A, u.pu.B, u.attempts, cause)
+			}
+			continue
+		}
+		u.readyAt = now.Add(c.cfg.RetryBackoff << min(u.attempts-1, 16))
+		c.queue = append(c.queue, u)
+	}
+	sort.Slice(c.queue, func(i, j int) bool { return c.queue[i].planIdx < c.queue[j].planIdx })
+	failed := c.failed
+	c.mu.Unlock()
+	c.m.Counter("dist.units_retried").Add(uint64(len(batch) - lost))
+	c.m.Counter("dist.units_lost").Add(uint64(lost))
+	c.m.Counter("dist.workers_dropped").Inc()
+	c.rep.Note("worker %s dropped (%v); %d unit(s) requeued, %d lost", worker, cause, len(batch)-lost, lost)
+	if failed != nil {
+		c.finish()
+	}
+	c.cond.Broadcast()
+}
+
+// handle runs one worker connection: handshake, then a dispatch loop that
+// feeds batches and polices liveness. Any error — protocol violation,
+// timeout, a batch overrunning its deadline, an Err result — drops the
+// worker and requeues its outstanding batch. A dropped worker is never
+// handed work again on that connection: results accepted so far came from
+// batches that completed wholly, which keeps race-site suppression sound
+// (a suppressed instance always has its confirming race in an accepted
+// batch).
+func (c *Coordinator) handle(conn net.Conn) {
+	defer conn.Close()
+	fr := newFramer(conn, c.m)
+	conn.SetReadDeadline(time.Now().Add(c.cfg.WorkerTimeout))
+	var hello Hello
+	if err := fr.recvExpect(msgHello, &hello); err != nil {
+		return
+	}
+	if hello.Version != protoVersion {
+		return
+	}
+	c.mu.Lock()
+	c.nextWID++
+	name := fmt.Sprintf("w%d", c.nextWID)
+	c.mu.Unlock()
+	if hello.Name != "" {
+		name = fmt.Sprintf("%s(%s)", name, hello.Name)
+	}
+	if err := fr.send(msgWelcome, &Welcome{Version: protoVersion}); err != nil {
+		return
+	}
+	c.m.Counter("dist.workers_connected").Inc()
+	c.m.Gauge("dist.workers_active").Add(1)
+	defer c.m.Gauge("dist.workers_active").Add(-1)
+
+	for {
+		batch := c.takeBatch()
+		if batch == nil {
+			fr.send(msgShutdown, nil)
+			return
+		}
+		c.mu.Lock()
+		c.nextSeq++
+		seq := c.nextSeq
+		c.mu.Unlock()
+		units := make([]core.PairUnit, len(batch))
+		for i, u := range batch {
+			units[i] = u.pu
+		}
+		if err := fr.send(msgBatch, &Batch{Seq: seq, Units: units, TimeLimit: int64(c.cfg.BatchTimeout)}); err != nil {
+			c.requeue(name, batch, err)
+			return
+		}
+		c.m.Counter("dist.batches_sent").Inc()
+		c.m.Counter("dist.units_dispatched").Add(uint64(len(units)))
+		res, err := c.awaitResult(fr, conn, seq)
+		if err != nil {
+			c.requeue(name, batch, err)
+			return
+		}
+		c.accept(batch, res)
+	}
+}
+
+// awaitResult reads frames until the batch's result arrives, feeding the
+// liveness timer from heartbeats but never extending past the batch
+// deadline.
+func (c *Coordinator) awaitResult(fr *framer, conn net.Conn, seq uint64) (*Result, error) {
+	deadline := time.Now().Add(c.cfg.BatchTimeout)
+	for {
+		next := time.Now().Add(c.cfg.WorkerTimeout)
+		if next.After(deadline) {
+			next = deadline
+		}
+		conn.SetReadDeadline(next)
+		typ, payload, err := fr.recv()
+		if err != nil {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("batch %d overran its %v deadline", seq, c.cfg.BatchTimeout)
+			}
+			return nil, err
+		}
+		switch typ {
+		case msgHeartbeat:
+			c.m.Counter("dist.heartbeats").Inc()
+		case msgResult:
+			var res Result
+			if err := decodePayload(typ, payload, &res); err != nil {
+				return nil, err
+			}
+			if res.Seq != seq {
+				return nil, fmt.Errorf("result for batch %d, want %d", res.Seq, seq)
+			}
+			if res.Err != "" {
+				return nil, fmt.Errorf("worker failed batch %d: %s", seq, res.Err)
+			}
+			return &res, nil
+		default:
+			return nil, fmt.Errorf("unexpected %s frame awaiting batch %d", typeName(typ), seq)
+		}
+	}
+}

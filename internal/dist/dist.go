@@ -1,0 +1,29 @@
+// Package dist shards SWORD's offline analysis across processes — the
+// paper's cluster mode (§V analyzed pairs of concurrent barrier intervals
+// across 616 nodes), reproduced as a coordinator/worker service over TCP.
+//
+// The coordinator reads only the meta files: it recovers the region
+// structure, enumerates every concurrent pair of tree units
+// (core.BatchAnalyzer), and serves cost-descending batches of
+// core.PairUnit to whoever connects. Workers open the same trace store
+// read-only, resolve the unit ids against their own identically-recovered
+// structure, build just the interval trees a batch references (block-
+// skipping past the rest of the logs), run the regular sweep engine, and
+// stream back the races plus that batch's effort delta. The coordinator
+// merges results through report.Report's dedup and report.Stats.Merge, so
+// the final report carries the same race set as a single-process run.
+//
+// Fault tolerance is the coordinator's requeue loop: a worker that stops
+// sending frames (no result, no heartbeat) within WorkerTimeout, or whose
+// batch overruns BatchTimeout, is dropped and its batch returns to the
+// queue with exponential backoff; MaxAttempts bounds how often a unit may
+// fail before the run is declared failed rather than silently incomplete.
+// A dropped worker is never reused, which keeps race-site suppression
+// sound: every result the coordinator accepted came from a batch that ran
+// to completion, so a suppressed detection always has its confirming race
+// in an accepted batch.
+//
+// The wire format, dist.* metrics, and failure semantics are documented
+// in docs/FORMAT.md ("Distributed analysis"); cmd/sworddist is the CLI
+// (-serve, -join, -local N).
+package dist

@@ -1,0 +1,180 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"sword/internal/core"
+	"sword/internal/obs"
+	"sword/internal/report"
+)
+
+// Wire protocol: every message is one frame,
+//
+//	[4 bytes big-endian payload length][1 byte type][gob payload]
+//
+// over a plain TCP stream. The length covers the type byte plus the gob
+// payload, so a reader can skip unknown frames. Frames are capped at
+// maxFrame: a length beyond it means a corrupt or hostile stream and
+// kills the connection rather than an allocation. The layout is
+// documented for operators in docs/FORMAT.md ("Distributed analysis").
+const (
+	protoVersion = 1
+	maxFrame     = 64 << 20 // 64 MiB: far above any real batch or result
+	headerLen    = 5
+)
+
+// Frame types.
+const (
+	msgHello     byte = iota + 1 // worker → coordinator: version, name
+	msgWelcome                   // coordinator → worker: version accepted
+	msgBatch                     // coordinator → worker: units to analyze
+	msgResult                    // worker → coordinator: races + stats delta
+	msgHeartbeat                 // worker → coordinator: alive mid-batch
+	msgShutdown                  // coordinator → worker: no more work
+)
+
+// typeName renders a frame type for error messages.
+func typeName(t byte) string {
+	switch t {
+	case msgHello:
+		return "hello"
+	case msgWelcome:
+		return "welcome"
+	case msgBatch:
+		return "batch"
+	case msgResult:
+		return "result"
+	case msgHeartbeat:
+		return "heartbeat"
+	case msgShutdown:
+		return "shutdown"
+	}
+	return fmt.Sprintf("type-%d", t)
+}
+
+// Hello is the worker's opening frame.
+type Hello struct {
+	Version int
+	Name    string // worker's self-chosen label, for notes and metrics
+}
+
+// Welcome acknowledges a compatible worker.
+type Welcome struct {
+	Version int
+}
+
+// Batch hands a worker one slice of the work plan. TimeLimit is the
+// coordinator's per-batch deadline; the worker derives a context timeout
+// from it so it stops burning cycles on work the coordinator already gave
+// up on.
+type Batch struct {
+	Seq       uint64
+	Units     []core.PairUnit
+	TimeLimit int64 // nanoseconds; 0 = no limit
+}
+
+// Result carries one batch's outcome back: the races found and the
+// engine-effort delta for exactly this batch. A non-empty Err means the
+// worker could not analyze the batch (e.g. its structure disagrees with
+// the coordinator's plan); the coordinator drops the worker and requeues.
+type Result struct {
+	Seq   uint64
+	Races []report.Race
+	Stats report.Stats
+	Err   string
+}
+
+// Heartbeat keeps the coordinator's liveness timer fed during long
+// batches. No payload.
+type Heartbeat struct{}
+
+// Shutdown tells a worker the plan is drained. No payload.
+type Shutdown struct{}
+
+// framer reads and writes frames on one connection. Writes are
+// mutex-serialized because a worker's heartbeat ticker writes concurrently
+// with its result sender. Byte counters feed dist.bytes_sent/_received.
+type framer struct {
+	conn net.Conn
+	r    *bufio.Reader
+	m    *obs.Metrics
+
+	wmu sync.Mutex
+	buf bytes.Buffer
+}
+
+func newFramer(conn net.Conn, m *obs.Metrics) *framer {
+	return &framer{conn: conn, r: bufio.NewReader(conn), m: m}
+}
+
+// send gob-encodes payload and writes one frame. payload may be nil for
+// bodyless types (heartbeat, shutdown).
+func (f *framer) send(typ byte, payload any) error {
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	f.buf.Reset()
+	f.buf.Write([]byte{0, 0, 0, 0, typ})
+	if payload != nil {
+		if err := gob.NewEncoder(&f.buf).Encode(payload); err != nil {
+			return fmt.Errorf("dist: encode %s: %w", typeName(typ), err)
+		}
+	}
+	b := f.buf.Bytes()
+	if len(b) > maxFrame {
+		return fmt.Errorf("dist: %s frame of %d bytes exceeds the %d-byte cap", typeName(typ), len(b), maxFrame)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	if _, err := f.conn.Write(b); err != nil {
+		return fmt.Errorf("dist: write %s: %w", typeName(typ), err)
+	}
+	f.m.Counter("dist.bytes_sent").Add(uint64(len(b)))
+	return nil
+}
+
+// recv reads one frame and returns its type and raw gob payload.
+func (f *framer) recv() (byte, []byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: frame length %d outside [1, %d]", n, maxFrame)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(f.r, payload); err != nil {
+		return 0, nil, fmt.Errorf("dist: short %s frame: %w", typeName(hdr[4]), err)
+	}
+	f.m.Counter("dist.bytes_received").Add(uint64(headerLen) + uint64(n-1))
+	return hdr[4], payload, nil
+}
+
+// recvExpect reads one frame and requires it to be of type want, decoding
+// the payload into out (which may be nil for bodyless types).
+func (f *framer) recvExpect(want byte, out any) error {
+	typ, payload, err := f.recv()
+	if err != nil {
+		return err
+	}
+	if typ != want {
+		return fmt.Errorf("dist: got %s frame, want %s", typeName(typ), typeName(want))
+	}
+	return decodePayload(typ, payload, out)
+}
+
+func decodePayload(typ byte, payload []byte, out any) error {
+	if out == nil {
+		return nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		return fmt.Errorf("dist: decode %s: %w", typeName(typ), err)
+	}
+	return nil
+}

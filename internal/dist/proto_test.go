@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+
+	"sword/internal/core"
+	"sword/internal/obs"
+	"sword/internal/report"
+	"sword/internal/trace"
+)
+
+// pipePair returns two framers joined by an in-memory duplex connection.
+func pipePair(m *obs.Metrics) (*framer, *framer) {
+	a, b := net.Pipe()
+	return newFramer(a, m), newFramer(b, m)
+}
+
+// TestFrameRoundTrip: every message type survives the frame encoding.
+func TestFrameRoundTrip(t *testing.T) {
+	m := obs.New()
+	a, b := pipePair(m)
+	defer a.conn.Close()
+	defer b.conn.Close()
+
+	batch := Batch{
+		Seq: 7,
+		Units: []core.PairUnit{{
+			A:    core.UnitID{Key: trace.IntervalKey{PID: 1, TID: 2, BID: 3}, Unit: 1},
+			B:    core.UnitID{Key: trace.IntervalKey{PID: 1, TID: 4, BID: 3}},
+			Cost: 4096,
+		}},
+		TimeLimit: int64(1e9),
+	}
+	result := Result{
+		Seq: 7,
+		Races: []report.Race{{
+			First:  report.Side{PC: 10, Source: "a.go:1", Write: true},
+			Second: report.Side{PC: 20, Source: "b.go:2"},
+			Addr:   0x1000, Count: 3,
+		}},
+		Stats: report.Stats{IntervalPairs: 1, NodeComparisons: 12, SolverCalls: 2},
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		if err := a.send(msgHello, &Hello{Version: protoVersion, Name: "w"}); err != nil {
+			done <- err
+			return
+		}
+		if err := a.send(msgBatch, &batch); err != nil {
+			done <- err
+			return
+		}
+		if err := a.send(msgHeartbeat, nil); err != nil {
+			done <- err
+			return
+		}
+		done <- a.send(msgResult, &result)
+	}()
+
+	var hello Hello
+	if err := b.recvExpect(msgHello, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Version != protoVersion || hello.Name != "w" {
+		t.Fatalf("hello changed on the wire: %+v", hello)
+	}
+	var gotBatch Batch
+	if err := b.recvExpect(msgBatch, &gotBatch); err != nil {
+		t.Fatal(err)
+	}
+	if gotBatch.Seq != batch.Seq || len(gotBatch.Units) != 1 || gotBatch.Units[0] != batch.Units[0] ||
+		gotBatch.TimeLimit != batch.TimeLimit {
+		t.Fatalf("batch changed on the wire:\nin  %+v\nout %+v", batch, gotBatch)
+	}
+	if err := b.recvExpect(msgHeartbeat, nil); err != nil {
+		t.Fatal(err)
+	}
+	var gotRes Result
+	if err := b.recvExpect(msgResult, &gotRes); err != nil {
+		t.Fatal(err)
+	}
+	if gotRes.Seq != result.Seq || len(gotRes.Races) != 1 || gotRes.Races[0] != result.Races[0] ||
+		gotRes.Stats != result.Stats {
+		t.Fatalf("result changed on the wire:\nin  %+v\nout %+v", result, gotRes)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Value("dist.bytes_sent") == 0 || snap.Value("dist.bytes_received") == 0 {
+		t.Error("frame byte counters not recorded")
+	}
+}
+
+// TestRecvRejectsOversizeFrame: a length header past the cap kills the
+// read before any allocation of that size.
+func TestRecvRejectsOversizeFrame(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		var hdr [5]byte
+		binary.BigEndian.PutUint32(hdr[:4], maxFrame+1)
+		hdr[4] = msgBatch
+		a.Write(hdr[:])
+	}()
+	fr := newFramer(b, nil)
+	if _, _, err := fr.recv(); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+// TestRecvRejectsZeroLength: a frame too short to carry its type byte is
+// a protocol error.
+func TestRecvRejectsZeroLength(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte{0, 0, 0, 0, 0})
+	fr := newFramer(b, nil)
+	if _, _, err := fr.recv(); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}
+
+// TestRecvExpectTypeMismatch: the handshake helpers refuse out-of-order
+// frames instead of mis-decoding them.
+func TestRecvExpectTypeMismatch(t *testing.T) {
+	a, b := pipePair(nil)
+	defer a.conn.Close()
+	defer b.conn.Close()
+	go a.send(msgHeartbeat, nil)
+	if err := b.recvExpect(msgWelcome, &Welcome{}); err == nil {
+		t.Fatal("heartbeat accepted as welcome")
+	}
+}

@@ -1,0 +1,234 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"sword/internal/core"
+	"sword/internal/obs"
+	"sword/internal/report"
+	"sword/internal/trace"
+)
+
+// WorkerConfig parameterizes one analysis worker.
+type WorkerConfig struct {
+	// Core configures the batch analyzer; Workers bounds the in-process
+	// parallelism of tree building and pair comparison (non-positive =
+	// GOMAXPROCS, see core.EffectiveWorkers).
+	Core core.Config
+	// Name labels the worker in the coordinator's notes (default "").
+	Name string
+	// HeartbeatEvery is how often the worker pings the coordinator while a
+	// batch is running (default 1s; keep it well under the coordinator's
+	// WorkerTimeout).
+	HeartbeatEvery time.Duration
+	// Obs receives the worker-side dist.* and core.* counters. nil
+	// disables.
+	Obs *obs.Metrics
+	// BatchHook, when non-nil, runs before each batch's analysis. A
+	// returned error makes the worker die on the spot — connection torn,
+	// no result sent — which is exactly the fault the coordinator's
+	// requeue logic exists for; the fault-injection tests and the chaos
+	// harness use it. The trace.FaultStore counterpart injects faults
+	// below the store API; this hook injects them at the work-unit layer.
+	BatchHook func(seq uint64, units []core.PairUnit) error
+}
+
+func (cfg *WorkerConfig) fill() {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+}
+
+// Work connects to the coordinator at addr, analyzes batches from the
+// shared store until the coordinator says Shutdown, and returns nil on a
+// clean drain. The store must hold the same trace the coordinator
+// planned from — workers verify this implicitly: a UnitID that does not
+// resolve fails the batch. ctx cancellation aborts the current batch and
+// the connection.
+func Work(ctx context.Context, addr string, store trace.Store, cfg WorkerConfig) error {
+	cfg.fill()
+	ba, err := core.NewBatchAnalyzer(store, cfg.Core)
+	if err != nil {
+		return err
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	// A cancelled ctx unblocks any pending read/write by killing the
+	// connection; the coordinator sees a dead worker and requeues.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	fr := newFramer(conn, cfg.Obs)
+	if err := fr.send(msgHello, &Hello{Version: protoVersion, Name: cfg.Name}); err != nil {
+		return ctxOr(ctx, err)
+	}
+	var welcome Welcome
+	if err := fr.recvExpect(msgWelcome, &welcome); err != nil {
+		return ctxOr(ctx, fmt.Errorf("dist: handshake: %w", err))
+	}
+	if welcome.Version != protoVersion {
+		return fmt.Errorf("dist: coordinator speaks protocol %d, want %d", welcome.Version, protoVersion)
+	}
+
+	for {
+		typ, payload, err := fr.recv()
+		if err != nil {
+			return ctxOr(ctx, fmt.Errorf("dist: await batch: %w", err))
+		}
+		switch typ {
+		case msgShutdown:
+			return nil
+		case msgBatch:
+			var batch Batch
+			if err := decodePayload(typ, payload, &batch); err != nil {
+				return err
+			}
+			if err := runBatch(ctx, fr, ba, &batch, cfg); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dist: unexpected %s frame awaiting batch", typeName(typ))
+		}
+	}
+}
+
+// ctxOr prefers the context's error once it is done: a torn connection
+// after cancellation is the cancellation, not a network failure.
+func ctxOr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// errHookDeath marks a fault-injection kill: the worker must die with the
+// connection torn and no result sent, unlike an ordinary batch failure.
+type errHookDeath struct{ err error }
+
+func (e errHookDeath) Error() string { return e.err.Error() }
+
+// runBatch analyzes one batch under its deadline, heartbeating the whole
+// time (the hook included — it models slow batch processing), and sends
+// the result. Analysis errors that are the batch's fault (an
+// unresolvable unit, the deadline) are reported in Result.Err; transport
+// errors and hook-injected deaths propagate and kill the worker.
+func runBatch(ctx context.Context, fr *framer, ba *core.BatchAnalyzer, batch *Batch, cfg WorkerConfig) error {
+	bctx := ctx
+	var cancel context.CancelFunc
+	if batch.TimeLimit > 0 {
+		bctx, cancel = context.WithTimeout(ctx, time.Duration(batch.TimeLimit))
+		defer cancel()
+	}
+
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(cfg.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				if err := fr.send(msgHeartbeat, nil); err != nil {
+					return // connection gone; the analysis will find out too
+				}
+				cfg.Obs.Counter("dist.worker_heartbeats").Inc()
+			}
+		}
+	}()
+	var rep *report.Report
+	err := func() error {
+		if cfg.BatchHook != nil {
+			if err := cfg.BatchHook(batch.Seq, batch.Units); err != nil {
+				return errHookDeath{err}
+			}
+		}
+		var aerr error
+		rep, aerr = ba.AnalyzeUnits(bctx, batch.Units)
+		return aerr
+	}()
+	close(hbStop)
+	<-hbDone
+
+	res := Result{Seq: batch.Seq}
+	var death errHookDeath
+	switch {
+	case err == nil:
+		res.Races = rep.Races()
+		res.Stats = rep.Stats
+		cfg.Obs.Counter("dist.worker_units_done").Add(uint64(len(batch.Units)))
+		cfg.Obs.Counter("dist.worker_batches_done").Inc()
+	case errors.As(err, &death):
+		return fmt.Errorf("dist: batch hook: %w", death.err)
+	case ctx.Err() != nil:
+		return ctx.Err() // worker-level cancellation: die, do not report
+	default:
+		// Batch-level failure (deadline, bad unit): tell the coordinator
+		// so it can requeue without waiting for the liveness timeout.
+		res.Err = err.Error()
+		cfg.Obs.Counter("dist.worker_batches_failed").Inc()
+	}
+	return fr.send(msgResult, &res)
+}
+
+// Local runs a coordinator plus n in-process loopback workers over store
+// and returns the merged report — the `sworddist -local N` mode, the
+// smoke test, and the harness's distributed lane. Worker failures are
+// tolerated (that is the point of the subsystem); only a failed plan or a
+// failed run is an error.
+func Local(ctx context.Context, store trace.Store, n int, ccfg CoordinatorConfig, wcfg WorkerConfig) (*report.Report, error) {
+	if n <= 0 {
+		n = 2
+	}
+	coord, err := NewCoordinator(store, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen: %w", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- coord.Serve(ln) }()
+	addr := ln.Addr().String()
+	for i := 0; i < n; i++ {
+		cfg := wcfg
+		if cfg.Name == "" {
+			cfg.Name = fmt.Sprintf("local-%d", i+1)
+		}
+		go func() {
+			// Errors are visible to the coordinator as a dead worker; the
+			// remaining workers absorb the requeued units.
+			_ = Work(ctx, addr, store, cfg)
+		}()
+	}
+	done := make(chan struct{})
+	var rep *report.Report
+	var waitErr error
+	go func() {
+		rep, waitErr = coord.Wait()
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-done:
+	}
+	if waitErr != nil {
+		return nil, waitErr
+	}
+	if err := <-serveErr; err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sword"
+	"sword/internal/dist"
+	"sword/internal/workloads"
+)
+
+// DistLane is one worker-count's measurement in a DistBenchResult.
+type DistLane struct {
+	// NsPerRun is the best-of-repeats wall time of a coordinator plus N
+	// loopback workers draining the whole plan.
+	NsPerRun float64 `json:"ns_per_run"`
+	// Speedup is single-process wall time over this lane's (> 1 means the
+	// distribution paid off despite the framing and per-batch tree builds).
+	Speedup float64 `json:"speedup"`
+	// Races is the dedup'd race count; Agrees says it and the race sites
+	// matched the single-process report — the correctness leg of the
+	// experiment, asserted on every repeat.
+	Races  int  `json:"races"`
+	Agrees bool `json:"agrees"`
+}
+
+// DistBenchResult is one workload's distributed-vs-single measurement,
+// the schema of BENCH_5.json (documented in EXPERIMENTS.md).
+type DistBenchResult struct {
+	// SingleNs is the single-process analysis wall time (best of repeats,
+	// same store, same config), the lanes' baseline.
+	SingleNs float64 `json:"single_ns"`
+	// Units is how many pair units the coordinator planned.
+	Units int `json:"units"`
+	// Workers maps worker count ("1", "2", "4") to that lane's numbers.
+	Workers map[string]DistLane `json:"workers"`
+	// Err is set when the workload failed to collect or analyze; the
+	// other fields are then zero.
+	Err string `json:"err,omitempty"`
+}
+
+// distBenchWorkloads are the measured workloads: two racy evaluation
+// kernels with enough concurrent pairs for the distribution to matter
+// and a race-free one (pure comparison effort, no dedup traffic).
+var distBenchWorkloads = []string{"c_md", "c_jacobi", "critical-no"}
+
+// distWorkerCounts are the lanes measured per workload.
+var distWorkerCounts = []int{1, 2, 4}
+
+const distBenchRepeats = 3
+
+// distCollect runs the named workload once under the collector and
+// returns the trace store the single-process and distributed lanes share.
+func distCollect(name string) (sword.Store, error) {
+	wl, err := workloads.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := sword.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	wl.Run(&workloads.Ctx{
+		RT:      sess.Runtime(),
+		Space:   sess.Space(),
+		Threads: 4,
+		Size:    wl.DefaultSize,
+	})
+	if err := sess.CollectOnly(); err != nil {
+		return nil, err
+	}
+	return sess.Store(), nil
+}
+
+// distBenchOne measures one workload: single-process analysis wall time
+// against a coordinator plus N loopback workers, with the race sets
+// compared on every distributed run.
+func distBenchOne(name string) DistBenchResult {
+	store, err := distCollect(name)
+	if err != nil {
+		return DistBenchResult{Err: err.Error()}
+	}
+	var base *sword.Report
+	single := time.Duration(1<<63 - 1)
+	for i := 0; i < distBenchRepeats; i++ {
+		start := time.Now()
+		rep, _, err := sword.AnalyzeStore(store)
+		if err != nil {
+			return DistBenchResult{Err: err.Error()}
+		}
+		if d := time.Since(start); d < single {
+			single = d
+		}
+		base = rep
+	}
+	res := DistBenchResult{
+		SingleNs: float64(single.Nanoseconds()),
+		Workers:  make(map[string]DistLane, len(distWorkerCounts)),
+	}
+	for _, n := range distWorkerCounts {
+		lane := DistLane{Agrees: true}
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < distBenchRepeats; i++ {
+			start := time.Now()
+			rep, err := dist.Local(context.Background(), store, n,
+				dist.CoordinatorConfig{}, dist.WorkerConfig{})
+			if err != nil {
+				return DistBenchResult{Err: fmt.Sprintf("local %d workers: %v", n, err)}
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			lane.Races = rep.Len()
+			if rep.Len() != base.Len() || !sameRaceSites(base, rep) {
+				lane.Agrees = false
+			}
+			if res.Units == 0 {
+				res.Units = int(rep.Stats.IntervalPairs)
+			}
+		}
+		lane.NsPerRun = float64(best.Nanoseconds())
+		if best > 0 {
+			lane.Speedup = float64(single) / float64(best)
+		}
+		res.Workers[fmt.Sprint(n)] = lane
+	}
+	return res
+}
+
+// DistBenches measures the distributed analysis against the
+// single-process analyzer on the bundled workloads: same store, same
+// race set (asserted), wall time per worker count. Workload name →
+// result.
+//
+// The lanes run loopback workers inside one process, so the numbers
+// carry the full protocol cost (framing, gob, heartbeats, per-batch tree
+// builds) but not network latency — the honest floor of what a real
+// cluster adds. Tiny workloads routinely show speedup < 1: the plan has
+// too few units to amortize the per-batch rebuilds, which is the
+// documented trade-off of batch size (CoordinatorConfig.BatchUnits).
+func DistBenches() map[string]DistBenchResult {
+	out := make(map[string]DistBenchResult, len(distBenchWorkloads))
+	for _, name := range distBenchWorkloads {
+		out[name] = distBenchOne(name)
+	}
+	return out
+}
+
+// WriteDistBench runs DistBenches and writes the results to path as
+// indented JSON (keys sorted), the BENCH_5.json artifact format.
+func WriteDistBench(path string) error {
+	data, err := json.MarshalIndent(DistBenches(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: marshal dist bench results: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

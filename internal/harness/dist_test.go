@@ -1,0 +1,25 @@
+package harness
+
+import "testing"
+
+// TestDistBenchAgrees guards the experiment code: the distributed lanes
+// must reproduce the single-process race set on a racy workload (the
+// dist package's own tests cover the protocol; this covers the
+// harness's collection and comparison plumbing).
+func TestDistBenchAgrees(t *testing.T) {
+	res := distBenchOne("c_md")
+	if res.Err != "" {
+		t.Fatalf("dist bench failed: %s", res.Err)
+	}
+	if res.Units == 0 {
+		t.Error("no pair units planned")
+	}
+	for n, lane := range res.Workers {
+		if !lane.Agrees {
+			t.Errorf("%s workers: race set disagrees with single-process (%d races)", n, lane.Races)
+		}
+		if lane.NsPerRun <= 0 {
+			t.Errorf("%s workers: no wall time measured", n)
+		}
+	}
+}

@@ -59,7 +59,7 @@ const DefaultNodeBudget = 440 << 20
 
 // Options configures a run.
 type Options struct {
-	Threads int // team size; 0 means GOMAXPROCS capped at 8
+	Threads int // team size; 0 means GOMAXPROCS clamped to [4, 8]
 	Size    int // workload size knob; 0 means the workload default
 	// NodeBudget simulates node memory for OOM verdicts; 0 means
 	// DefaultNodeBudget, negative means unlimited.

@@ -1,0 +1,152 @@
+package report
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// fillStats sets every field of a Stats to a distinct value drawn from r,
+// by reflection, so the merge tests automatically cover fields added
+// later.
+func fillStats(t *testing.T, r *rand.Rand) Stats {
+	t.Helper()
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int:
+			f.SetInt(int64(1 + r.Intn(1000)))
+		case reflect.Uint64:
+			f.SetUint(uint64(1 + r.Intn(1000)))
+		default:
+			t.Fatalf("Stats field %s has kind %s: extend fillStats and check Merge sums it",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	return s
+}
+
+// TestStatsMergeSumsEveryField: merging two randomly filled Stats must sum
+// every field — a field forgotten in Merge shows up as an unchanged value.
+func TestStatsMergeSumsEveryField(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a, b := fillStats(t, r), fillStats(t, r)
+	got := a
+	got.Merge(b)
+	va, vb, vg := reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(got)
+	for i := 0; i < va.NumField(); i++ {
+		name := va.Type().Field(i).Name
+		switch va.Field(i).Kind() {
+		case reflect.Int:
+			if want := va.Field(i).Int() + vb.Field(i).Int(); vg.Field(i).Int() != want {
+				t.Errorf("field %s: got %d, want %d (Merge does not sum it)", name, vg.Field(i).Int(), want)
+			}
+		case reflect.Uint64:
+			if want := va.Field(i).Uint() + vb.Field(i).Uint(); vg.Field(i).Uint() != want {
+				t.Errorf("field %s: got %d, want %d (Merge does not sum it)", name, vg.Field(i).Uint(), want)
+			}
+		}
+	}
+}
+
+// TestStatsMergeCommutativeAssociative property-tests the algebra the
+// distributed coordinator depends on: batch deltas arrive in arbitrary
+// completion order, possibly merged through intermediate partial sums.
+func TestStatsMergeCommutativeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := fillStats(t, r), fillStats(t, r), fillStats(t, r)
+
+		ab := a
+		ab.Merge(b)
+		ba := b
+		ba.Merge(a)
+		if ab != ba {
+			t.Fatalf("trial %d: Merge not commutative:\na+b = %+v\nb+a = %+v", trial, ab, ba)
+		}
+
+		abc := ab
+		abc.Merge(c)
+		bc := b
+		bc.Merge(c)
+		aBC := a
+		aBC.Merge(bc)
+		if abc != aBC {
+			t.Fatalf("trial %d: Merge not associative:\n(a+b)+c = %+v\na+(b+c) = %+v", trial, abc, aBC)
+		}
+	}
+}
+
+// TestStatsMergeZeroIdentity: merging a zero Stats changes nothing — a
+// worker that found no work contributes nothing to the merged report.
+func TestStatsMergeZeroIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := fillStats(t, r)
+	got := a
+	got.Merge(Stats{})
+	if got != a {
+		t.Fatalf("zero merge changed the stats:\nbefore %+v\nafter  %+v", a, got)
+	}
+}
+
+func gobRoundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+// TestRaceGobRoundTrip: Race survives the wire encoding the dist protocol
+// uses, field for field.
+func TestRaceGobRoundTrip(t *testing.T) {
+	in := Race{
+		First:  Side{PC: 0xdeadbeef, Source: "md.go:87", Write: true},
+		Second: Side{PC: 0xcafe, Source: "md.go:91", Atomic: true},
+		Addr:   0x10000f0,
+		Count:  42,
+	}
+	var out Race
+	gobRoundTrip(t, &in, &out)
+	if out != in {
+		t.Fatalf("race changed on the wire:\nin  %+v\nout %+v", in, out)
+	}
+}
+
+// TestStatsGobRoundTrip: a fully populated Stats survives the wire — gob
+// omits zero fields, so this also guards against fields gob cannot encode.
+func TestStatsGobRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	in := fillStats(t, r)
+	var out Stats
+	gobRoundTrip(t, &in, &out)
+	if out != in {
+		t.Fatalf("stats changed on the wire:\nin  %+v\nout %+v", in, out)
+	}
+}
+
+// TestRaceSliceGobRoundTrip: the batch result shape the workers actually
+// send — a slice of races — round-trips with order preserved.
+func TestRaceSliceGobRoundTrip(t *testing.T) {
+	in := []Race{
+		{First: Side{PC: 1, Source: "a.go:1", Write: true}, Second: Side{PC: 2, Source: "b.go:2"}, Addr: 8, Count: 1},
+		{First: Side{PC: 3, Source: "c.go:3"}, Second: Side{PC: 4, Source: "d.go:4", Write: true, Atomic: true}, Addr: 16, Count: 7},
+	}
+	var out []Race
+	gobRoundTrip(t, &in, &out)
+	if len(out) != len(in) {
+		t.Fatalf("slice length changed: %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("race %d changed on the wire:\nin  %+v\nout %+v", i, in[i], out[i])
+		}
+	}
+}

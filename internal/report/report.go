@@ -98,6 +98,29 @@ func (s *Stats) Partial() bool {
 	return s.IntervalsQuarantined > 0 || s.CorruptBlocks > 0 || s.TruncatedSlots > 0 || s.LostBytes > 0
 }
 
+// Merge folds other into s field-wise. Every field is a sum counter, so
+// merging is commutative and associative — the property the distributed
+// coordinator relies on to fold worker batch deltas in completion order.
+// A test enumerates the struct's fields by reflection, so adding a field
+// without extending Merge fails the build's tests, not production merges.
+func (s *Stats) Merge(other Stats) {
+	s.Intervals += other.Intervals
+	s.IntervalPairs += other.IntervalPairs
+	s.TreeNodes += other.TreeNodes
+	s.Accesses += other.Accesses
+	s.NodeComparisons += other.NodeComparisons
+	s.SolverCalls += other.SolverCalls
+	s.Regions += other.Regions
+	s.SolverCacheHits += other.SolverCacheHits
+	s.SolverCacheMisses += other.SolverCacheMisses
+	s.SitesSuppressed += other.SitesSuppressed
+	s.IntervalsQuarantined += other.IntervalsQuarantined
+	s.CorruptBlocks += other.CorruptBlocks
+	s.TruncatedSlots += other.TruncatedSlots
+	s.SalvagedBytes += other.SalvagedBytes
+	s.LostBytes += other.LostBytes
+}
+
 // Report accumulates deduplicated races. It is safe for concurrent Add,
 // matching the analyzer's parallel interval-pair comparison.
 type Report struct {

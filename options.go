@@ -28,7 +28,10 @@ type Config struct {
 	// (0 = min(GOMAXPROCS, 4)). Per-slot block order is preserved for
 	// any worker count, so the stored trace is identical.
 	FlushWorkers int
-	// Workers bounds offline analysis parallelism (0 = GOMAXPROCS).
+	// Workers bounds offline analysis parallelism. Any non-positive value
+	// means GOMAXPROCS — the same rule every layer applies (the analyzer,
+	// the distributed workers, the CLI flags), so a -1 from a config file
+	// behaves like the documented 0.
 	Workers int
 	// NoSolver replaces the precise strided-intersection decision with
 	// the conservative bounding-box overlap (ablation of the paper's
@@ -93,7 +96,7 @@ func WithMaxEvents(n int) Option {
 	return func(c *Config) { c.MaxEvents = n }
 }
 
-// WithWorkers bounds offline analysis parallelism (0 = GOMAXPROCS).
+// WithWorkers bounds offline analysis parallelism (<= 0 = GOMAXPROCS).
 func WithWorkers(n int) Option {
 	return func(c *Config) { c.Workers = n }
 }

@@ -32,6 +32,7 @@
 package sword
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -247,17 +248,31 @@ func (s *Session) CollectOnly() error {
 // Analyze runs the offline phase over a previously collected log
 // directory, returning the report and the run's observability summary.
 func Analyze(logDir string, opts ...Option) (*Report, *RunStats, error) {
+	return AnalyzeContext(context.Background(), logDir, opts...)
+}
+
+// AnalyzeContext is Analyze with cancellation: a cancelled or expired ctx
+// aborts the analysis mid-flight (between tree-build blocks and pair
+// comparisons) and returns ctx.Err(). Wire it to signal.NotifyContext to
+// make long analyses respond to Ctrl-C.
+func AnalyzeContext(ctx context.Context, logDir string, opts ...Option) (*Report, *RunStats, error) {
 	store, err := trace.NewDirStore(logDir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sword: %w", err)
 	}
-	return AnalyzeStore(store, opts...)
+	return AnalyzeStoreContext(ctx, store, opts...)
 }
 
 // AnalyzeStore runs the offline phase over an already-open trace store —
 // the in-process variant of Analyze for custom pipelines and the
 // experiment harness.
 func AnalyzeStore(store Store, opts ...Option) (*Report, *RunStats, error) {
+	return AnalyzeStoreContext(context.Background(), store, opts...)
+}
+
+// AnalyzeStoreContext is AnalyzeStore with cancellation, mirroring
+// AnalyzeContext.
+func AnalyzeStoreContext(ctx context.Context, store Store, opts ...Option) (*Report, *RunStats, error) {
 	cfg := applyOptions(opts)
 	m := cfg.Obs
 	if m == nil {
@@ -271,7 +286,7 @@ func AnalyzeStore(store Store, opts ...Option) (*Report, *RunStats, error) {
 		AllRaces:     cfg.AllRaces,
 		Salvage:      cfg.Salvage,
 		Obs:          m,
-	}).Analyze()
+	}).AnalyzeContext(ctx)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sword: offline analysis: %w", err)
 	}
