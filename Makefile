@@ -44,12 +44,16 @@ fuzz:
 
 # Micro-benchmark suite (collector hot paths, flush pipeline, codecs,
 # analyzer phases); writes BENCH_4.json in the schema documented in
-# EXPERIMENTS.md. CHAOS=1 additionally runs the crash-tolerance chaos
+# EXPERIMENTS.md. DIST=1 additionally runs the distributed-analysis
+# experiment (adaptive, forced-wire, and projected lanes) into
+# BENCH_6.json; CHAOS=1 additionally runs the crash-tolerance chaos
 # experiment (mid-run store failure, then salvage analysis of the
 # wreckage).
 bench:
 	$(GO) run ./cmd/swordbench -bench BENCH_4.json
-	$(GO) run ./cmd/swordbench -dist BENCH_5.json
+ifdef DIST
+	$(GO) run ./cmd/swordbench -dist BENCH_6.json
+endif
 ifdef CHAOS
 	$(GO) run ./cmd/swordbench -chaos
 endif

@@ -47,7 +47,11 @@ func main() {
 	local := flag.Int("local", 0, "run a coordinator plus N loopback workers in this process")
 	workers := flag.Int("workers", 0, "per-worker analysis parallelism (<= 0 = GOMAXPROCS)")
 	name := flag.String("name", "", "worker name shown in the coordinator's notes (default: the hostname)")
-	batchUnits := flag.Int("batch-units", 0, "pair units per batch (0 = 64)")
+	batchUnits := flag.Int("batch-units", 0, "pair units per batch (0 = adaptive from the plan's byte volume)")
+	prefetch := flag.Int("prefetch", 0, "batches kept queued per worker beyond the active one (0 = 1, negative disables)")
+	wireCodec := flag.String("wire-codec", "", "frame compressor negotiated with peers: lzss (default), flate, raw")
+	residentBudget := flag.Int64("resident-budget", 0, "bytes of trace whose trees a worker keeps resident across batches (0 = 256 MiB, negative disables)")
+	inlineBelow := flag.Int64("inline-below", 0, "-local only: analyze in-process below this plan volume (0 = 256 KiB, negative = never)")
 	workerTimeout := flag.Duration("worker-timeout", 0, "drop a worker silent for this long (0 = 10s)")
 	batchTimeout := flag.Duration("batch-timeout", 0, "per-batch deadline, heartbeats or not (0 = 2m)")
 	maxAttempts := flag.Int("max-attempts", 0, "dispatches per unit before the run fails (0 = 5)")
@@ -96,6 +100,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	opts := []dist.Option{
+		dist.WithCore(ccfg),
+		dist.WithObs(m),
+		dist.WithBatchUnits(*batchUnits),
+		dist.WithWorkerTimeout(*workerTimeout),
+		dist.WithBatchTimeout(*batchTimeout),
+		dist.WithMaxAttempts(*maxAttempts),
+		dist.WithPrefetch(*prefetch),
+		dist.WithResidentBudget(*residentBudget),
+		dist.WithInlineBelow(*inlineBelow),
+	}
+	if *wireCodec != "" {
+		opts = append(opts, dist.WithWireCodec(*wireCodec))
+	}
 	var rep *report.Report
 	start := time.Now()
 	switch {
@@ -104,30 +122,16 @@ func main() {
 		if wname == "" {
 			wname, _ = os.Hostname()
 		}
-		err = dist.Work(ctx, *join, store, dist.WorkerConfig{Core: ccfg, Name: wname, Obs: m})
+		err = dist.Work(ctx, *join, store, append(opts, dist.WithName(wname))...)
 		if err == nil {
 			fmt.Printf("worker drained: %d units in %d batches in %v\n",
 				m.Snapshot().Value("dist.worker_units_done"),
 				m.Snapshot().Value("dist.worker_batches_done"), time.Since(start))
 		}
 	case *serve != "":
-		rep, err = runCoordinator(ctx, store, *serve, dist.CoordinatorConfig{
-			Core:          ccfg,
-			BatchUnits:    *batchUnits,
-			WorkerTimeout: *workerTimeout,
-			BatchTimeout:  *batchTimeout,
-			MaxAttempts:   *maxAttempts,
-			Obs:           m,
-		})
+		rep, err = runCoordinator(ctx, store, *serve, opts)
 	default:
-		rep, err = dist.Local(ctx, store, *local, dist.CoordinatorConfig{
-			Core:          ccfg,
-			BatchUnits:    *batchUnits,
-			WorkerTimeout: *workerTimeout,
-			BatchTimeout:  *batchTimeout,
-			MaxAttempts:   *maxAttempts,
-			Obs:           m,
-		}, dist.WorkerConfig{Core: ccfg, Obs: m})
+		rep, err = dist.Local(ctx, store, *local, opts...)
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -162,8 +166,8 @@ func main() {
 // runCoordinator serves the plan on addr until it drains, honoring ctx:
 // an interrupt closes the listener and fails the wait instead of leaving
 // the process hanging with workers mid-batch.
-func runCoordinator(ctx context.Context, store trace.Store, addr string, cfg dist.CoordinatorConfig) (*report.Report, error) {
-	coord, err := dist.NewCoordinator(store, cfg)
+func runCoordinator(ctx context.Context, store trace.Store, addr string, opts []dist.Option) (*report.Report, error) {
+	coord, err := dist.NewCoordinator(store, opts...)
 	if err != nil {
 		return nil, err
 	}

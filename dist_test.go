@@ -1,0 +1,110 @@
+package sword_test
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"sword"
+)
+
+// collectRacy collects a store with a known loop-carried dependence race.
+func collectRacy(t *testing.T) sword.Store {
+	t.Helper()
+	s, err := sword.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Space().AllocF64(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcR, pcW := sword.Site("dist:read"), sword.Site("dist:write")
+	s.Runtime().Parallel(4, func(th *sword.Thread) {
+		th.For(1, 2000, func(i int) {
+			th.StoreF64(a, i, th.LoadF64(a, i-1, pcR), pcW)
+		})
+	})
+	if err := s.CollectOnly(); err != nil {
+		t.Fatal(err)
+	}
+	return s.Store()
+}
+
+// TestAnalyzeDistributedAgreement: the public one-process distributed
+// entry point must report the same dedup'd race set as AnalyzeStore on
+// the same trace, with analysis stats populated.
+func TestAnalyzeDistributedAgreement(t *testing.T) {
+	store := collectRacy(t)
+	base, _, err := sword.AnalyzeStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, st, err := sword.AnalyzeDistributed(context.Background(), store, 2,
+		sword.WithDistBatchUnits(4), sword.WithDistPrefetch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != base.Len() {
+		t.Fatalf("distributed found %d races, single-process %d:\n%s\nvs\n%s",
+			rep.Len(), base.Len(), rep, base)
+	}
+	if st == nil || st.Analysis.IntervalPairs == 0 {
+		t.Error("distributed RunStats missing analysis effort")
+	}
+}
+
+// TestServeJoinAgreement drives the split entry points the way a real
+// deployment would — ServeCoordinator on a listener, JoinWorker dialing
+// it, both over the same store — and checks the merged report against the
+// single-process analysis.
+func TestServeJoinAgreement(t *testing.T) {
+	store := collectRacy(t)
+	base, _, err := sword.AnalyzeStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := make(chan error, 1)
+	go func() {
+		werr <- sword.JoinWorker(context.Background(), ln.Addr().String(), store,
+			sword.WithDist(sword.DistConfig{WorkerName: "w1", BatchUnits: 4}))
+	}()
+	rep, st, err := sword.ServeCoordinator(context.Background(), ln, store,
+		sword.WithDistBatchUnits(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-werr; err != nil {
+		t.Fatalf("JoinWorker: %v", err)
+	}
+	if rep.Len() != base.Len() {
+		t.Fatalf("coordinator merged %d races, single-process %d", rep.Len(), base.Len())
+	}
+	if st == nil || st.Analysis.IntervalPairs == 0 {
+		t.Error("coordinator RunStats missing analysis effort")
+	}
+}
+
+// TestServeCoordinatorCancel: cancelling the context unblocks
+// ServeCoordinator with ctx.Err even when no worker ever connects.
+func TestServeCoordinatorCancel(t *testing.T) {
+	store := collectRacy(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := sword.ServeCoordinator(ctx, ln, store)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("ServeCoordinator returned %v, want context.Canceled", err)
+	}
+}

@@ -70,6 +70,13 @@ type Config struct {
 	// the already-reported race. AllRaces spends those extra solves so the
 	// report's per-race Count reflects every detected node-pair instance.
 	AllRaces bool
+	// ResidentBudget bounds, in bytes of trace volume, the interval trees a
+	// BatchAnalyzer keeps resident across distributed batches (LRU by
+	// interval; the flattened sweep runs ride along). 0 means the 256 MiB
+	// default; negative disables residency so every batch frees its trees.
+	// The single-process analyzer ignores it — SubtreeBatch is its
+	// memory-bounding knob.
+	ResidentBudget int64
 	// ProbeEngine selects the legacy tree-probing comparison path: each
 	// node of the smaller tree probes the other tree's overlap index, and
 	// every eligible pair is solved directly (no solver memo, no race-site
@@ -527,7 +534,17 @@ func (a *Analyzer) buildSlotTrees(ctx context.Context, s *structure, slot int, i
 		if a.cfg.NoCompact {
 			return
 		}
+		// Compact only the intervals this pass actually built: an excluded
+		// interval may hold trees resident from an earlier batch whose
+		// flattened runs are already cached — rebalancing those for nothing
+		// is wasted work at best.
 		for _, iv := range s.bySlot[slot] {
+			if include != nil && !include[iv.region.top.id] {
+				continue
+			}
+			if only != nil && !only[iv] {
+				continue
+			}
 			for _, u := range iv.units {
 				u.tree.Compact()
 			}

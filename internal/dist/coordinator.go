@@ -5,78 +5,54 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"sword/internal/compress"
 	"sword/internal/core"
 	"sword/internal/obs"
 	"sword/internal/report"
 	"sword/internal/trace"
 )
 
-// CoordinatorConfig parameterizes the work-distribution side.
-type CoordinatorConfig struct {
-	// Core configures the planning pass (and must match what workers use:
-	// NoSolver/AllRaces/NoCompact change what a batch reports).
-	Core core.Config
-	// BatchUnits is how many pair units one batch carries (default 64).
-	// Small batches spread better and lose less on a worker death; large
-	// batches amortize tree builds — a worker builds each referenced
-	// interval's tree once per batch.
-	BatchUnits int
-	// WorkerTimeout is the liveness bound: a worker that sends no frame
-	// (result or heartbeat) for this long is considered dead, its batch is
-	// requeued, and its connection is closed (default 10s).
-	WorkerTimeout time.Duration
-	// BatchTimeout is the per-batch deadline, heartbeats or not: a batch
-	// outstanding longer than this is requeued and its worker dropped —
-	// the slow-worker guard (default 2m). Workers receive the limit with
-	// the batch and abort their analysis when it expires.
-	BatchTimeout time.Duration
-	// MaxAttempts bounds how often one unit may be dispatched before the
-	// coordinator declares the run failed (default 5). Exhausting it means
-	// every attempt hit a dying or disagreeing worker — retrying further
-	// would hide a systemic problem behind an incomplete report.
-	MaxAttempts int
-	// RetryBackoff is the base requeue delay; attempt k waits
-	// RetryBackoff·2^(k-1) before redispatch (default 250ms).
-	RetryBackoff time.Duration
-	// Obs receives the dist.* counters (see docs/FORMAT.md). nil disables.
-	Obs *obs.Metrics
-}
-
-func (cfg *CoordinatorConfig) fill() {
-	if cfg.BatchUnits <= 0 {
-		cfg.BatchUnits = 64
-	}
-	if cfg.WorkerTimeout <= 0 {
-		cfg.WorkerTimeout = 10 * time.Second
-	}
-	if cfg.BatchTimeout <= 0 {
-		cfg.BatchTimeout = 2 * time.Minute
-	}
-	if cfg.MaxAttempts <= 0 {
-		cfg.MaxAttempts = 5
-	}
-	if cfg.RetryBackoff <= 0 {
-		cfg.RetryBackoff = 250 * time.Millisecond
-	}
-}
+// Adaptive batch sizing: a plan below smallPlanVolume collapses into one
+// batch (the wire cannot pay for itself on work that small); anything
+// larger splits into about targetBatches so the plan spreads across
+// workers and each worker's pipeline stays fed.
+const (
+	smallPlanVolume = 1 << 20
+	targetBatches   = 16
+)
 
 // unitState tracks one pair unit through dispatch, failure, and retry.
 type unitState struct {
 	pu       core.PairUnit
-	planIdx  int       // position in the cost-descending schedule
+	planIdx  int       // position in the group-affine schedule
 	attempts int       // dispatches so far
 	readyAt  time.Time // earliest next dispatch (exponential backoff)
 }
 
+// BatchTiming is one accepted batch's shape and measured analysis time —
+// the per-batch record the harness feeds into its scale-out projection.
+type BatchTiming struct {
+	Units  int
+	Cost   uint64 // summed byte-volume pair cost
+	BusyNs int64  // worker wall time analyzing the batch
+}
+
 // Coordinator plans the analysis from the meta files, serves batches to
 // workers, merges their results through the report's dedup, and survives
-// worker death by requeueing. One Coordinator runs one analysis.
+// worker death by requeueing. Dispatch is pipelined: each connection keeps
+// up to 1+Prefetch batches outstanding and the worker streams results back
+// in order on the same connection, so a worker moves straight from one
+// batch to the next without a request/response round trip. One Coordinator
+// runs one analysis.
 type Coordinator struct {
-	cfg CoordinatorConfig
-	rep *report.Report
-	m   *obs.Metrics
+	cfg        Config
+	rep        *report.Report
+	m          *obs.Metrics
+	ba         *core.BatchAnalyzer // plan only; Local's inline path analyzes on it
+	batchUnits int
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -85,6 +61,7 @@ type Coordinator struct {
 	failed    error        // fatal: a unit exhausted MaxAttempts
 	nextSeq   uint64
 	nextWID   int
+	timings   []BatchTiming
 	done      chan struct{}
 	doneOnce  sync.Once
 }
@@ -92,8 +69,14 @@ type Coordinator struct {
 // NewCoordinator plans the full analysis of store. Only meta files are
 // read — the coordinator never streams a log or builds a tree; that is
 // the workers' job.
-func NewCoordinator(store trace.Store, cfg CoordinatorConfig) (*Coordinator, error) {
-	cfg.fill()
+func NewCoordinator(store trace.Store, opts ...Option) (*Coordinator, error) {
+	return newCoordinator(store, apply(opts))
+}
+
+func newCoordinator(store trace.Store, cfg Config) (*Coordinator, error) {
+	if _, err := cfg.wireCodec(); err != nil {
+		return nil, err
+	}
 	plan, err := core.NewBatchAnalyzer(store, cfg.Core)
 	if err != nil {
 		return nil, err
@@ -103,10 +86,19 @@ func NewCoordinator(store trace.Store, cfg CoordinatorConfig) (*Coordinator, err
 		cfg:  cfg,
 		rep:  report.New(),
 		m:    cfg.Obs,
+		ba:   plan,
 		done: make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.rep.Stats = plan.StructureStats()
+	c.batchUnits = cfg.BatchUnits
+	if c.batchUnits <= 0 {
+		if plan.Volume() < smallPlanVolume {
+			c.batchUnits = max(len(units), 1)
+		} else {
+			c.batchUnits = max(1, (len(units)+targetBatches-1)/targetBatches)
+		}
+	}
 	c.queue = make([]*unitState, len(units))
 	for i, pu := range units {
 		c.queue[i] = &unitState{pu: pu, planIdx: i}
@@ -119,9 +111,29 @@ func NewCoordinator(store trace.Store, cfg CoordinatorConfig) (*Coordinator, err
 	return c, nil
 }
 
+// PlanVolume plans store with the default configuration and returns the
+// trace volume (bytes) the adaptive batch-sizing and inline policies
+// decide by — the harness reports it next to the lane numbers.
+func PlanVolume(store trace.Store) (int64, error) {
+	ba, err := core.NewBatchAnalyzer(store, core.Config{})
+	if err != nil {
+		return 0, err
+	}
+	return ba.Volume(), nil
+}
+
 // finish closes done exactly once; callers hold c.mu or are in New.
 func (c *Coordinator) finish() {
 	c.doneOnce.Do(func() { close(c.done) })
+}
+
+// Timings returns one record per accepted batch, in acceptance order.
+func (c *Coordinator) Timings() []BatchTiming {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]BatchTiming, len(c.timings))
+	copy(out, c.timings)
+	return out
 }
 
 // Serve accepts worker connections on ln until the plan is drained or
@@ -158,21 +170,23 @@ func (c *Coordinator) Wait() (*report.Report, error) {
 	return c.rep, nil
 }
 
-// takeBatch blocks until up to BatchUnits units are ready for dispatch and
-// returns them, or nil when the plan is drained or failed. Backed-off
-// units become ready when their readyAt passes; a timer wakes the wait.
-func (c *Coordinator) takeBatch() []*unitState {
+// takeBatch blocks until up to batchUnits units are ready for dispatch and
+// returns them, or nil when the plan is drained or failed — or when
+// stopped trips, which a dying connection uses to pull its dispatcher out
+// of the wait without touching global state. Backed-off units become ready
+// when their readyAt passes; a timer wakes the wait.
+func (c *Coordinator) takeBatch(stopped *atomic.Bool) []*unitState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
-		if c.failed != nil || c.remaining == 0 {
+		if c.failed != nil || c.remaining == 0 || stopped.Load() {
 			return nil
 		}
 		now := time.Now()
 		var batch []*unitState
 		rest := c.queue[:0]
 		for _, u := range c.queue {
-			if len(batch) < c.cfg.BatchUnits && !u.readyAt.After(now) {
+			if len(batch) < c.batchUnits && !u.readyAt.After(now) {
 				batch = append(batch, u)
 			} else {
 				rest = append(rest, u)
@@ -209,8 +223,13 @@ func (c *Coordinator) accept(batch []*unitState, res *Result) {
 	for _, r := range res.Races {
 		c.rep.Add(r)
 	}
+	var cost uint64
+	for _, u := range batch {
+		cost += u.pu.Cost
+	}
 	c.mu.Lock()
 	c.rep.Stats.Merge(res.Stats)
+	c.timings = append(c.timings, BatchTiming{Units: len(batch), Cost: cost, BusyNs: res.BusyNs})
 	c.remaining -= len(batch)
 	remaining := c.remaining
 	c.mu.Unlock()
@@ -222,7 +241,7 @@ func (c *Coordinator) accept(batch []*unitState, res *Result) {
 	c.cond.Broadcast()
 }
 
-// requeue returns a failed batch to the queue with exponential backoff,
+// requeue returns failed batches to the queue with exponential backoff,
 // or declares the run failed once a unit is out of attempts.
 func (c *Coordinator) requeue(worker string, batch []*unitState, cause error) {
 	c.mu.Lock()
@@ -253,10 +272,103 @@ func (c *Coordinator) requeue(worker string, batch []*unitState, cause error) {
 	c.cond.Broadcast()
 }
 
-// handle runs one worker connection: handshake, then a dispatch loop that
-// feeds batches and polices liveness. Any error — protocol violation,
+// inflight is one dispatched, unacknowledged batch on a connection.
+type inflight struct {
+	seq      uint64
+	batch    []*unitState
+	deadline time.Time
+}
+
+// workerConn is the per-connection pipelining state shared by a handle's
+// dispatcher and reader goroutines.
+type workerConn struct {
+	c    *Coordinator
+	conn net.Conn
+	fr   *framer
+	name string
+
+	mu      sync.Mutex
+	pending []*inflight // dispatch order; results arrive in the same order
+
+	stopped  atomic.Bool
+	dead     chan struct{} // closed on failure; wakes the dispatcher's slot wait
+	failOnce sync.Once
+}
+
+// fail tears the connection down exactly once: outstanding batches are
+// requeued, both goroutines are released, and further takeBatch waits
+// observe the stop flag. A clean end-of-run exit uses stopQuiet instead.
+func (w *workerConn) fail(cause error) {
+	w.failOnce.Do(func() {
+		w.stopped.Store(true)
+		w.mu.Lock()
+		pending := w.pending
+		w.pending = nil
+		w.mu.Unlock()
+		var units []*unitState
+		for _, inf := range pending {
+			units = append(units, inf.batch...)
+		}
+		if len(units) > 0 {
+			w.c.requeue(w.name, units, cause)
+		}
+		close(w.dead)
+		w.conn.Close()
+		w.c.cond.Broadcast() // pull a dispatcher out of takeBatch's wait
+	})
+}
+
+// stopQuiet releases both goroutines at end of run without requeueing or
+// drop accounting — the connection is closing because the analysis is
+// over, not because the worker died.
+func (w *workerConn) stopQuiet() {
+	w.failOnce.Do(func() {
+		w.stopped.Store(true)
+		close(w.dead)
+		w.conn.Close()
+		w.c.cond.Broadcast()
+	})
+}
+
+// readDeadline computes the next read deadline: the liveness bound, capped
+// by the earliest outstanding batch deadline (heartbeats must not extend a
+// batch past BatchTimeout). With nothing outstanding there is no deadline —
+// an idle worker sends no frames, and its death surfaces on the next
+// dispatch instead.
+func (w *workerConn) readDeadline() time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.pending) == 0 {
+		return time.Time{}
+	}
+	next := time.Now().Add(w.c.cfg.WorkerTimeout)
+	for _, inf := range w.pending {
+		if inf.deadline.Before(next) {
+			next = inf.deadline
+		}
+	}
+	return next
+}
+
+// overrun reports the first outstanding batch past its deadline, if any.
+func (w *workerConn) overrun() *inflight {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := time.Now()
+	for _, inf := range w.pending {
+		if now.After(inf.deadline) {
+			return inf
+		}
+	}
+	return nil
+}
+
+// handle runs one worker connection: handshake with codec negotiation,
+// then a dispatcher goroutine that keeps up to 1+Prefetch batches
+// outstanding and a reader (this goroutine) that accepts streamed results
+// in dispatch order and polices liveness. Any error — protocol violation,
 // timeout, a batch overrunning its deadline, an Err result — drops the
-// worker and requeues its outstanding batch. A dropped worker is never
+// worker and requeues everything outstanding. A dropped worker is never
 // handed work again on that connection: results accepted so far came from
 // batches that completed wholly, which keeps race-site suppression sound
 // (a suppressed instance always has its confirming race in an accepted
@@ -279,17 +391,69 @@ func (c *Coordinator) handle(conn net.Conn) {
 	if hello.Name != "" {
 		name = fmt.Sprintf("%s(%s)", name, hello.Name)
 	}
-	if err := fr.send(msgWelcome, &Welcome{Version: protoVersion}); err != nil {
+	// Negotiate the frame codec: the coordinator's configured codec if the
+	// worker offered it, bare frames otherwise (an older worker offers
+	// nothing; a differently-configured worker offers something else —
+	// either way raw is the shared dialect).
+	chosen := ""
+	if c.cfg.WireCodec != "raw" {
+		for _, n := range hello.Codecs {
+			if n == c.cfg.WireCodec {
+				chosen = n
+				break
+			}
+		}
+	}
+	if err := fr.send(msgWelcome, &Welcome{Version: protoVersion, Codec: chosen}); err != nil {
 		return
+	}
+	if chosen != "" {
+		cd, err := compress.ByName(chosen)
+		if err != nil {
+			return
+		}
+		fr.setCodec(cd)
 	}
 	c.m.Counter("dist.workers_connected").Inc()
 	c.m.Gauge("dist.workers_active").Add(1)
 	defer c.m.Gauge("dist.workers_active").Add(-1)
 
+	w := &workerConn{c: c, conn: conn, fr: fr, name: name, dead: make(chan struct{})}
+	window := 1 + c.cfg.Prefetch
+	slots := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		slots <- struct{}{}
+	}
+	var dwg sync.WaitGroup
+	dwg.Add(1)
+	go func() {
+		defer dwg.Done()
+		c.dispatch(w, slots)
+	}()
+	c.readResults(w, slots)
+	dwg.Wait()
+}
+
+// dispatch keeps the connection's pipeline full: it claims a window slot,
+// pulls the next ready batch, registers it as outstanding, and sends it —
+// without waiting for earlier batches' results. On a drained or failed
+// plan it sends the shutdown frame and leaves the reader to see the
+// worker's clean close.
+func (c *Coordinator) dispatch(w *workerConn, slots chan struct{}) {
 	for {
-		batch := c.takeBatch()
+		select {
+		case <-slots:
+		case <-w.dead:
+			return
+		}
+		batch := c.takeBatch(&w.stopped)
 		if batch == nil {
-			fr.send(msgShutdown, nil)
+			if !w.stopped.Load() {
+				w.fr.send(msgShutdown, nil)
+				// The reader is waiting (deadline-less when nothing is
+				// outstanding) for the worker's close; bound that wait.
+				w.conn.SetReadDeadline(time.Now().Add(c.cfg.WorkerTimeout))
+			}
 			return
 		}
 		c.mu.Lock()
@@ -300,38 +464,48 @@ func (c *Coordinator) handle(conn net.Conn) {
 		for i, u := range batch {
 			units[i] = u.pu
 		}
-		if err := fr.send(msgBatch, &Batch{Seq: seq, Units: units, TimeLimit: int64(c.cfg.BatchTimeout)}); err != nil {
-			c.requeue(name, batch, err)
+		// Register before sending: over loopback the result can arrive
+		// before a post-send registration would run.
+		w.mu.Lock()
+		queued := len(w.pending)
+		w.pending = append(w.pending, &inflight{seq: seq, batch: batch, deadline: time.Now().Add(c.cfg.BatchTimeout)})
+		w.mu.Unlock()
+		if err := w.fr.send(msgBatch, &Batch{Seq: seq, Units: units, TimeLimit: int64(c.cfg.BatchTimeout)}); err != nil {
+			w.fail(err)
 			return
 		}
+		// Wake the reader's deadline-less idle read so the liveness timer
+		// arms against this dispatch.
+		w.conn.SetReadDeadline(w.readDeadline())
 		c.m.Counter("dist.batches_sent").Inc()
 		c.m.Counter("dist.units_dispatched").Add(uint64(len(units)))
-		res, err := c.awaitResult(fr, conn, seq)
-		if err != nil {
-			c.requeue(name, batch, err)
-			return
+		if queued > 0 {
+			c.m.Counter("dist.batches_prefetched").Inc()
 		}
-		c.accept(batch, res)
 	}
 }
 
-// awaitResult reads frames until the batch's result arrives, feeding the
-// liveness timer from heartbeats but never extending past the batch
-// deadline.
-func (c *Coordinator) awaitResult(fr *framer, conn net.Conn, seq uint64) (*Result, error) {
-	deadline := time.Now().Add(c.cfg.BatchTimeout)
+// readResults consumes the worker's streamed frames: heartbeats feed the
+// liveness timer, results retire outstanding batches in dispatch order
+// and release their pipeline slot.
+func (c *Coordinator) readResults(w *workerConn, slots chan struct{}) {
 	for {
-		next := time.Now().Add(c.cfg.WorkerTimeout)
-		if next.After(deadline) {
-			next = deadline
-		}
-		conn.SetReadDeadline(next)
-		typ, payload, err := fr.recv()
+		w.conn.SetReadDeadline(w.readDeadline())
+		typ, payload, err := w.fr.recv()
 		if err != nil {
-			if time.Now().After(deadline) {
-				return nil, fmt.Errorf("batch %d overran its %v deadline", seq, c.cfg.BatchTimeout)
+			select {
+			case <-c.done:
+				// Run already finished (drained or failed): the close is the
+				// worker reacting to shutdown, not a death to account.
+				w.stopQuiet()
+				return
+			default:
 			}
-			return nil, err
+			if inf := w.overrun(); inf != nil {
+				err = fmt.Errorf("batch %d overran its %v deadline", inf.seq, c.cfg.BatchTimeout)
+			}
+			w.fail(err)
+			return
 		}
 		switch typ {
 		case msgHeartbeat:
@@ -339,17 +513,36 @@ func (c *Coordinator) awaitResult(fr *framer, conn net.Conn, seq uint64) (*Resul
 		case msgResult:
 			var res Result
 			if err := decodePayload(typ, payload, &res); err != nil {
-				return nil, err
+				w.fail(err)
+				return
 			}
-			if res.Seq != seq {
-				return nil, fmt.Errorf("result for batch %d, want %d", res.Seq, seq)
+			w.mu.Lock()
+			var inf *inflight
+			if len(w.pending) > 0 && w.pending[0].seq == res.Seq {
+				inf = w.pending[0]
+				w.pending = w.pending[1:]
+			}
+			w.mu.Unlock()
+			if inf == nil {
+				w.fail(fmt.Errorf("result for batch %d arrived out of order", res.Seq))
+				return
 			}
 			if res.Err != "" {
-				return nil, fmt.Errorf("worker failed batch %d: %s", seq, res.Err)
+				// Put the failed batch back in front of the requeue set.
+				w.mu.Lock()
+				w.pending = append([]*inflight{inf}, w.pending...)
+				w.mu.Unlock()
+				w.fail(fmt.Errorf("worker failed batch %d: %s", res.Seq, res.Err))
+				return
 			}
-			return &res, nil
+			c.accept(inf.batch, &res)
+			select {
+			case slots <- struct{}{}:
+			default:
+			}
 		default:
-			return nil, fmt.Errorf("unexpected %s frame awaiting batch %d", typeName(typ), seq)
+			w.fail(fmt.Errorf("unexpected %s frame", typeName(typ)))
+			return
 		}
 	}
 }

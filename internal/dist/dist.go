@@ -4,14 +4,31 @@
 //
 // The coordinator reads only the meta files: it recovers the region
 // structure, enumerates every concurrent pair of tree units
-// (core.BatchAnalyzer), and serves cost-descending batches of
-// core.PairUnit to whoever connects. Workers open the same trace store
-// read-only, resolve the unit ids against their own identically-recovered
-// structure, build just the interval trees a batch references (block-
-// skipping past the rest of the logs), run the regular sweep engine, and
-// stream back the races plus that batch's effort delta. The coordinator
-// merges results through report.Report's dedup and report.Stats.Merge, so
-// the final report carries the same race set as a single-process run.
+// (core.BatchAnalyzer), and serves group-affine, cost-descending batches
+// of core.PairUnit to whoever connects — batches sized adaptively from
+// the plan's byte volume. Workers open the same trace store read-only,
+// resolve the unit ids against their own identically-recovered structure,
+// build just the interval trees a batch references (block-skipping past
+// the rest of the logs, and keeping built trees resident across batches
+// up to a byte budget), run the regular sweep engine, and stream back the
+// races plus that batch's effort delta. The coordinator merges results
+// through report.Report's dedup and report.Stats.Merge, so the final
+// report carries the same race set as a single-process run.
+//
+// The data plane is pipelined: the coordinator keeps 1+Prefetch batches
+// outstanding per connection and the worker streams results back as each
+// batch completes, so a worker moves straight to the already-queued next
+// batch instead of idling on a dispatch round trip. Frames are compressed
+// with a codec negotiated in the hello/welcome handshake (raw fallback
+// keeps old and differently-configured peers interoperable), and
+// dist.Local inlines plans too small for the wire to pay for itself.
+//
+// Configuration is functional options over one merged Config —
+// WithPrefetch, WithWireCodec, WithResidentBudget, WithBatchTimeout, ...;
+// the legacy CoordinatorConfig/WorkerConfig structs remain usable through
+// WithCoordinatorConfig/WithWorkerConfig. The public package re-exports
+// the entry points as sword.ServeCoordinator, sword.JoinWorker and
+// sword.AnalyzeDistributed.
 //
 // Fault tolerance is the coordinator's requeue loop: a worker that stops
 // sending frames (no result, no heartbeat) within WorkerTimeout, or whose

@@ -83,9 +83,13 @@ func TestLocalMatchesSingleProcess(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, tc := range []struct{ workers, batch int }{{1, 4}, {2, 4}, {4, 1}, {3, 1000000}} {
+				// The legacy struct configs must keep working through the
+				// escape-hatch options; WithInlineBelow(-1) forces the wire,
+				// which is what this differential exists to exercise.
 				rep, err := Local(context.Background(), store, tc.workers,
-					CoordinatorConfig{BatchUnits: tc.batch},
-					WorkerConfig{})
+					WithCoordinatorConfig(CoordinatorConfig{BatchUnits: tc.batch}),
+					WithWorkerConfig(WorkerConfig{}),
+					WithInlineBelow(-1))
 				if err != nil {
 					t.Fatalf("workers=%d batch=%d: %v", tc.workers, tc.batch, err)
 				}
@@ -104,7 +108,7 @@ func TestLocalMergedStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Local(context.Background(), store, 2, CoordinatorConfig{BatchUnits: 8}, WorkerConfig{})
+	rep, err := Local(context.Background(), store, 2, WithBatchUnits(8), WithInlineBelow(-1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,13 +137,16 @@ func TestWorkerDeathMidBatch(t *testing.T) {
 	m := obs.New()
 	var died atomic.Bool
 	rep, err := Local(context.Background(), store, 2,
-		CoordinatorConfig{BatchUnits: 2, RetryBackoff: 10 * time.Millisecond, Obs: m},
-		WorkerConfig{BatchHook: func(seq uint64, units []core.PairUnit) error {
+		WithBatchUnits(2),
+		WithRetryBackoff(10*time.Millisecond),
+		WithObs(m),
+		WithInlineBelow(-1),
+		WithBatchHook(func(seq uint64, units []core.PairUnit) error {
 			if died.CompareAndSwap(false, true) {
 				return errors.New("injected worker death")
 			}
 			return nil
-		}})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,22 +184,19 @@ func TestSlowWorkerDropped(t *testing.T) {
 	m := obs.New()
 	var slowed atomic.Bool
 	rep, err := Local(context.Background(), store, 2,
-		CoordinatorConfig{
-			BatchUnits:    2,
-			BatchTimeout:  200 * time.Millisecond,
-			WorkerTimeout: 150 * time.Millisecond,
-			RetryBackoff:  10 * time.Millisecond,
-			Obs:           m,
-		},
-		WorkerConfig{
-			HeartbeatEvery: 20 * time.Millisecond,
-			BatchHook: func(seq uint64, units []core.PairUnit) error {
-				if slowed.CompareAndSwap(false, true) {
-					time.Sleep(600 * time.Millisecond) // heartbeats keep flowing
-				}
-				return nil
-			},
-		})
+		WithBatchUnits(2),
+		WithBatchTimeout(200*time.Millisecond),
+		WithWorkerTimeout(150*time.Millisecond),
+		WithRetryBackoff(10*time.Millisecond),
+		WithObs(m),
+		WithInlineBelow(-1),
+		WithHeartbeatEvery(20*time.Millisecond),
+		WithBatchHook(func(seq uint64, units []core.PairUnit) error {
+			if slowed.CompareAndSwap(false, true) {
+				time.Sleep(600 * time.Millisecond) // heartbeats keep flowing
+			}
+			return nil
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,12 +218,12 @@ func TestUnitExhaustsAttempts(t *testing.T) {
 	m := obs.New()
 	// Workers die on every batch; respawn a fresh worker after each death
 	// so the coordinator always has someone to hand work to.
-	coord, err := NewCoordinator(store, CoordinatorConfig{
+	coord, err := NewCoordinator(store, WithCoordinatorConfig(CoordinatorConfig{
 		BatchUnits:   4,
 		MaxAttempts:  2,
 		RetryBackoff: time.Millisecond,
 		Obs:          m,
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,9 +241,9 @@ func TestUnitExhaustsAttempts(t *testing.T) {
 				return
 			default:
 			}
-			Work(context.Background(), ln.Addr().String(), store, WorkerConfig{
+			Work(context.Background(), ln.Addr().String(), store, WithWorkerConfig(WorkerConfig{
 				BatchHook: func(uint64, []core.PairUnit) error { return errors.New("always dies") },
-			})
+			}))
 		}
 	}()
 	if _, err := coord.Wait(); err == nil {
@@ -270,7 +274,7 @@ func TestWorkerCancel(t *testing.T) {
 	store := collectWorkload(t, "critical-no")
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- Work(ctx, ln.Addr().String(), store, WorkerConfig{}) }()
+	go func() { done <- Work(ctx, ln.Addr().String(), store) }()
 	time.Sleep(50 * time.Millisecond)
 	cancel()
 	select {
@@ -293,7 +297,7 @@ func TestWorkerCancel(t *testing.T) {
 // workers never get to connect.
 func TestEmptyTrace(t *testing.T) {
 	store := trace.NewMemStore()
-	rep, err := Local(context.Background(), store, 2, CoordinatorConfig{}, WorkerConfig{})
+	rep, err := Local(context.Background(), store, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +310,7 @@ func TestEmptyTrace(t *testing.T) {
 // protocol version is turned away before any work flows.
 func TestCoordinatorRejectsVersionMismatch(t *testing.T) {
 	store := collectWorkload(t, "critical-no")
-	coord, err := NewCoordinator(store, CoordinatorConfig{WorkerTimeout: 500 * time.Millisecond})
+	coord, err := NewCoordinator(store, WithWorkerTimeout(500*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,294 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"sword/internal/compress"
+	"sword/internal/core"
+	"sword/internal/obs"
+)
+
+// Config is the merged distribution configuration: one struct carries the
+// coordinator's scheduling knobs, the worker's analysis knobs, and the
+// wire settings both ends negotiate. The zero value is ready to use —
+// adaptive batch sizing, one prefetched batch per worker, lzss-compressed
+// frames, a 256 MiB resident-tree budget — and the functional options
+// below are the primary way to deviate from it, mirroring the public
+// package's options.go idiom.
+//
+// The legacy CoordinatorConfig/WorkerConfig structs remain supported as
+// an escape hatch through WithCoordinatorConfig and WithWorkerConfig.
+type Config struct {
+	// Core configures planning and analysis. It must match across the
+	// coordinator and every worker: NoSolver/AllRaces/NoCompact change
+	// what a batch reports.
+	Core core.Config
+	// BatchUnits is how many pair units one batch carries. 0 (the
+	// default) sizes batches adaptively from the plan's byte-volume cost
+	// model: tiny plans collapse into a single batch so dispatch overhead
+	// cannot drown the work, large plans split into enough batches to
+	// spread and pipeline.
+	BatchUnits int
+	// Prefetch is how many batches the coordinator keeps queued at a
+	// worker beyond the one it is analyzing, so the worker never idles on
+	// a dispatch round trip (default 1; negative disables prefetching).
+	Prefetch int
+	// WorkerTimeout is the liveness bound: a worker that sends no frame
+	// (result or heartbeat) for this long is considered dead and its
+	// outstanding batches are requeued (default 10s).
+	WorkerTimeout time.Duration
+	// BatchTimeout is the per-batch deadline, heartbeats or not: a batch
+	// outstanding longer than this drops its worker — the slow-worker
+	// guard (default 2m).
+	BatchTimeout time.Duration
+	// MaxAttempts bounds how often one unit may be dispatched before the
+	// coordinator declares the run failed (default 5).
+	MaxAttempts int
+	// RetryBackoff is the base requeue delay; attempt k waits
+	// RetryBackoff·2^(k-1) before redispatch (default 250ms).
+	RetryBackoff time.Duration
+	// WireCodec names the frame compressor offered during the handshake:
+	// "lzss" (default), "flate", or "raw". Batch and result payloads are
+	// compressed with the negotiated codec; a peer that offers nothing
+	// (an older build) falls back to raw frames, so mixed versions
+	// interoperate.
+	WireCodec string
+	// ResidentBudget bounds the trace volume (bytes) whose interval trees
+	// a worker keeps resident across batches instead of freeing them per
+	// batch. 0 means the 256 MiB default; negative disables residency
+	// (every batch frees its trees, the pre-pipelining behavior). See
+	// core.Config.ResidentBudget.
+	ResidentBudget int64
+	// InlineBelow is Local's cost-model cutoff: when the plan's total
+	// trace volume is below this many bytes, Local analyzes in-process
+	// instead of spinning up loopback workers — the wire cannot pay for
+	// itself on a plan that small. 0 means the 256 KiB default; negative
+	// means never inline. On a single-CPU host the cutoff rises to the
+	// resident budget: loopback workers add no parallelism there, so only
+	// memory boundedness can justify the protocol cost.
+	InlineBelow int64
+	// Name labels the worker in the coordinator's notes (default "").
+	Name string
+	// HeartbeatEvery is how often a worker pings the coordinator while a
+	// batch runs (default 1s; keep it well under WorkerTimeout).
+	HeartbeatEvery time.Duration
+	// Obs receives the dist.* metrics (see docs/FORMAT.md). nil disables.
+	Obs *obs.Metrics
+	// BatchHook, when non-nil, runs before each batch's analysis on a
+	// worker. A returned error makes the worker die on the spot —
+	// connection torn, queued prefetched batches abandoned, no result
+	// sent — which is exactly the fault the coordinator's requeue logic
+	// exists for; the fault-injection tests and the chaos harness use it.
+	BatchHook func(seq uint64, units []core.PairUnit) error
+}
+
+// Option configures NewCoordinator, Work, or Local.
+type Option func(*Config)
+
+// apply resolves an option list into a filled Config.
+func apply(opts []Option) Config {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.fill()
+	return cfg
+}
+
+func (cfg *Config) fill() {
+	if cfg.WorkerTimeout <= 0 {
+		cfg.WorkerTimeout = 10 * time.Second
+	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = 2 * time.Minute
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	if cfg.Prefetch == 0 {
+		cfg.Prefetch = 1
+	} else if cfg.Prefetch < 0 {
+		cfg.Prefetch = 0
+	}
+	if cfg.WireCodec == "" {
+		cfg.WireCodec = "lzss"
+	}
+	if cfg.InlineBelow == 0 {
+		cfg.InlineBelow = 256 << 10
+	}
+	// The core layer owns tree residency; thread the dist-level knobs
+	// through unless the caller already configured core explicitly.
+	if cfg.Core.ResidentBudget == 0 {
+		cfg.Core.ResidentBudget = cfg.ResidentBudget
+	}
+	if cfg.Core.Obs == nil {
+		cfg.Core.Obs = cfg.Obs
+	}
+}
+
+// wireCodec resolves the configured codec name, treating "raw" as no
+// compression at all (legacy frames).
+func (cfg *Config) wireCodec() (compress.Codec, error) {
+	if cfg.WireCodec == "raw" {
+		return nil, nil
+	}
+	c, err := compress.ByName(cfg.WireCodec)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	return c, nil
+}
+
+// WithCore sets the analysis configuration shared by planning and
+// workers.
+func WithCore(c core.Config) Option {
+	return func(cfg *Config) { cfg.Core = c }
+}
+
+// WithBatchUnits fixes the pair units per batch (0 = adaptive from the
+// byte-volume cost model).
+func WithBatchUnits(n int) Option {
+	return func(cfg *Config) { cfg.BatchUnits = n }
+}
+
+// WithPrefetch sets how many batches stay queued at a worker beyond the
+// active one (0 reverts to the default 1; negative disables prefetch).
+func WithPrefetch(n int) Option {
+	return func(cfg *Config) { cfg.Prefetch = n }
+}
+
+// WithWorkerTimeout sets the liveness bound for dropping a silent worker.
+func WithWorkerTimeout(d time.Duration) Option {
+	return func(cfg *Config) { cfg.WorkerTimeout = d }
+}
+
+// WithBatchTimeout sets the per-batch deadline (heartbeats or not).
+func WithBatchTimeout(d time.Duration) Option {
+	return func(cfg *Config) { cfg.BatchTimeout = d }
+}
+
+// WithMaxAttempts bounds dispatches per unit before the run fails.
+func WithMaxAttempts(n int) Option {
+	return func(cfg *Config) { cfg.MaxAttempts = n }
+}
+
+// WithRetryBackoff sets the base exponential requeue delay.
+func WithRetryBackoff(d time.Duration) Option {
+	return func(cfg *Config) { cfg.RetryBackoff = d }
+}
+
+// WithWireCodec selects the negotiated frame compressor: "lzss"
+// (default), "flate", or "raw" for uncompressed legacy frames.
+func WithWireCodec(name string) Option {
+	return func(cfg *Config) { cfg.WireCodec = name }
+}
+
+// WithResidentBudget bounds the trace volume whose trees a worker keeps
+// resident across batches (0 = 256 MiB default, negative disables).
+func WithResidentBudget(bytes int64) Option {
+	return func(cfg *Config) { cfg.ResidentBudget = bytes }
+}
+
+// WithInlineBelow sets Local's in-process cutoff: plans under this trace
+// volume skip the loopback pool entirely (0 = 256 KiB default, negative
+// = never inline — the differential tests force the wire this way).
+func WithInlineBelow(bytes int64) Option {
+	return func(cfg *Config) { cfg.InlineBelow = bytes }
+}
+
+// WithName labels the worker in the coordinator's notes.
+func WithName(name string) Option {
+	return func(cfg *Config) { cfg.Name = name }
+}
+
+// WithHeartbeatEvery sets the worker's heartbeat interval.
+func WithHeartbeatEvery(d time.Duration) Option {
+	return func(cfg *Config) { cfg.HeartbeatEvery = d }
+}
+
+// WithObs records the dist.* metrics into m.
+func WithObs(m *obs.Metrics) Option {
+	return func(cfg *Config) { cfg.Obs = m }
+}
+
+// WithBatchHook installs the worker-side fault-injection hook.
+func WithBatchHook(h func(seq uint64, units []core.PairUnit) error) Option {
+	return func(cfg *Config) { cfg.BatchHook = h }
+}
+
+// CoordinatorConfig is the legacy positional form of the coordinator's
+// knobs, kept as a compiling escape hatch; pass it through
+// WithCoordinatorConfig. New code should use the functional options.
+type CoordinatorConfig struct {
+	Core          core.Config
+	BatchUnits    int
+	WorkerTimeout time.Duration
+	BatchTimeout  time.Duration
+	MaxAttempts   int
+	RetryBackoff  time.Duration
+	Obs           *obs.Metrics
+}
+
+// WorkerConfig is the legacy positional form of the worker's knobs, kept
+// as a compiling escape hatch; pass it through WithWorkerConfig.
+type WorkerConfig struct {
+	Core           core.Config
+	Name           string
+	HeartbeatEvery time.Duration
+	Obs            *obs.Metrics
+	BatchHook      func(seq uint64, units []core.PairUnit) error
+}
+
+// WithCoordinatorConfig overlays a legacy CoordinatorConfig — the bridge
+// from the struct form. Later options still apply on top. Zero fields
+// keep their defaults.
+func WithCoordinatorConfig(c CoordinatorConfig) Option {
+	return func(cfg *Config) {
+		cfg.Core = c.Core
+		if c.BatchUnits != 0 {
+			cfg.BatchUnits = c.BatchUnits
+		}
+		if c.WorkerTimeout != 0 {
+			cfg.WorkerTimeout = c.WorkerTimeout
+		}
+		if c.BatchTimeout != 0 {
+			cfg.BatchTimeout = c.BatchTimeout
+		}
+		if c.MaxAttempts != 0 {
+			cfg.MaxAttempts = c.MaxAttempts
+		}
+		if c.RetryBackoff != 0 {
+			cfg.RetryBackoff = c.RetryBackoff
+		}
+		if c.Obs != nil {
+			cfg.Obs = c.Obs
+		}
+	}
+}
+
+// WithWorkerConfig overlays a legacy WorkerConfig, mirroring
+// WithCoordinatorConfig.
+func WithWorkerConfig(w WorkerConfig) Option {
+	return func(cfg *Config) {
+		cfg.Core = w.Core
+		if w.Name != "" {
+			cfg.Name = w.Name
+		}
+		if w.HeartbeatEvery != 0 {
+			cfg.HeartbeatEvery = w.HeartbeatEvery
+		}
+		if w.Obs != nil {
+			cfg.Obs = w.Obs
+		}
+		if w.BatchHook != nil {
+			cfg.BatchHook = w.BatchHook
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sword/internal/compress"
+	"sword/internal/core"
+	"sword/internal/obs"
+	"sword/internal/trace"
+)
+
+// startCoordinator serves a coordinator built from opts on a loopback
+// listener and returns it with its address.
+func startCoordinator(t *testing.T, store trace.Store, opts ...Option) (*Coordinator, string) {
+	t.Helper()
+	coord, err := NewCoordinator(store, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve(ln)
+	return coord, ln.Addr().String()
+}
+
+// TestCodecNegotiation runs a coordinator and worker through every
+// codec-configuration combination, asserting the handshake converges on
+// the shared dialect and the race set always matches the single-process
+// run — the mixed-version interop matrix, minus the time machine.
+func TestCodecNegotiation(t *testing.T) {
+	store := collectWorkload(t, "plusplus-orig-yes")
+	base, err := core.New(store, core.Config{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name             string
+		coordCodec       string
+		workCodec        string
+		wantCompressed   bool // dist.frames_compressed > 0 expected
+		wantUncompressed bool // every frame bare or raw-enveloped
+	}{
+		{"both lzss", "lzss", "lzss", true, false},
+		{"both flate", "flate", "flate", true, false},
+		{"coordinator raw, worker lzss", "raw", "lzss", false, true},
+		{"coordinator lzss, worker raw", "lzss", "raw", false, true},
+		{"codec mismatch falls back", "lzss", "flate", false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := obs.New()
+			coord, addr := startCoordinator(t, store,
+				WithWireCodec(tc.coordCodec), WithObs(m), WithBatchUnits(2))
+			werr := make(chan error, 1)
+			go func() {
+				werr <- Work(context.Background(), addr, store,
+					WithWireCodec(tc.workCodec), WithObs(m))
+			}()
+			rep, err := coord.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := <-werr; err != nil {
+				t.Fatalf("worker: %v", err)
+			}
+			wantSameRaces(t, tc.name, rep, base)
+			snap := m.Snapshot()
+			compressed := snap.Value("dist.frames_compressed")
+			if tc.wantCompressed && compressed == 0 {
+				t.Error("no frame was compressed on a matched-codec connection")
+			}
+			if tc.wantUncompressed && compressed != 0 {
+				t.Errorf("%d frame(s) compressed despite a codec mismatch", compressed)
+			}
+			if tc.wantCompressed {
+				cb, rb := snap.Value("dist.frames_compressed_bytes"), snap.Value("dist.frames_raw_bytes")
+				if cb <= 0 || rb <= 0 || cb >= rb {
+					t.Errorf("compressed %d bytes standing for %d raw — compression recorded no win", cb, rb)
+				}
+			}
+		})
+	}
+}
+
+// TestLegacyWorkerHandshake plays an old worker by hand: a hello with no
+// Codecs field (gob omits it — exactly what a pre-compression build sends)
+// must be welcomed with no codec and served bare frames, and after the
+// legacy connection drops, a current worker finishes the plan.
+func TestLegacyWorkerHandshake(t *testing.T) {
+	store := collectWorkload(t, "plusplus-orig-yes")
+	base, err := core.New(store, core.Config{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, addr := startCoordinator(t, store,
+		WithBatchUnits(2), WithRetryBackoff(1), WithWorkerTimeout(500000000))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := newFramer(conn, nil) // never setCodec: the legacy dialect
+	if err := fr.send(msgHello, &Hello{Version: protoVersion, Name: "legacy"}); err != nil {
+		t.Fatal(err)
+	}
+	var welcome Welcome
+	if err := fr.recvExpect(msgWelcome, &welcome); err != nil {
+		t.Fatal(err)
+	}
+	if welcome.Codec != "" {
+		t.Fatalf("coordinator picked codec %q for a worker that offered none", welcome.Codec)
+	}
+	// The first dispatched frame must be a bare-gob batch a legacy decoder
+	// understands.
+	var batch Batch
+	if err := fr.recvExpect(msgBatch, &batch); err != nil {
+		t.Fatalf("legacy worker could not decode its batch: %v", err)
+	}
+	if len(batch.Units) == 0 {
+		t.Fatal("empty batch dispatched")
+	}
+	conn.Close() // die without a result; the batch requeues
+
+	werr := make(chan error, 1)
+	go func() { werr <- Work(context.Background(), addr, store) }()
+	rep, err := coord.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-werr; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	wantSameRaces(t, "after legacy worker death", rep, base)
+}
+
+// TestEnvelopeRawFallback: on a negotiated connection, a payload the codec
+// cannot shrink (a bodyless heartbeat) ships raw inside the envelope, and
+// a repetitive payload ships compressed — both must round-trip.
+func TestEnvelopeRawFallback(t *testing.T) {
+	m := obs.New()
+	a, b := pipePair(m)
+	defer a.conn.Close()
+	defer b.conn.Close()
+	cd, err := compress.ByName("lzss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.setCodec(cd)
+	b.setCodec(cd)
+
+	done := make(chan error, 1)
+	units := make([]core.PairUnit, 64)
+	for i := range units {
+		units[i] = core.PairUnit{
+			A:    core.UnitID{Key: trace.IntervalKey{PID: 1, TID: 2, BID: uint64(i)}},
+			B:    core.UnitID{Key: trace.IntervalKey{PID: 1, TID: 3, BID: uint64(i)}},
+			Cost: 4096,
+		}
+	}
+	go func() {
+		if err := a.send(msgHeartbeat, nil); err != nil { // empty: cannot shrink
+			done <- err
+			return
+		}
+		done <- a.send(msgBatch, &Batch{Seq: 1, Units: units}) // repetitive: shrinks
+	}()
+	if err := b.recvExpect(msgHeartbeat, nil); err != nil {
+		t.Fatalf("raw-enveloped heartbeat: %v", err)
+	}
+	if v := m.Snapshot().Value("dist.frames_compressed"); v != 0 {
+		t.Fatalf("heartbeat counted as compressed (%d)", v)
+	}
+	var got Batch
+	if err := b.recvExpect(msgBatch, &got); err != nil {
+		t.Fatalf("compressed batch: %v", err)
+	}
+	if len(got.Units) != len(units) || got.Units[0] != units[0] || got.Units[63] != units[63] {
+		t.Fatal("batch changed through the compression envelope")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if v := snap.Value("dist.frames_compressed"); v != 1 {
+		t.Fatalf("dist.frames_compressed = %d, want 1", v)
+	}
+	if cb, rb := snap.Value("dist.frames_compressed_bytes"), snap.Value("dist.frames_raw_bytes"); cb >= rb {
+		t.Fatalf("compressed %d bytes >= raw %d", cb, rb)
+	}
+}
+
+// TestPrefetchDrainOnWorkerDeath is the pipeline's fault-injection leg:
+// with a deep prefetch window and one-unit batches, a worker dies with
+// prefetched batches queued beyond the one it is analyzing. Every
+// outstanding batch — active and prefetched — must requeue onto the
+// survivor, with nothing lost and the race set intact.
+func TestPrefetchDrainOnWorkerDeath(t *testing.T) {
+	store := collectWorkload(t, "c_md")
+	base, err := core.New(store, core.Config{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.New()
+	var calls atomic.Uint64
+	rep, err := Local(context.Background(), store, 2,
+		WithBatchUnits(1),
+		WithPrefetch(3),
+		WithRetryBackoff(1000000), // 1ms
+		WithObs(m),
+		WithInlineBelow(-1),
+		WithBatchHook(func(seq uint64, units []core.PairUnit) error {
+			// Die on the second batch analyzed anywhere: by then the window
+			// has filled, so prefetched batches are outstanding mid-stream.
+			if calls.Add(1) == 2 {
+				return errors.New("injected death mid-stream")
+			}
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSameRaces(t, "after prefetch-queue death", rep, base)
+	snap := m.Snapshot()
+	if v := snap.Value("dist.batches_prefetched"); v <= 0 {
+		t.Errorf("dist.batches_prefetched = %d, want > 0 (window never filled)", v)
+	}
+	if v := snap.Value("dist.units_retried"); v <= 0 {
+		t.Errorf("dist.units_retried = %d, want > 0", v)
+	}
+	if v := snap.Value("dist.units_lost"); v != 0 {
+		t.Errorf("dist.units_lost = %d, want 0", v)
+	}
+	if v := snap.Value("dist.workers_dropped"); v != 1 {
+		t.Errorf("dist.workers_dropped = %d, want 1", v)
+	}
+}
+
+// TestResidentEviction: a one-byte resident budget can hold nothing, so
+// every batch's trees are evicted after use — the eviction path must fire
+// without changing the race set.
+func TestResidentEviction(t *testing.T) {
+	store := collectWorkload(t, "plusplus-orig-yes")
+	base, err := core.New(store, core.Config{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.New()
+	rep, err := Local(context.Background(), store, 1,
+		WithBatchUnits(1),
+		WithResidentBudget(1),
+		WithObs(m),
+		WithInlineBelow(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSameRaces(t, "under 1-byte resident budget", rep, base)
+	snap := m.Snapshot()
+	if v := snap.Value("core.resident_evictions"); v <= 0 {
+		t.Errorf("core.resident_evictions = %d, want > 0", v)
+	}
+}
+
+// TestResidentReuse: under the default budget, one-unit batches revisit
+// the same intervals batch after batch; the resident cache must convert
+// those into hits (trees built once, reused), with the peak gauge set.
+func TestResidentReuse(t *testing.T) {
+	store := collectWorkload(t, "c_md")
+	base, err := core.New(store, core.Config{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.New()
+	rep, err := Local(context.Background(), store, 1,
+		WithBatchUnits(1),
+		WithObs(m),
+		WithInlineBelow(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSameRaces(t, "with resident trees", rep, base)
+	snap := m.Snapshot()
+	if v := snap.Value("core.resident_hits"); v <= 0 {
+		t.Errorf("core.resident_hits = %d, want > 0 (group-affine batches share intervals)", v)
+	}
+	if v := snap.Value("core.units_resident_peak"); v <= 0 {
+		t.Errorf("core.units_resident_peak = %d, want > 0", v)
+	}
+}
+
+// TestLocalInlinesTinyPlans: with the shipped defaults, every bundled
+// workload's plan is far below the inline cutoff, so Local must analyze
+// in-process — no listener, no workers — and still match the
+// single-process race set exactly.
+func TestLocalInlinesTinyPlans(t *testing.T) {
+	store := collectWorkload(t, "plusplus-orig-yes")
+	base, err := core.New(store, core.Config{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.New()
+	rep, err := Local(context.Background(), store, 4, WithObs(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSameRaces(t, "inline path", rep, base)
+	snap := m.Snapshot()
+	if v := snap.Value("dist.inline_runs"); v != 1 {
+		t.Errorf("dist.inline_runs = %d, want 1", v)
+	}
+	if v := snap.Value("dist.workers_connected"); v != 0 {
+		t.Errorf("dist.workers_connected = %d on the inline path, want 0", v)
+	}
+	var noted bool
+	for _, n := range rep.Notes() {
+		noted = noted || strings.Contains(n, "inline")
+	}
+	if !noted {
+		t.Errorf("no inline note in the report; notes: %v", rep.Notes())
+	}
+}
+
+// TestAdaptiveBatchSizing: with no explicit BatchUnits, a plan below the
+// small-plan volume collapses into one batch; an explicit size wins.
+func TestAdaptiveBatchSizing(t *testing.T) {
+	store := collectWorkload(t, "c_md")
+	coord, err := NewCoordinator(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := len(coord.ba.Units())
+	if units == 0 {
+		t.Fatal("no units planned")
+	}
+	if coord.ba.Volume() >= smallPlanVolume {
+		t.Skipf("workload grew past smallPlanVolume (%d bytes)", coord.ba.Volume())
+	}
+	if coord.batchUnits != units {
+		t.Errorf("adaptive batchUnits = %d on a small plan of %d units, want one batch", coord.batchUnits, units)
+	}
+	fixed, err := NewCoordinator(store, WithBatchUnits(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.batchUnits != 3 {
+		t.Errorf("explicit batchUnits = %d, want 3", fixed.batchUnits)
+	}
+	coord.finish()
+	fixed.finish()
+}

@@ -5,43 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"time"
 
+	"sword/internal/compress"
 	"sword/internal/core"
-	"sword/internal/obs"
 	"sword/internal/report"
 	"sword/internal/trace"
 )
-
-// WorkerConfig parameterizes one analysis worker.
-type WorkerConfig struct {
-	// Core configures the batch analyzer; Workers bounds the in-process
-	// parallelism of tree building and pair comparison (non-positive =
-	// GOMAXPROCS, see core.EffectiveWorkers).
-	Core core.Config
-	// Name labels the worker in the coordinator's notes (default "").
-	Name string
-	// HeartbeatEvery is how often the worker pings the coordinator while a
-	// batch is running (default 1s; keep it well under the coordinator's
-	// WorkerTimeout).
-	HeartbeatEvery time.Duration
-	// Obs receives the worker-side dist.* and core.* counters. nil
-	// disables.
-	Obs *obs.Metrics
-	// BatchHook, when non-nil, runs before each batch's analysis. A
-	// returned error makes the worker die on the spot — connection torn,
-	// no result sent — which is exactly the fault the coordinator's
-	// requeue logic exists for; the fault-injection tests and the chaos
-	// harness use it. The trace.FaultStore counterpart injects faults
-	// below the store API; this hook injects them at the work-unit layer.
-	BatchHook func(seq uint64, units []core.PairUnit) error
-}
-
-func (cfg *WorkerConfig) fill() {
-	if cfg.HeartbeatEvery <= 0 {
-		cfg.HeartbeatEvery = time.Second
-	}
-}
 
 // Work connects to the coordinator at addr, analyzes batches from the
 // shared store until the coordinator says Shutdown, and returns nil on a
@@ -49,12 +20,21 @@ func (cfg *WorkerConfig) fill() {
 // planned from — workers verify this implicitly: a UnitID that does not
 // resolve fails the batch. ctx cancellation aborts the current batch and
 // the connection.
-func Work(ctx context.Context, addr string, store trace.Store, cfg WorkerConfig) error {
-	cfg.fill()
+//
+// Batches are pipelined: a reader goroutine queues incoming batches while
+// the analysis loop streams each completed batch's result back on the
+// same connection, so the next batch is already local when the current
+// one finishes — no dispatch round trip between batches. Interval trees
+// built for one batch stay resident (up to the configured budget) for the
+// next; see core.Config.ResidentBudget.
+func Work(ctx context.Context, addr string, store trace.Store, opts ...Option) error {
+	cfg := apply(opts)
+	planStart := time.Now()
 	ba, err := core.NewBatchAnalyzer(store, cfg.Core)
 	if err != nil {
 		return err
 	}
+	cfg.Obs.Timer("dist.worker_plan").Observe(time.Since(planStart))
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -67,7 +47,11 @@ func Work(ctx context.Context, addr string, store trace.Store, cfg WorkerConfig)
 	defer stop()
 
 	fr := newFramer(conn, cfg.Obs)
-	if err := fr.send(msgHello, &Hello{Version: protoVersion, Name: cfg.Name}); err != nil {
+	var offer []string
+	if cfg.WireCodec != "raw" {
+		offer = []string{cfg.WireCodec}
+	}
+	if err := fr.send(msgHello, &Hello{Version: protoVersion, Name: cfg.Name, Codecs: offer}); err != nil {
 		return ctxOr(ctx, err)
 	}
 	var welcome Welcome
@@ -77,27 +61,60 @@ func Work(ctx context.Context, addr string, store trace.Store, cfg WorkerConfig)
 	if welcome.Version != protoVersion {
 		return fmt.Errorf("dist: coordinator speaks protocol %d, want %d", welcome.Version, protoVersion)
 	}
-
-	for {
-		typ, payload, err := fr.recv()
-		if err != nil {
-			return ctxOr(ctx, fmt.Errorf("dist: await batch: %w", err))
+	if welcome.Codec != "" {
+		offered := false
+		for _, n := range offer {
+			offered = offered || n == welcome.Codec
 		}
-		switch typ {
-		case msgShutdown:
-			return nil
-		case msgBatch:
-			var batch Batch
-			if err := decodePayload(typ, payload, &batch); err != nil {
-				return err
+		if !offered {
+			return fmt.Errorf("dist: coordinator picked codec %q, which this worker never offered", welcome.Codec)
+		}
+		cd, err := compress.ByName(welcome.Codec)
+		if err != nil {
+			return fmt.Errorf("dist: %w", err)
+		}
+		fr.setCodec(cd)
+	}
+
+	// Reader: queue batches as they stream in so the analysis loop never
+	// waits on the wire. The coordinator bounds the queue by its prefetch
+	// window; the channel capacity is just headroom.
+	batches := make(chan *Batch, 16)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(batches)
+		for {
+			typ, payload, err := fr.recv()
+			if err != nil {
+				readErr <- fmt.Errorf("dist: await batch: %w", err)
+				return
 			}
-			if err := runBatch(ctx, fr, ba, &batch, cfg); err != nil {
-				return err
+			switch typ {
+			case msgShutdown:
+				readErr <- nil
+				return
+			case msgBatch:
+				var batch Batch
+				if err := decodePayload(typ, payload, &batch); err != nil {
+					readErr <- err
+					return
+				}
+				batches <- &batch
+			default:
+				readErr <- fmt.Errorf("dist: unexpected %s frame awaiting batch", typeName(typ))
+				return
 			}
-		default:
-			return fmt.Errorf("dist: unexpected %s frame awaiting batch", typeName(typ))
+		}
+	}()
+	for batch := range batches {
+		if err := runBatch(ctx, fr, ba, batch, cfg); err != nil {
+			return err // conn closes via defer; the reader unblocks and exits
 		}
 	}
+	if err := <-readErr; err != nil {
+		return ctxOr(ctx, err)
+	}
+	return nil
 }
 
 // ctxOr prefers the context's error once it is done: a torn connection
@@ -116,11 +133,11 @@ type errHookDeath struct{ err error }
 func (e errHookDeath) Error() string { return e.err.Error() }
 
 // runBatch analyzes one batch under its deadline, heartbeating the whole
-// time (the hook included — it models slow batch processing), and sends
+// time (the hook included — it models slow batch processing), and streams
 // the result. Analysis errors that are the batch's fault (an
 // unresolvable unit, the deadline) are reported in Result.Err; transport
 // errors and hook-injected deaths propagate and kill the worker.
-func runBatch(ctx context.Context, fr *framer, ba *core.BatchAnalyzer, batch *Batch, cfg WorkerConfig) error {
+func runBatch(ctx context.Context, fr *framer, ba *core.BatchAnalyzer, batch *Batch, cfg Config) error {
 	bctx := ctx
 	var cancel context.CancelFunc
 	if batch.TimeLimit > 0 {
@@ -147,6 +164,7 @@ func runBatch(ctx context.Context, fr *framer, ba *core.BatchAnalyzer, batch *Ba
 		}
 	}()
 	var rep *report.Report
+	busyStart := time.Now()
 	err := func() error {
 		if cfg.BatchHook != nil {
 			if err := cfg.BatchHook(batch.Seq, batch.Units); err != nil {
@@ -157,10 +175,11 @@ func runBatch(ctx context.Context, fr *framer, ba *core.BatchAnalyzer, batch *Ba
 		rep, aerr = ba.AnalyzeUnits(bctx, batch.Units)
 		return aerr
 	}()
+	busy := time.Since(busyStart)
 	close(hbStop)
 	<-hbDone
 
-	res := Result{Seq: batch.Seq}
+	res := Result{Seq: batch.Seq, BusyNs: int64(busy)}
 	var death errHookDeath
 	switch {
 	case err == nil:
@@ -168,6 +187,7 @@ func runBatch(ctx context.Context, fr *framer, ba *core.BatchAnalyzer, batch *Ba
 		res.Stats = rep.Stats
 		cfg.Obs.Counter("dist.worker_units_done").Add(uint64(len(batch.Units)))
 		cfg.Obs.Counter("dist.worker_batches_done").Inc()
+		cfg.Obs.Timer("dist.worker_busy").Observe(busy)
 	case errors.As(err, &death):
 		return fmt.Errorf("dist: batch hook: %w", death.err)
 	case ctx.Err() != nil:
@@ -181,18 +201,50 @@ func runBatch(ctx context.Context, fr *framer, ba *core.BatchAnalyzer, batch *Ba
 	return fr.send(msgResult, &res)
 }
 
-// Local runs a coordinator plus n in-process loopback workers over store
-// and returns the merged report — the `sworddist -local N` mode, the
-// smoke test, and the harness's distributed lane. Worker failures are
-// tolerated (that is the point of the subsystem); only a failed plan or a
-// failed run is an error.
-func Local(ctx context.Context, store trace.Store, n int, ccfg CoordinatorConfig, wcfg WorkerConfig) (*report.Report, error) {
+// inlineCutoff is the plan volume below which Local analyzes in-process.
+// On a single-CPU host the cutoff rises to the resident budget: loopback
+// workers cannot add parallelism there, so only memory boundedness — a
+// plan the budget will not hold resident — justifies the protocol cost.
+func inlineCutoff(cfg *Config) int64 {
+	if cfg.InlineBelow < 0 {
+		return 0
+	}
+	cut := cfg.InlineBelow
+	if runtime.NumCPU() == 1 {
+		budget := cfg.ResidentBudget
+		if budget == 0 {
+			budget = 256 << 20 // core's residentDefault
+		}
+		if budget > cut {
+			cut = budget
+		}
+	}
+	return cut
+}
+
+// Local runs the distributed analysis over store in one process and
+// returns the merged report — the `sworddist -local N` mode, the smoke
+// test, and the harness's distributed lane.
+//
+// Local is adaptive: when the plan's trace volume falls below the inline
+// cutoff (WithInlineBelow), the loopback pool cannot win — serialization,
+// compression and scheduling would cost more than they spread — so the
+// plan is analyzed directly on the coordinator's own BatchAnalyzer and
+// the wire never comes up. Otherwise a coordinator plus n loopback TCP
+// workers run the full pipelined protocol. Worker failures are tolerated
+// (that is the point of the subsystem); only a failed plan or a failed
+// run is an error.
+func Local(ctx context.Context, store trace.Store, n int, opts ...Option) (*report.Report, error) {
+	cfg := apply(opts)
 	if n <= 0 {
 		n = 2
 	}
-	coord, err := NewCoordinator(store, ccfg)
+	coord, err := newCoordinator(store, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if coord.ba.Volume() < inlineCutoff(&cfg) {
+		return coord.inline(ctx)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -202,14 +254,14 @@ func Local(ctx context.Context, store trace.Store, n int, ccfg CoordinatorConfig
 	go func() { serveErr <- coord.Serve(ln) }()
 	addr := ln.Addr().String()
 	for i := 0; i < n; i++ {
-		cfg := wcfg
-		if cfg.Name == "" {
-			cfg.Name = fmt.Sprintf("local-%d", i+1)
+		wcfg := cfg
+		if wcfg.Name == "" {
+			wcfg.Name = fmt.Sprintf("local-%d", i+1)
 		}
 		go func() {
 			// Errors are visible to the coordinator as a dead worker; the
 			// remaining workers absorb the requeued units.
-			_ = Work(ctx, addr, store, cfg)
+			_ = Work(ctx, addr, store, func(c *Config) { *c = wcfg })
 		}()
 	}
 	done := make(chan struct{})
@@ -231,4 +283,25 @@ func Local(ctx context.Context, store trace.Store, n int, ccfg CoordinatorConfig
 		return nil, err
 	}
 	return rep, nil
+}
+
+// inline analyzes the coordinator's whole plan in-process on its own
+// BatchAnalyzer — same engine, same pairs, same report shape as the wire
+// path, minus the wire.
+func (c *Coordinator) inline(ctx context.Context) (*report.Report, error) {
+	units := c.ba.Units()
+	c.m.Counter("dist.inline_runs").Inc()
+	if len(units) > 0 {
+		rep, err := c.ba.AnalyzeUnits(ctx, units)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rep.Races() {
+			c.rep.Add(r)
+		}
+		c.rep.Stats.Merge(rep.Stats)
+	}
+	c.rep.Note("plan of %d byte(s) analyzed inline, below the %d-byte distribution cutoff", c.ba.Volume(), inlineCutoff(&c.cfg))
+	c.finish()
+	return c.rep, nil
 }

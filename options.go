@@ -62,6 +62,10 @@ type Config struct {
 	// share one registry across sessions and analyses to aggregate. When
 	// nil, a private registry is created so RunStats is always populated.
 	Obs *Metrics
+	// Dist parameterizes the distributed analysis entry points
+	// (ServeCoordinator, JoinWorker, AnalyzeDistributed); the other entry
+	// points ignore it. See DistConfig and the WithDist* options.
+	Dist DistConfig
 }
 
 // Option configures a Session, Analyze, or AnalyzeStore.

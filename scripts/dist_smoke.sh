@@ -1,9 +1,12 @@
 #!/bin/sh
 # dist-smoke: end-to-end check of the distributed analysis CLI. Collects
 # a racy workload's trace, analyzes it three ways — single-process
-# swordoffline, sworddist -local, and a real coordinator process with two
-# worker processes over loopback TCP — and asserts all three report the
-# same race set. Run via `make dist-smoke` (part of `make check`).
+# swordoffline, sworddist -local (inlining disabled so the wire really
+# runs), and a real coordinator process with two worker processes over
+# loopback TCP, deliberately mixed-codec (one lzss worker, one raw
+# worker, so both the compressed and the fallback dialect carry live
+# batches) — and asserts all three report the same race set. Run via
+# `make dist-smoke` (part of `make check`).
 set -eu
 
 GO=${GO:-go}
@@ -22,7 +25,7 @@ $GO build -o "$tmp/sworddist" ./cmd/sworddist
 races() { grep '^race:' "$1" | sort; }
 
 "$tmp/swordoffline" -logdir "$tmp/trace" >"$tmp/single.out" || [ $? -eq 3 ]
-"$tmp/sworddist" -logdir "$tmp/trace" -local 2 >"$tmp/local.out" || [ $? -eq 3 ]
+"$tmp/sworddist" -logdir "$tmp/trace" -local 2 -inline-below -1 >"$tmp/local.out" || [ $? -eq 3 ]
 
 "$tmp/sworddist" -logdir "$tmp/trace" -serve 127.0.0.1:0 >"$tmp/serve.out" 2>&1 &
 coord=$!
@@ -34,9 +37,11 @@ for _ in $(seq 1 50); do
     sleep 0.1
 done
 [ -n "$addr" ] || { echo "dist-smoke: coordinator never came up" >&2; exit 1; }
+# Mixed codecs: smoke-a negotiates the coordinator's default lzss,
+# smoke-b offers nothing compressed and falls back to raw frames.
 "$tmp/sworddist" -logdir "$tmp/trace" -join "$addr" -name smoke-a >/dev/null &
 w1=$!
-"$tmp/sworddist" -logdir "$tmp/trace" -join "$addr" -name smoke-b >/dev/null &
+"$tmp/sworddist" -logdir "$tmp/trace" -join "$addr" -name smoke-b -wire-codec raw >/dev/null &
 w2=$!
 wait $coord || [ $? -eq 3 ]
 # The trace is tiny: the first worker can drain the whole plan before the

@@ -247,14 +247,23 @@ func (s *Session) CollectOnly() error {
 
 // Analyze runs the offline phase over a previously collected log
 // directory, returning the report and the run's observability summary.
+//
+// Analyze is shorthand for AnalyzeContext with context.Background().
+// AnalyzeContext is the canonical form — prefer it in new code; the
+// context-less names are kept for compatibility and will eventually be
+// marked deprecated once the ecosystem has moved.
 func Analyze(logDir string, opts ...Option) (*Report, *RunStats, error) {
 	return AnalyzeContext(context.Background(), logDir, opts...)
 }
 
-// AnalyzeContext is Analyze with cancellation: a cancelled or expired ctx
-// aborts the analysis mid-flight (between tree-build blocks and pair
-// comparisons) and returns ctx.Err(). Wire it to signal.NotifyContext to
-// make long analyses respond to Ctrl-C.
+// AnalyzeContext runs the offline phase over a previously collected log
+// directory, returning the report and the run's observability summary. A
+// cancelled or expired ctx aborts the analysis mid-flight (between
+// tree-build blocks and pair comparisons) and returns ctx.Err(); wire it
+// to signal.NotifyContext to make long analyses respond to Ctrl-C.
+//
+// This is the canonical entry point; Analyze is the background-context
+// shorthand.
 func AnalyzeContext(ctx context.Context, logDir string, opts ...Option) (*Report, *RunStats, error) {
 	store, err := trace.NewDirStore(logDir)
 	if err != nil {
@@ -266,12 +275,20 @@ func AnalyzeContext(ctx context.Context, logDir string, opts ...Option) (*Report
 // AnalyzeStore runs the offline phase over an already-open trace store —
 // the in-process variant of Analyze for custom pipelines and the
 // experiment harness.
+//
+// AnalyzeStore is shorthand for AnalyzeStoreContext with
+// context.Background(). AnalyzeStoreContext is the canonical form —
+// prefer it in new code; the context-less names are kept for
+// compatibility and will eventually be marked deprecated once the
+// ecosystem has moved.
 func AnalyzeStore(store Store, opts ...Option) (*Report, *RunStats, error) {
 	return AnalyzeStoreContext(context.Background(), store, opts...)
 }
 
-// AnalyzeStoreContext is AnalyzeStore with cancellation, mirroring
-// AnalyzeContext.
+// AnalyzeStoreContext runs the offline phase over an already-open trace
+// store with cancellation, mirroring AnalyzeContext. This is the
+// canonical entry point; AnalyzeStore is the background-context
+// shorthand.
 func AnalyzeStoreContext(ctx context.Context, store Store, opts ...Option) (*Report, *RunStats, error) {
 	cfg := applyOptions(opts)
 	m := cfg.Obs
