@@ -14,7 +14,7 @@ FAST_PKGS = . ./internal/archer ./internal/compress ./internal/core \
 	./internal/report ./internal/rt ./internal/trace ./internal/vc \
 	./internal/workloads
 
-.PHONY: build test check fmt vet race bench bench-smoke dist-smoke fuzz
+.PHONY: build test check fmt vet race bench bench-smoke dist-smoke fuzz profile
 
 build:
 	$(GO) build ./...
@@ -43,14 +43,14 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzDecodeMeta$$' -fuzztime 10s
 
 # Micro-benchmark suite (collector hot paths, flush pipeline, codecs,
-# analyzer phases); writes BENCH_4.json in the schema documented in
+# analyzer phases); writes BENCH_7.json in the schema documented in
 # EXPERIMENTS.md. DIST=1 additionally runs the distributed-analysis
 # experiment (adaptive, forced-wire, and projected lanes) into
 # BENCH_6.json; CHAOS=1 additionally runs the crash-tolerance chaos
 # experiment (mid-run store failure, then salvage analysis of the
 # wreckage).
 bench:
-	$(GO) run ./cmd/swordbench -bench BENCH_4.json
+	$(GO) run ./cmd/swordbench -bench BENCH_7.json
 ifdef DIST
 	$(GO) run ./cmd/swordbench -dist BENCH_6.json
 endif
@@ -64,11 +64,22 @@ endif
 dist-smoke:
 	GO="$(GO)" sh scripts/dist_smoke.sh
 
-# Analyzer-engine regression guard: the solver memo and race-site
+# Analyzer-engine regression guards: the solver memo and race-site
 # suppression must keep answering at least half the requested decisions
-# without a real solve.
+# without a real solve, the pair pre-filter must retire the strided
+# workload's provably race-free pairs, and one full analysis must stay
+# within the arena builder's allocation budget.
 bench-smoke:
 	$(GO) test -short -run 'TestAnalyzerBenchSmoke' ./internal/harness
+	$(GO) test -run 'TestAnalyzerAllocSmoke' ./internal/harness
+
+# CPU and heap profiles of the end-to-end analyzer benchmark (the
+# c_jacobi-class workload the perf acceptance criteria measure). Inspect
+# with `go tool pprof cpu.pprof` / `go tool pprof -sample_index=alloc_objects mem.pprof`.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkAnalyzerEndToEnd' -benchtime 5x \
+		-cpuprofile cpu.pprof -memprofile mem.pprof ./internal/harness
+	@echo "wrote cpu.pprof and mem.pprof"
 
 check: vet fmt build race fuzz bench-smoke dist-smoke
 	@echo "check: ok"

@@ -64,6 +64,14 @@ type Config struct {
 	// identical to the default whole-run analysis (0 = analyze everything
 	// in one pass).
 	SubtreeBatch int
+	// NoPrefilter disables the pair pre-filter: by default, unit-level
+	// summaries (bounding box, any-write, all-atomic, commonly held
+	// mutexes) built alongside each run let the analyzer drop concurrent
+	// unit pairs that provably cannot race before any comparison work —
+	// reported as Stats.PairsPrefiltered / core.pairs_prefiltered. The
+	// filter only applies facts the per-node race check enforces anyway,
+	// so disabling it is a pure ablation: same races, more comparisons.
+	NoPrefilter bool
 	// AllRaces disables race-site suppression. By default, once a
 	// (PC, PC) site pair is confirmed racy, later node pairs mapping to
 	// the same report record skip the solver — they could only merge into
@@ -253,15 +261,17 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context) (*report.Report, error) {
 			a.applyQuarantine(s, rep, firstBatch)
 		}
 		firstBatch = false
-		pairs := enumeratePairs(s, include, true)
+		pairs, dropped := enumeratePairs(s, include, true, !a.cfg.NoPrefilter)
 		schedulePairs(pairs)
 		rep.Stats.IntervalPairs += len(pairs)
+		rep.Stats.PairsPrefiltered += dropped
+		m.Counter("core.pairs_prefiltered").Add(dropped)
 		batchNodes := 0
 		for _, iv := range s.intervals {
 			if include == nil || include[iv.region.top.id] {
 				for _, u := range iv.units {
-					batchNodes += u.tree.Len()
-					rep.Stats.Accesses += u.tree.Accesses()
+					batchNodes += u.nodeCount()
+					rep.Stats.Accesses += u.accesses()
 				}
 			}
 		}
@@ -488,13 +498,13 @@ type fragSpan struct {
 	held       trace.MutexSet
 }
 
-func newSlotCursor(ivs []*interval, include map[uint64]bool, only map[*interval]bool) *slotCursor {
+func newSlotCursor(ivs []*interval, include map[uint64]bool, only map[*interval]bool, probe bool) *slotCursor {
 	c := &slotCursor{}
 	for _, iv := range ivs {
 		included := (include == nil || include[iv.region.top.id]) &&
 			(only == nil || only[iv]) && !iv.quarantined
 		if included {
-			iv.materializeUnits()
+			iv.materializeUnits(probe)
 		}
 		for _, f := range iv.frags {
 			unit := f.unit // nil when excluded from this batch
@@ -531,13 +541,11 @@ func (c *slotCursor) at(pos uint64) (*treeUnit, bool) {
 
 func (a *Analyzer) buildSlotTrees(ctx context.Context, s *structure, slot int, include map[uint64]bool, only map[*interval]bool, countIO bool) error {
 	defer func() {
-		if a.cfg.NoCompact {
-			return
-		}
-		// Compact only the intervals this pass actually built: an excluded
-		// interval may hold trees resident from an earlier batch whose
-		// flattened runs are already cached — rebalancing those for nothing
-		// is wasted work at best.
+		// Finalize only the intervals this pass actually built: an excluded
+		// interval may hold runs resident from an earlier batch that are
+		// already finalized — sorting or rebalancing those for nothing is
+		// wasted work at best.
+		var builderBytes uint64
 		for _, iv := range s.bySlot[slot] {
 			if include != nil && !include[iv.region.top.id] {
 				continue
@@ -546,9 +554,10 @@ func (a *Analyzer) buildSlotTrees(ctx context.Context, s *structure, slot int, i
 				continue
 			}
 			for _, u := range iv.units {
-				u.tree.Compact()
+				builderBytes += u.finalize(!a.cfg.NoCompact)
 			}
 		}
+		a.cfg.Obs.Counter("core.run_builder_bytes").Add(builderBytes)
 	}()
 	src, err := a.store.OpenLog(slot)
 	if err != nil {
@@ -570,7 +579,7 @@ func (a *Analyzer) buildSlotTrees(ctx context.Context, s *structure, slot int, i
 		lr.SetTolerant(true)
 		ss = &slotSalvage{}
 	}
-	cur := newSlotCursor(s.bySlot[slot], include, only)
+	cur := newSlotCursor(s.bySlot[slot], include, only, a.cfg.ProbeEngine)
 	// In batched mode a block whose logical span intersects none of the
 	// batch's fragments holds only data this pass would decode and throw
 	// away; skip its compressed payload entirely. Blocks arrive in
@@ -597,44 +606,61 @@ func (a *Analyzer) buildSlotTrees(ctx context.Context, s *structure, slot int, i
 			return wIdx >= len(wanted) || wanted[wIdx][0] >= end
 		}
 	}
+	// The block stream is a two-stage pipeline: a reader goroutine pulls
+	// blocks off the log (seek, CRC, decompress) while this goroutine
+	// decodes the previous ones into the trees. Blocks flow through a
+	// bounded channel in log order, so the cursor and the running mutex
+	// set see positions in exactly the sequence the sequential loop did —
+	// per-slot decode order is the semantic invariant; only the I/O and
+	// decompression overlap it. Payloads are copied into pooled buffers
+	// because the LogReader reuses its staging slice on the next read.
+	blocks := make(chan blockBuf, decodePipelineDepth)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(blocks)
+		for {
+			if err := ctx.Err(); err != nil {
+				readErr <- err
+				return
+			}
+			start, raw, err := lr.NextFrom(skipBlock)
+			if err == io.EOF {
+				readErr <- nil
+				return
+			}
+			if err != nil {
+				readErr <- fmt.Errorf("core: read log %d: %w", slot, err)
+				return
+			}
+			bp := blockBufPool.Get().(*[]byte)
+			*bp = append((*bp)[:0], raw...)
+			select {
+			case blocks <- blockBuf{start: start, buf: bp}:
+			case <-ctx.Done():
+				blockBufPool.Put(bp)
+				readErr <- ctx.Err()
+				return
+			}
+		}
+	}()
+	// Fatal decode errors must drain the channel before returning: the
+	// deferred lr.Close must not run while the reader goroutine still
+	// touches the reader, and pooled buffers in flight would leak.
+	drain := func() {
+		for bb := range blocks {
+			blockBufPool.Put(bb.buf)
+		}
+		<-readErr
+	}
 	var dec trace.Decoder
 	var ev trace.Event
 	var events uint64
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
+	maxDepth := 0
+	for bb := range blocks {
+		if d := len(blocks) + 1; d > maxDepth {
+			maxDepth = d
 		}
-		start, raw, err := lr.NextFrom(skipBlock)
-		if err == io.EOF {
-			if ss != nil && countIO {
-				srep := lr.Salvage()
-				ss.rep = srep
-				ss.logEnd = lr.RawBytes()
-				ss.truncated = srep.Truncated
-				if !srep.Clean() {
-					ss.notes = append(ss.notes, fmt.Sprintf("slot %d: log damaged: %s", slot, srep))
-				}
-				a.recordSalvage(slot, ss)
-			}
-			if m := a.cfg.Obs; m != nil {
-				if countIO {
-					m.Counter("trace.events").Add(events)
-					m.Counter("trace.blocks").Add(lr.Blocks())
-					m.Counter("trace.raw_bytes").Add(lr.RawBytes())
-					m.Counter("trace.compressed_bytes").Add(lr.CompressedBytes())
-				}
-				// Skip totals accumulate across every batch: they measure
-				// the decompression work the fast path avoided, which is
-				// exactly the cost batched re-streaming would otherwise
-				// multiply.
-				m.Counter("trace.blocks_skipped").Add(lr.BlocksSkipped())
-				m.Counter("trace.skipped_bytes").Add(lr.SkippedBytes())
-			}
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("core: read log %d: %w", slot, err)
-		}
+		start, raw := bb.start, *bb.buf
 		dec.Reset(raw)
 		for dec.More() {
 			pos := start + uint64(dec.Pos())
@@ -649,6 +675,8 @@ func (a *Analyzer) buildSlotTrees(ctx context.Context, s *structure, slot int, i
 						fmt.Sprintf("slot %d: undecodable events in [%d, %d): %v", slot, pos, end, err))
 					break
 				}
+				blockBufPool.Put(bb.buf)
+				drain()
 				return fmt.Errorf("core: decode log %d at %d: %w", slot, pos, err)
 			}
 			events++
@@ -665,12 +693,14 @@ func (a *Analyzer) buildSlotTrees(ctx context.Context, s *structure, slot int, i
 						// stream; the access has no home, drop it.
 						continue
 					}
+					blockBufPool.Put(bb.buf)
+					drain()
 					return fmt.Errorf("core: slot %d access at %d outside any interval fragment", slot, pos)
 				}
 				if unit == nil {
 					continue // outside this batch: decode but do not build
 				}
-				unit.tree.Insert(itree.Access{
+				unit.insert(itree.Access{
 					Addr:    ev.Addr,
 					Width:   uint64(ev.Size),
 					Write:   ev.Write,
@@ -680,8 +710,58 @@ func (a *Analyzer) buildSlotTrees(ctx context.Context, s *structure, slot int, i
 				})
 			}
 		}
+		blockBufPool.Put(bb.buf)
 	}
+	if err := <-readErr; err != nil {
+		return err
+	}
+	// End of stream: the reader goroutine is done, so the LogReader's
+	// totals and salvage report are stable.
+	if ss != nil && countIO {
+		srep := lr.Salvage()
+		ss.rep = srep
+		ss.logEnd = lr.RawBytes()
+		ss.truncated = srep.Truncated
+		if !srep.Clean() {
+			ss.notes = append(ss.notes, fmt.Sprintf("slot %d: log damaged: %s", slot, srep))
+		}
+		a.recordSalvage(slot, ss)
+	}
+	if m := a.cfg.Obs; m != nil {
+		if countIO {
+			m.Counter("trace.events").Add(events)
+			m.Counter("trace.blocks").Add(lr.Blocks())
+			m.Counter("trace.raw_bytes").Add(lr.RawBytes())
+			m.Counter("trace.compressed_bytes").Add(lr.CompressedBytes())
+		}
+		// Skip totals accumulate across every batch: they measure
+		// the decompression work the fast path avoided, which is
+		// exactly the cost batched re-streaming would otherwise
+		// multiply.
+		m.Counter("trace.blocks_skipped").Add(lr.BlocksSkipped())
+		m.Counter("trace.skipped_bytes").Add(lr.SkippedBytes())
+		m.Gauge("trace.decode_pipeline_depth").SetMax(int64(maxDepth))
+	}
+	return nil
 }
+
+// blockBuf carries one decompressed block from the log-reading stage to
+// the decoding stage of the per-slot build pipeline.
+type blockBuf struct {
+	start uint64  // logical position of the block's first event byte
+	buf   *[]byte // pooled payload copy; returned to blockBufPool after decode
+}
+
+// decodePipelineDepth bounds how many decompressed blocks the reading
+// stage may run ahead of the decoder — enough to hide I/O and
+// decompression latency, small enough to keep per-slot staging memory
+// bounded (depth × block size).
+const decodePipelineDepth = 4
+
+var blockBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256<<10)
+	return &b
+}}
 
 // enumeratePairs lists every pair of concurrent tree units. Same-region
 // intervals pair within a barrier id; cross-region concurrency only arises
@@ -690,12 +770,18 @@ func (a *Analyzer) buildSlotTrees(ctx context.Context, s *structure, slot int, i
 // the common flat codes. Intervals that spawn tasks contribute one unit
 // per fragment, filtered against the tasks' concurrency windows.
 //
-// skipEmpty drops pairs where either unit's tree holds no accesses — the
-// in-process path, which enumerates after building trees. The distributed
-// planner enumerates from structure alone (no trees exist yet) and passes
+// skipEmpty drops pairs where either unit holds no accesses — the
+// in-process path, which enumerates after building runs. The distributed
+// planner enumerates from structure alone (no runs exist yet) and passes
 // false, accepting some empty work units in exchange for never touching
 // the logs on the coordinator.
-func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty bool) [][2]*treeUnit {
+//
+// prefilter additionally drops pairs whose unit summaries prove no node
+// pair can race (see summariesMayRace); the count of pairs so dropped is
+// returned for Stats.PairsPrefiltered. It only takes effect on units with
+// finalized builder summaries, so the probe-engine and planner paths are
+// naturally unaffected.
+func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty, prefilter bool) ([][2]*treeUnit, uint64) {
 	// Same-region pairs, grouped by (pid, bid).
 	type groupKey struct{ pid, bid uint64 }
 	groups := make(map[groupKey][]*interval)
@@ -725,8 +811,9 @@ func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty bool) [][2]
 	}
 	pairs := make([][2]*treeUnit, 0, est)
 	seen := make(map[[2]*treeUnit]struct{}, est)
+	var prefiltered uint64
 	addUnits := func(x, y *treeUnit) {
-		if skipEmpty && (x.tree.Len() == 0 || y.tree.Len() == 0) {
+		if skipEmpty && (x.nodeCount() == 0 || y.nodeCount() == 0) {
 			return
 		}
 		k := [2]*treeUnit{x, y}
@@ -734,12 +821,18 @@ func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty bool) [][2]
 			k = [2]*treeUnit{y, x}
 		}
 		// One map operation per candidate: the insert's effect on len
-		// doubles as the membership probe.
+		// doubles as the membership probe. Pre-filtered pairs enter the
+		// map too, so each distinct dropped pair counts exactly once.
 		before := len(seen)
 		seen[k] = struct{}{}
-		if len(seen) != before {
-			pairs = append(pairs, k)
+		if len(seen) == before {
+			return
 		}
+		if prefilter && x.hasSum && y.hasSum && !summariesMayRace(&x.sum, &y.sum) {
+			prefiltered++
+			return
+		}
+		pairs = append(pairs, k)
 	}
 	// add pairs every unit of x with every unit of y.
 	add := func(x, y *interval) {
@@ -798,7 +891,28 @@ func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty bool) [][2]
 		}
 		return a[1].cut < b[1].cut
 	})
-	return pairs
+	return pairs, prefiltered
+}
+
+// summariesMayRace decides from two unit summaries alone whether any node
+// pair across the units could be reported as a race. Each clause is the
+// unit-level aggregate of a per-node filter the comparison engine applies
+// anyway — a race needs at least one write, not both sides atomic, no
+// commonly held mutex, and overlapping addresses — so a false return
+// proves every node pair would be rejected and the comparison can be
+// skipped without changing the race set.
+func summariesMayRace(a, b *itree.Summary) bool {
+	switch {
+	case !a.AnyWrite && !b.AnyWrite:
+		return false // read-only on both sides
+	case a.AllAtomic && b.AllAtomic:
+		return false // every cross pair is atomic-atomic
+	case a.CommonMutexes.Intersects(b.CommonMutexes):
+		return false // a mutex held across every access of both units
+	case a.High < b.Low || b.High < a.Low:
+		return false // disjoint bounding boxes
+	}
+	return true
 }
 
 func lessKey(a, b trace.IntervalKey) bool {
@@ -874,7 +988,7 @@ func crossRegionPairs(r1, r2 *region, byRegion map[uint64][]*interval,
 	}
 }
 
-func side(n *itree.Node, pcs *pcreg.Table) report.Side {
+func side(n *itree.Run, pcs *pcreg.Table) report.Side {
 	return report.Side{PC: n.PC, Source: pcs.Name(n.PC), Write: n.Write, Atomic: n.Atomic}
 }
 

@@ -486,8 +486,11 @@ func TestStatsPopulated(t *testing.T) {
 	if st.TreeNodes == 0 || st.TreeNodes > 8 {
 		t.Fatalf("tree nodes = %d, want small (coalesced)", st.TreeNodes)
 	}
-	if st.IntervalPairs != 6 {
-		t.Fatalf("interval pairs = %d, want C(4,2)=6", st.IntervalPairs)
+	// The four threads statically chunk the array, so every pair of
+	// intervals has a disjoint bounding box: the pre-filter retires all
+	// C(4,2)=6 pairs before comparison.
+	if st.IntervalPairs != 0 || st.PairsPrefiltered != 6 {
+		t.Fatalf("interval pairs = %d prefiltered = %d, want 0 compared and C(4,2)=6 prefiltered", st.IntervalPairs, st.PairsPrefiltered)
 	}
 }
 

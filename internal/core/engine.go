@@ -67,7 +67,7 @@ func newCompareEngine(cfg Config, pcs *pcreg.Table, rep *report.Report) *compare
 type engineWorker struct {
 	e          *compareEngine
 	local      map[solverKey]solverResult
-	actA, actB []*itree.Node
+	actA, actB []*itree.Run
 
 	comps, solves, bbox uint64
 	hits, misses, suppd uint64
@@ -131,7 +131,7 @@ func (w *engineWorker) comparePair(a, b *treeUnit) {
 			if j >= len(rb) && len(actB) == 0 {
 				break // nothing left for the a side to meet
 			}
-			n := ra[i]
+			n := &ra[i]
 			i++
 			actB = expire(actB, n.Low)
 			for _, m := range actB {
@@ -142,7 +142,7 @@ func (w *engineWorker) comparePair(a, b *treeUnit) {
 			if i >= len(ra) && len(actA) == 0 {
 				break
 			}
-			m := rb[j]
+			m := &rb[j]
 			j++
 			actA = expire(actA, m.Low)
 			for _, n := range actA {
@@ -156,7 +156,7 @@ func (w *engineWorker) comparePair(a, b *treeUnit) {
 
 // expire drops active intervals whose last byte lies before low,
 // compacting in place so the scratch slice is reused across sweep steps.
-func expire(act []*itree.Node, low uint64) []*itree.Node {
+func expire(act []*itree.Run, low uint64) []*itree.Run {
 	kept := act[:0]
 	for _, n := range act {
 		if n.LastByte() >= low {
@@ -170,7 +170,7 @@ func expire(act []*itree.Node, low uint64) []*itree.Node {
 // node pair: at least one write, not both atomic, disjoint mutex sets, and
 // a genuinely shared byte — the last decided through suppression and the
 // solver memo.
-func (w *engineWorker) check(na, nb *itree.Node) {
+func (w *engineWorker) check(na, nb *itree.Run) {
 	w.comps++
 	if !na.Write && !nb.Write {
 		return
@@ -203,7 +203,7 @@ func (w *engineWorker) check(na, nb *itree.Node) {
 	w.reportRace(na, nb, addr)
 }
 
-func (w *engineWorker) reportRace(na, nb *itree.Node, addr uint64) {
+func (w *engineWorker) reportRace(na, nb *itree.Run, addr uint64) {
 	w.e.rep.Add(report.Race{
 		First:  side(na, w.e.pcs),
 		Second: side(nb, w.e.pcs),
@@ -222,8 +222,8 @@ func (w *engineWorker) probePair(a, b *treeUnit) {
 	ta.Visit(func(na *itree.Node) bool {
 		tb.VisitOverlaps(na.Low, na.LastByte(), func(nb *itree.Node) bool {
 			w.comps++
-			if addr, ok := w.rawRace(na, nb); ok {
-				w.reportRace(na, nb, addr)
+			if addr, ok := w.rawRace(&na.Run, &nb.Run); ok {
+				w.reportRace(&na.Run, &nb.Run, addr)
 			}
 			return true
 		})
@@ -234,7 +234,7 @@ func (w *engineWorker) probePair(a, b *treeUnit) {
 // rawRace applies the race filters and decides shared-byte overlap with a
 // direct solver call, threading the witness address out of that single
 // solve.
-func (w *engineWorker) rawRace(na, nb *itree.Node) (uint64, bool) {
+func (w *engineWorker) rawRace(na, nb *itree.Run) (uint64, bool) {
 	if !na.Write && !nb.Write {
 		return 0, false
 	}
@@ -261,7 +261,7 @@ type raceSite struct {
 	wA, wB   bool
 }
 
-func newRaceSite(na, nb *itree.Node) raceSite {
+func newRaceSite(na, nb *itree.Run) raceSite {
 	a, b := na, nb
 	if a.PC > b.PC || (a.PC == b.PC && a.Write && !b.Write) {
 		a, b = b, a
@@ -388,5 +388,5 @@ func schedulePairs(pairs [][2]*treeUnit) {
 }
 
 func pairCost(p [2]*treeUnit) uint64 {
-	return uint64(p[0].tree.Len()) * uint64(p[1].tree.Len())
+	return uint64(p[0].nodeCount()) * uint64(p[1].nodeCount())
 }

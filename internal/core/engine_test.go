@@ -17,7 +17,7 @@ import (
 // runs genuinely overlap, mixed widths, a few PCs, occasional atomics and
 // lock protection.
 func randomTree(r *rand.Rand, nodes int) *treeUnit {
-	u := &treeUnit{}
+	u := &treeUnit{probe: true} // built directly on the tree path
 	for k := 0; k < nodes; k++ {
 		base := 0x1000 + uint64(r.Intn(256))*8
 		stride := uint64(1+r.Intn(4)) * 4
@@ -215,7 +215,7 @@ func TestMemoCutsSolverCalls(t *testing.T) {
 // product while keeping the canonical order within equal costs.
 func TestScheduleOrder(t *testing.T) {
 	mk := func(nodes int) *treeUnit {
-		u := &treeUnit{}
+		u := &treeUnit{probe: true} // built directly on the tree path
 		for i := 0; i < nodes; i++ {
 			u.tree.Insert(itree.Access{Addr: uint64(0x100 * (i + 1)), Width: 1, Write: true, PC: uint64(i)})
 		}

@@ -39,7 +39,9 @@ func buildFromProgram(t *testing.T, program func(rtm *omp.Runtime, space *memsim
 // intervals (the rule enumeratePairs applies in bulk), for comparison with
 // the OSL judgment.
 func lineageConcurrent(s *structure, a, b *interval) bool {
-	pairs := enumeratePairs(s, nil, true)
+	// Pre-filtering is off: this helper asks about structural concurrency,
+	// not whether the accesses could race.
+	pairs, _ := enumeratePairs(s, nil, true, false)
 	for _, p := range pairs {
 		x, y := p[0].iv, p[1].iv
 		if (x == a && y == b) || (x == b && y == a) {

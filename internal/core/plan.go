@@ -77,6 +77,11 @@ type BatchAnalyzer struct {
 	plan  []PairUnit
 	vol   int64
 
+	// prefiltered counts pairs the planner dropped because a unit owns
+	// zero trace bytes — the coordinator-side slice of the pair
+	// pre-filter, reported once via StructureStats.
+	prefiltered uint64
+
 	// Resident-tree LRU: resident maps an interval to its element in lru
 	// (front = most recent); budget 0 disables residency entirely.
 	budget        int64
@@ -119,30 +124,39 @@ func NewBatchAnalyzer(store trace.Store, cfg Config) (*BatchAnalyzer, error) {
 		lru:      list.New(),
 	}
 	for _, iv := range s.intervals {
-		iv.materializeUnits()
+		iv.materializeUnits(cfg.ProbeEngine)
 		for i, u := range iv.units {
 			b.units[UnitID{Key: iv.key, Unit: i}] = u
 		}
 		b.vol += intervalBytes(iv)
 	}
-	// Empty trees cannot be skipped here — they do not exist yet — so the
-	// plan may carry units whose trees turn out to hold no accesses; those
-	// pairs compare in O(1).
-	pairs := enumeratePairs(s, nil, false)
-	b.plan = make([]PairUnit, len(pairs))
-	groups := make([]uint64, len(pairs))
+	// Runs do not exist yet, so content-level pruning is impossible here —
+	// but the meta files already expose each unit's trace volume, and a
+	// unit owning zero log bytes can hold no accesses. Dropping its pairs
+	// at the planner is the coordinator-side slice of the pair pre-filter
+	// (counted in StructureStats so the merged report carries it); the
+	// remaining empty-tree pairs still ship and compare in O(1).
+	pairs, _ := enumeratePairs(s, nil, false, false)
+	b.plan = make([]PairUnit, 0, len(pairs))
+	groups := make([]uint64, 0, len(pairs))
 	groupCost := make(map[uint64]uint64)
-	for i, p := range pairs {
-		b.plan[i] = PairUnit{
+	for _, p := range pairs {
+		if !cfg.NoPrefilter && (unitBytes(p[0]) == 0 || unitBytes(p[1]) == 0) {
+			b.prefiltered++
+			continue
+		}
+		b.plan = append(b.plan, PairUnit{
 			A:    b.idOf(p[0]),
 			B:    b.idOf(p[1]),
 			Cost: satMul(unitBytes(p[0]), unitBytes(p[1])),
-		}
+		})
 		// Pairs never cross top-level subtrees, so the A side names the
 		// pair's barrier group.
-		groups[i] = p[0].iv.region.top.id
-		groupCost[groups[i]] = satAdd(groupCost[groups[i]], b.plan[i].Cost)
+		g := p[0].iv.region.top.id
+		groups = append(groups, g)
+		groupCost[g] = satAdd(groupCost[g], b.plan[len(b.plan)-1].Cost)
 	}
+	cfg.Obs.Counter("core.pairs_prefiltered").Add(b.prefiltered)
 	// Group-affinity schedule: pairs cluster by top-level barrier group so
 	// consecutive batches touch the same intervals — that is what makes a
 	// worker's resident trees and block skipping pay off. Groups run in
@@ -150,7 +164,7 @@ func NewBatchAnalyzer(store trace.Store, cfg Config) (*BatchAnalyzer, error) {
 	// group in descending cost, with the canonical enumeration order as the
 	// stable tie-break — the same deterministic schedule the in-process
 	// analyzer uses, just with byte sizes standing in for run lengths.
-	idx := make([]int, len(pairs))
+	idx := make([]int, len(b.plan))
 	for i := range idx {
 		idx[i] = i
 	}
@@ -164,7 +178,7 @@ func NewBatchAnalyzer(store trace.Store, cfg Config) (*BatchAnalyzer, error) {
 		}
 		return b.plan[i].Cost > b.plan[j].Cost
 	})
-	ordered := make([]PairUnit, len(pairs))
+	ordered := make([]PairUnit, len(b.plan))
 	for x, i := range idx {
 		ordered[x] = b.plan[i]
 	}
@@ -238,7 +252,11 @@ func (b *BatchAnalyzer) Volume() int64 { return b.vol }
 // folds into the merged report — fields no worker can report without
 // double counting, since a batch only sees its own slice of the run.
 func (b *BatchAnalyzer) StructureStats() report.Stats {
-	return report.Stats{Intervals: len(b.s.intervals), Regions: len(b.s.regions)}
+	return report.Stats{
+		Intervals:        len(b.s.intervals),
+		Regions:          len(b.s.regions),
+		PairsPrefiltered: b.prefiltered,
+	}
 }
 
 // AnalyzeUnits compares one batch of pair units and returns a report

@@ -87,22 +87,83 @@ type interval struct {
 }
 
 // treeUnit is a comparable chunk of an interval's accesses.
+//
+// Two construction paths fill it. The default is the arena run builder:
+// accesses append into build's contiguous slab and finalize sorts it once
+// into the Low-ordered run flat, together with the unit summary sum that
+// the pair pre-filter consumes. Under Config.ProbeEngine the legacy
+// red-black interval tree is built instead (probe is true, the builder
+// stays empty) — the probing comparison engine needs the overlap index,
+// and the tree path remains the differential reference for the builder.
 type treeUnit struct {
-	iv   *interval
-	cut  uint64 // fragment cut; 0 for whole-interval units
-	tree itree.Tree
+	iv    *interval
+	cut   uint64 // fragment cut; 0 for whole-interval units
+	probe bool   // legacy tree path (Config.ProbeEngine)
+	tree  itree.Tree
+	build itree.Builder
 
-	// flat caches the tree's nodes in ascending Low order: flattened once
-	// per unit and reused by every sweep comparison the unit joins. Built
-	// lazily under flatOnce because units are shared between concurrently
-	// compared pairs; freed with the unit when resetUnits drops the batch.
+	// sum is the unit-level aggregate the pair pre-filter tests; valid
+	// only after finalize on the builder path (hasSum).
+	sum    itree.Summary
+	hasSum bool
+
+	// flat caches the unit's runs in ascending Low order, reused by
+	// every sweep comparison the unit joins. The builder path fills it in
+	// finalize (before any comparison runs); the probe path flattens the
+	// tree lazily under flatOnce because units are shared between
+	// concurrently compared pairs. Freed when the batch drops the unit.
 	flatOnce sync.Once
-	flat     []*itree.Node
+	flat     []itree.Run
+}
+
+// insert routes one access into the unit's active construction path.
+func (u *treeUnit) insert(a itree.Access) {
+	if u.probe {
+		u.tree.Insert(a)
+		return
+	}
+	u.build.Insert(a)
+}
+
+// finalize completes the unit after its slot's log streamed: the builder
+// path sorts the slab into the flattened run and computes the pre-filter
+// summary; the probe path compacts the tree (its flatten stays lazy).
+// Returns the builder slab bytes for the core.run_builder_bytes counter
+// (zero on the probe path).
+func (u *treeUnit) finalize(compact bool) uint64 {
+	if u.probe {
+		if compact {
+			u.tree.Compact()
+		}
+		return 0
+	}
+	u.flat, u.sum = u.build.Finish(compact)
+	u.hasSum = true
+	return u.sum.Bytes
+}
+
+// nodeCount returns the unit's summarized node count (the paper's M).
+func (u *treeUnit) nodeCount() int {
+	if u.probe {
+		return u.tree.Len()
+	}
+	return u.build.Len()
+}
+
+// accesses returns the number of accesses inserted (the paper's N).
+func (u *treeUnit) accesses() uint64 {
+	if u.probe {
+		return u.tree.Accesses()
+	}
+	return u.build.Accesses()
 }
 
 // run returns the unit's flattened, Low-sorted interval run.
-func (u *treeUnit) run() []*itree.Node {
-	u.flatOnce.Do(func() { u.flat = u.tree.Nodes() })
+func (u *treeUnit) run() []itree.Run {
+	if !u.probe {
+		return u.flat // set by finalize before comparison starts
+	}
+	u.flatOnce.Do(func() { u.flat = u.tree.Runs() })
 	return u.flat
 }
 
@@ -115,13 +176,14 @@ type fragment struct {
 }
 
 // materializeUnits creates the interval's tree units: per fragment when
-// the interval spawns tasks, a single unit otherwise.
-func (iv *interval) materializeUnits() {
+// the interval spawns tasks, a single unit otherwise. probe selects the
+// legacy red-black tree construction path (Config.ProbeEngine).
+func (iv *interval) materializeUnits(probe bool) {
 	if iv.units != nil {
 		return
 	}
 	if !iv.taskParent {
-		u := &treeUnit{iv: iv}
+		u := &treeUnit{iv: iv, probe: probe}
 		iv.units = []*treeUnit{u}
 		for i := range iv.frags {
 			iv.frags[i].unit = u
@@ -129,7 +191,7 @@ func (iv *interval) materializeUnits() {
 		return
 	}
 	for i := range iv.frags {
-		u := &treeUnit{iv: iv, cut: iv.frags[i].cut}
+		u := &treeUnit{iv: iv, cut: iv.frags[i].cut, probe: probe}
 		iv.units = append(iv.units, u)
 		iv.frags[i].unit = u
 	}
@@ -140,6 +202,9 @@ func (iv *interval) materializeUnits() {
 // index pointing at it — stable, unlike resetUnits which drops the units.
 func (u *treeUnit) resetTree() {
 	u.tree = itree.Tree{}
+	u.build.Reset()
+	u.sum = itree.Summary{}
+	u.hasSum = false
 	u.flatOnce = sync.Once{}
 	u.flat = nil
 }

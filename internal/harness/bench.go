@@ -98,7 +98,9 @@ func benchCompress(c compress.Codec) func(b *testing.B) {
 // threads interleave disjoint strided writes over a shared region (heavy
 // solver traffic, all negative) across barrier-separated rounds that repeat
 // the same shapes (memo fodder), plus one genuinely racy site re-confirmed
-// every round (suppression fodder).
+// every round (suppression fodder). Two trailing read-only rounds sweep a
+// disjoint region: every pair of those intervals is provably race-free
+// from its unit summary alone — the pair pre-filter's fodder.
 func stridedTrace(tb testing.TB, threads, iters, rounds int) trace.Store {
 	store := trace.NewMemStore()
 	col := rt.New(store, rt.Config{Synchronous: true})
@@ -110,6 +112,12 @@ func stridedTrace(tb testing.TB, threads, iters, rounds int) trace.Store {
 				th.Write(0x200000+uint64(i)*8, 8, pc)
 			}
 			th.Write(0x200000+uint64(round)*8, 8, 0x80)
+			th.Barrier()
+		}
+		for round := 0; round < 2; round++ {
+			for i := th.ID(); i < iters; i += threads {
+				th.Read(0x400000+uint64(i)*8, 8, pc)
+			}
 			th.Barrier()
 		}
 	})
@@ -161,6 +169,7 @@ func benchAnalyzerPairComparison(b *testing.B) {
 	b.ReportMetric(float64(st.Analysis.SolverCalls), "solver_calls")
 	b.ReportMetric(float64(st.SolverCacheHits), "solver_cache_hits")
 	b.ReportMetric(float64(st.SitesSuppressed), "sites_suppressed")
+	b.ReportMetric(float64(st.Analysis.PairsPrefiltered), "pairs_prefiltered")
 }
 
 // benchAnalyzerEndToEnd measures a full sword run — collection plus both

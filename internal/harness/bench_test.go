@@ -36,4 +36,45 @@ func TestAnalyzerBenchSmoke(t *testing.T) {
 		t.Fatalf("memo+suppression saved too little: %d solves for %d requested decisions",
 			st.Analysis.SolverCalls, requested)
 	}
+	if st.Analysis.PairsPrefiltered == 0 {
+		t.Fatal("no pairs pre-filtered despite the workload's read-only rounds")
+	}
+}
+
+// TestAnalyzerAllocSmoke is the make-check guard for the analyzer
+// front-end's allocation behavior: one full analysis of the strided
+// workload must stay within an allocation budget sized for the arena run
+// builder. The red-black tree path allocated one node per coalesced run
+// plus per-insert rebalancing garbage, an order of magnitude above this
+// ceiling — a regression that reintroduces per-access allocation trips the
+// bound immediately.
+func TestAnalyzerAllocSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is distorted under short/race harness runs")
+	}
+	store := stridedTrace(t, 4, 2048, 8)
+	if _, _, err := sword.AnalyzeStore(store); err != nil {
+		t.Fatal(err) // warm pools and lazy tables before measuring
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := sword.AnalyzeStore(store); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const ceiling = 4000
+	if allocs > ceiling {
+		t.Fatalf("analysis allocates %.0f objects per run, budget %d", allocs, ceiling)
+	}
+}
+
+// Standard `go test -bench` entry points for the analyzer benchmarks the
+// suite otherwise runs programmatically (MicroBenches) — these are what
+// `make profile` attaches the CPU and heap profilers to.
+func BenchmarkAnalyzerEndToEnd(b *testing.B) {
+	b.Run("c_jacobi", benchAnalyzerEndToEnd("c_jacobi"))
+	b.Run("antidep1-orig-yes", benchAnalyzerEndToEnd("antidep1-orig-yes"))
+}
+
+func BenchmarkAnalyzerPairComparison(b *testing.B) {
+	benchAnalyzerPairComparison(b)
 }

@@ -282,3 +282,78 @@ func BenchmarkIntersectMiss(b *testing.B) {
 		Intersect(x, y)
 	}
 }
+
+// TestResidueMatchesWindowOracle pits the residue-interval Intersect
+// against the original per-offset window loop on randomized
+// progressions: verdict AND witness must be identical, so memo keys and
+// race reports stay byte-stable across the rewrite.
+func TestResidueMatchesWindowOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randProgression(r), randProgression(r)
+		// Occasionally force degenerate and wide shapes the generator
+		// under-samples.
+		switch r.Intn(5) {
+		case 0:
+			a.Stride, a.Count = 0, 0
+		case 1:
+			b.Stride, b.Count = 0, 0
+		case 2:
+			a.Width, b.Width = 64, 64
+		}
+		wantAddr, want := intersectWindow(a, b)
+		gotAddr, got := Intersect(a, b)
+		if got != want || gotAddr != wantAddr {
+			t.Logf("a=%+v b=%+v oracle=(%d,%v) residue=(%d,%v)",
+				a, b, wantAddr, want, gotAddr, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResidueMatchesOracleLarge covers collector-scale magnitudes where
+// the window oracle is still cheap enough to run.
+func TestResidueMatchesOracleLarge(t *testing.T) {
+	cases := [][2]Progression{
+		{{Base: 0x4000_0000, Stride: 8, Count: 1 << 20, Width: 8},
+			{Base: 0x4000_0000 + 8*(1<<19) + 4, Width: 4}},
+		{{Base: 0x4000_0000, Stride: 24, Count: 1 << 20, Width: 8},
+			{Base: 0x4000_0004, Stride: 40, Count: 1 << 20, Width: 8}},
+		{{Base: 1 << 40, Stride: 4096, Count: 1 << 16, Width: 128},
+			{Base: (1 << 40) + 100, Stride: 4000, Count: 1 << 16, Width: 128}},
+		{{Base: 0, Stride: 7, Count: 100, Width: 1},
+			{Base: 3, Stride: 11, Count: 100, Width: 1}},
+	}
+	for i, c := range cases {
+		for _, pair := range [][2]Progression{c, {c[1], c[0]}} {
+			wantAddr, want := intersectWindow(pair[0], pair[1])
+			gotAddr, got := Intersect(pair[0], pair[1])
+			if got != want || gotAddr != wantAddr {
+				t.Fatalf("case %d: oracle=(%#x,%v) residue=(%#x,%v)",
+					i, wantAddr, want, gotAddr, got)
+			}
+		}
+	}
+}
+
+// BenchmarkIntersectWide measures the case the residue walk targets: wide
+// access windows over strided progressions, where the old loop ran one
+// gcd solve per byte offset.
+func BenchmarkIntersectWide(b *testing.B) {
+	p := Progression{Base: 0, Stride: 128, Count: 1 << 16, Width: 64}
+	q := Progression{Base: 31, Stride: 96, Count: 1 << 16, Width: 64}
+	b.Run("residue", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Intersect(p, q)
+		}
+	})
+	b.Run("window-oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			intersectWindow(p, q)
+		}
+	})
+}

@@ -23,9 +23,12 @@ import (
 	"sword/internal/trace"
 )
 
-// Node is one interval of summarized accesses. The RB-tree plumbing is
-// unexported; payload fields are read-only for callers once inserted.
-type Node struct {
+// Run is the pointer-free payload of a Node: one strided interval of
+// summarized accesses. It is a separate struct so the arena Builder can
+// slab-allocate payloads the garbage collector never scans — a []Run
+// carries no pointers, so appends take no write barriers and slab growth
+// moves half the bytes a []Node would.
+type Run struct {
 	Low     uint64 // first access start address
 	High    uint64 // last access start address (== Low for a single access)
 	Stride  uint64 // distance between consecutive start addresses; 0 if single
@@ -35,6 +38,14 @@ type Node struct {
 	PC      uint64
 	Mutexes trace.MutexSet
 	Count   uint64 // number of accesses summarized into this node
+}
+
+// Node is one interval of summarized accesses: the Run payload plus the
+// RB-tree plumbing. The plumbing is unexported and unused on
+// builder-constructed runs; payload fields are read-only for callers once
+// inserted.
+type Node struct {
+	Run
 
 	left, right, parent *Node
 	red                 bool
@@ -42,32 +53,32 @@ type Node struct {
 }
 
 // lastByte returns the last byte this interval touches.
-func (n *Node) lastByte() uint64 { return n.High + n.Width - 1 }
+func (r *Run) lastByte() uint64 { return r.High + r.Width - 1 }
 
 // LastByte returns the last byte this interval touches — the right edge of
 // the node's bounding box.
-func (n *Node) LastByte() uint64 { return n.lastByte() }
+func (r *Run) LastByte() uint64 { return r.lastByte() }
 
 // Progression returns the node's address set for the constraint solver.
-func (n *Node) Progression() ilp.Progression {
+func (r *Run) Progression() ilp.Progression {
 	count := uint64(0)
-	if n.Stride != 0 {
-		count = (n.High - n.Low) / n.Stride
+	if r.Stride != 0 {
+		count = (r.High - r.Low) / r.Stride
 	}
-	return ilp.Progression{Base: n.Low, Stride: n.Stride, Count: count, Width: n.Width}
+	return ilp.Progression{Base: r.Low, Stride: r.Stride, Count: count, Width: r.Width}
 }
 
 // String renders the node as in the paper's Figure 5, e.g.
 // "[10,50] Δ8 w4 W pc=3".
-func (n *Node) String() string {
+func (r *Run) String() string {
 	op := "R"
-	if n.Write {
+	if r.Write {
 		op = "W"
 	}
-	if n.Atomic {
+	if r.Atomic {
 		op += "a"
 	}
-	return fmt.Sprintf("[%d,%d] Δ%d w%d %s pc=%d", n.Low, n.High, n.Stride, n.Width, op, n.PC)
+	return fmt.Sprintf("[%d,%d] Δ%d w%d %s pc=%d", r.Low, r.High, r.Stride, r.Width, op, r.PC)
 }
 
 // Tree is an augmented red-black interval tree. The zero value is an empty
@@ -131,8 +142,8 @@ func (t *Tree) Insert(a Access) {
 			return
 		}
 	}
-	n := &Node{Low: a.Addr, High: a.Addr, Width: a.Width, Write: a.Write,
-		Atomic: a.Atomic, PC: a.PC, Mutexes: a.Mutexes, Count: 1, red: true}
+	n := &Node{Run: Run{Low: a.Addr, High: a.Addr, Width: a.Width, Write: a.Write,
+		Atomic: a.Atomic, PC: a.PC, Mutexes: a.Mutexes, Count: 1}, red: true}
 	t.insertNode(n)
 	t.size++
 	// Most-recently-used first; drop the oldest entry.
@@ -337,6 +348,18 @@ func (t *Tree) Nodes() []*Node {
 	return out
 }
 
+// Runs returns every interval's payload in ascending Low order — the same
+// flattened, pointer-free run Builder.Finish produces, for code that
+// consumes either construction path uniformly.
+func (t *Tree) Runs() []Run {
+	out := make([]Run, 0, t.size)
+	t.Visit(func(n *Node) bool {
+		out = append(out, n.Run)
+		return true
+	})
+	return out
+}
+
 // Height returns the height of the tree (0 for empty), for balance checks.
 func (t *Tree) Height() int {
 	var h func(*Node) int
@@ -462,7 +485,7 @@ func (t *Tree) Compact() int {
 	for _, n := range nodes {
 		if len(merged) > 0 {
 			last := merged[len(merged)-1]
-			if tryMerge(last, n) {
+			if tryMerge(&last.Run, &n.Run) {
 				continue
 			}
 		}
@@ -495,7 +518,7 @@ func (t *Tree) Compact() int {
 
 // tryMerge absorbs b into a when a and b share attributes and concatenate
 // into a single progression (a strictly before b in Low order).
-func tryMerge(a, b *Node) bool {
+func tryMerge(a, b *Run) bool {
 	if a.PC != b.PC || a.Write != b.Write || a.Atomic != b.Atomic ||
 		a.Width != b.Width || a.Mutexes != b.Mutexes {
 		return false

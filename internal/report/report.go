@@ -82,6 +82,14 @@ type Stats struct {
 	SolverCacheMisses uint64
 	SitesSuppressed   uint64
 
+	// PairsPrefiltered counts concurrent unit pairs dropped before any
+	// comparison because their unit-level summaries prove no node pair
+	// can race (no write on either side, both all-atomic, a commonly held
+	// mutex, or disjoint bounding boxes). On the distributed planner it
+	// additionally counts pairs dropped because a unit owns zero trace
+	// bytes. Dropping such pairs never changes the reported race set.
+	PairsPrefiltered uint64
+
 	// Salvage coverage: how much of the trace survived. All zero for a
 	// clean trace (or strict-mode analysis, which errors out instead).
 	IntervalsQuarantined int    // intervals excluded because their data was lost
@@ -114,6 +122,7 @@ func (s *Stats) Merge(other Stats) {
 	s.SolverCacheHits += other.SolverCacheHits
 	s.SolverCacheMisses += other.SolverCacheMisses
 	s.SitesSuppressed += other.SitesSuppressed
+	s.PairsPrefiltered += other.PairsPrefiltered
 	s.IntervalsQuarantined += other.IntervalsQuarantined
 	s.CorruptBlocks += other.CorruptBlocks
 	s.TruncatedSlots += other.TruncatedSlots

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"sword/internal/compress"
@@ -175,6 +176,7 @@ func (w *LogWriter) Close() error {
 type LogReader struct {
 	r        *bufio.Reader
 	c        io.Closer
+	bufs     *logReaderBufs
 	version  int // 0 until the first read detects it
 	off      uint64
 	logical  uint64
@@ -186,14 +188,37 @@ type LogReader struct {
 	skippedB uint64
 	tolerant bool
 	dead     bool
+	crc      [4]byte // checksum scratch; a local would escape via io.ReadFull
 	salvage  SalvageReport
+}
+
+// logReaderBufs are the reusable per-reader staging buffers: the bufio
+// window over the source plus the compressed and decompressed block
+// slices. Batched analysis opens a fresh LogReader per slot per batch, so
+// without pooling every re-stream reallocates all three; recycling them
+// across readers keeps steady-state batch scans allocation-free.
+type logReaderBufs struct {
+	br   *bufio.Reader
+	comp []byte
+	raw  []byte
+}
+
+// maxPooledBufBytes caps the staging slices a retiring reader may park in
+// the pool. Typical blocks are ~2 MiB; one pathological oversized block
+// must not pin tens of megabytes per pooled entry.
+const maxPooledBufBytes = 8 << 20
+
+var logReaderPool = sync.Pool{
+	New: func() any { return &logReaderBufs{br: bufio.NewReaderSize(nil, 64<<10)} },
 }
 
 // NewLogReader returns a strict reader over r. The format version and the
 // codec of each block are identified from the stream, so v1 logs and
 // mixed-codec logs decode correctly.
 func NewLogReader(r io.ReadCloser) *LogReader {
-	return &LogReader{r: bufio.NewReaderSize(r, 64<<10), c: r}
+	bufs := logReaderPool.Get().(*logReaderBufs)
+	bufs.br.Reset(r)
+	return &LogReader{r: bufs.br, c: r, bufs: bufs, comp: bufs.comp, raw: bufs.raw}
 }
 
 // SetTolerant switches the reader into (or out of) salvage mode. In
@@ -255,8 +280,9 @@ func (r *LogReader) detect() {
 }
 
 // Next returns the logical start offset and decompressed contents of the
-// next block. The returned slice is reused by subsequent calls. It returns
-// io.EOF after the last block.
+// next block. The returned slice is reused by subsequent calls and
+// recycled by Close — callers must finish with it before either. It
+// returns io.EOF after the last block.
 func (r *LogReader) Next() (uint64, []byte, error) { return r.NextFrom(nil) }
 
 // NextFrom is Next with a block-skipping fast path: for every block it
@@ -303,11 +329,10 @@ func (r *LogReader) NextFrom(skip func(start, rawLen uint64) bool) (uint64, []by
 		}
 		var wantCRC uint32
 		if r.version == FormatV2 {
-			var crcBuf [4]byte
-			if err := r.readFull(crcBuf[:]); err != nil {
+			if err := r.readFull(r.crc[:]); err != nil {
 				return 0, nil, r.fail(blockOff, "truncated block checksum", err)
 			}
-			wantCRC = binary.LittleEndian.Uint32(crcBuf[:])
+			wantCRC = binary.LittleEndian.Uint32(r.crc[:])
 		}
 		start := r.logical
 		if skip != nil && skip(start, rawLen) {
@@ -415,8 +440,27 @@ func (r *LogReader) BlocksSkipped() uint64 { return r.skipped }
 // without decompressing.
 func (r *LogReader) SkippedBytes() uint64 { return r.skippedB }
 
-// Close closes the underlying source.
-func (r *LogReader) Close() error { return r.c.Close() }
+// Close closes the underlying source and recycles the reader's staging
+// buffers, invalidating any slice a previous Next/NextFrom returned.
+// Close is idempotent with respect to the buffer pool; only the first
+// call returns the buffers.
+func (r *LogReader) Close() error {
+	if b := r.bufs; b != nil {
+		r.bufs = nil
+		r.dead = true // post-Close reads report io.EOF, never touch pooled state
+		r.r = nil
+		if cap(r.comp) <= maxPooledBufBytes {
+			b.comp = r.comp[:0]
+		}
+		if cap(r.raw) <= maxPooledBufBytes {
+			b.raw = r.raw[:0]
+		}
+		r.comp, r.raw = nil, nil
+		b.br.Reset(nil)
+		logReaderPool.Put(b)
+	}
+	return r.c.Close()
+}
 
 // Meta stream framing, format v2 (the default): the file opens with the
 // magic "SWM2\x00", followed by records, each

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"sword/internal/compress"
+)
+
+// resettableLog replays a serialized log from memory, so a reader can be
+// reopened over the same bytes without per-cycle wrapper allocations.
+type resettableLog struct{ bytes.Reader }
+
+func (r *resettableLog) Close() error { return nil }
+
+func buildPoolTestLog(tb testing.TB, blocks, blockBytes int) []byte {
+	tb.Helper()
+	var sink bytes.Buffer
+	w := NewLogWriter(nopWriteCloser{&sink}, compress.LZSS{})
+	payload := make([]byte, blockBytes)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	for i := 0; i < blocks; i++ {
+		payload[0] = byte(i) // distinct blocks, still compressible
+		if err := w.WriteBlock(payload); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return sink.Bytes()
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+func scanLog(tb testing.TB, src *resettableLog, data []byte) {
+	src.Reset(data)
+	r := NewLogReader(src)
+	for {
+		_, _, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// TestLogReaderSteadyStateAllocs pins the batched-analysis re-stream
+// path: once the buffer pool is warm, a full open → scan every block →
+// close cycle must not allocate staging buffers — only the LogReader
+// struct itself. Before pooling, every cycle reallocated the 64 KiB
+// bufio window plus the compressed and decompressed block slices.
+func TestLogReaderSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; steady-state allocs are meaningless")
+	}
+	data := buildPoolTestLog(t, 16, 32<<10)
+	var src resettableLog
+	for i := 0; i < 4; i++ { // warm the reader-buffer pool
+		scanLog(t, &src, data)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		scanLog(t, &src, data)
+	})
+	// One allocation for the LogReader value; everything per-block must
+	// come from the pool.
+	if allocs > 1.5 {
+		t.Errorf("log re-stream allocates %.1f times per cycle at steady state, want ≤ 1", allocs)
+	}
+}
+
+// TestLogReaderCloseInvalidatesAndIsIdempotent: double Close must not
+// double-insert buffers into the pool (two live readers sharing staging
+// slices would corrupt blocks), and post-Close reads report io.EOF.
+func TestLogReaderCloseInvalidatesAndIsIdempotent(t *testing.T) {
+	data := buildPoolTestLog(t, 2, 1<<10)
+	var src resettableLog
+	src.Reset(data)
+	r := NewLogReader(&src)
+	if _, _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("post-Close Next = %v, want io.EOF", err)
+	}
+
+	// Two concurrently open readers must see their own blocks even with
+	// the pool involved.
+	var srcA, srcB resettableLog
+	srcA.Reset(data)
+	srcB.Reset(data)
+	ra := NewLogReader(&srcA)
+	rb := NewLogReader(&srcB)
+	_, rawA, errA := ra.Next()
+	_, rawB, errB := rb.Next()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatal("concurrent readers disagree on identical logs")
+	}
+	ra.Close()
+	rb.Close()
+}
+
+// BenchmarkLogReaderRestream measures one open → scan → close cycle, the
+// unit of work SubtreeBatch and dist batches repeat per slot.
+func BenchmarkLogReaderRestream(b *testing.B) {
+	data := buildPoolTestLog(b, 16, 32<<10)
+	var src resettableLog
+	scanLog(b, &src, data)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanLog(b, &src, data)
+	}
+}
