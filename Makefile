@@ -11,10 +11,10 @@ GO ?= go
 FAST_PKGS = . ./internal/archer ./internal/compress ./internal/core \
 	./internal/dist ./internal/ilp ./internal/itree ./internal/memsim \
 	./internal/obs ./internal/omp ./internal/osl ./internal/pcreg \
-	./internal/report ./internal/rt ./internal/trace ./internal/vc \
-	./internal/workloads
+	./internal/report ./internal/rt ./internal/server ./internal/trace \
+	./internal/vc ./internal/workloads
 
-.PHONY: build test check fmt vet race bench bench-smoke dist-smoke fuzz profile
+.PHONY: build test check fmt vet race bench bench-smoke dist-smoke serve-smoke fuzz profile
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,7 @@ race:
 fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzLogReader$$' -fuzztime 10s
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzDecodeMeta$$' -fuzztime 10s
+	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzUploadHandler$$' -fuzztime 10s
 
 # Micro-benchmark suite (collector hot paths, flush pipeline, codecs,
 # analyzer phases); writes BENCH_7.json in the schema documented in
@@ -48,7 +49,9 @@ fuzz:
 # experiment (adaptive, forced-wire, and projected lanes) into
 # BENCH_6.json; CHAOS=1 additionally runs the crash-tolerance chaos
 # experiment (mid-run store failure, then salvage analysis of the
-# wreckage).
+# wreckage); SERVE=1 additionally runs the analysis-service stress
+# experiment (multi-tenant fairness, torn uploads, heap budget) into
+# BENCH_8.json.
 bench:
 	$(GO) run ./cmd/swordbench -bench BENCH_7.json
 ifdef DIST
@@ -57,12 +60,22 @@ endif
 ifdef CHAOS
 	$(GO) run ./cmd/swordbench -chaos
 endif
+ifdef SERVE
+	$(GO) run ./cmd/swordbench -serve BENCH_8.json
+endif
 
 # Distributed-analysis smoke: collect a racy trace, then assert that
 # single-process swordoffline, `sworddist -local`, and a real coordinator
 # plus two worker processes over loopback TCP all report the same races.
 dist-smoke:
 	GO="$(GO)" sh scripts/dist_smoke.sh
+
+# Analysis-service smoke: collect a racy trace, start swordserve, upload
+# the trace over HTTP with curl, poll the job to completion, and assert
+# the served report matches single-process swordoffline — then SIGTERM
+# and assert a clean drain.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
 
 # Analyzer-engine regression guards: the solver memo and race-site
 # suppression must keep answering at least half the requested decisions
@@ -81,5 +94,5 @@ profile:
 		-cpuprofile cpu.pprof -memprofile mem.pprof ./internal/harness
 	@echo "wrote cpu.pprof and mem.pprof"
 
-check: vet fmt build race fuzz bench-smoke dist-smoke
+check: vet fmt build race fuzz bench-smoke dist-smoke serve-smoke
 	@echo "check: ok"

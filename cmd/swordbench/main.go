@@ -11,6 +11,7 @@
 //	swordbench -repeats 10     # timing repetitions (the paper used 10)
 //	swordbench -bench BENCH.json  # micro-benchmark suite (hot paths, codecs)
 //	swordbench -dist BENCH.json   # distributed analysis vs single-process
+//	swordbench -serve BENCH.json  # analysis-service multi-tenant stress
 //	swordbench -list           # list experiment ids
 package main
 
@@ -36,6 +37,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the aggregated metrics snapshot to this file (.csv for CSV, else JSON)")
 	bench := flag.String("bench", "", "run the performance micro-benchmark suite and write JSON results to this file (schema in EXPERIMENTS.md)")
 	distBench := flag.String("dist", "", "run the distributed-analysis experiment (single-process vs N loopback workers) and write JSON results to this file (schema in EXPERIMENTS.md)")
+	serveBench := flag.String("serve", "", "run the analysis-service stress experiment (multi-tenant fairness, torn uploads, heap budget) and write JSON results to this file (schema in EXPERIMENTS.md)")
 	chaos := flag.Bool("chaos", false, "run the crash-tolerance chaos experiment (mid-run store failure + salvage analysis)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -61,6 +63,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *distBench)
+		return
+	}
+
+	if *serveBench != "" {
+		if err := harness.WriteServeBench(*serveBench); err != nil {
+			fmt.Fprintln(os.Stderr, "swordbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *serveBench)
 		return
 	}
 

@@ -55,6 +55,8 @@ func main() {
 	workerTimeout := flag.Duration("worker-timeout", 0, "drop a worker silent for this long (0 = 10s)")
 	batchTimeout := flag.Duration("batch-timeout", 0, "per-batch deadline, heartbeats or not (0 = 2m)")
 	maxAttempts := flag.Int("max-attempts", 0, "dispatches per unit before the run fails (0 = 5)")
+	dialRetries := flag.Int("dial-retries", 0, "-join only: re-attempt the coordinator connection this many times (0 = dial once)")
+	dialBackoff := flag.Duration("dial-backoff", 0, "-join only: base jittered delay between connection attempts (0 = 250ms)")
 	noSolver := flag.Bool("nosolver", false, "disable the strided-interval constraint solver (ablation)")
 	noCompact := flag.Bool("nocompact", false, "disable interval-tree compaction (ablation)")
 	allRaces := flag.Bool("all-races", false, "disable race-site suppression so per-race counts are exact")
@@ -110,6 +112,8 @@ func main() {
 		dist.WithPrefetch(*prefetch),
 		dist.WithResidentBudget(*residentBudget),
 		dist.WithInlineBelow(*inlineBelow),
+		dist.WithDialRetries(*dialRetries),
+		dist.WithDialBackoff(*dialBackoff),
 	}
 	if *wireCodec != "" {
 		opts = append(opts, dist.WithWireCodec(*wireCodec))

@@ -34,6 +34,7 @@ func main() {
 	logdir := flag.String("logdir", "", "directory containing sword_*.log / sword_*.meta files")
 	workers := flag.Int("workers", 0, "analysis workers (<= 0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 0, "bound memory by analyzing N top-level region subtrees at a time (0 = all at once)")
+	memBudget := flag.Int64("mem-budget", 0, "bound memory to this many bytes of trace volume; the subtree batch is derived (0 = unbounded, -batch wins)")
 	noSolver := flag.Bool("nosolver", false, "disable the strided-interval constraint solver (ablation)")
 	noCompact := flag.Bool("nocompact", false, "disable interval-tree compaction (ablation)")
 	allRaces := flag.Bool("all-races", false, "disable race-site suppression: solve every instance of already-confirmed race sites so per-race counts are exact")
@@ -77,6 +78,7 @@ func main() {
 	rep, stats, err := sword.AnalyzeContext(ctx, *logdir,
 		sword.WithWorkers(*workers),
 		sword.WithSubtreeBatch(*batch),
+		sword.WithMemoryBudget(*memBudget),
 		sword.WithNoSolver(*noSolver),
 		sword.WithNoCompact(*noCompact),
 		sword.WithAllRaces(*allRaces),

@@ -44,6 +44,15 @@ type DistConfig struct {
 	MaxAttempts int
 	// WorkerName labels a JoinWorker in the coordinator's report notes.
 	WorkerName string
+	// DialRetries is how many times JoinWorker re-attempts the coordinator
+	// connection after a dial failure or a torn session before giving up
+	// (0 = dial exactly once). With retries a worker started before its
+	// coordinator waits for it, and a worker surviving a coordinator
+	// restart rejoins instead of dying.
+	DialRetries int
+	// DialBackoff is the base jittered exponential delay between
+	// connection attempts (0 = 250ms).
+	DialBackoff time.Duration
 }
 
 // WithDist overlays an explicit DistConfig — the bridge from the plain
@@ -81,12 +90,13 @@ func WithDistResidentBudget(bytes int64) Option {
 func distOptions(cfg Config, m *obs.Metrics) []dist.Option {
 	opts := []dist.Option{
 		dist.WithCore(core.Config{
-			Workers:   cfg.Workers,
-			NoSolver:  cfg.NoSolver,
-			NoCompact: cfg.NoCompact,
-			AllRaces:  cfg.AllRaces,
-			Salvage:   cfg.Salvage,
-			Obs:       m,
+			Workers:      cfg.Workers,
+			NoSolver:     cfg.NoSolver,
+			NoCompact:    cfg.NoCompact,
+			AllRaces:     cfg.AllRaces,
+			Salvage:      cfg.Salvage,
+			MemoryBudget: cfg.MemoryBudget,
+			Obs:          m,
 		}),
 		dist.WithObs(m),
 		dist.WithBatchUnits(cfg.Dist.BatchUnits),
@@ -107,6 +117,12 @@ func distOptions(cfg Config, m *obs.Metrics) []dist.Option {
 	}
 	if cfg.Dist.WorkerName != "" {
 		opts = append(opts, dist.WithName(cfg.Dist.WorkerName))
+	}
+	if cfg.Dist.DialRetries != 0 {
+		opts = append(opts, dist.WithDialRetries(cfg.Dist.DialRetries))
+	}
+	if cfg.Dist.DialBackoff != 0 {
+		opts = append(opts, dist.WithDialBackoff(cfg.Dist.DialBackoff))
 	}
 	return opts
 }

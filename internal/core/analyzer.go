@@ -85,6 +85,15 @@ type Config struct {
 	// The single-process analyzer ignores it — SubtreeBatch is its
 	// memory-bounding knob.
 	ResidentBudget int64
+	// MemoryBudget bounds, in bytes of trace volume, how much of the run
+	// the analyzer materializes at once — the per-job memory knob the
+	// analysis service hands down. When SubtreeBatch is 0, the analyzer
+	// derives the largest batch of top-level subtrees whose every batch
+	// fits the budget (never below 1: a single subtree over budget cannot
+	// split further, so peak memory degrades gracefully to the largest
+	// subtree). A BatchAnalyzer seeds its ResidentBudget from it when
+	// that is unset. 0 disables; an explicit SubtreeBatch wins.
+	MemoryBudget int64
 	// ProbeEngine selects the legacy tree-probing comparison path: each
 	// node of the smaller tree probes the other tree's overlap index, and
 	// every eligible pair is solved directly (no solver memo, no race-site
@@ -234,6 +243,10 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context) (*report.Report, error) {
 	}
 	sort.Slice(tops, func(i, j int) bool { return tops[i] < tops[j] })
 	batch := a.cfg.SubtreeBatch
+	if batch <= 0 && a.cfg.MemoryBudget > 0 {
+		batch = budgetBatch(s, tops, a.cfg.MemoryBudget)
+		m.Gauge("core.budget_batch").Set(int64(batch))
+	}
 	if batch <= 0 || batch > len(tops) {
 		batch = len(tops)
 	}
@@ -315,6 +328,35 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context) (*report.Report, error) {
 	m.Counter("core.races").Add(uint64(rep.Len()))
 	m.Timer("core.phase.total").Observe(time.Since(totalStart))
 	return rep, nil
+}
+
+// budgetBatch derives the largest SubtreeBatch whose every consecutive
+// batch of top-level subtrees fits the memory budget, measured in trace
+// volume — the same cost model the resident LRU and the dist batch
+// sizing use. Always at least 1: a single subtree over budget cannot be
+// split further, so it runs alone and peak memory degrades to the
+// largest subtree rather than failing.
+func budgetBatch(s *structure, tops []uint64, budget int64) int {
+	vol := make(map[uint64]int64, len(tops))
+	for _, iv := range s.intervals {
+		vol[iv.region.top.id] += intervalBytes(iv)
+	}
+	prefix := make([]int64, len(tops)+1)
+	for i, id := range tops {
+		prefix[i+1] = prefix[i] + vol[id]
+	}
+	// O(n log n) overall: checking one k costs n/k chunk sums.
+	for k := len(tops); k > 1; k-- {
+		fits := true
+		for lo := 0; lo < len(tops) && fits; lo += k {
+			hi := min(lo+k, len(tops))
+			fits = prefix[hi]-prefix[lo] <= budget
+		}
+		if fits {
+			return k
+		}
+	}
+	return 1
 }
 
 // applyQuarantine marks intervals whose data the salvage pass found

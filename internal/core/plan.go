@@ -109,6 +109,9 @@ func NewBatchAnalyzer(store trace.Store, cfg Config) (*BatchAnalyzer, error) {
 		return nil, err
 	}
 	budget := cfg.ResidentBudget
+	if budget == 0 && cfg.MemoryBudget > 0 {
+		budget = cfg.MemoryBudget // the per-job memory knob bounds residency too
+	}
 	if budget == 0 {
 		budget = residentDefault
 	} else if budget < 0 {

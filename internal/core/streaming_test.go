@@ -199,6 +199,47 @@ func TestBatchedAnalysisSkipsBlocks(t *testing.T) {
 	}
 }
 
+// TestMemoryBudgetDerivesBatch: with SubtreeBatch unset, MemoryBudget
+// must derive a batch size that (a) keeps results identical to the
+// single-pass run and (b) actually engages streaming when the budget is
+// tight — the per-job memory knob the analysis service hands down.
+func TestMemoryBudgetDerivesBatch(t *testing.T) {
+	store := multiRegionProgram(t)
+	base, err := New(store, Config{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{1, 512, 4 << 10, 1 << 30} {
+		m := obs.New()
+		rep, err := New(store, Config{MemoryBudget: budget, Obs: m}).Analyze()
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if rep.Len() != base.Len() {
+			t.Fatalf("budget %d: %d races, want %d:\n%s", budget, rep.Len(), base.Len(), rep.String())
+		}
+		snap := m.Snapshot()
+		derived := snap.Value("core.budget_batch")
+		if derived < 1 {
+			t.Fatalf("budget %d: derived batch %d, want >= 1", budget, derived)
+		}
+		if budget == 1 && snap.Value("core.batches") < 2 {
+			t.Fatalf("budget 1: %d batches — a one-byte budget must force streaming", snap.Value("core.batches"))
+		}
+		if budget == 1<<30 && snap.Value("core.batches") != 1 {
+			t.Fatalf("huge budget: %d batches, want a single pass", snap.Value("core.batches"))
+		}
+	}
+	// An explicit SubtreeBatch wins over the derivation.
+	m := obs.New()
+	if _, err := New(store, Config{MemoryBudget: 1, SubtreeBatch: 100, Obs: m}).Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().Value("core.batches"); got != 1 {
+		t.Fatalf("explicit SubtreeBatch overridden: %d batches, want 1", got)
+	}
+}
+
 // errStore fails to open one slot's log, exercising the analyzer's error
 // path (failure injection: the analyzer must return an error, not panic).
 type errStore struct {

@@ -70,13 +70,14 @@ type Coordinator struct {
 // read — the coordinator never streams a log or builds a tree; that is
 // the workers' job.
 func NewCoordinator(store trace.Store, opts ...Option) (*Coordinator, error) {
-	return newCoordinator(store, apply(opts))
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return newCoordinator(store, cfg)
 }
 
 func newCoordinator(store trace.Store, cfg Config) (*Coordinator, error) {
-	if _, err := cfg.wireCodec(); err != nil {
-		return nil, err
-	}
 	plan, err := core.NewBatchAnalyzer(store, cfg.Core)
 	if err != nil {
 		return nil, err

@@ -71,8 +71,27 @@ type Config struct {
 	// Name labels the worker in the coordinator's notes (default "").
 	Name string
 	// HeartbeatEvery is how often a worker pings the coordinator while a
-	// batch runs (default 1s; keep it well under WorkerTimeout).
+	// batch runs (default 1s, or a third of WorkerTimeout when that is
+	// shorter). It must stay strictly under WorkerTimeout — a worker that
+	// pings slower than the coordinator's patience is indistinguishable
+	// from a dead one — and newConfig validation rejects explicit values
+	// that violate that.
 	HeartbeatEvery time.Duration
+	// DialRetries is how many times Work re-attempts the coordinator
+	// connection after a dial failure or a torn session before giving up
+	// (default 0: dial exactly once, the pre-reconnect behavior). With
+	// retries enabled a worker started before its coordinator waits for it
+	// to come up, and a worker surviving a coordinator restart rejoins the
+	// new incarnation instead of dying. The retry budget resets after
+	// every completed handshake, so a long-lived worker always has the
+	// full budget against the next outage. Failures retrying cannot fix —
+	// a protocol version mismatch, a bad codec pick, a fault-injection
+	// hook death — are never retried.
+	DialRetries int
+	// DialBackoff is the base delay between connection attempts: attempt
+	// k waits about DialBackoff·2^(k-1), jittered ±50% so a worker fleet
+	// restarting together does not reconnect in lockstep (default 250ms).
+	DialBackoff time.Duration
 	// Obs receives the dist.* metrics (see docs/FORMAT.md). nil disables.
 	Obs *obs.Metrics
 	// BatchHook, when non-nil, runs before each batch's analysis on a
@@ -86,31 +105,52 @@ type Config struct {
 // Option configures NewCoordinator, Work, or Local.
 type Option func(*Config)
 
-// apply resolves an option list into a filled Config.
-func apply(opts []Option) Config {
+// newConfig resolves an option list into a filled, validated Config.
+// Misconfiguration is a loud error here — at ServeCoordinator/JoinWorker
+// time — not a silent rewrite to defaults: a negative timeout or a
+// heartbeat slower than the liveness bound is a caller bug that would
+// otherwise surface as a mysterious stall or storm of requeues.
+func newConfig(opts []Option) (Config, error) {
 	var cfg Config
 	for _, o := range opts {
 		o(&cfg)
 	}
 	cfg.fill()
-	return cfg
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
 }
 
+// fill resolves zero fields to their documented defaults. Only exact
+// zeros are rewritten: negative values survive into validate, where they
+// fail loudly instead of being silently corrected. (Prefetch and the
+// byte budgets are the exceptions — their negative forms are documented
+// sentinels, not mistakes.)
 func (cfg *Config) fill() {
-	if cfg.WorkerTimeout <= 0 {
+	if cfg.WorkerTimeout == 0 {
 		cfg.WorkerTimeout = 10 * time.Second
 	}
-	if cfg.BatchTimeout <= 0 {
+	if cfg.BatchTimeout == 0 {
 		cfg.BatchTimeout = 2 * time.Minute
 	}
-	if cfg.MaxAttempts <= 0 {
+	if cfg.MaxAttempts == 0 {
 		cfg.MaxAttempts = 5
 	}
-	if cfg.RetryBackoff <= 0 {
+	if cfg.RetryBackoff == 0 {
 		cfg.RetryBackoff = 250 * time.Millisecond
 	}
-	if cfg.HeartbeatEvery <= 0 {
+	// The default heartbeat tracks the liveness bound: a caller who only
+	// tightens WorkerTimeout should not have to retune the ping rate too.
+	// Explicit conflicting values still fail validation.
+	if cfg.HeartbeatEvery == 0 {
 		cfg.HeartbeatEvery = time.Second
+		if hb := cfg.WorkerTimeout / 3; hb > 0 && hb < cfg.HeartbeatEvery {
+			cfg.HeartbeatEvery = hb
+		}
+	}
+	if cfg.DialBackoff == 0 {
+		cfg.DialBackoff = 250 * time.Millisecond
 	}
 	if cfg.Prefetch == 0 {
 		cfg.Prefetch = 1
@@ -131,6 +171,41 @@ func (cfg *Config) fill() {
 	if cfg.Core.Obs == nil {
 		cfg.Core.Obs = cfg.Obs
 	}
+}
+
+// validate rejects configurations that cannot work. It runs after fill,
+// so every field it inspects is either caller-supplied or a known-good
+// default.
+func (cfg *Config) validate() error {
+	for _, f := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"WorkerTimeout", cfg.WorkerTimeout},
+		{"BatchTimeout", cfg.BatchTimeout},
+		{"RetryBackoff", cfg.RetryBackoff},
+		{"HeartbeatEvery", cfg.HeartbeatEvery},
+		{"DialBackoff", cfg.DialBackoff},
+	} {
+		if f.d < 0 {
+			return fmt.Errorf("dist: %s must be positive, got %v", f.name, f.d)
+		}
+	}
+	if cfg.MaxAttempts < 0 {
+		return fmt.Errorf("dist: MaxAttempts must be positive, got %d", cfg.MaxAttempts)
+	}
+	if cfg.DialRetries < 0 {
+		return fmt.Errorf("dist: DialRetries must be non-negative, got %d", cfg.DialRetries)
+	}
+	if cfg.HeartbeatEvery >= cfg.WorkerTimeout {
+		return fmt.Errorf(
+			"dist: HeartbeatEvery %v must stay under WorkerTimeout %v: a worker that pings slower than the coordinator's patience is indistinguishable from a dead one",
+			cfg.HeartbeatEvery, cfg.WorkerTimeout)
+	}
+	if _, err := cfg.wireCodec(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // wireCodec resolves the configured codec name, treating "raw" as no
@@ -211,6 +286,18 @@ func WithName(name string) Option {
 // WithHeartbeatEvery sets the worker's heartbeat interval.
 func WithHeartbeatEvery(d time.Duration) Option {
 	return func(cfg *Config) { cfg.HeartbeatEvery = d }
+}
+
+// WithDialRetries sets how many times Work re-attempts the coordinator
+// connection after a dial failure or torn session (0 = dial once).
+func WithDialRetries(n int) Option {
+	return func(cfg *Config) { cfg.DialRetries = n }
+}
+
+// WithDialBackoff sets the base jittered exponential delay between
+// connection attempts.
+func WithDialBackoff(d time.Duration) Option {
+	return func(cfg *Config) { cfg.DialBackoff = d }
 }
 
 // WithObs records the dist.* metrics into m.

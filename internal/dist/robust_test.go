@@ -1,0 +1,205 @@
+package dist
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"sword/internal/core"
+	"sword/internal/obs"
+)
+
+// TestWorkerReconnectsToLateListener: a worker started before its
+// coordinator must keep dialing under WithDialRetries until the listener
+// comes up, then drain cleanly and agree with the single-process run.
+func TestWorkerReconnectsToLateListener(t *testing.T) {
+	store := collectWorkload(t, "plusplus-orig-yes")
+	base, err := core.New(store, core.Config{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reserve a loopback port, then free it so the worker's first dials
+	// hit connection-refused — the late-bound-listener scenario.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	m := obs.New()
+	workErr := make(chan error, 1)
+	go func() {
+		workErr <- Work(context.Background(), addr, store,
+			WithDialRetries(200), WithDialBackoff(2*time.Millisecond), WithObs(m))
+	}()
+	time.Sleep(50 * time.Millisecond) // let several dials fail first
+
+	coord, err := NewCoordinator(store, WithBatchUnits(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err = net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve(ln)
+	rep, err := coord.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-workErr; err != nil {
+		t.Fatalf("worker did not drain cleanly: %v", err)
+	}
+	wantSameRaces(t, "late-bound listener", rep, base)
+	if m.Snapshot().Value("dist.worker_reconnects") == 0 {
+		t.Fatal("worker never recorded a reconnect attempt")
+	}
+}
+
+// TestWorkerRejoinsAfterTornSession: connections torn before the
+// handshake completes (a coordinator crash-restart, as the worker sees
+// it) must be retried like failed dials, and the eventual real session
+// still drains.
+func TestWorkerRejoinsAfterTornSession(t *testing.T) {
+	store := collectWorkload(t, "plusplus-orig-yes")
+	base, err := core.New(store, core.Config{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(store, WithBatchUnits(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first two connections are accepted and immediately torn — the
+	// flaky incarnation — before the real coordinator takes the listener.
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+		coord.Serve(ln)
+	}()
+	workErr := make(chan error, 1)
+	go func() {
+		workErr <- Work(context.Background(), ln.Addr().String(), store,
+			WithDialRetries(200), WithDialBackoff(2*time.Millisecond))
+	}()
+	rep, err := coord.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-workErr; err != nil {
+		t.Fatalf("worker did not drain cleanly: %v", err)
+	}
+	wantSameRaces(t, "torn-session rejoin", rep, base)
+}
+
+// TestWorkerDialRetriesExhausted: with no listener ever bound, the worker
+// must give up after its retry budget and surface the dial error.
+func TestWorkerDialRetriesExhausted(t *testing.T) {
+	store := collectWorkload(t, "critical-no")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	err = Work(context.Background(), addr, store,
+		WithDialRetries(3), WithDialBackoff(time.Millisecond))
+	if err == nil || !strings.Contains(err.Error(), "dial") {
+		t.Fatalf("want dial error after exhausted retries, got %v", err)
+	}
+}
+
+// TestWorkerReconnectHonorsCancel: cancellation during the backoff sleep
+// must end the retry loop promptly instead of burning the whole budget.
+func TestWorkerReconnectHonorsCancel(t *testing.T) {
+	store := collectWorkload(t, "critical-no")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = Work(ctx, addr, store, WithDialRetries(1000), WithDialBackoff(time.Second))
+	if err != context.DeadlineExceeded {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to end the retry loop", elapsed)
+	}
+}
+
+// TestConfigValidation: misconfiguration must fail loudly at
+// NewCoordinator/Work time, not be silently rewritten to defaults or
+// stall liveness detection at runtime.
+func TestConfigValidation(t *testing.T) {
+	store := collectWorkload(t, "critical-no")
+	cases := []struct {
+		name string
+		opt  Option
+		want string // substring of the error
+	}{
+		{"negative worker timeout", WithWorkerTimeout(-time.Second), "WorkerTimeout"},
+		{"negative batch timeout", WithBatchTimeout(-1), "BatchTimeout"},
+		{"negative retry backoff", WithRetryBackoff(-time.Millisecond), "RetryBackoff"},
+		{"negative heartbeat", WithHeartbeatEvery(-time.Second), "HeartbeatEvery"},
+		{"negative dial backoff", WithDialBackoff(-time.Second), "DialBackoff"},
+		{"negative max attempts", WithMaxAttempts(-1), "MaxAttempts"},
+		{"negative dial retries", WithDialRetries(-1), "DialRetries"},
+		{"heartbeat at liveness bound", func(c *Config) {
+			c.WorkerTimeout = time.Second
+			c.HeartbeatEvery = time.Second
+		}, "HeartbeatEvery"},
+		{"heartbeat beyond liveness bound", func(c *Config) {
+			c.WorkerTimeout = 50 * time.Millisecond
+			c.HeartbeatEvery = time.Minute
+		}, "HeartbeatEvery"},
+		{"unknown wire codec", WithWireCodec("zstd"), "zstd"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewCoordinator(store, tc.opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("NewCoordinator: want error mentioning %q, got %v", tc.want, err)
+			}
+			// Work must reject the config before ever dialing: the address
+			// is unroutable, so a dial error here would mean validation ran
+			// too late (or not at all).
+			err := Work(context.Background(), "127.0.0.1:1", store, tc.opt)
+			if err == nil || !strings.Contains(err.Error(), tc.want) || strings.Contains(err.Error(), "dial") {
+				t.Errorf("Work: want config error mentioning %q before dialing, got %v", tc.want, err)
+			}
+			if _, err := Local(context.Background(), store, 1, tc.opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Local: want error mentioning %q, got %v", tc.want, err)
+			}
+		})
+	}
+	// Documented negative sentinels must stay legal.
+	for _, ok := range []struct {
+		name string
+		opt  Option
+	}{
+		{"negative prefetch disables", WithPrefetch(-1)},
+		{"negative resident budget disables", WithResidentBudget(-1)},
+		{"negative inline-below forces wire", WithInlineBelow(-1)},
+	} {
+		t.Run(ok.name, func(t *testing.T) {
+			if _, err := NewCoordinator(store, ok.opt); err != nil {
+				t.Errorf("sentinel rejected: %v", err)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"runtime"
 	"time"
@@ -27,18 +28,82 @@ import (
 // one finishes — no dispatch round trip between batches. Interval trees
 // built for one batch stay resident (up to the configured budget) for the
 // next; see core.Config.ResidentBudget.
+//
+// With WithDialRetries set, a failed dial or a torn session is retried
+// under jittered exponential backoff (WithDialBackoff), so a worker
+// started before its coordinator waits for it to come up, and a worker
+// surviving a coordinator restart rejoins the new incarnation. The
+// analyzer — resident trees included — is built once and survives
+// reconnects. The retry budget resets after every completed handshake.
+// Cancellation, protocol version mismatches, codec rejections, and
+// fault-injection hook deaths are never retried.
 func Work(ctx context.Context, addr string, store trace.Store, opts ...Option) error {
-	cfg := apply(opts)
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return err
+	}
 	planStart := time.Now()
 	ba, err := core.NewBatchAnalyzer(store, cfg.Core)
 	if err != nil {
 		return err
 	}
 	cfg.Obs.Timer("dist.worker_plan").Observe(time.Since(planStart))
+	attempt := 0
+	for {
+		welcomed, err := workSession(ctx, addr, ba, cfg)
+		if err == nil || ctx.Err() != nil {
+			return err
+		}
+		var perm errPermanent
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if welcomed {
+			attempt = 0 // a completed handshake refills the retry budget
+		}
+		if attempt >= cfg.DialRetries {
+			return err
+		}
+		attempt++
+		cfg.Obs.Counter("dist.worker_reconnects").Inc()
+		if err := sleepBackoff(ctx, cfg.DialBackoff, attempt); err != nil {
+			return err
+		}
+	}
+}
+
+// errPermanent marks worker failures reconnecting cannot fix; Work's
+// retry loop gives up on them immediately.
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+func (e errPermanent) Unwrap() error { return e.err }
+
+// sleepBackoff waits out attempt k's jittered delay — about
+// base·2^(k-1), uniformly spread over [50%, 150%] so a fleet restarting
+// together does not reconnect in lockstep — or returns early on
+// cancellation.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
+	d := base << min(attempt-1, 16)
+	d = d/2 + rand.N(d+1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// workSession runs one connection lifetime: dial, handshake, analyze
+// until shutdown or failure. welcomed reports whether the handshake
+// completed, which Work uses to reset the reconnect budget.
+func workSession(ctx context.Context, addr string, ba *core.BatchAnalyzer, cfg Config) (welcomed bool, _ error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return fmt.Errorf("dist: dial %s: %w", addr, err)
+		return false, fmt.Errorf("dist: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
 	// A cancelled ctx unblocks any pending read/write by killing the
@@ -52,14 +117,14 @@ func Work(ctx context.Context, addr string, store trace.Store, opts ...Option) e
 		offer = []string{cfg.WireCodec}
 	}
 	if err := fr.send(msgHello, &Hello{Version: protoVersion, Name: cfg.Name, Codecs: offer}); err != nil {
-		return ctxOr(ctx, err)
+		return false, ctxOr(ctx, err)
 	}
 	var welcome Welcome
 	if err := fr.recvExpect(msgWelcome, &welcome); err != nil {
-		return ctxOr(ctx, fmt.Errorf("dist: handshake: %w", err))
+		return false, ctxOr(ctx, fmt.Errorf("dist: handshake: %w", err))
 	}
 	if welcome.Version != protoVersion {
-		return fmt.Errorf("dist: coordinator speaks protocol %d, want %d", welcome.Version, protoVersion)
+		return false, errPermanent{fmt.Errorf("dist: coordinator speaks protocol %d, want %d", welcome.Version, protoVersion)}
 	}
 	if welcome.Codec != "" {
 		offered := false
@@ -67,11 +132,11 @@ func Work(ctx context.Context, addr string, store trace.Store, opts ...Option) e
 			offered = offered || n == welcome.Codec
 		}
 		if !offered {
-			return fmt.Errorf("dist: coordinator picked codec %q, which this worker never offered", welcome.Codec)
+			return false, errPermanent{fmt.Errorf("dist: coordinator picked codec %q, which this worker never offered", welcome.Codec)}
 		}
 		cd, err := compress.ByName(welcome.Codec)
 		if err != nil {
-			return fmt.Errorf("dist: %w", err)
+			return false, errPermanent{fmt.Errorf("dist: %w", err)}
 		}
 		fr.setCodec(cd)
 	}
@@ -108,13 +173,13 @@ func Work(ctx context.Context, addr string, store trace.Store, opts ...Option) e
 	}()
 	for batch := range batches {
 		if err := runBatch(ctx, fr, ba, batch, cfg); err != nil {
-			return err // conn closes via defer; the reader unblocks and exits
+			return true, err // conn closes via defer; the reader unblocks and exits
 		}
 	}
 	if err := <-readErr; err != nil {
-		return ctxOr(ctx, err)
+		return true, ctxOr(ctx, err)
 	}
-	return nil
+	return true, nil
 }
 
 // ctxOr prefers the context's error once it is done: a torn connection
@@ -189,7 +254,9 @@ func runBatch(ctx context.Context, fr *framer, ba *core.BatchAnalyzer, batch *Ba
 		cfg.Obs.Counter("dist.worker_batches_done").Inc()
 		cfg.Obs.Timer("dist.worker_busy").Observe(busy)
 	case errors.As(err, &death):
-		return fmt.Errorf("dist: batch hook: %w", death.err)
+		// Fault injection models a crashed worker; reconnecting would
+		// defeat the test, so the death is permanent.
+		return errPermanent{fmt.Errorf("dist: batch hook: %w", death.err)}
 	case ctx.Err() != nil:
 		return ctx.Err() // worker-level cancellation: die, do not report
 	default:
@@ -235,7 +302,10 @@ func inlineCutoff(cfg *Config) int64 {
 // (that is the point of the subsystem); only a failed plan or a failed
 // run is an error.
 func Local(ctx context.Context, store trace.Store, n int, opts ...Option) (*report.Report, error) {
-	cfg := apply(opts)
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
 	if n <= 0 {
 		n = 2
 	}

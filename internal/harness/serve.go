@@ -1,0 +1,443 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sword"
+	"sword/internal/obs"
+	"sword/internal/server"
+	"sword/internal/workloads"
+)
+
+// ServeBenchResult is the always-on analysis service's stress
+// measurement, the schema of BENCH_8.json (documented in
+// EXPERIMENTS.md). The experiment floods one server with concurrent
+// small uploads from many tenants while a heavy tenant submits giant
+// jobs, mixes in torn uploads, and asserts the robustness envelope:
+// nothing starves, nothing 5xxs, reports match the offline analyzer,
+// and the heap stays under budget.
+type ServeBenchResult struct {
+	// Offered load: how many uploads of each class were submitted, and
+	// the per-upload trace volume of the small and giant classes (torn
+	// uploads are damaged copies of the small trace).
+	SmallJobs  int   `json:"small_jobs"`
+	GiantJobs  int   `json:"giant_jobs"`
+	TornJobs   int   `json:"torn_jobs"`
+	SmallBytes int64 `json:"small_bytes"`
+	GiantBytes int64 `json:"giant_bytes"`
+	// Quantum is the deficit-round-robin byte quantum the run used,
+	// derived from the giant trace so a giant job needs many scheduler
+	// rounds while small jobs clear in a few.
+	Quantum int64 `json:"quantum"`
+	// Outcomes. Accepted counts 202s (must equal the offered load under
+	// these budgets); Status5xx counts server errors (must be zero: torn
+	// uploads degrade, they do not error). SmallDone/GiantDone count jobs
+	// that finished clean; TornPartial counts torn uploads that finished
+	// as partial salvage reports (must equal TornJobs).
+	Accepted    int   `json:"accepted"`
+	Status5xx   int   `json:"status_5xx"`
+	Shed        int64 `json:"shed"`
+	SmallDone   int   `json:"small_done"`
+	GiantDone   int   `json:"giant_done"`
+	TornPartial int   `json:"torn_partial"`
+	// ZeroStarvation is the fairness bound: every small job finished
+	// before the slowest giant did, even though the giants were submitted
+	// first. The timestamps (ns since the first upload) let the margin be
+	// read off the artifact.
+	ZeroStarvation  bool    `json:"zero_starvation"`
+	LastSmallDoneNs float64 `json:"last_small_done_ns"`
+	LastGiantDoneNs float64 `json:"last_giant_done_ns"`
+	// ReportsAgree says every clean job's dedup'd race count matched the
+	// offline analyzer (swordoffline) on the same trace.
+	ReportsAgree bool `json:"reports_agree"`
+	// Memory: the guard's sampled heap peak against the server-wide
+	// budget the run configured.
+	HeapPeakBytes   int64 `json:"heap_peak_bytes"`
+	HeapBudgetBytes int64 `json:"heap_budget_bytes"`
+	UnderHeapBudget bool  `json:"under_heap_budget"`
+	// DurationNs is the whole experiment's wall time, uploads included.
+	DurationNs float64 `json:"duration_ns"`
+	// Err is set when the experiment could not run; other fields are
+	// then zero.
+	Err string `json:"err,omitempty"`
+}
+
+// Serve stress shape: a flood of small uploads across many tenants, a
+// few giants from one heavy tenant, and a handful of torn uploads.
+const (
+	serveSmallJobs   = 200
+	serveGiantJobs   = 3
+	serveTornJobs    = 8
+	serveTenants     = 20
+	serveUploaders   = 16
+	serveHeapBudget  = 2 << 30
+	serveSmallName   = "plusplus-orig-yes"
+	serveGiantName   = "c_jacobi"
+	serveGiantScale  = 12 // giant workload size multiplier: ~100x the analysis time of a small job
+	serveWaitTimeout = 5 * time.Minute
+)
+
+// serveCollectDir collects the named workload (at scale times its
+// default size) into a fresh trace directory and returns the directory
+// and its total byte volume.
+func serveCollectDir(name string, scale int) (string, int64, error) {
+	wl, err := workloads.Get(name)
+	if err != nil {
+		return "", 0, err
+	}
+	dir, err := os.MkdirTemp("", "sword-serve-*")
+	if err != nil {
+		return "", 0, err
+	}
+	sess, err := sword.NewSession(sword.WithLogDir(dir))
+	if err != nil {
+		return "", 0, err
+	}
+	wl.Run(&workloads.Ctx{
+		RT:      sess.Runtime(),
+		Space:   sess.Space(),
+		Threads: 4,
+		Size:    scale * wl.DefaultSize,
+	})
+	if err := sess.CollectOnly(); err != nil {
+		return "", 0, err
+	}
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	for _, e := range entries {
+		if fi, err := e.Info(); err == nil {
+			total += fi.Size()
+		}
+	}
+	return dir, total, nil
+}
+
+// serveTornCopy copies a trace directory and tears the tail off its
+// first log — the half-written trace of a client that died mid-run.
+func serveTornCopy(src string) (string, error) {
+	dir, err := os.MkdirTemp("", "sword-serve-torn-*")
+	if err != nil {
+		return "", err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return "", err
+	}
+	torn := false
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return "", err
+		}
+		if !torn && filepath.Ext(e.Name()) == ".log" && len(data) > 16 {
+			data = data[:len(data)/2+1]
+			torn = true
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			return "", err
+		}
+	}
+	if !torn {
+		return "", fmt.Errorf("trace %s has no log to tear", src)
+	}
+	return dir, nil
+}
+
+// serveUpload posts dir as one multipart job and returns the job id,
+// HTTP status, and decode error.
+func serveUpload(base, tenant, dir string) (string, int, error) {
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	for _, e := range entries {
+		fw, err := mw.CreateFormFile("file", e.Name())
+		if err != nil {
+			return "", 0, err
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return "", 0, err
+		}
+		if _, err := fw.Write(data); err != nil {
+			return "", 0, err
+		}
+	}
+	if err := mw.Close(); err != nil {
+		return "", 0, err
+	}
+	req, err := http.NewRequest("POST", base+"/api/v1/jobs", &buf)
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	req.Header.Set("X-Sword-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		return "", resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+	}
+	var j struct {
+		ID string `json:"id"`
+	}
+	return j.ID, resp.StatusCode, json.NewDecoder(resp.Body).Decode(&j)
+}
+
+// serveJobStatus polls one job until it reaches a terminal state.
+func serveJobStatus(base, id string, deadline time.Time) (state string, races int, finished time.Time, err error) {
+	for {
+		resp, err := http.Get(base + "/api/v1/jobs/" + id)
+		if err != nil {
+			return "", 0, time.Time{}, err
+		}
+		var j struct {
+			State      string    `json:"state"`
+			Races      int       `json:"races"`
+			Error      string    `json:"error"`
+			FinishedAt time.Time `json:"finished_at"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		if derr != nil {
+			return "", 0, time.Time{}, derr
+		}
+		switch j.State {
+		case "done", "partial", "failed", "canceled":
+			if j.State == "failed" {
+				return j.State, j.Races, j.FinishedAt, fmt.Errorf("job %s failed: %s", id, j.Error)
+			}
+			return j.State, j.Races, j.FinishedAt, nil
+		}
+		if time.Now().After(deadline) {
+			return "", 0, time.Time{}, fmt.Errorf("job %s stuck in %q", id, j.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ServeBench runs the multi-tenant service stress experiment: giants
+// first, then a concurrent flood of small and torn uploads, then the
+// robustness assertions. See ServeBenchResult for what each field
+// certifies.
+func ServeBench() ServeBenchResult {
+	return serveBenchRun(serveSmallJobs, serveGiantJobs, serveTornJobs, serveGiantScale)
+}
+
+// serveBenchRun is the parameterized experiment body; tests run it at a
+// fraction of the artifact's scale.
+func serveBenchRun(smallJobs, giantJobs, tornJobs, giantScale int) ServeBenchResult {
+	res := ServeBenchResult{
+		SmallJobs: smallJobs,
+		GiantJobs: giantJobs,
+		TornJobs:  tornJobs,
+	}
+	fail := func(err error) ServeBenchResult {
+		return ServeBenchResult{Err: err.Error()}
+	}
+
+	smallDir, smallBytes, err := serveCollectDir(serveSmallName, 1)
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(smallDir)
+	giantDir, giantBytes, err := serveCollectDir(serveGiantName, giantScale)
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(giantDir)
+	tornDir, err := serveTornCopy(smallDir)
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(tornDir)
+	res.SmallBytes, res.GiantBytes = smallBytes, giantBytes
+
+	smallRep, _, err := sword.Analyze(smallDir)
+	if err != nil {
+		return fail(err)
+	}
+	giantRep, _, err := sword.Analyze(giantDir)
+	if err != nil {
+		return fail(err)
+	}
+
+	// The quantum makes the fairness bound non-trivial: a giant job needs
+	// ~16 scheduler rounds of saved-up deficit, while every round lets
+	// each small tenant's head job through.
+	res.Quantum = max(giantBytes/16, 1)
+	m := obs.New()
+	dataDir, err := os.MkdirTemp("", "sword-serve-data-*")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(dataDir)
+	srv, err := server.New(
+		server.WithDataDir(dataDir),
+		server.WithObs(m),
+		server.WithConcurrency(2),
+		server.WithQuantum(res.Quantum),
+		server.WithMemBudget(serveHeapBudget),
+		server.WithRetryBackoff(10*time.Millisecond),
+		server.WithJobTimeout(2*time.Minute),
+	)
+	if err != nil {
+		return fail(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	// Giants go first, from one heavy tenant: the worst case for the
+	// flood that follows.
+	giantIDs := make([]string, 0, giantJobs)
+	for i := 0; i < giantJobs; i++ {
+		id, code, err := serveUpload(ts.URL, "heavy", giantDir)
+		if err != nil {
+			return fail(fmt.Errorf("giant upload: %w", err))
+		}
+		if code == http.StatusAccepted {
+			res.Accepted++
+		}
+		giantIDs = append(giantIDs, id)
+	}
+
+	// The flood: small and torn uploads interleaved across tenants, from
+	// a bounded uploader pool.
+	type uploadJob struct {
+		dir    string
+		tenant string
+		torn   bool
+	}
+	work := make(chan uploadJob)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		smallIDs []string
+		tornIDs  []string
+		fiveXX   atomic.Int64
+		firstErr atomic.Value
+	)
+	for i := 0; i < serveUploaders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				id, code, err := serveUpload(ts.URL, u.tenant, u.dir)
+				if code >= 500 {
+					fiveXX.Add(1)
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				mu.Lock()
+				res.Accepted++
+				if u.torn {
+					tornIDs = append(tornIDs, id)
+				} else {
+					smallIDs = append(smallIDs, id)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < smallJobs; i++ {
+		work <- uploadJob{smallDir, fmt.Sprintf("team-%02d", i%serveTenants), false}
+	}
+	for i := 0; i < tornJobs; i++ {
+		work <- uploadJob{tornDir, fmt.Sprintf("team-%02d", i%serveTenants), true}
+	}
+	close(work)
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return fail(fmt.Errorf("flood upload: %w", err))
+	}
+
+	// Wait everything out and collect the envelope's evidence.
+	deadline := time.Now().Add(serveWaitTimeout)
+	res.ReportsAgree = true
+	var lastSmall, lastGiant time.Time
+	for _, id := range smallIDs {
+		state, races, fin, err := serveJobStatus(ts.URL, id, deadline)
+		if err != nil {
+			return fail(err)
+		}
+		if state == "done" {
+			res.SmallDone++
+			if races != smallRep.Len() {
+				res.ReportsAgree = false
+			}
+			if fin.After(lastSmall) {
+				lastSmall = fin
+			}
+		}
+	}
+	for _, id := range giantIDs {
+		state, races, fin, err := serveJobStatus(ts.URL, id, deadline)
+		if err != nil {
+			return fail(err)
+		}
+		if state == "done" {
+			res.GiantDone++
+			if races != giantRep.Len() {
+				res.ReportsAgree = false
+			}
+			if fin.After(lastGiant) {
+				lastGiant = fin
+			}
+		}
+	}
+	for _, id := range tornIDs {
+		state, _, _, err := serveJobStatus(ts.URL, id, deadline)
+		if err != nil {
+			return fail(err)
+		}
+		if state == "partial" {
+			res.TornPartial++
+		}
+	}
+	res.DurationNs = float64(time.Since(start).Nanoseconds())
+	res.Status5xx = int(fiveXX.Load())
+
+	snap := m.Snapshot()
+	res.Shed = snap.Value("server.jobs_shed")
+	res.HeapPeakBytes = snap.Value("server.heap_peak")
+	res.HeapBudgetBytes = serveHeapBudget
+	res.UnderHeapBudget = res.HeapPeakBytes > 0 && res.HeapPeakBytes <= serveHeapBudget
+	res.LastSmallDoneNs = float64(lastSmall.Sub(start).Nanoseconds())
+	res.LastGiantDoneNs = float64(lastGiant.Sub(start).Nanoseconds())
+	res.ZeroStarvation = res.SmallDone == smallJobs &&
+		res.GiantDone == giantJobs && lastSmall.Before(lastGiant)
+	return res
+}
+
+// WriteServeBench runs ServeBench and writes the result to path as
+// indented JSON, the BENCH_8.json artifact format.
+func WriteServeBench(path string) error {
+	res := ServeBench()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: marshal serve bench result: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,33 @@
+package harness
+
+import "testing"
+
+// TestServeBenchEnvelope guards the experiment code at a fraction of
+// the artifact's scale: every upload accepted, no 5xx, torn uploads
+// finish as partial salvage reports, clean reports agree with the
+// offline analyzer, and the small jobs clear before the slowest giant.
+func TestServeBenchEnvelope(t *testing.T) {
+	res := serveBenchRun(24, 2, 3, 8)
+	if res.Err != "" {
+		t.Fatalf("serve bench failed: %s", res.Err)
+	}
+	if want := 24 + 2 + 3; res.Accepted != want {
+		t.Errorf("accepted %d uploads, want %d", res.Accepted, want)
+	}
+	if res.Status5xx != 0 {
+		t.Errorf("%d uploads answered 5xx, want none", res.Status5xx)
+	}
+	if res.SmallDone != 24 || res.GiantDone != 2 {
+		t.Errorf("done %d small / %d giant, want 24/2", res.SmallDone, res.GiantDone)
+	}
+	if res.TornPartial != 3 {
+		t.Errorf("%d torn uploads finished partial, want 3", res.TornPartial)
+	}
+	if !res.ReportsAgree {
+		t.Error("service reports disagree with the offline analyzer")
+	}
+	if !res.ZeroStarvation {
+		t.Errorf("small jobs starved: last small done at %.0fms, last giant at %.0fms",
+			res.LastSmallDoneNs/1e6, res.LastGiantDoneNs/1e6)
+	}
+}

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"time"
+
+	"sword/internal/trace"
+)
+
+// Upload layout: files must be named exactly as a DirStore lays a trace
+// out on disk — per-slot logs and metas plus named aux streams. The
+// pattern is also the traversal guard: no separators, no absolute paths,
+// nothing a client names reaches outside the job's trace directory.
+var (
+	reSlotFile = regexp.MustCompile(`^sword_(\d{1,6})\.(log|meta)$`)
+	reAuxFile  = regexp.MustCompile(`^sword_[A-Za-z0-9._-]{1,64}\.aux$`)
+)
+
+// validUploadName reports whether name is an acceptable trace file name.
+func validUploadName(name string) bool {
+	return reSlotFile.MatchString(name) || reAuxFile.MatchString(name)
+}
+
+// admission errors map to the API's shed responses.
+var (
+	errShedBytes   = errors.New("byte budget exhausted")
+	errShedTenant  = errors.New("tenant quota exhausted")
+	errDrainReject = errors.New("server is draining")
+)
+
+// admitJob reserves a live-job slot for tenant. Shedding happens here,
+// at the front door, not after the bytes are on disk.
+func (s *Server) admitJob(tenant string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return errDrainReject
+	}
+	if s.tenantLive[tenant] >= s.cfg.TenantJobs {
+		s.m.Counter("server.jobs_shed").Inc()
+		return fmt.Errorf("%w: %d live job(s)", errShedTenant, s.tenantLive[tenant])
+	}
+	s.tenantLive[tenant]++
+	return nil
+}
+
+// charge reserves n more upload bytes against the global and per-tenant
+// budgets; it is called per chunk while an upload streams, so a client
+// lying about (or omitting) Content-Length still cannot overrun the
+// budget — the stream is cut at the boundary instead.
+func (s *Server) charge(tenant string, n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.usedBytes+n > s.cfg.GlobalBytes {
+		s.m.Counter("server.jobs_shed").Inc()
+		return fmt.Errorf("%w: %d of %d global byte(s) in use", errShedBytes, s.usedBytes, s.cfg.GlobalBytes)
+	}
+	if s.tenantBytes[tenant]+n > s.cfg.TenantBytes {
+		s.m.Counter("server.jobs_shed").Inc()
+		return fmt.Errorf("%w: %d of %d tenant byte(s) in use", errShedBytes, s.tenantBytes[tenant], s.cfg.TenantBytes)
+	}
+	s.usedBytes += n
+	s.tenantBytes[tenant] += n
+	s.m.Counter("server.bytes_admitted").Add(uint64(n))
+	return nil
+}
+
+// release returns n reserved bytes (upload aborted before becoming a
+// job; finished jobs release through releaseLocked instead).
+func (s *Server) release(tenant string, n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usedBytes -= n
+	if s.tenantBytes[tenant] -= n; s.tenantBytes[tenant] <= 0 {
+		delete(s.tenantBytes, tenant)
+	}
+}
+
+// releaseSlot undoes admitJob for an upload that never became a job.
+func (s *Server) releaseSlot(tenant string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tenantLive[tenant]--; s.tenantLive[tenant] <= 0 {
+		delete(s.tenantLive, tenant)
+	}
+}
+
+// budgetWriter charges every chunk against the admission budgets before
+// it reaches disk and counts the upload's total.
+type budgetWriter struct {
+	s      *Server
+	tenant string
+	w      io.Writer
+	n      *int64 // upload running total, shared across files
+}
+
+func (bw budgetWriter) Write(p []byte) (int, error) {
+	if err := bw.s.charge(bw.tenant, int64(len(p))); err != nil {
+		return 0, err
+	}
+	*bw.n += int64(len(p))
+	return bw.w.Write(p)
+}
+
+// uploadSession is a streamed upload in progress: files PUT one at a
+// time into what becomes the job's trace directory, then committed as
+// one job (or aborted). The session id is the future job id.
+type uploadSession struct {
+	id      string
+	tenant  string
+	dir     string // job dir; files land in dir/trace
+	bytes   int64
+	started time.Time
+}
+
+// newUpload starts a session: admission (slot) happens now, bytes are
+// charged as the files stream.
+func (s *Server) newUpload(tenant string) (*uploadSession, error) {
+	if err := s.admitJob(tenant); err != nil {
+		return nil, err
+	}
+	u := &uploadSession{
+		id:      newID(),
+		tenant:  tenant,
+		started: time.Now(),
+	}
+	u.dir = filepath.Join(s.cfg.DataDir, "jobs", u.id)
+	if err := os.MkdirAll(filepath.Join(u.dir, "trace"), 0o755); err != nil {
+		s.releaseSlot(tenant)
+		return nil, err
+	}
+	s.mu.Lock()
+	s.uploads[u.id] = u
+	s.mu.Unlock()
+	return u, nil
+}
+
+// saveFile streams one named trace file into the session under the byte
+// budgets. The name is validated before any byte lands.
+func (s *Server) saveFile(u *uploadSession, name string, r io.Reader) error {
+	if !validUploadName(name) {
+		return fmt.Errorf("invalid trace file name %q", name)
+	}
+	f, err := os.Create(filepath.Join(u.dir, "trace", name))
+	if err != nil {
+		return err
+	}
+	_, cerr := io.Copy(budgetWriter{s: s, tenant: u.tenant, w: f, n: &u.bytes}, r)
+	if err := f.Close(); cerr == nil {
+		cerr = err
+	}
+	return cerr
+}
+
+// abortUpload tears a session down and refunds its admission charges.
+func (s *Server) abortUpload(u *uploadSession) {
+	s.mu.Lock()
+	delete(s.uploads, u.id)
+	s.mu.Unlock()
+	os.RemoveAll(u.dir)
+	s.release(u.tenant, u.bytes)
+	s.releaseSlot(u.tenant)
+}
+
+// commitUpload turns a completed session into a queued job, returning a
+// snapshot of the fresh record (a runner may start mutating the live one
+// the moment the lock drops). A damaged or torn upload is not rejected:
+// validation failure flags the job for salvage-mode analysis and the
+// eventual report is partial — the graceful-degradation contract for
+// half-written production traces.
+func (s *Server) commitUpload(u *uploadSession) (Job, error) {
+	s.mu.Lock()
+	if _, live := s.uploads[u.id]; !live {
+		s.mu.Unlock()
+		return Job{}, errors.New("upload already committed or aborted")
+	}
+	delete(s.uploads, u.id)
+	s.mu.Unlock()
+
+	j := &Job{
+		ID:        u.id,
+		Tenant:    u.tenant,
+		Bytes:     u.bytes,
+		MemBudget: s.cfg.JobMemBudget,
+		CreatedAt: time.Now(),
+		dir:       u.dir,
+	}
+	j.Salvage = uploadDamaged(j)
+	if j.Salvage {
+		s.m.Counter("server.uploads_damaged").Inc()
+	}
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		s.abortUpload(u)
+		return Job{}, errDrainReject
+	}
+	s.jobs[j.ID] = j
+	_ = s.persistJob(j)
+	s.enqueueLocked(j)
+	s.m.Counter("server.jobs_admitted").Inc()
+	snap := *j
+	s.mu.Unlock()
+	return snap, nil
+}
+
+// uploadDamaged validates the uploaded trace; any integrity failure
+// routes the job to salvage-mode analysis.
+func uploadDamaged(j *Job) bool {
+	store, err := trace.NewDirStore(j.traceDir())
+	if err != nil {
+		return true
+	}
+	defer store.Close()
+	return trace.Validate(store) != nil
+}
+
+// shed writes the admission-control rejection: 429 with Retry-After for
+// budget sheds, 503 for a draining server, 400 for malformed uploads.
+func shed(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errDrainReject):
+		w.Header().Set("Retry-After", "10")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, errShedBytes), errors.Is(err, errShedTenant):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// retryAfterSeconds is the advisory backoff handed to shed clients.
+const retryAfterSeconds = 2

@@ -1,0 +1,435 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sword/internal/memsim"
+	"sword/internal/obs"
+	"sword/internal/omp"
+	"sword/internal/rt"
+	"sword/internal/trace"
+	"sword/internal/workloads"
+)
+
+// collectTornDir collects a workload through a FaultStore that tears the
+// stream mid-write — the production failure this service must absorb: a
+// client crashed or ran out of disk halfway through recording. The
+// returned directory holds a damaged trace that fails validation.
+func collectTornDir(t *testing.T, name string) string {
+	t.Helper()
+	clean := collectWorkloadDir(t, name)
+	var total int64
+	entries, _ := os.ReadDir(clean)
+	for _, e := range entries {
+		if fi, err := e.Info(); err == nil {
+			total += fi.Size()
+		}
+	}
+
+	w, err := workloads.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ds, err := trace.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := trace.NewFaultStore(ds)
+	fs.SetTornWrites(true)
+	fs.FailWritesAfter(total/2, errors.New("client crashed mid-upload"))
+	col := rt.New(fs, rt.Config{Synchronous: true})
+	rtm := omp.New(omp.WithTool(col))
+	w.Run(&workloads.Ctx{RT: rtm, Space: memsim.NewSpace(nil), Threads: 4, Size: w.DefaultSize})
+	_ = col.Close() // failure expected: the store is out of budget
+
+	// The tear lands mid-Write by construction, but guard against the
+	// unlucky cut on a record boundary: force damage if validation still
+	// passes, so the test stays deterministic.
+	if store, err := trace.NewDirStore(dir); err == nil {
+		damaged := trace.Validate(store) != nil
+		store.Close()
+		if !damaged {
+			logs, _ := filepath.Glob(filepath.Join(dir, "sword_*.log"))
+			if len(logs) == 0 {
+				t.Fatal("torn collection produced no logs")
+			}
+			data, err := os.ReadFile(logs[0])
+			if err != nil || len(data) < 8 {
+				t.Fatalf("torn log unusable: %v", err)
+			}
+			if err := os.WriteFile(logs[0], data[:len(data)-7], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return dir
+}
+
+// tryUpload is postUpload without t.Fatal, safe for goroutines.
+func tryUpload(base, tenant, dir string) (Job, int, error) {
+	var j Job
+	var buf bytes.Buffer
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return j, 0, err
+	}
+	mw := multipart.NewWriter(&buf)
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return j, 0, err
+		}
+		fw, err := mw.CreateFormFile("file", e.Name())
+		if err != nil {
+			return j, 0, err
+		}
+		if _, err := fw.Write(data); err != nil {
+			return j, 0, err
+		}
+	}
+	if err := mw.Close(); err != nil {
+		return j, 0, err
+	}
+	ctype := mw.FormDataContentType()
+	req, err := http.NewRequest("POST", base+"/api/v1/jobs", &buf)
+	if err != nil {
+		return j, 0, err
+	}
+	req.Header.Set("Content-Type", ctype)
+	if tenant != "" {
+		req.Header.Set("X-Sword-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return j, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		return j, resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+	}
+	return j, resp.StatusCode, json.NewDecoder(resp.Body).Decode(&j)
+}
+
+// TestTornUploadsSalvageConcurrently is the graceful-degradation chaos
+// test: torn and clean uploads land concurrently; every request is
+// accepted (never 5xx), torn traces finish as partial salvage reports,
+// clean ones match direct analysis.
+func TestTornUploadsSalvageConcurrently(t *testing.T) {
+	m := obs.New()
+	s := newTestServer(t, WithObs(m), WithConcurrency(2))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	torn := collectTornDir(t, "plusplus-orig-yes")
+	clean := collectWorkloadDir(t, "plusplus-orig-yes")
+	wantRaces := directRaces(t, clean)
+
+	const each = 3
+	type result struct {
+		j    Job
+		torn bool
+		code int
+		err  error
+	}
+	results := make([]result, 2*each)
+	var wg sync.WaitGroup
+	for i := 0; i < 2*each; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dir, isTorn := clean, false
+			if i%2 == 0 {
+				dir, isTorn = torn, true
+			}
+			j, code, err := tryUpload(ts.URL, fmt.Sprintf("tenant-%d", i), dir)
+			results[i] = result{j, isTorn, code, err}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("upload %d: %v", i, r.err)
+		}
+		if r.code >= 500 {
+			t.Fatalf("upload %d answered %d — torn uploads must degrade, not 5xx", i, r.code)
+		}
+		fin := waitTerminal(t, ts.URL, r.j.ID)
+		code, body := reportJSON(t, ts.URL, r.j.ID)
+		if r.torn {
+			if fin.State != StatePartial || !fin.Salvage {
+				t.Fatalf("torn upload %d finished %q salvage=%v, want partial salvage (error %q)",
+					i, fin.State, fin.Salvage, fin.Error)
+			}
+			if code != http.StatusOK {
+				t.Fatalf("torn upload %d report status %d, want 200", i, code)
+			}
+		} else {
+			if fin.State != StateDone || fin.Races != wantRaces {
+				t.Fatalf("clean upload %d finished %q with %d races, want done/%d",
+					i, fin.State, fin.Races, wantRaces)
+			}
+			if code != http.StatusOK || body["races"] == nil {
+				t.Fatalf("clean upload %d report status %d body %v", i, code, body)
+			}
+		}
+	}
+	if got := m.Counter("server.uploads_damaged").Load(); got != each {
+		t.Fatalf("server.uploads_damaged = %d, want %d", got, each)
+	}
+	if got := m.Counter("server.jobs_salvaged").Load(); got != each {
+		t.Fatalf("server.jobs_salvaged = %d, want %d", got, each)
+	}
+}
+
+// TestDrainPersistsAndRecovers is the SIGTERM chaos test: drain mid-load
+// loses no jobs — running work requeues, the queue persists, and a fresh
+// server on the same DataDir finishes everything with correct reports.
+func TestDrainPersistsAndRecovers(t *testing.T) {
+	datadir := t.TempDir()
+	dir := collectWorkloadDir(t, "c_md")
+	want := directRaces(t, dir)
+
+	s1, err := New(WithDataDir(datadir), WithConcurrency(1),
+		WithRetryBackoff(5*time.Millisecond), WithJobTimeout(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	const jobs = 4
+	ids := make([]string, jobs)
+	for i := range ids {
+		ids[i] = postUpload(t, ts1.URL, "", dir).ID
+	}
+
+	// SIGTERM: stop admitting, cancel/requeue in-flight, persist.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Admission is closed: new uploads answer 503, not enqueue-and-lose.
+	_, code, err := tryUpload(ts1.URL, "", dir)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("upload into draining server: status %d (err %v), want 503", code, err)
+	}
+	ts1.Close()
+
+	// No job may be lost or stuck running: terminal with a report, or
+	// queued on disk for the next incarnation.
+	queued := 0
+	terminalAtDrain := map[string]bool{}
+	s1.mu.Lock()
+	for _, id := range ids {
+		j := s1.jobs[id]
+		switch {
+		case j == nil:
+			s1.mu.Unlock()
+			t.Fatalf("job %s lost at drain", id)
+		case j.terminal():
+			terminalAtDrain[id] = true
+		case j.State == StateQueued:
+			queued++
+		default:
+			s1.mu.Unlock()
+			t.Fatalf("job %s drained in state %q", id, j.State)
+		}
+	}
+	s1.mu.Unlock()
+	for _, id := range ids {
+		if _, err := os.Stat(filepath.Join(datadir, "jobs", id, "job.json")); err != nil {
+			t.Fatalf("job %s not persisted: %v", id, err)
+		}
+	}
+
+	// Next incarnation: recovered jobs re-enqueue and finish.
+	m2 := obs.New()
+	s2, err := New(WithDataDir(datadir), WithObs(m2),
+		WithRetryBackoff(5*time.Millisecond), WithJobTimeout(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s2.Drain(ctx)
+	})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	if got := m2.Counter("server.jobs_recovered").Load(); got != uint64(queued) {
+		t.Fatalf("server.jobs_recovered = %d, want %d", got, queued)
+	}
+	for _, id := range ids {
+		fin := waitTerminal(t, ts2.URL, id)
+		if fin.State != StateDone {
+			t.Fatalf("job %s finished %q after restart (error %q)", id, fin.State, fin.Error)
+		}
+		if fin.Races != want {
+			t.Fatalf("job %s reports %d races after restart, want %d", id, fin.Races, want)
+		}
+		code, body := reportJSON(t, ts2.URL, id)
+		if code != http.StatusOK || body["races"] == nil {
+			t.Fatalf("job %s report after restart: status %d", id, code)
+		}
+		if terminalAtDrain[id] {
+			// Finished in the previous incarnation: the JSON report serves
+			// from disk, the in-memory text rendering is gone.
+			resp, err := http.Get(ts2.URL + "/api/v1/jobs/" + id + "/report?format=text")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusGone {
+				t.Fatalf("text report across restart: status %d, want 410", resp.StatusCode)
+			}
+		}
+	}
+}
+
+// TestServerFairnessGiantVsFlood asserts the starvation bound end to
+// end: with one runner, a giant job queued first, and a flood of small
+// jobs from another tenant, every small job starts before the giant —
+// yet the giant still runs to completion.
+func TestServerFairnessGiantVsFlood(t *testing.T) {
+	s := newTestServer(t, WithConcurrency(1), WithQuantum(1024))
+	dir := collectWorkloadDir(t, "critical-no")
+
+	copyTrace := func(id string) string {
+		jdir := filepath.Join(s.cfg.DataDir, "jobs", id)
+		tdir := filepath.Join(jdir, "trace")
+		if err := os.MkdirAll(tdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		entries, _ := os.ReadDir(dir)
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(tdir, e.Name()), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return jdir
+	}
+	mkJob := func(id, tenant string, bytes int64) *Job {
+		return &Job{
+			ID: id, Tenant: tenant, Bytes: bytes,
+			MemBudget: s.cfg.JobMemBudget, CreatedAt: time.Now(),
+			dir: copyTrace(id),
+		}
+	}
+
+	// Enqueue everything under one lock so the single runner sees the
+	// full queue before its first dispatch: the giant first, then the
+	// flood it must not starve.
+	giant := mkJob("giant0", "heavy", 1<<20)
+	smalls := make([]*Job, 24)
+	for i := range smalls {
+		smalls[i] = mkJob(fmt.Sprintf("small%02d", i), "light", 512)
+	}
+	s.mu.Lock()
+	s.jobs[giant.ID] = giant
+	s.enqueueLocked(giant)
+	for _, j := range smalls {
+		s.jobs[j.ID] = j
+		s.enqueueLocked(j)
+	}
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		s.mu.Lock()
+		done := giant.terminal()
+		for _, j := range smalls {
+			done = done && j.terminal()
+		}
+		s.mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if giant.State != StateDone {
+		t.Fatalf("giant finished %q (error %q)", giant.State, giant.Error)
+	}
+	for _, j := range smalls {
+		if j.State != StateDone {
+			t.Fatalf("small job %s finished %q", j.ID, j.State)
+		}
+		if !j.StartedAt.Before(giant.StartedAt) {
+			t.Fatalf("small job %s started %v, after the giant's %v — starved",
+				j.ID, j.StartedAt, giant.StartedAt)
+		}
+	}
+}
+
+// TestMemGuardCancelsLargestRunningJob drives the heap guard directly: a
+// server whose budget any heap exceeds must cancel the largest running
+// job with the mem-guard cause — the shed is a smaller retry, not an
+// OOM.
+func TestMemGuardCancelsLargestRunningJob(t *testing.T) {
+	s := newTestServer(t, WithMemBudget(1)) // any live heap trips the guard
+	ctxSmall, cancelSmall := context.WithCancelCause(context.Background())
+	defer cancelSmall(nil)
+	ctxBig, cancelBig := context.WithCancelCause(context.Background())
+	defer cancelBig(nil)
+
+	mk := func(id string, bytes int64, cancel context.CancelCauseFunc) *Job {
+		jdir := filepath.Join(s.cfg.DataDir, "jobs", id)
+		if err := os.MkdirAll(jdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return &Job{ID: id, Tenant: "t", State: StateRunning, Bytes: bytes,
+			CreatedAt: time.Now(), dir: jdir, cancel: cancel}
+	}
+	s.mu.Lock()
+	s.jobs["small"] = mk("small", 10, cancelSmall)
+	s.jobs["big"] = mk("big", 1000, cancelBig)
+	s.mu.Unlock()
+
+	select {
+	case <-ctxBig.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("guard never canceled the big job")
+	}
+	if cause := context.Cause(ctxBig); !errors.Is(cause, errMemGuard) {
+		t.Fatalf("big job canceled with cause %v, want errMemGuard", cause)
+	}
+	if ctxSmall.Err() != nil {
+		t.Fatalf("guard canceled the small job too: %v", context.Cause(ctxSmall))
+	}
+
+	// Clear the fakes so the cleanup drain doesn't try to persist them
+	// as running work.
+	s.mu.Lock()
+	s.jobs["small"].State = StateCanceled
+	s.jobs["big"].State = StateCanceled
+	s.jobs["small"].cancel = nil
+	s.jobs["big"].cancel = nil
+	s.mu.Unlock()
+}

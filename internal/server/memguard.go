@@ -1,0 +1,55 @@
+package server
+
+import (
+	"runtime"
+	"time"
+)
+
+// memGuard samples the Go heap and, when it exceeds the configured
+// server-wide budget, cancels the largest running job — the one whose
+// retry under a halved analyzer budget buys back the most memory. The
+// shed is graceful by construction: the job requeues and retries smaller
+// instead of the process OOMing, and the admission byte budget upstream
+// keeps the guard a backstop rather than the primary control.
+func (s *Server) memGuard() {
+	defer close(s.guardDone)
+	if s.cfg.MemBudget <= 0 {
+		<-s.guardStop
+		return
+	}
+	t := time.NewTicker(200 * time.Millisecond)
+	defer t.Stop()
+	var ms runtime.MemStats
+	for {
+		select {
+		case <-s.guardStop:
+			return
+		case <-t.C:
+		}
+		runtime.ReadMemStats(&ms)
+		heap := int64(ms.HeapAlloc)
+		s.m.Gauge("server.heap_peak").SetMax(heap)
+		if heap <= s.cfg.MemBudget {
+			continue
+		}
+		// Over budget: give the collector one chance to disagree before
+		// killing work — HeapAlloc includes garbage not yet swept.
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		if heap = int64(ms.HeapAlloc); heap <= s.cfg.MemBudget {
+			continue
+		}
+		s.mu.Lock()
+		var victim *Job
+		for _, j := range s.jobs {
+			if j.State == StateRunning && j.cancel != nil &&
+				(victim == nil || j.Bytes > victim.Bytes) {
+				victim = j
+			}
+		}
+		if victim != nil {
+			victim.cancel(errMemGuard)
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"time"
+)
+
+// scheduler is the fairness core: one FIFO per tenant, drained by
+// deficit round robin over the tenants with work. Each visit to a tenant
+// adds the byte quantum to its deficit; its head job dispatches only
+// once the accumulated deficit covers the job's upload size. A tenant
+// queueing one giant job therefore spends many visits saving up while
+// other tenants' small jobs clear on their first visit — the bound the
+// stress experiment asserts. An idle server with a single tenant
+// degenerates to plain FIFO: deficits accumulate round after round in
+// the same call, so nothing ever waits on fairness alone.
+//
+// The scheduler owns no lock; the Server's mutex guards every method.
+type scheduler struct {
+	quantum int64
+	tenants map[string]*tenantQueue
+	order   []string // round-robin visit order among tenants with work
+	next    int      // index into order of the next tenant to visit
+	depth   int      // queued jobs across all tenants
+}
+
+type tenantQueue struct {
+	jobs    []*Job
+	deficit int64
+}
+
+func newScheduler(quantum int64) *scheduler {
+	return &scheduler{quantum: quantum, tenants: make(map[string]*tenantQueue)}
+}
+
+// push enqueues a job at its tenant's tail, registering the tenant into
+// the round-robin order if it had no work.
+func (sc *scheduler) push(j *Job) {
+	tq := sc.tenants[j.Tenant]
+	if tq == nil {
+		tq = &tenantQueue{}
+		sc.tenants[j.Tenant] = tq
+	}
+	if len(tq.jobs) == 0 {
+		sc.order = append(sc.order, j.Tenant)
+	}
+	tq.jobs = append(tq.jobs, j)
+	sc.depth++
+}
+
+// cost is the deficit charge for dispatching j: its upload size, floored
+// so zero-byte jobs still consume a visit.
+func (sc *scheduler) cost(j *Job) int64 {
+	if j.Bytes > 0 {
+		return j.Bytes
+	}
+	return 1
+}
+
+// pop returns the next dispatchable job under DRR, or nil with the
+// earliest time a backoff-delayed job becomes ready (zero if no job is
+// waiting on time at all). Jobs whose RetryAt is in the future are held
+// without consuming their tenant's turn.
+//
+// pop is work-conserving: as long as any head is ready it keeps running
+// rounds — each ready tenant banks one quantum per round — until a
+// deficit covers its head, so a lone giant job dispatches in one call
+// while under competition it saves up across calls as other tenants'
+// small jobs clear between its visits.
+func (sc *scheduler) pop(now time.Time) (*Job, time.Time) {
+	for {
+		if len(sc.order) == 0 {
+			return nil, time.Time{}
+		}
+		var wake time.Time
+		ready := false
+		for range sc.order { // one full round; order only mutates on dispatch
+			sc.next %= len(sc.order)
+			tq := sc.tenants[sc.order[sc.next]]
+			head := tq.jobs[0]
+			if !head.RetryAt.IsZero() && head.RetryAt.After(now) {
+				if wake.IsZero() || head.RetryAt.Before(wake) {
+					wake = head.RetryAt
+				}
+				sc.next++
+				continue
+			}
+			ready = true
+			tq.deficit += sc.quantum
+			if tq.deficit < sc.cost(head) {
+				sc.next++
+				continue
+			}
+			tq.deficit -= sc.cost(head)
+			tq.jobs = tq.jobs[1:]
+			sc.depth--
+			if len(tq.jobs) == 0 {
+				tq.deficit = 0 // an emptied tenant must not bank credit
+				sc.order = append(sc.order[:sc.next], sc.order[sc.next+1:]...)
+			} else {
+				sc.next++
+			}
+			return head, time.Time{}
+		}
+		if !ready {
+			return nil, wake
+		}
+	}
+}
+
+// remove drops a queued job (cancellation) and reports whether it was
+// found.
+func (sc *scheduler) remove(j *Job) bool {
+	tq := sc.tenants[j.Tenant]
+	if tq == nil {
+		return false
+	}
+	for i, q := range tq.jobs {
+		if q == j {
+			tq.jobs = append(tq.jobs[:i], tq.jobs[i+1:]...)
+			sc.depth--
+			if len(tq.jobs) == 0 {
+				tq.deficit = 0
+				for k, name := range sc.order {
+					if name == j.Tenant {
+						sc.order = append(sc.order[:k], sc.order[k+1:]...)
+						if sc.next > k {
+							sc.next--
+						}
+						break
+					}
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue registers j with the scheduler and wakes a runner. Caller
+// holds s.mu.
+func (s *Server) enqueueLocked(j *Job) {
+	j.State = StateQueued
+	s.sched.push(j)
+	s.m.Gauge("server.queue_depth").Set(int64(s.sched.depth))
+	s.m.Gauge("server.queue_depth_peak").SetMax(int64(s.sched.depth))
+	s.cond.Signal()
+}
+
+// nextJob blocks until a job is dispatchable, the server drains, or a
+// backoff delay expires — the coordinator's takeBatch wait pattern.
+// Returns nil when the runner should exit.
+func (s *Server) nextJob() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		j, wake := s.sched.pop(time.Now())
+		if j != nil {
+			j.State = StateRunning
+			j.StartedAt = time.Now()
+			s.m.Gauge("server.queue_depth").Set(int64(s.sched.depth))
+			s.m.Counter("server.rr_dispatches").Inc()
+			return j
+		}
+		if !wake.IsZero() {
+			// Sleep until the earliest RetryAt, but stay wakeable: a new
+			// upload or drain must interrupt the wait.
+			t := time.AfterFunc(time.Until(wake), s.cond.Broadcast)
+			s.cond.Wait()
+			t.Stop()
+			continue
+		}
+		s.cond.Wait()
+	}
+}

@@ -1,0 +1,619 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sword/internal/core"
+	"sword/internal/memsim"
+	"sword/internal/obs"
+	"sword/internal/omp"
+	"sword/internal/rt"
+	"sword/internal/trace"
+	"sword/internal/workloads"
+)
+
+// collectWorkloadDir runs a named example workload under the collector
+// and returns the directory holding its trace files, ready to upload.
+func collectWorkloadDir(t *testing.T, name string) string {
+	t.Helper()
+	w, err := workloads.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	store, err := trace.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := rt.New(store, rt.Config{Synchronous: true})
+	rtm := omp.New(omp.WithTool(col))
+	w.Run(&workloads.Ctx{RT: rtm, Space: memsim.NewSpace(nil), Threads: 4, Size: w.DefaultSize})
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// newTestServer builds a service on a temp DataDir with test-friendly
+// timings and drains it at cleanup.
+func newTestServer(t *testing.T, opts ...Option) *Server {
+	t.Helper()
+	all := append([]Option{
+		WithDataDir(t.TempDir()),
+		WithRetryBackoff(5 * time.Millisecond),
+		WithJobTimeout(time.Minute),
+	}, opts...)
+	s, err := New(all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return s
+}
+
+// multipartUpload builds a multipart body from every file in dir.
+func multipartUpload(t *testing.T, dir string) (*bytes.Buffer, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		fw, err := mw.CreateFormFile("file", e.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf, mw.FormDataContentType()
+}
+
+// postUpload uploads dir as one multipart job and returns the decoded
+// 202 job record.
+func postUpload(t *testing.T, base, tenant, dir string) Job {
+	t.Helper()
+	body, ctype := multipartUpload(t, dir)
+	req, err := http.NewRequest("POST", base+"/api/v1/jobs", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ctype)
+	if tenant != "" {
+		req.Header.Set("X-Sword-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, msg)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// waitTerminal polls the status endpoint until the job reaches a
+// terminal state.
+func waitTerminal(t *testing.T, base, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/api/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j Job
+		err = json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.terminal() {
+			return j
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return Job{}
+}
+
+// directRaces analyzes the trace dir single-process and returns the
+// dedup'd race count — the differential baseline for API reports.
+func directRaces(t *testing.T, dir string) int {
+	t.Helper()
+	store, err := trace.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	rep, err := core.New(store, core.Config{}).AnalyzeContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Len()
+}
+
+// reportJSON fetches a finished job's JSON report.
+func reportJSON(t *testing.T, base, id string) (int, map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Get(base + "/api/v1/jobs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]json.RawMessage
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, body
+}
+
+// TestUploadAnalyzeReport is the happy path end to end: multipart
+// upload, queued job, analysis, JSON and text reports matching a direct
+// single-process run of the same trace.
+func TestUploadAnalyzeReport(t *testing.T) {
+	m := obs.New()
+	s := newTestServer(t, WithObs(m))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	dir := collectWorkloadDir(t, "plusplus-orig-yes")
+	want := directRaces(t, dir)
+
+	j := postUpload(t, ts.URL, "team-a", dir)
+	if j.Tenant != "team-a" || j.State != StateQueued && j.State != StateRunning {
+		t.Fatalf("fresh job: %+v", j)
+	}
+	fin := waitTerminal(t, ts.URL, j.ID)
+	if fin.State != StateDone {
+		t.Fatalf("state %q (error %q), want done", fin.State, fin.Error)
+	}
+	if fin.Races != want {
+		t.Fatalf("job reports %d races, direct analysis found %d", fin.Races, want)
+	}
+
+	code, body := reportJSON(t, ts.URL, j.ID)
+	if code != http.StatusOK {
+		t.Fatalf("report status %d", code)
+	}
+	var races []json.RawMessage
+	if err := json.Unmarshal(body["races"], &races); err != nil || len(races) != want {
+		t.Fatalf("report JSON carries %d races (err %v), want %d", len(races), err, want)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + j.ID + "/report?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(text), "race(s)") {
+		t.Fatalf("text report: status %d body %q", resp.StatusCode, text)
+	}
+
+	// The trace is deleted once the report exists; the job dir keeps the
+	// record and report only.
+	if _, err := os.Stat(filepath.Join(s.cfg.DataDir, "jobs", j.ID, "trace")); !os.IsNotExist(err) {
+		t.Fatalf("trace dir survived job completion: %v", err)
+	}
+	if got := m.Counter("server.jobs_done").Load(); got != 1 {
+		t.Fatalf("server.jobs_done = %d, want 1", got)
+	}
+}
+
+// TestStreamedUploadSession drives the PUT-per-file upload API.
+func TestStreamedUploadSession(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	dir := collectWorkloadDir(t, "critical-no")
+	resp, err := http.Post(ts.URL+"/api/v1/uploads", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || sess.ID == "" {
+		t.Fatalf("upload start: %d %+v", resp.StatusCode, sess)
+	}
+
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		data, _ := os.ReadFile(filepath.Join(dir, e.Name()))
+		req, _ := http.NewRequest("PUT",
+			ts.URL+"/api/v1/uploads/"+sess.ID+"/files/"+e.Name(), bytes.NewReader(data))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("PUT %s: status %d", e.Name(), resp.StatusCode)
+		}
+	}
+	resp, err = http.Post(ts.URL+"/api/v1/uploads/"+sess.ID+"/commit", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("commit: status %d", resp.StatusCode)
+	}
+	fin := waitTerminal(t, ts.URL, j.ID)
+	if fin.State != StateDone || fin.Races != 0 {
+		t.Fatalf("race-free workload finished %q with %d races", fin.State, fin.Races)
+	}
+
+	// A second commit of the same session must fail cleanly.
+	resp, err = http.Post(ts.URL+"/api/v1/uploads/"+sess.ID+"/commit", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double commit: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestUploadAbortRefundsBudget verifies an aborted session returns its
+// bytes and its tenant slot.
+func TestUploadAbortRefundsBudget(t *testing.T) {
+	s := newTestServer(t, WithTenantJobs(1))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := http.Post(ts.URL+"/api/v1/uploads", "", nil)
+	var sess struct {
+		ID string `json:"id"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&sess)
+	resp.Body.Close()
+
+	req, _ := http.NewRequest("PUT",
+		ts.URL+"/api/v1/uploads/"+sess.ID+"/files/sword_0.log", strings.NewReader("junk"))
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+
+	// Tenant quota is 1: a second session must shed while the first lives.
+	r3, _ := http.Post(ts.URL+"/api/v1/uploads", "", nil)
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second session while quota full: %d, want 429", r3.StatusCode)
+	}
+	if r3.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	req, _ = http.NewRequest("DELETE", ts.URL+"/api/v1/uploads/"+sess.ID, nil)
+	r4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusNoContent {
+		t.Fatalf("abort: status %d", r4.StatusCode)
+	}
+
+	s.mu.Lock()
+	used, live := s.usedBytes, s.tenantLive["default"]
+	s.mu.Unlock()
+	if used != 0 || live != 0 {
+		t.Fatalf("after abort: usedBytes=%d tenantLive=%d, want 0/0", used, live)
+	}
+	r5, _ := http.Post(ts.URL+"/api/v1/uploads", "", nil)
+	r5.Body.Close()
+	if r5.StatusCode != http.StatusCreated {
+		t.Fatalf("session after abort: %d, want 201", r5.StatusCode)
+	}
+}
+
+// TestUploadNameValidation rejects traversal and junk names before any
+// byte lands.
+func TestUploadNameValidation(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, name := range []string{
+		"notatrace.txt", "sword_x.log", "sword_0.log.bak",
+		"sword_.aux", "sword_" + strings.Repeat("a", 65) + ".aux",
+	} {
+		resp, _ := http.Post(ts.URL+"/api/v1/uploads", "", nil)
+		var sess struct {
+			ID string `json:"id"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&sess)
+		resp.Body.Close()
+		req, _ := http.NewRequest("PUT",
+			ts.URL+"/api/v1/uploads/"+sess.ID+"/files/"+name, strings.NewReader("x"))
+		r2, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusBadRequest {
+			t.Fatalf("PUT %q: status %d, want 400", name, r2.StatusCode)
+		}
+	}
+	// Nothing must have escaped into the data dir.
+	matches, _ := filepath.Glob(filepath.Join(s.cfg.DataDir, "jobs", "*", "trace", "*"))
+	if len(matches) != 0 {
+		t.Fatalf("rejected uploads left files: %v", matches)
+	}
+}
+
+// TestByteBudgetShedsWith429 caps the tenant byte budget below the
+// upload size: the stream must be cut with 429 + Retry-After and the
+// charge fully refunded.
+func TestByteBudgetShedsWith429(t *testing.T) {
+	m := obs.New()
+	s := newTestServer(t, WithTenantBytes(64), WithObs(m))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	dir := collectWorkloadDir(t, "plusplus-orig-yes")
+	body, ctype := multipartUpload(t, dir)
+	req, _ := http.NewRequest("POST", ts.URL+"/api/v1/jobs", body)
+	req.Header.Set("Content-Type", ctype)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("oversized upload: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := m.Counter("server.jobs_shed").Load(); got == 0 {
+		t.Fatal("server.jobs_shed not incremented")
+	}
+	s.mu.Lock()
+	used := s.usedBytes
+	s.mu.Unlock()
+	if used != 0 {
+		t.Fatalf("shed upload left %d bytes charged", used)
+	}
+}
+
+// TestCancelQueuedJob cancels a job still in the queue.
+func TestCancelQueuedJob(t *testing.T) {
+	// Zero-concurrency servers are legal in tests via direct struct use,
+	// but New floors at the default; instead enqueue more jobs than
+	// runners and cancel the tail one before it can start.
+	s := newTestServer(t, WithConcurrency(1))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	dir := collectWorkloadDir(t, "critical-no")
+	var last Job
+	for i := 0; i < 4; i++ {
+		last = postUpload(t, ts.URL, "", dir)
+	}
+	req, _ := http.NewRequest("DELETE", ts.URL+"/api/v1/jobs/"+last.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Accepted if it was still cancellable, conflict if it already won
+	// the race and finished; both are legal, 5xx is not.
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	fin := waitTerminal(t, ts.URL, last.ID)
+	if resp.StatusCode == http.StatusAccepted && fin.State != StateCanceled {
+		t.Fatalf("accepted cancel ended %q", fin.State)
+	}
+	code, _ := reportJSON(t, ts.URL, last.ID)
+	if fin.State == StateCanceled && code != http.StatusConflict {
+		t.Fatalf("canceled job's report: status %d, want 409", code)
+	}
+}
+
+// TestHealthAndMetrics exercises the observability endpoints.
+func TestHealthAndMetrics(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, health)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []obs.Metric
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+}
+
+// TestListFiltersByTenant lists jobs per tenant.
+func TestListFiltersByTenant(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	dir := collectWorkloadDir(t, "critical-no")
+	a := postUpload(t, ts.URL, "alpha", dir)
+	b := postUpload(t, ts.URL, "beta", dir)
+	waitTerminal(t, ts.URL, a.ID)
+	waitTerminal(t, ts.URL, b.ID)
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs?tenant=alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	_ = json.NewDecoder(resp.Body).Decode(&jobs)
+	resp.Body.Close()
+	if len(jobs) != 1 || jobs[0].ID != a.ID {
+		t.Fatalf("tenant filter returned %+v", jobs)
+	}
+}
+
+// TestServerConfigValidation rejects negative knobs loudly.
+func TestServerConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Option
+	}{
+		{"GlobalBytes", WithGlobalBytes(-1)},
+		{"TenantJobs", WithTenantJobs(-2)},
+		{"JobTimeout", WithJobTimeout(-time.Second)},
+		{"RetryBackoff", WithRetryBackoff(-time.Millisecond)},
+		{"Quantum", WithQuantum(-5)},
+		{"MaxAttempts", WithMaxAttempts(-1)},
+	}
+	for _, tc := range cases {
+		_, err := New(WithDataDir(t.TempDir()), tc.opt)
+		if err == nil || !strings.Contains(err.Error(), tc.name) {
+			t.Fatalf("%s: err = %v, want mention of the field", tc.name, err)
+		}
+	}
+	if _, err := New(); err == nil {
+		t.Fatal("New without DataDir must fail")
+	}
+}
+
+// TestSchedulerFairness is the starvation bound at the scheduler level:
+// one tenant queues a giant job, another floods small ones — every small
+// job must dispatch before the giant, and the giant must still run.
+func TestSchedulerFairness(t *testing.T) {
+	sc := newScheduler(1024)
+	giant := &Job{ID: "giant", Tenant: "heavy", Bytes: 1 << 20}
+	sc.push(giant)
+	var smalls []*Job
+	for i := 0; i < 50; i++ {
+		j := &Job{ID: fmt.Sprintf("small-%d", i), Tenant: "light", Bytes: 512}
+		smalls = append(smalls, j)
+		sc.push(j)
+	}
+	now := time.Now()
+	var order []string
+	for {
+		j, _ := sc.pop(now)
+		if j == nil {
+			break
+		}
+		order = append(order, j.ID)
+	}
+	if len(order) != 51 {
+		t.Fatalf("dispatched %d jobs, want 51", len(order))
+	}
+	if order[50] != "giant" {
+		t.Fatalf("giant dispatched at position %v, want last; order tail %v",
+			order, order[45:])
+	}
+	for i, id := range order[:50] {
+		if id != smalls[i].ID {
+			t.Fatalf("small jobs out of FIFO order at %d: %s", i, id)
+		}
+	}
+}
+
+// TestSchedulerLoneTenantIsFIFO: with one tenant the DRR degenerates to
+// FIFO and a giant job dispatches in a single pop call.
+func TestSchedulerLoneTenantIsFIFO(t *testing.T) {
+	sc := newScheduler(64)
+	sc.push(&Job{ID: "g", Tenant: "t", Bytes: 1 << 30})
+	sc.push(&Job{ID: "s", Tenant: "t", Bytes: 1})
+	j, _ := sc.pop(time.Now())
+	if j == nil || j.ID != "g" {
+		t.Fatalf("lone giant did not dispatch first: %+v", j)
+	}
+	j, _ = sc.pop(time.Now())
+	if j == nil || j.ID != "s" {
+		t.Fatalf("second job did not follow: %+v", j)
+	}
+}
+
+// TestSchedulerBackoffGate: a job whose RetryAt is in the future is held
+// and pop reports the wake time.
+func TestSchedulerBackoffGate(t *testing.T) {
+	sc := newScheduler(64)
+	ready := &Job{ID: "ready", Tenant: "a", Bytes: 1}
+	delayed := &Job{ID: "delayed", Tenant: "b", Bytes: 1, RetryAt: time.Now().Add(time.Hour)}
+	sc.push(delayed)
+	sc.push(ready)
+	now := time.Now()
+	j, _ := sc.pop(now)
+	if j == nil || j.ID != "ready" {
+		t.Fatalf("ready job not dispatched: %+v", j)
+	}
+	j, wake := sc.pop(now)
+	if j != nil {
+		t.Fatalf("delayed job dispatched early: %+v", j)
+	}
+	if wake.IsZero() || !wake.Equal(delayed.RetryAt) {
+		t.Fatalf("wake = %v, want %v", wake, delayed.RetryAt)
+	}
+	j, _ = sc.pop(delayed.RetryAt.Add(time.Second))
+	if j == nil || j.ID != "delayed" {
+		t.Fatalf("delayed job not dispatched after its gate: %+v", j)
+	}
+}

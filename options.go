@@ -43,6 +43,14 @@ type Config struct {
 	// SubtreeBatch bounds offline resident memory by analyzing the run in
 	// batches of top-level region subtrees (0 = whole run in one pass).
 	SubtreeBatch int
+	// MemoryBudget bounds, in bytes of trace volume, how much of the run
+	// the offline analysis materializes at once — the per-job memory knob
+	// the analysis service hands down. With SubtreeBatch unset the
+	// analyzer derives the largest subtree batch that fits the budget
+	// (never below one subtree), and distributed workers seed their
+	// resident-tree budget from it. 0 disables; an explicit SubtreeBatch
+	// or DistConfig.ResidentBudget wins.
+	MemoryBudget int64
 	// AllRaces disables the analyzer's race-site suppression: by default,
 	// once a site pair is confirmed racy, further node pairs mapping to
 	// the same race record skip the solver (the record they would merge
@@ -127,6 +135,13 @@ func WithNoCompact(on bool) Option {
 // bound resident memory (0 = one pass).
 func WithSubtreeBatch(n int) Option {
 	return func(c *Config) { c.SubtreeBatch = n }
+}
+
+// WithMemoryBudget bounds the trace volume the offline analysis
+// materializes at once, in bytes (0 = unbounded). The subtree batch size
+// is derived from it; see Config.MemoryBudget.
+func WithMemoryBudget(bytes int64) Option {
+	return func(c *Config) { c.MemoryBudget = bytes }
 }
 
 // WithAllRaces disables race-site suppression in the offline analysis:

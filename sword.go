@@ -218,6 +218,7 @@ func (s *Session) Finish() (*Report, *RunStats, error) {
 		NoSolver:     s.cfg.NoSolver,
 		NoCompact:    s.cfg.NoCompact,
 		SubtreeBatch: s.cfg.SubtreeBatch,
+		MemoryBudget: s.cfg.MemoryBudget,
 		AllRaces:     s.cfg.AllRaces,
 		Salvage:      s.cfg.Salvage,
 		Obs:          s.metrics,
@@ -300,6 +301,7 @@ func AnalyzeStoreContext(ctx context.Context, store Store, opts ...Option) (*Rep
 		NoSolver:     cfg.NoSolver,
 		NoCompact:    cfg.NoCompact,
 		SubtreeBatch: cfg.SubtreeBatch,
+		MemoryBudget: cfg.MemoryBudget,
 		AllRaces:     cfg.AllRaces,
 		Salvage:      cfg.Salvage,
 		Obs:          m,
