@@ -49,6 +49,8 @@ func main() {
 	maxAttempts := flag.Int("max-attempts", 0, "runs per job before failing loud (0 = 3)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "base exponential requeue delay (0 = 500ms)")
 	quantum := flag.Int64("quantum", 0, "round-robin fairness byte quantum (0 = 64 KiB)")
+	uploadTimeout := flag.Duration("upload-timeout", 0, "idle deadline before an abandoned upload session is reaped (0 = 5m)")
+	jobTTL := flag.Duration("job-ttl", 0, "retention of finished jobs and their reports (0 = 24h)")
 	workers := flag.Int("workers", 0, "per-job analysis parallelism (0 = GOMAXPROCS)")
 	grace := flag.Duration("grace", 30*time.Second, "drain grace period on SIGTERM")
 	flag.Parse()
@@ -70,6 +72,8 @@ func main() {
 		server.WithMaxAttempts(*maxAttempts),
 		server.WithRetryBackoff(*retryBackoff),
 		server.WithQuantum(*quantum),
+		server.WithUploadTimeout(*uploadTimeout),
+		server.WithJobTTL(*jobTTL),
 		server.WithWorkers(*workers),
 	)
 	if err != nil {

@@ -200,7 +200,10 @@ func serveUpload(base, tenant, dir string) (string, int, error) {
 	var j struct {
 		ID string `json:"id"`
 	}
-	return j.ID, resp.StatusCode, json.NewDecoder(resp.Body).Decode(&j)
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return "", resp.StatusCode, err
+	}
+	return j.ID, resp.StatusCode, nil
 }
 
 // serveJobStatus polls one job until it reaches a terminal state.

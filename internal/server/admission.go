@@ -51,35 +51,47 @@ func (s *Server) admitJob(tenant string) error {
 	return nil
 }
 
-// charge reserves n more upload bytes against the global and per-tenant
-// budgets; it is called per chunk while an upload streams, so a client
+// chargeSession reserves n more upload bytes against the global and
+// per-tenant budgets and counts them into the session, all under one
+// lock. It is called per chunk while an upload streams, so a client
 // lying about (or omitting) Content-Length still cannot overrun the
-// budget — the stream is cut at the boundary instead.
-func (s *Server) charge(tenant string, n int64) error {
+// budget — the stream is cut at the boundary instead. The liveness check
+// makes commit/abort a hard cut-off: once the session leaves s.uploads
+// its byte total is frozen, so a PUT racing a commit cannot charge bytes
+// the job's eventual release would not refund.
+func (s *Server) chargeSession(u *uploadSession, n int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, live := s.uploads[u.id]; !live {
+		return errors.New("upload session closed")
+	}
 	if s.usedBytes+n > s.cfg.GlobalBytes {
 		s.m.Counter("server.jobs_shed").Inc()
 		return fmt.Errorf("%w: %d of %d global byte(s) in use", errShedBytes, s.usedBytes, s.cfg.GlobalBytes)
 	}
-	if s.tenantBytes[tenant]+n > s.cfg.TenantBytes {
+	if s.tenantBytes[u.tenant]+n > s.cfg.TenantBytes {
 		s.m.Counter("server.jobs_shed").Inc()
-		return fmt.Errorf("%w: %d of %d tenant byte(s) in use", errShedBytes, s.tenantBytes[tenant], s.cfg.TenantBytes)
+		return fmt.Errorf("%w: %d of %d tenant byte(s) in use", errShedBytes, s.tenantBytes[u.tenant], s.cfg.TenantBytes)
 	}
 	s.usedBytes += n
-	s.tenantBytes[tenant] += n
+	s.tenantBytes[u.tenant] += n
+	u.bytes += n
+	u.lastActive = time.Now()
 	s.m.Counter("server.bytes_admitted").Add(uint64(n))
 	return nil
 }
 
-// release returns n reserved bytes (upload aborted before becoming a
-// job; finished jobs release through releaseLocked instead).
-func (s *Server) release(tenant string, n int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.usedBytes -= n
-	if s.tenantBytes[tenant] -= n; s.tenantBytes[tenant] <= 0 {
+// refundLocked returns an upload's byte and live-job-slot charges to the
+// admission budgets. Caller holds s.mu and must have already made the
+// charge unrepeatable (session out of s.uploads, or job going terminal)
+// so no path can refund twice.
+func (s *Server) refundLocked(tenant string, bytes int64) {
+	s.usedBytes -= bytes
+	if s.tenantBytes[tenant] -= bytes; s.tenantBytes[tenant] <= 0 {
 		delete(s.tenantBytes, tenant)
+	}
+	if s.tenantLive[tenant]--; s.tenantLive[tenant] <= 0 {
+		delete(s.tenantLive, tenant)
 	}
 }
 
@@ -95,29 +107,29 @@ func (s *Server) releaseSlot(tenant string) {
 // budgetWriter charges every chunk against the admission budgets before
 // it reaches disk and counts the upload's total.
 type budgetWriter struct {
-	s      *Server
-	tenant string
-	w      io.Writer
-	n      *int64 // upload running total, shared across files
+	s *Server
+	u *uploadSession
+	w io.Writer
 }
 
 func (bw budgetWriter) Write(p []byte) (int, error) {
-	if err := bw.s.charge(bw.tenant, int64(len(p))); err != nil {
+	if err := bw.s.chargeSession(bw.u, int64(len(p))); err != nil {
 		return 0, err
 	}
-	*bw.n += int64(len(p))
 	return bw.w.Write(p)
 }
 
 // uploadSession is a streamed upload in progress: files PUT one at a
 // time into what becomes the job's trace directory, then committed as
-// one job (or aborted). The session id is the future job id.
+// one job (or aborted). The session id is the future job id. All fields
+// past id/dir are guarded by Server.mu — concurrent PUTs to one session
+// share the byte total, and the reaper reads lastActive.
 type uploadSession struct {
-	id      string
-	tenant  string
-	dir     string // job dir; files land in dir/trace
-	bytes   int64
-	started time.Time
+	id         string
+	tenant     string
+	dir        string // job dir; files land in dir/trace
+	bytes      int64
+	lastActive time.Time // reaper deadline basis; touched per chunk
 }
 
 // newUpload starts a session: admission (slot) happens now, bytes are
@@ -127,9 +139,9 @@ func (s *Server) newUpload(tenant string) (*uploadSession, error) {
 		return nil, err
 	}
 	u := &uploadSession{
-		id:      newID(),
-		tenant:  tenant,
-		started: time.Now(),
+		id:         newID(),
+		tenant:     tenant,
+		lastActive: time.Now(),
 	}
 	u.dir = filepath.Join(s.cfg.DataDir, "jobs", u.id)
 	if err := os.MkdirAll(filepath.Join(u.dir, "trace"), 0o755); err != nil {
@@ -143,16 +155,28 @@ func (s *Server) newUpload(tenant string) (*uploadSession, error) {
 }
 
 // saveFile streams one named trace file into the session under the byte
-// budgets. The name is validated before any byte lands.
+// budgets. The name is validated before any byte lands, and a session
+// already committed or aborted refuses data up front (every chunk
+// re-checks inside chargeSession, so a mid-stream commit or abort cuts
+// the transfer at the next chunk boundary).
 func (s *Server) saveFile(u *uploadSession, name string, r io.Reader) error {
 	if !validUploadName(name) {
 		return fmt.Errorf("invalid trace file name %q", name)
+	}
+	s.mu.Lock()
+	_, live := s.uploads[u.id]
+	if live {
+		u.lastActive = time.Now()
+	}
+	s.mu.Unlock()
+	if !live {
+		return errors.New("upload session closed")
 	}
 	f, err := os.Create(filepath.Join(u.dir, "trace", name))
 	if err != nil {
 		return err
 	}
-	_, cerr := io.Copy(budgetWriter{s: s, tenant: u.tenant, w: f, n: &u.bytes}, r)
+	_, cerr := io.Copy(budgetWriter{s: s, u: u, w: f}, r)
 	if err := f.Close(); cerr == nil {
 		cerr = err
 	}
@@ -160,13 +184,20 @@ func (s *Server) saveFile(u *uploadSession, name string, r io.Reader) error {
 }
 
 // abortUpload tears a session down and refunds its admission charges.
+// The refund happens only if this call is the one that removes the
+// session from s.uploads: two racing aborts (or an abort racing a
+// commit, or the error paths of concurrent PUTs) refund exactly once, so
+// the admission accounting cannot be driven negative.
 func (s *Server) abortUpload(u *uploadSession) {
 	s.mu.Lock()
+	if _, live := s.uploads[u.id]; !live {
+		s.mu.Unlock()
+		return
+	}
 	delete(s.uploads, u.id)
+	s.refundLocked(u.tenant, u.bytes)
 	s.mu.Unlock()
 	os.RemoveAll(u.dir)
-	s.release(u.tenant, u.bytes)
-	s.releaseSlot(u.tenant)
 }
 
 // commitUpload turns a completed session into a queued job, returning a
@@ -182,8 +213,9 @@ func (s *Server) commitUpload(u *uploadSession) (Job, error) {
 		return Job{}, errors.New("upload already committed or aborted")
 	}
 	delete(s.uploads, u.id)
-	s.mu.Unlock()
-
+	// u.bytes is frozen from here: chargeSession refuses chunks for a
+	// session no longer in s.uploads, so this snapshot is exactly what
+	// finishJob will release.
 	j := &Job{
 		ID:        u.id,
 		Tenant:    u.tenant,
@@ -192,14 +224,18 @@ func (s *Server) commitUpload(u *uploadSession) (Job, error) {
 		CreatedAt: time.Now(),
 		dir:       u.dir,
 	}
+	s.mu.Unlock()
 	j.Salvage = uploadDamaged(j)
 	if j.Salvage {
 		s.m.Counter("server.uploads_damaged").Inc()
 	}
 	s.mu.Lock()
 	if s.draining || s.closed {
+		// The session already left s.uploads, so abortUpload would see it
+		// as dead and refund nothing — tear down inline instead.
+		s.refundLocked(j.Tenant, j.Bytes)
 		s.mu.Unlock()
-		s.abortUpload(u)
+		os.RemoveAll(j.dir)
 		return Job{}, errDrainReject
 	}
 	s.jobs[j.ID] = j

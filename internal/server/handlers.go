@@ -119,7 +119,9 @@ func (s *Server) retenant(u *uploadSession, tenant string) {
 		return // keep the original tenant rather than failing the upload
 	}
 	s.releaseSlot(u.tenant)
-	u.tenant = tenant
+	s.mu.Lock()
+	u.tenant = tenant // chargeSession reads it under the same lock
+	s.mu.Unlock()
 }
 
 func (s *Server) handleUploadStart(w http.ResponseWriter, r *http.Request) {

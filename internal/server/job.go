@@ -102,7 +102,11 @@ func (s *Server) recover() error {
 		j := &Job{dir: filepath.Join(root, e.Name())}
 		data, err := os.ReadFile(j.jobPath())
 		if err != nil || json.Unmarshal(data, j) != nil || j.ID != e.Name() {
-			continue // half-created or foreign directory: not a job
+			// Half-created directory: an upload session the previous
+			// incarnation never committed. Nothing will ever claim it, so
+			// reclaim the disk instead of accumulating orphans forever.
+			os.RemoveAll(j.dir)
+			continue
 		}
 		s.jobs[j.ID] = j
 		if j.terminal() {
@@ -253,14 +257,7 @@ func (s *Server) finishJob(j *Job, rep *report.Report, err error) {
 // releaseLocked returns j's admission charge to the budgets. Caller
 // holds s.mu.
 func (s *Server) releaseLocked(j *Job) {
-	s.usedBytes -= j.Bytes
-	s.tenantBytes[j.Tenant] -= j.Bytes
-	if s.tenantBytes[j.Tenant] <= 0 {
-		delete(s.tenantBytes, j.Tenant)
-	}
-	if s.tenantLive[j.Tenant]--; s.tenantLive[j.Tenant] <= 0 {
-		delete(s.tenantLive, j.Tenant)
-	}
+	s.refundLocked(j.Tenant, j.Bytes)
 	s.m.Counter("server.bytes_released").Add(uint64(j.Bytes))
 }
 

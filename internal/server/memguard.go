@@ -1,22 +1,21 @@
 package server
 
 import (
+	"os"
 	"runtime"
 	"time"
 )
 
-// memGuard samples the Go heap and, when it exceeds the configured
-// server-wide budget, cancels the largest running job — the one whose
-// retry under a halved analyzer budget buys back the most memory. The
-// shed is graceful by construction: the job requeues and retries smaller
-// instead of the process OOMing, and the admission byte budget upstream
-// keeps the guard a backstop rather than the primary control.
+// memGuard is the service's housekeeping loop. Every tick it reaps
+// abandoned upload sessions and expired terminal jobs, and — when a
+// server-wide heap budget is configured — samples the Go heap and, on
+// overrun, cancels the largest running job: the one whose retry under a
+// halved analyzer budget buys back the most memory. The shed is graceful
+// by construction: the job requeues and retries smaller instead of the
+// process OOMing, and the admission byte budget upstream keeps the guard
+// a backstop rather than the primary control.
 func (s *Server) memGuard() {
 	defer close(s.guardDone)
-	if s.cfg.MemBudget <= 0 {
-		<-s.guardStop
-		return
-	}
 	t := time.NewTicker(200 * time.Millisecond)
 	defer t.Stop()
 	var ms runtime.MemStats
@@ -25,6 +24,10 @@ func (s *Server) memGuard() {
 		case <-s.guardStop:
 			return
 		case <-t.C:
+		}
+		s.reap(time.Now())
+		if s.cfg.MemBudget <= 0 {
+			continue
 		}
 		runtime.ReadMemStats(&ms)
 		heap := int64(ms.HeapAlloc)
@@ -51,5 +54,38 @@ func (s *Server) memGuard() {
 			victim.cancel(errMemGuard)
 		}
 		s.mu.Unlock()
+	}
+}
+
+// reap aborts upload sessions idle past UploadTimeout — a client that
+// POSTs a session and walks away cannot hold a tenant job slot and
+// charged bytes until restart — and prunes terminal jobs older than
+// JobTTL from memory and DataDir, bounding an always-on server's growth
+// as jobs complete.
+func (s *Server) reap(now time.Time) {
+	s.mu.Lock()
+	var stale []*uploadSession
+	for _, u := range s.uploads {
+		if now.Sub(u.lastActive) > s.cfg.UploadTimeout {
+			stale = append(stale, u)
+		}
+	}
+	var prune []*Job
+	for id, j := range s.jobs {
+		if j.terminal() && !j.FinishedAt.IsZero() && now.Sub(j.FinishedAt) > s.cfg.JobTTL {
+			delete(s.jobs, id)
+			prune = append(prune, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, u := range stale {
+		// abortUpload re-checks liveness, so racing a late commit or an
+		// explicit client abort refunds once, not twice.
+		s.abortUpload(u)
+		s.m.Counter("server.uploads_expired").Inc()
+	}
+	for _, j := range prune {
+		os.RemoveAll(j.dir)
+		s.m.Counter("server.jobs_pruned").Inc()
 	}
 }

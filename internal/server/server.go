@@ -74,6 +74,16 @@ type Config struct {
 	// Quantum is the deficit-round-robin byte quantum per tenant visit:
 	// the fairness grain. Smaller favors small jobs harder (0 = 64 KiB).
 	Quantum int64
+	// UploadTimeout is how long an upload session may sit idle (no chunk
+	// received) before the reaper aborts it, refunding its job slot and
+	// bytes — a client that starts a session and walks away cannot hold
+	// quota forever (0 = 5m).
+	UploadTimeout time.Duration
+	// JobTTL is how long a terminal job's record and report stay around
+	// after it finishes; the reaper then prunes them from memory and
+	// DataDir so an always-on server does not grow without bound
+	// (0 = 24h).
+	JobTTL time.Duration
 	// Workers is the per-job analysis parallelism (0 = GOMAXPROCS via the
 	// core default).
 	Workers int
@@ -118,6 +128,13 @@ func WithRetryBackoff(d time.Duration) Option { return func(c *Config) { c.Retry
 // WithQuantum sets the round-robin byte quantum (the fairness grain).
 func WithQuantum(n int64) Option { return func(c *Config) { c.Quantum = n } }
 
+// WithUploadTimeout sets the idle deadline after which an abandoned
+// upload session is reaped.
+func WithUploadTimeout(d time.Duration) Option { return func(c *Config) { c.UploadTimeout = d } }
+
+// WithJobTTL sets how long finished jobs and their reports are retained.
+func WithJobTTL(d time.Duration) Option { return func(c *Config) { c.JobTTL = d } }
+
 // WithWorkers sets per-job analysis parallelism.
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 
@@ -155,6 +172,12 @@ func (cfg *Config) fill() error {
 	if cfg.Quantum == 0 {
 		cfg.Quantum = 64 << 10
 	}
+	if cfg.UploadTimeout == 0 {
+		cfg.UploadTimeout = 5 * time.Minute
+	}
+	if cfg.JobTTL == 0 {
+		cfg.JobTTL = 24 * time.Hour
+	}
 	for _, f := range []struct {
 		name string
 		bad  bool
@@ -169,6 +192,8 @@ func (cfg *Config) fill() error {
 		{"MaxAttempts", cfg.MaxAttempts < 0},
 		{"RetryBackoff", cfg.RetryBackoff < 0},
 		{"Quantum", cfg.Quantum < 0},
+		{"UploadTimeout", cfg.UploadTimeout < 0},
+		{"JobTTL", cfg.JobTTL < 0},
 	} {
 		if f.bad {
 			return fmt.Errorf("server: %s must be positive", f.name)
