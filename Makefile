@@ -33,7 +33,7 @@ fmt:
 
 race:
 	$(GO) test -race $(FAST_PKGS)
-	$(GO) test -race -short -run 'TestDifferentialSweepVsProbe|TestAnalyzerBenchSmoke' ./internal/harness
+	$(GO) test -race -short -run 'TestDifferentialSweepVsProbe|TestAnalyzerBenchSmoke|TestStaticFilterDifferential|TestStaticFilterSmoke' ./internal/harness
 
 # Short fuzz pass over the trace readers: adversarial inputs must never
 # panic or allocate unboundedly (seed corpus built in internal/trace).
@@ -51,9 +51,12 @@ fuzz:
 # experiment (mid-run store failure, then salvage analysis of the
 # wreckage); SERVE=1 additionally runs the analysis-service stress
 # experiment (multi-tenant fairness, torn uploads, heap budget) into
-# BENCH_8.json.
+# BENCH_8.json. The static-filter comparison (filter on vs off on the
+# statically chunked workloads) always runs into BENCH_9.json — it is
+# sub-second.
 bench:
 	$(GO) run ./cmd/swordbench -bench BENCH_7.json
+	$(GO) run ./cmd/swordbench -filter BENCH_9.json
 ifdef DIST
 	$(GO) run ./cmd/swordbench -dist BENCH_6.json
 endif
@@ -80,10 +83,12 @@ serve-smoke:
 # Analyzer-engine regression guards: the solver memo and race-site
 # suppression must keep answering at least half the requested decisions
 # without a real solve, the pair pre-filter must retire the strided
-# workload's provably race-free pairs, and one full analysis must stay
-# within the arena builder's allocation budget.
+# workload's provably race-free pairs, one full analysis must stay
+# within the arena builder's allocation budget, and the static filter
+# must cut collection volume and retire pair classes without changing
+# any verdict.
 bench-smoke:
-	$(GO) test -short -run 'TestAnalyzerBenchSmoke' ./internal/harness
+	$(GO) test -short -run 'TestAnalyzerBenchSmoke|TestStaticFilterSmoke' ./internal/harness
 	$(GO) test -run 'TestAnalyzerAllocSmoke' ./internal/harness
 
 # CPU and heap profiles of the end-to-end analyzer benchmark (the

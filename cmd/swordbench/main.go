@@ -12,6 +12,7 @@
 //	swordbench -bench BENCH.json  # micro-benchmark suite (hot paths, codecs)
 //	swordbench -dist BENCH.json   # distributed analysis vs single-process
 //	swordbench -serve BENCH.json  # analysis-service multi-tenant stress
+//	swordbench -filter BENCH.json # static-filter on/off comparison
 //	swordbench -list           # list experiment ids
 package main
 
@@ -38,6 +39,7 @@ func main() {
 	bench := flag.String("bench", "", "run the performance micro-benchmark suite and write JSON results to this file (schema in EXPERIMENTS.md)")
 	distBench := flag.String("dist", "", "run the distributed-analysis experiment (single-process vs N loopback workers) and write JSON results to this file (schema in EXPERIMENTS.md)")
 	serveBench := flag.String("serve", "", "run the analysis-service stress experiment (multi-tenant fairness, torn uploads, heap budget) and write JSON results to this file (schema in EXPERIMENTS.md)")
+	filterBench := flag.String("filter", "", "run the static-filter experiment (filter on vs off on the statically chunked workloads) and write JSON results to this file (schema in EXPERIMENTS.md)")
 	chaos := flag.Bool("chaos", false, "run the crash-tolerance chaos experiment (mid-run store failure + salvage analysis)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -72,6 +74,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *serveBench)
+		return
+	}
+
+	if *filterBench != "" {
+		if err := harness.WriteStaticFilterBench(*filterBench); err != nil {
+			fmt.Fprintln(os.Stderr, "swordbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *filterBench)
 		return
 	}
 

@@ -39,6 +39,7 @@ func main() {
 	noCompact := flag.Bool("nocompact", false, "disable interval-tree compaction (ablation)")
 	allRaces := flag.Bool("all-races", false, "disable race-site suppression: solve every instance of already-confirmed race sites so per-race counts are exact")
 	salvage := flag.Bool("salvage", false, "graceful-degradation mode for damaged traces: recover and analyze what survived")
+	noPrefilter := flag.Bool("no-prefilter", false, "disable the summary-based pair pre-filter (ablation; identical race set, more comparisons)")
 	check := flag.Bool("check", false, "validate trace integrity before analyzing")
 	metrics := flag.Bool("metrics", false, "print the observability breakdown: per-phase timings and pipeline counters")
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, else JSON)")
@@ -83,6 +84,7 @@ func main() {
 		sword.WithNoCompact(*noCompact),
 		sword.WithAllRaces(*allRaces),
 		sword.WithSalvage(*salvage),
+		sword.WithNoPrefilter(*noPrefilter),
 	)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -138,6 +140,8 @@ func printMetrics(stats *sword.RunStats) {
 	fmt.Printf("skipped bytes:       %d\n", snap.Value("trace.skipped_bytes"))
 	fmt.Println("--- analysis effort ---")
 	fmt.Printf("interval pairs:      %d\n", snap.Value("core.interval_pairs"))
+	fmt.Printf("pairs prefiltered:   %d\n", snap.Value("core.pairs_prefiltered"))
+	fmt.Printf("pairs retired:       %d (static certificates)\n", snap.Value("core.pairs_retired_static"))
 	fmt.Printf("node comparisons:    %d\n", snap.Value("core.node_comparisons"))
 	fmt.Printf("solver calls:        %d\n", snap.Value("core.solver_calls"))
 	fmt.Printf("solver cache hits:   %d\n", snap.Value("core.solver_cache_hits"))

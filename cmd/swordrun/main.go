@@ -34,6 +34,7 @@ func main() {
 	flushWorkers := flag.Int("flush-workers", 0, "sword flush pipeline workers (0 = min(GOMAXPROCS, 4))")
 	batch := flag.Int("batch", 0, "sword offline analysis: N top-level subtrees per batch (0 = one pass)")
 	salvage := flag.Bool("salvage", false, "sword offline analysis: graceful-degradation mode for damaged traces")
+	staticFilter := flag.Bool("static-filter", false, "sword collection: drop accesses covered by static loop certificates (identical race set)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	verbose := flag.Bool("v", false, "print per-race details")
 	asJSON := flag.Bool("json", false, "emit the race report as JSON")
@@ -103,6 +104,7 @@ func main() {
 	opts := harness.Options{
 		Threads: *threads, Size: *size, NodeBudget: *budget,
 		FlushWorkers: *flushWorkers, SubtreeBatch: *batch, Salvage: *salvage,
+		StaticFilter: *staticFilter,
 	}
 	if *logdir != "" {
 		store, err := trace.NewDirStore(*logdir)
@@ -149,6 +151,10 @@ func main() {
 		fmt.Printf("offline time: %v (1 worker), %v (parallel)\n", res.OfflineOA, res.OfflineMT)
 		fmt.Printf("trace: %d events, %d flushes, %d fragments, %d log bytes\n",
 			res.Collector.Events, res.Collector.Flushes, res.Collector.Fragments, res.LogBytes)
+		if res.Collector.EventsFiltered > 0 {
+			fmt.Printf("static filter: %d accesses dropped at collection, %d pair classes retired\n",
+				res.Collector.EventsFiltered, res.Analysis.PairsRetiredStatic)
+		}
 	}
 	if tool == harness.Archer || tool == harness.ArcherLow {
 		fmt.Printf("shadow: %d words, %d evictions, %d checks\n",

@@ -274,11 +274,13 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context) (*report.Report, error) {
 			a.applyQuarantine(s, rep, firstBatch)
 		}
 		firstBatch = false
-		pairs, dropped := enumeratePairs(s, include, true, !a.cfg.NoPrefilter)
+		pairs, dropped, retired := enumeratePairs(s, include, true, !a.cfg.NoPrefilter)
 		schedulePairs(pairs)
 		rep.Stats.IntervalPairs += len(pairs)
 		rep.Stats.PairsPrefiltered += dropped
 		m.Counter("core.pairs_prefiltered").Add(dropped)
+		rep.Stats.PairsRetiredStatic += retired
+		m.Counter("core.pairs_retired_static").Add(retired)
 		batchNodes := 0
 		for _, iv := range s.intervals {
 			if include == nil || include[iv.region.top.id] {
@@ -595,6 +597,11 @@ func (a *Analyzer) buildSlotTrees(ctx context.Context, s *structure, slot int, i
 			if only != nil && !only[iv] {
 				continue
 			}
+			if iv.cert != nil && !iv.cert.retire {
+				// Voided or untrusted certificate: reconstruct the dropped
+				// access prefix before the unit's runs are sorted.
+				materializeCert(iv)
+			}
 			for _, u := range iv.units {
 				builderBytes += u.finalize(!a.cfg.NoCompact)
 			}
@@ -823,7 +830,14 @@ var blockBufPool = sync.Pool{New: func() any {
 // returned for Stats.PairsPrefiltered. It only takes effect on units with
 // finalized builder summaries, so the probe-engine and planner paths are
 // naturally unaffected.
-func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty, prefilter bool) ([][2]*treeUnit, uint64) {
+//
+// Pairs whose two units are covered by the same trusted CLEAN loop
+// certificate are retired before any other consideration — the runtime
+// proved their accesses disjoint before dropping them, and the analyzer
+// re-verified the certificate's structural position (cert.go). The count
+// of distinct pairs so retired is the third return, for
+// Stats.PairsRetiredStatic.
+func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty, prefilter bool) ([][2]*treeUnit, uint64, uint64) {
 	// Same-region pairs, grouped by (pid, bid).
 	type groupKey struct{ pid, bid uint64 }
 	groups := make(map[groupKey][]*interval)
@@ -853,8 +867,28 @@ func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty, prefilter 
 	}
 	pairs := make([][2]*treeUnit, 0, est)
 	seen := make(map[[2]*treeUnit]struct{}, est)
-	var prefiltered uint64
+	var prefiltered, retired uint64
 	addUnits := func(x, y *treeUnit) {
+		// Certificate retirement first, so the retired count reflects every
+		// pair class the static proof killed — including the ones the
+		// empty-unit skip would have caught for free (a trusted clean
+		// certificate's units are empty precisely because collection
+		// dropped everything). The nodeCount guard is defense in depth: if
+		// a unit somehow holds content, the pair falls through to a real
+		// comparison instead of being skipped on the proof alone.
+		if ci := x.iv.cert; ci != nil && ci.retire && y.iv.cert == ci &&
+			x.nodeCount() == 0 && y.nodeCount() == 0 {
+			k := [2]*treeUnit{x, y}
+			if lessKey(y.iv.key, x.iv.key) || (x.iv.key == y.iv.key && y.cut < x.cut) {
+				k = [2]*treeUnit{y, x}
+			}
+			before := len(seen)
+			seen[k] = struct{}{}
+			if len(seen) != before {
+				retired++
+			}
+			return
+		}
 		if skipEmpty && (x.nodeCount() == 0 || y.nodeCount() == 0) {
 			return
 		}
@@ -933,7 +967,7 @@ func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty, prefilter 
 		}
 		return a[1].cut < b[1].cut
 	})
-	return pairs, prefiltered
+	return pairs, prefiltered, retired
 }
 
 // summariesMayRace decides from two unit summaries alone whether any node

@@ -82,6 +82,10 @@ type BatchAnalyzer struct {
 	// pre-filter, reported once via StructureStats.
 	prefiltered uint64
 
+	// retired counts pairs the planner dropped because both units are
+	// covered by the same trusted CLEAN loop certificate (cert.go).
+	retired uint64
+
 	// Resident-tree LRU: resident maps an interval to its element in lru
 	// (front = most recent); budget 0 disables residency entirely.
 	budget        int64
@@ -139,7 +143,8 @@ func NewBatchAnalyzer(store trace.Store, cfg Config) (*BatchAnalyzer, error) {
 	// at the planner is the coordinator-side slice of the pair pre-filter
 	// (counted in StructureStats so the merged report carries it); the
 	// remaining empty-tree pairs still ship and compare in O(1).
-	pairs, _ := enumeratePairs(s, nil, false, false)
+	pairs, _, retired := enumeratePairs(s, nil, false, false)
+	b.retired = retired
 	b.plan = make([]PairUnit, 0, len(pairs))
 	groups := make([]uint64, 0, len(pairs))
 	groupCost := make(map[uint64]uint64)
@@ -160,6 +165,7 @@ func NewBatchAnalyzer(store trace.Store, cfg Config) (*BatchAnalyzer, error) {
 		groupCost[g] = satAdd(groupCost[g], b.plan[len(b.plan)-1].Cost)
 	}
 	cfg.Obs.Counter("core.pairs_prefiltered").Add(b.prefiltered)
+	cfg.Obs.Counter("core.pairs_retired_static").Add(b.retired)
 	// Group-affinity schedule: pairs cluster by top-level barrier group so
 	// consecutive batches touch the same intervals — that is what makes a
 	// worker's resident trees and block skipping pay off. Groups run in
@@ -256,9 +262,10 @@ func (b *BatchAnalyzer) Volume() int64 { return b.vol }
 // double counting, since a batch only sees its own slice of the run.
 func (b *BatchAnalyzer) StructureStats() report.Stats {
 	return report.Stats{
-		Intervals:        len(b.s.intervals),
-		Regions:          len(b.s.regions),
-		PairsPrefiltered: b.prefiltered,
+		Intervals:          len(b.s.intervals),
+		Regions:            len(b.s.regions),
+		PairsPrefiltered:   b.prefiltered,
+		PairsRetiredStatic: b.retired,
 	}
 }
 

@@ -79,6 +79,11 @@ type interval struct {
 	taskParent bool
 	units      []*treeUnit
 
+	// cert is the static loop certificate covering this interval, if any,
+	// and certRow the interval's thread row within it (cert.go).
+	cert    *certInfo
+	certRow int
+
 	// quarantined excludes the interval from salvage-mode analysis: its
 	// log data intersects a lost range, extends past a truncated log, or
 	// its region's structure is unrecoverable. The flag persists across
@@ -223,6 +228,7 @@ type structure struct {
 	intervals map[trace.IntervalKey]*interval
 	bySlot    map[int][]*interval // used to route log events to trees
 	topGroups map[uint64][]*region
+	certs     []*certInfo // static loop certificates (cert.go)
 
 	// Salvage-mode bookkeeping (empty after a strict build).
 	notes             []string     // human-readable damage annotations
@@ -267,6 +273,7 @@ func buildStructure(store trace.Store, salvage bool) (*structure, error) {
 	if salvage {
 		s.truncatedMeta = make(map[int]bool)
 	}
+	var allCerts []trace.LoopCert
 	for _, slot := range slots {
 		src, err := store.OpenMeta(slot)
 		if err != nil {
@@ -278,9 +285,10 @@ func buildStructure(store trace.Store, salvage bool) (*structure, error) {
 			return nil, fmt.Errorf("core: open meta %d: %w", slot, err)
 		}
 		var metas []trace.Meta
+		var slotCerts []trace.LoopCert
 		if salvage {
 			var srep *trace.SalvageReport
-			metas, srep, err = trace.ReadAllMetaTolerant(src)
+			metas, slotCerts, srep, err = trace.ReadAllMetaCertsTolerant(src)
 			if err != nil {
 				s.note("slot %d: meta file unreadable: %v", slot, err)
 				s.truncatedMeta[slot] = true
@@ -292,11 +300,12 @@ func buildStructure(store trace.Store, salvage bool) (*structure, error) {
 				s.note("slot %d: meta stream damaged after %d record(s): %s", slot, srep.IntactRecords, srep)
 			}
 		} else {
-			metas, err = trace.ReadAllMeta(src)
+			metas, slotCerts, err = trace.ReadAllMetaCerts(src)
 			if err != nil {
 				return nil, fmt.Errorf("core: read meta %d: %w", slot, err)
 			}
 		}
+		allCerts = append(allCerts, slotCerts...)
 		for i := range metas {
 			m := &metas[i]
 			r, ok := s.regions[m.PID]
@@ -400,6 +409,11 @@ func buildStructure(store trace.Store, salvage bool) (*structure, error) {
 				iv.quarantined = true
 			}
 		}
+	}
+	// Certificates resolve last: trust depends on final quarantine flags
+	// and the fully linked region forest.
+	if err := s.attachCerts(allCerts, salvage); err != nil {
+		return nil, err
 	}
 	// Deterministic fragment order within each interval and interval order
 	// within each slot (analysis routing relies on position order).

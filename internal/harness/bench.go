@@ -9,6 +9,7 @@ import (
 	"sword"
 	"sword/internal/compress"
 	"sword/internal/itree"
+	"sword/internal/memsim"
 	"sword/internal/omp"
 	"sword/internal/pcreg"
 	"sword/internal/rt"
@@ -73,6 +74,50 @@ func benchCollectorHotPath(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
 	if err := col.Close(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// benchCollectorAffine measures the collection cost of one access issued
+// through the affine capture API (Thread.ForAffine), per lane:
+//
+//   - certified: static filter on, provable static schedule — the access
+//     is dropped at collection time, the fast path the filter buys;
+//   - uncertified: static filter on, but a dynamic schedule voids the
+//     proof — the capture API records through the normal tool path;
+//   - nofilter: static filter off — the certificate hook declines and
+//     every access is recorded exactly as without the feature.
+func benchCollectorAffine(lane string) func(b *testing.B) {
+	return func(b *testing.B) {
+		const n = 4096
+		store := trace.NewMemStore()
+		col := rt.New(store, rt.Config{MaxEvents: 4096, Synchronous: true,
+			StaticFilter: lane != "nofilter"})
+		rtm := omp.New(omp.WithTool(col))
+		arr, err := memsim.NewSpace(nil).AllocF64(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loop := omp.NewAffineLoop()
+		wr := loop.WriteF64(arr, 1, 0, pcreg.Site("bench:affine:"+lane))
+		var opts omp.ForOpts
+		if lane == "uncertified" {
+			opts.Schedule = omp.ScheduleDynamic
+			opts.Chunk = 64
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		rtm.Parallel(1, func(th *omp.Thread) {
+			for done := 0; done < b.N; done += n {
+				th.ForAffineOpt(loop, 0, n, opts, func(it *omp.AffineIter) {
+					it.StoreF64(wr, 1)
+				})
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		if err := col.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -194,7 +239,8 @@ func benchAnalyzerEndToEnd(name string) func(b *testing.B) {
 // (testing.Benchmark, default 1s per benchmark) and returns benchmark name
 // → result. It covers the hot paths the perf work targets: contended
 // multi-slot collection (async pipeline vs synchronous flushing), the
-// uncontended append, and each flush codec.
+// uncontended append, the affine capture path in its three filter lanes
+// (certified drop, uncertified record, filter off), and each flush codec.
 func MicroBenches() map[string]BenchResult {
 	benches := []struct {
 		name string
@@ -203,6 +249,9 @@ func MicroBenches() map[string]BenchResult {
 		{"CollectorContended", benchCollectorContended(false)},
 		{"CollectorContendedSync", benchCollectorContended(true)},
 		{"CollectorHotPath", benchCollectorHotPath},
+		{"CollectorAffine/certified", benchCollectorAffine("certified")},
+		{"CollectorAffine/uncertified", benchCollectorAffine("uncertified")},
+		{"CollectorAffine/nofilter", benchCollectorAffine("nofilter")},
 		{"Compress/raw", benchCompress(compress.Raw{})},
 		{"Compress/lzss", benchCompress(compress.LZSS{})},
 		{"Compress/flate", benchCompress(compress.NewFlate())},

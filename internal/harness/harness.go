@@ -86,6 +86,14 @@ type Options struct {
 	// phase (see sword.WithAllRaces): every node pair of a confirmed-racy
 	// site is still solved so each race's Count reflects every instance.
 	AllRaces bool
+	// StaticFilter enables sword's collection-time static filtering of
+	// certified worksharing loops (see sword.WithStaticFilter). Only
+	// workloads using the affine capture API are affected; the race set
+	// is identical either way.
+	StaticFilter bool
+	// NoPrefilter disables sword's summary-based pair pre-filter in the
+	// offline phase (ablation; see sword.WithNoPrefilter).
+	NoPrefilter bool
 	// SkipOffline skips sword's offline phase (dynamic-only measurements,
 	// as in Figures 6-8 which plot log collection).
 	SkipOffline bool
@@ -207,6 +215,7 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 			sword.WithCodec(codecName),
 			sword.WithMaxEvents(opts.MaxEvents),
 			sword.WithFlushWorkers(opts.FlushWorkers),
+			sword.WithStaticFilter(opts.StaticFilter),
 			sword.WithObs(m),
 		)
 		if err != nil {
@@ -241,6 +250,7 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 			oaRep, _, err := sword.AnalyzeStore(store, sword.WithWorkers(1),
 				sword.WithSubtreeBatch(opts.SubtreeBatch),
 				sword.WithSalvage(opts.Salvage),
+				sword.WithNoPrefilter(opts.NoPrefilter),
 				sword.WithAllRaces(opts.AllRaces))
 			if err != nil {
 				return res, fmt.Errorf("harness: offline (OA): %w", err)
@@ -255,6 +265,7 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 				sword.WithWorkers(mtWorkers),
 				sword.WithSubtreeBatch(opts.SubtreeBatch),
 				sword.WithSalvage(opts.Salvage),
+				sword.WithNoPrefilter(opts.NoPrefilter),
 				sword.WithAllRaces(opts.AllRaces),
 				sword.WithObs(sess.Metrics()))
 			if err != nil {

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sword/internal/workloads"
+)
+
+// FilterLane is one leg of the static-filter experiment: a full sword run
+// (collection plus single-worker offline analysis) with the filter either
+// off or on. The schema is the BENCH_9.json artifact (see EXPERIMENTS.md).
+type FilterLane struct {
+	Races          int     `json:"races"`
+	EventsWritten  uint64  `json:"events_written"`
+	EventsFiltered uint64  `json:"events_filtered"`
+	BytesOnDisk    uint64  `json:"bytes_on_disk"`
+	SolverCalls    uint64  `json:"solver_calls"`
+	PairsRetired   uint64  `json:"pairs_retired_static"`
+	AnalyzeMs      float64 `json:"analyze_ms"`
+	EndToEndMs     float64 `json:"end_to_end_ms"`
+}
+
+// FilterComparison pairs the two lanes of one workload.
+type FilterComparison struct {
+	Off FilterLane `json:"off"`
+	On  FilterLane `json:"on"`
+}
+
+// filterBenchWorkloads are the statically chunked evaluation workloads the
+// experiment measures: the two affine capture programs plus the ported
+// OmpSCR jacobi stencil.
+var filterBenchWorkloads = []string{
+	"affine-blocked-no",
+	"affine-strided-yes",
+	"c_jacobi",
+}
+
+// StaticFilterExperiment runs every statically chunked evaluation workload
+// once with the collection-time static filter off and once with it on, and
+// returns workload name → the two lanes. The race count must be identical
+// across lanes — the filter's soundness contract — and the function fails
+// loudly if it is not, so the bench artifact can never record an unsound
+// configuration.
+func StaticFilterExperiment() (map[string]FilterComparison, error) {
+	out := make(map[string]FilterComparison, len(filterBenchWorkloads))
+	for _, name := range filterBenchWorkloads {
+		wl, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		var lanes [2]FilterLane
+		for i, on := range []bool{false, true} {
+			res, err := Run(wl, Sword, Options{Threads: 4, NodeBudget: -1, StaticFilter: on})
+			if err != nil {
+				return nil, fmt.Errorf("harness: static-filter experiment %s (filter=%v): %w", name, on, err)
+			}
+			lanes[i] = FilterLane{
+				Races:          res.Races,
+				EventsWritten:  res.Collector.Events,
+				EventsFiltered: res.Collector.EventsFiltered,
+				BytesOnDisk:    res.LogBytes,
+				SolverCalls:    res.Analysis.SolverCalls,
+				PairsRetired:   res.Analysis.PairsRetiredStatic,
+				AnalyzeMs:      float64(res.OfflineOA.Microseconds()) / 1e3,
+				EndToEndMs:     float64((res.DynTime + res.OfflineOA).Microseconds()) / 1e3,
+			}
+		}
+		if lanes[0].Races != lanes[1].Races {
+			return nil, fmt.Errorf("harness: static filter changed %s's race count: %d off, %d on",
+				name, lanes[0].Races, lanes[1].Races)
+		}
+		out[name] = FilterComparison{Off: lanes[0], On: lanes[1]}
+	}
+	return out, nil
+}
+
+// WriteStaticFilterBench runs StaticFilterExperiment and writes the results
+// to path as indented JSON — the BENCH_9.json artifact.
+func WriteStaticFilterBench(path string) error {
+	results, err := StaticFilterExperiment()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: marshal static-filter results: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,283 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"sword/internal/core"
+	"sword/internal/memsim"
+	"sword/internal/omp"
+	"sword/internal/pcreg"
+	"sword/internal/rt"
+	"sword/internal/trace"
+	"sword/internal/workloads"
+)
+
+// The static filter's contract is differential: for any program, the race
+// set reported with collection-time filtering on must equal the race set
+// with it off. These tests enforce the contract on every bundled example
+// workload and on randomized affine capture programs that mix certifiable
+// loops with every certificate-voiding trigger the runtime knows.
+
+// comparePairSets reports every asymmetry between two race-site sets.
+func comparePairSets(t *testing.T, off, on map[pcPair]bool) {
+	t.Helper()
+	for pair := range off {
+		if !on[pair] {
+			t.Errorf("filter-on run missed race %s <-> %s",
+				pcreg.Default.Name(pair[0]), pcreg.Default.Name(pair[1]))
+		}
+	}
+	for pair := range on {
+		if !off[pair] {
+			t.Errorf("filter-on run invented race %s <-> %s",
+				pcreg.Default.Name(pair[0]), pcreg.Default.Name(pair[1]))
+		}
+	}
+}
+
+// TestStaticFilterWorkloads runs every bundled workload under sword twice
+// — filter off, filter on — and requires identical race-site sets.
+func TestStaticFilterWorkloads(t *testing.T) {
+	for _, wl := range workloads.All() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			t.Parallel()
+			var pairs [2]map[pcPair]bool
+			for i, on := range []bool{false, true} {
+				res, err := Run(wl, Sword, Options{Threads: 4, NodeBudget: -1, StaticFilter: on})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pairs[i] = reportPairs(res.Report)
+			}
+			comparePairSets(t, pairs[0], pairs[1])
+		})
+	}
+}
+
+// randomAffineProgram builds and runs a random program against the affine
+// capture API: loops with random shapes (strides, directions, spans,
+// multiple declarations that may or may not overlap across threads) under
+// static or static-cyclic schedules, interleaved with raw scalar accesses
+// that do race. A per-loop "dirt" trigger exercises each certificate-
+// voiding path: a raw access inside the body (cert goes dirty, dropping
+// continues), a critical section inside the body (dropping stops at the
+// Acquire), a task spawned from the body, or a raw access before the loop
+// arms. All branching depends only on the seed — never on shared data or
+// timing — so two executions produce the same semantic race set. Dynamic
+// schedules are deliberately absent: their iteration-to-thread assignment
+// is timing-dependent, so two executions need not agree; the runtime's
+// refusal to certify them is covered by the omp package tests.
+func randomAffineProgram(seed int64, rtm *omp.Runtime, space *memsim.Space) {
+	r := rand.New(rand.NewSource(seed))
+	const pool = 3
+	arrays := make([]*memsim.F64, pool)
+	for i := range arrays {
+		a, err := space.AllocF64(256)
+		if err != nil {
+			panic(err)
+		}
+		arrays[i] = a
+	}
+	scalars, err := space.AllocF64(8)
+	if err != nil {
+		panic(err)
+	}
+	lock := rtm.NewLock()
+
+	type declSpec struct {
+		write bool
+		span  int
+	}
+	type loopSpec struct {
+		loop   *omp.AffineLoop
+		refs   []omp.AffineRef
+		decls  []declSpec
+		lo, hi int
+		opts   omp.ForOpts
+		dirt   int // 0 clean, 1 raw in body, 2 lock in body, 3 task in body, 4 raw before arm
+		rawPC  uint64
+		rawIdx int
+	}
+
+	teamSize := 2 + r.Intn(3)
+	rounds := 1 + r.Intn(3)
+	specs := make([]loopSpec, rounds)
+	for k := range specs {
+		hi := 8 + r.Intn(24)
+		sp := loopSpec{
+			loop:   omp.NewAffineLoop(),
+			hi:     hi,
+			dirt:   r.Intn(5),
+			rawPC:  pcreg.Site(fmt.Sprintf("affrand%d:raw%d", seed, k)),
+			rawIdx: r.Intn(scalars.Len()),
+		}
+		if r.Intn(3) == 1 {
+			sp.opts = omp.ForOpts{Schedule: omp.ScheduleStaticCyclic, Chunk: 1 + r.Intn(3)}
+		}
+		nd := 1 + r.Intn(3)
+		for d := 0; d < nd; d++ {
+			arr := arrays[r.Intn(pool)]
+			stride := int64(1 + r.Intn(3))
+			span := 1 + r.Intn(2)
+			write := r.Intn(2) == 0
+			var offset int64
+			if r.Intn(4) == 0 {
+				// Negative direction: lift the offset so every index of the
+				// iteration range stays inside the 256-element array.
+				stride = -stride
+				offset = -stride*int64(hi-1) + int64(r.Intn(16))
+			} else {
+				offset = int64(r.Intn(16))
+			}
+			pc := pcreg.Site(fmt.Sprintf("affrand%d:l%d.d%d", seed, k, d))
+			var ref omp.AffineRef
+			if write {
+				ref = sp.loop.WriteF64Span(arr, stride, offset, span, pc)
+			} else {
+				ref = sp.loop.ReadF64Span(arr, stride, offset, span, pc)
+			}
+			sp.refs = append(sp.refs, ref)
+			sp.decls = append(sp.decls, declSpec{write: write, span: span})
+		}
+		specs[k] = sp
+	}
+
+	rtm.Run(func(initial *omp.Thread) {
+		initial.Parallel(teamSize, func(th *omp.Thread) {
+			for k := range specs {
+				sp := &specs[k]
+				if sp.dirt == 4 {
+					// Raw access before the loop arms: the interval is already
+					// dirty, so the certificate drops but can never be CLEAN.
+					th.StoreF64(scalars, sp.rawIdx, float64(th.ID()), sp.rawPC)
+				}
+				th.ForAffineOpt(sp.loop, sp.lo, sp.hi, sp.opts, func(it *omp.AffineIter) {
+					for d, ds := range sp.decls {
+						for kk := 0; kk < ds.span; kk++ {
+							if ds.write {
+								it.StoreF64At(sp.refs[d], kk, float64(it.I()))
+							} else {
+								it.LoadF64At(sp.refs[d], kk)
+							}
+						}
+					}
+					if it.I() == sp.lo {
+						switch sp.dirt {
+						case 1:
+							th.StoreF64(scalars, sp.rawIdx, 1, sp.rawPC)
+						case 2:
+							th.WithLock(lock, func() {
+								th.StoreF64(scalars, sp.rawIdx, 2, sp.rawPC)
+							})
+						case 3:
+							th.Task(func(tt *omp.Thread) {
+								tt.StoreF64(scalars, sp.rawIdx, 3, sp.rawPC)
+							})
+						}
+					}
+				})
+			}
+		})
+	})
+}
+
+// TestStaticFilterDifferential: on randomized affine capture programs, the
+// filter-on run must report exactly the filter-off race set, and each run
+// must match the semantic oracle observing its own execution. A cross-run
+// counter asserts the suite actually dropped accesses somewhere — a filter
+// that silently never arms would otherwise pass vacuously.
+func TestStaticFilterDifferential(t *testing.T) {
+	last := int64(60)
+	if testing.Short() {
+		last = 15
+	}
+	var totalFiltered atomic.Uint64
+	t.Cleanup(func() {
+		if !t.Failed() && totalFiltered.Load() == 0 {
+			t.Error("no accesses were filtered across any seed: the certificates never armed")
+		}
+	})
+	for seed := int64(1); seed <= last; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			var pairs [2]map[pcPair]bool
+			for i, on := range []bool{false, true} {
+				oracle := newOracle()
+				store := trace.NewMemStore()
+				col := rt.New(store, rt.Config{Synchronous: true, MaxEvents: 64, StaticFilter: on})
+				rtm := omp.New(omp.WithTool(oracle), omp.WithTool(col))
+				randomAffineProgram(seed, rtm, memsim.NewSpace(nil))
+				if err := col.Close(); err != nil {
+					t.Fatal(err)
+				}
+				rep, err := core.New(store, core.Config{}).Analyze()
+				if err != nil {
+					t.Fatal(err)
+				}
+				pairs[i] = reportPairs(rep)
+				want := oracle.races()
+				for pair := range want {
+					if !pairs[i][pair] {
+						t.Errorf("filter=%v missed semantic race %s <-> %s", on,
+							pcreg.Default.Name(pair[0]), pcreg.Default.Name(pair[1]))
+					}
+				}
+				for pair := range pairs[i] {
+					if !want[pair] {
+						t.Errorf("filter=%v false positive %s <-> %s", on,
+							pcreg.Default.Name(pair[0]), pcreg.Default.Name(pair[1]))
+					}
+				}
+				if on {
+					totalFiltered.Add(col.Stats().EventsFiltered)
+				}
+			}
+			comparePairSets(t, pairs[0], pairs[1])
+		})
+	}
+}
+
+// TestStaticFilterSmoke is the make bench-smoke guard for the static
+// filter's acceptance criteria on the statically chunked affine workloads:
+// the filter must cut the events written by at least 30%, retire pair
+// classes, keep the solver essentially idle, and never change the verdict.
+func TestStaticFilterSmoke(t *testing.T) {
+	for _, name := range []string{"affine-blocked-no", "affine-strided-yes"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			wl, err := workloads.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off, err := Run(wl, Sword, Options{Threads: 4, NodeBudget: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			on, err := Run(wl, Sword, Options{Threads: 4, NodeBudget: -1, StaticFilter: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if on.Races != off.Races {
+				t.Fatalf("filter changed the race count: %d off, %d on", off.Races, on.Races)
+			}
+			if on.Collector.EventsFiltered == 0 {
+				t.Fatal("certified loop filtered no accesses")
+			}
+			if on.Analysis.PairsRetiredStatic == 0 {
+				t.Fatal("no pair classes retired despite a certified loop")
+			}
+			if on.Analysis.SolverCalls > 2 {
+				t.Fatalf("solver called %d times with the filter on; want <= 2", on.Analysis.SolverCalls)
+			}
+			if on.Collector.Events*10 > off.Collector.Events*7 {
+				t.Fatalf("filter saved too little: %d events written with filter, %d without (want >= 30%% cut)",
+					on.Collector.Events, off.Collector.Events)
+			}
+		})
+	}
+}

@@ -29,18 +29,28 @@ func storeWord(p *float64, v float64) {
 	atomic.StoreUint64((*uint64)(unsafe.Pointer(p)), math.Float64bits(v))
 }
 
+// observeAccess is the single funnel for recorded (non-dropped)
+// instrumented accesses: it maintains the interval's access count, voids
+// any armed certificate's clean claim (the access is content the
+// certificate does not cover), and fans out to the tools.
+func (t *Thread) observeAccess(addr uint64, size uint8, write, atomic bool, pc uint64) {
+	t.sinceBarrier++
+	t.certRaw()
+	t.rt.tools.access(t, addr, size, write, atomic, pc)
+}
+
 // Read reports an instrumented load of size bytes at addr from site pc.
 // Use it directly for access patterns the typed helpers don't cover.
 func (t *Thread) Read(addr uint64, size uint8, pc uint64) {
 	if t.InParallel() {
-		t.rt.tools.access(t, addr, size, false, false, pc)
+		t.observeAccess(addr, size, false, false, pc)
 	}
 }
 
 // Write reports an instrumented store.
 func (t *Thread) Write(addr uint64, size uint8, pc uint64) {
 	if t.InParallel() {
-		t.rt.tools.access(t, addr, size, true, false, pc)
+		t.observeAccess(addr, size, true, false, pc)
 	}
 }
 
@@ -109,7 +119,7 @@ func (t *Thread) AtomicAddF64(a *memsim.F64, i int, v float64, pc uint64) float6
 	storeWord(&a.Data[i], out)
 	mu.Unlock()
 	if t.InParallel() {
-		t.rt.tools.access(t, a.Addr(i), 8, true, true, pc)
+		t.observeAccess(a.Addr(i), 8, true, true, pc)
 	}
 	return out
 }
@@ -118,7 +128,7 @@ func (t *Thread) AtomicAddF64(a *memsim.F64, i int, v float64, pc uint64) float6
 func (t *Thread) AtomicAddI64(a *memsim.I64, i int, v int64, pc uint64) int64 {
 	out := atomic.AddInt64(&a.Data[i], v)
 	if t.InParallel() {
-		t.rt.tools.access(t, a.Addr(i), 8, true, true, pc)
+		t.observeAccess(a.Addr(i), 8, true, true, pc)
 	}
 	return out
 }
@@ -127,7 +137,7 @@ func (t *Thread) AtomicAddI64(a *memsim.I64, i int, v int64, pc uint64) int64 {
 func (t *Thread) AtomicLoadF64(a *memsim.F64, i int, pc uint64) float64 {
 	out := loadWord(&a.Data[i])
 	if t.InParallel() {
-		t.rt.tools.access(t, a.Addr(i), 8, false, true, pc)
+		t.observeAccess(a.Addr(i), 8, false, true, pc)
 	}
 	return out
 }
@@ -137,6 +147,6 @@ func (t *Thread) AtomicLoadF64(a *memsim.F64, i int, pc uint64) float64 {
 func (t *Thread) AtomicStoreF64(a *memsim.F64, i int, v float64, pc uint64) {
 	storeWord(&a.Data[i], v)
 	if t.InParallel() {
-		t.rt.tools.access(t, a.Addr(i), 8, true, true, pc)
+		t.observeAccess(a.Addr(i), 8, true, true, pc)
 	}
 }

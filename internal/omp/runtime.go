@@ -35,12 +35,13 @@ type RegionInfo struct {
 
 // Runtime executes OpenMP-style programs. Create one per analyzed run.
 type Runtime struct {
-	tools     tools
-	slots     *slotPool
-	regionSeq atomic.Uint64
-	mutexSeq  atomic.Uint64
-	criticals sync.Map // name -> *Lock
-	pcs       *pcreg.Table
+	tools        tools
+	hasCertTools bool // any tool implements CertTool (affine.go)
+	slots        *slotPool
+	regionSeq    atomic.Uint64
+	mutexSeq     atomic.Uint64
+	criticals    sync.Map // name -> *Lock
+	pcs          *pcreg.Table
 }
 
 // Option configures a Runtime.
@@ -61,6 +62,11 @@ func New(opts ...Option) *Runtime {
 	r := &Runtime{slots: newSlotPool(), pcs: pcreg.Default}
 	for _, o := range opts {
 		o(r)
+	}
+	for _, t := range r.tools {
+		if _, ok := t.(CertTool); ok {
+			r.hasCertTools = true
+		}
 	}
 	return r
 }
@@ -92,6 +98,17 @@ type Thread struct {
 
 	// Outstanding child tasks of this thread (spawn order).
 	pendingTasks []taskHandle
+
+	// barrierAction is the lazily built, reused last-arriver callback for
+	// team barriers (see Thread.barrier).
+	barrierAction func()
+
+	// Static-certificate state (affine.go): the active certified loop,
+	// the pooled per-thread scratch, and the count of instrumented
+	// accesses recorded since the last barrier.
+	cert         *certState
+	certScratch  *certState
+	sinceBarrier uint64
 }
 
 // Runtime returns the owning runtime.
@@ -147,6 +164,7 @@ type team struct {
 	ordered    map[uint64]*orderedState
 	reduceBuf  []float64
 	reduceI64  []int64
+	curCert    *teamCert // pooled certificate slot (affine.go)
 }
 
 // Run executes f on the runtime's initial thread: the sequential context
@@ -199,6 +217,7 @@ func (t *Thread) Parallel(n int, body func(*Thread)) {
 		info.ParentID = trace.NoParent
 	}
 	t.seq++
+	t.certStop() // a nested fork splits the interval; stop dropping
 	t.rt.tools.regionFork(t, info)
 
 	tm := &team{
@@ -263,19 +282,27 @@ func (t *Thread) barrier(implicit bool) {
 	if !t.held.Empty() {
 		panic("omp: barrier inside a critical section or lock")
 	}
+	t.certStop() // a barrier inside a certified loop body ends the interval
 	t.rt.tools.barrierArrive(t, implicit)
-	t.team.barrier.await(func() {
-		// Exactly one thread per episode runs this while the team is
-		// parked: clear worksharing bookkeeping and complete the region's
-		// outstanding tasks, which the OpenMP specification ties to
-		// barriers.
-		t.team.singleDone = make(map[uint64]bool)
-		t.drainTasksAtBarrier()
-	})
+	if t.barrierAction == nil {
+		// Built once per thread — a fresh closure per call would allocate
+		// on every certified loop's join barrier, a path the static filter
+		// otherwise keeps allocation-free.
+		t.barrierAction = func() {
+			// Exactly one thread per episode runs this while the team is
+			// parked: clear worksharing bookkeeping and complete the region's
+			// outstanding tasks, which the OpenMP specification ties to
+			// barriers.
+			clear(t.team.singleDone)
+			t.drainTasksAtBarrier()
+		}
+	}
+	t.team.barrier.await(t.barrierAction)
 	t.bid++
 	t.seq = 0
 	t.label = t.label.Barrier()
 	t.pendingTasks = nil // all complete as of the barrier
+	t.sinceBarrier = 0
 	t.rt.tools.barrierDepart(t, implicit)
 }
 

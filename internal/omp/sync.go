@@ -29,6 +29,9 @@ func (l *Lock) ID() uint64 { return l.id }
 func (t *Thread) Acquire(l *Lock) {
 	l.mu.Lock()
 	t.held = t.held.With(l.id)
+	// Dropped accesses rematerialize with an empty mutex set; once a lock
+	// is held, dropping must end or the replay would invent races.
+	t.certStop()
 	t.rt.tools.mutexAcquired(t, l.id)
 }
 

@@ -55,6 +55,7 @@ func (t *Thread) Task(body func(*Thread)) {
 		Async:     true,
 	}
 	t.seq++
+	t.certStop() // a task spawn splits the interval; stop dropping
 	t.rt.tools.taskSpawn(t, info)
 
 	tm := &team{

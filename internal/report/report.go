@@ -90,6 +90,13 @@ type Stats struct {
 	// bytes. Dropping such pairs never changes the reported race set.
 	PairsPrefiltered uint64
 
+	// PairsRetiredStatic counts concurrent unit pairs retired because both
+	// units are covered by the same trusted CLEAN static loop certificate:
+	// the runtime proved the threads' footprints disjoint before dropping
+	// a single access, and the analyzer re-verified the certificate's
+	// structural position. Retired pairs never reach the comparison engine.
+	PairsRetiredStatic uint64
+
 	// Salvage coverage: how much of the trace survived. All zero for a
 	// clean trace (or strict-mode analysis, which errors out instead).
 	IntervalsQuarantined int    // intervals excluded because their data was lost
@@ -123,6 +130,7 @@ func (s *Stats) Merge(other Stats) {
 	s.SolverCacheMisses += other.SolverCacheMisses
 	s.SitesSuppressed += other.SitesSuppressed
 	s.PairsPrefiltered += other.PairsPrefiltered
+	s.PairsRetiredStatic += other.PairsRetiredStatic
 	s.IntervalsQuarantined += other.IntervalsQuarantined
 	s.CorruptBlocks += other.CorruptBlocks
 	s.TruncatedSlots += other.TruncatedSlots

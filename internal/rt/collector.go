@@ -87,11 +87,18 @@ type Config struct {
 	// flush count and latency, raw vs compressed bytes, fragments, and
 	// slots. Recording is one atomic add per value; nil disables it.
 	Obs *obs.Metrics
+	// StaticFilter arms static worksharing certificates (omp.CertTool):
+	// accesses a certified loop proves race-free are counted
+	// (rt.events_filtered) instead of recorded, and the certificate is
+	// persisted as a meta extension record so the analyzer can retire the
+	// loop's pair classes. Off by default.
+	StaticFilter bool
 }
 
 // Stats aggregates collection counters across all slots.
 type Stats struct {
 	Events          uint64 // instrumented events recorded
+	EventsFiltered  uint64 // accesses dropped by static certificates
 	Flushes         uint64 // buffer flushes
 	RawBytes        uint64 // uncompressed bytes flushed
 	CompressedBytes uint64 // compressed payload bytes written
@@ -112,6 +119,7 @@ type Collector struct {
 	maxEvents    int
 	sync         bool
 	flushWorkers int
+	staticFilter bool
 	pcs          *pcreg.Table
 
 	// table is the atomically published slot table, indexed by slot id.
@@ -141,10 +149,11 @@ type Collector struct {
 	active    atomic.Int64
 	bufPool   sync.Pool // *[]byte (pointer avoids boxing on Put, SA6002)
 
-	events      atomic.Uint64
-	flushes     atomic.Uint64
-	fragments   atomic.Uint64
-	flushErrors atomic.Uint64
+	events         atomic.Uint64
+	eventsFiltered atomic.Uint64
+	flushes        atomic.Uint64
+	fragments      atomic.Uint64
+	flushErrors    atomic.Uint64
 
 	// Protocol diagnostics: malformed tool-event sequences (for example a
 	// RegionJoin with no matching RegionFork) are recorded here instead of
@@ -157,6 +166,7 @@ type Collector struct {
 	// no clock reads on the flush path.
 	timed        bool
 	mEvents      *obs.Counter
+	mFiltered    *obs.Counter
 	mFills       *obs.Counter
 	mFlushes     *obs.Counter
 	mRawBytes    *obs.Counter
@@ -185,6 +195,11 @@ type slotState struct {
 	stack    []trace.Meta // suspended enclosing fragments at nested forks
 	cuts     map[trace.IntervalKey]uint64
 
+	// certForce keeps the next empty fragment: a fully filtered interval
+	// still needs its meta record so the analyzer sees the (empty,
+	// certified) unit and can retire its pair classes.
+	certForce bool
+
 	// Pending flush queue. qmu orders producers against the draining
 	// worker; queued means the slot is scheduled (or running) on a worker,
 	// which guarantees at most one in-flight compression per slot and
@@ -210,6 +225,7 @@ func New(store trace.Store, cfg Config) *Collector {
 		maxEvents:    cfg.MaxEvents,
 		sync:         cfg.Synchronous,
 		flushWorkers: cfg.FlushWorkers,
+		staticFilter: cfg.StaticFilter,
 		pcs:          cfg.PCs,
 		forkCuts:     make(map[uint64]uint64),
 		waitCuts:     make(map[uint64]uint64),
@@ -231,6 +247,7 @@ func New(store trace.Store, cfg Config) *Collector {
 	if m := cfg.Obs; m != nil {
 		c.timed = true
 		c.mEvents = m.Counter("rt.events")
+		c.mFiltered = m.Counter("rt.events_filtered")
 		c.mFills = m.Counter("rt.buffer_fills")
 		c.mFlushes = m.Counter("rt.flushes")
 		c.mRawBytes = m.Counter("rt.raw_bytes")
@@ -489,7 +506,9 @@ func (c *Collector) closeFragment(st *slotState) {
 	st.fragOpen = false
 	st.cuts[st.frag.Key()]++ // every close is a boundary in cut coordinates
 	st.frag.DataSize = st.logical() - st.frag.DataBegin
-	if st.frag.DataSize == 0 && !(st.frag.BID == 0 && st.frag.TID() == 0) {
+	force := st.certForce
+	st.certForce = false
+	if st.frag.DataSize == 0 && !force && !(st.frag.BID == 0 && st.frag.TID() == 0) {
 		// Empty interval fragments carry no access data; only the master's
 		// first fragment is kept regardless, so every region instance —
 		// even one whose own intervals are all empty — appears in some
@@ -622,6 +641,49 @@ func (c *Collector) Access(th *omp.Thread, addr uint64, size uint8, write, atomi
 	c.bump(st)
 }
 
+// LoopCertBegin implements omp.CertTool: when static filtering is on, arm
+// the certificate for this thread — record where the loop sits in the
+// slot's trace (trace thread id and fragment cut, which the analyzer needs
+// to rematerialize a voided certificate into the right unit) and keep the
+// interval's meta record even if every access ends up filtered.
+func (c *Collector) LoopCertBegin(th *omp.Thread, cert *trace.LoopCert) bool {
+	if !c.staticFilter {
+		return false
+	}
+	st := c.state(th.Slot())
+	if st.degraded.Load() || !st.fragOpen {
+		return false
+	}
+	cert.Threads[th.ID()] = trace.CertThread{
+		TID:     st.frag.TID(),
+		Cut:     st.frag.Cut,
+		Dropped: cert.Threads[th.ID()].Dropped,
+	}
+	st.certForce = true
+	return true
+}
+
+// LoopCertEnd implements omp.CertTool: persist the finalized certificate
+// as a meta extension record in this thread's slot and account the
+// filtered events.
+func (c *Collector) LoopCertEnd(th *omp.Thread, cert *trace.LoopCert) {
+	var dropped uint64
+	for i := range cert.Threads {
+		for _, n := range cert.Threads[i].Dropped {
+			dropped += n
+		}
+	}
+	c.eventsFiltered.Add(dropped)
+	c.mFiltered.Add(dropped)
+	st := c.state(th.Slot())
+	if st.degraded.Load() {
+		return
+	}
+	if err := st.meta.AppendCert(cert); err != nil {
+		c.degrade(st, fmt.Sprintf("rt: write certificate for slot %d: %v", st.slot, err))
+	}
+}
+
 func (c *Collector) bump(st *slotState) {
 	c.events.Add(1)
 	c.mEvents.Inc()
@@ -717,10 +779,11 @@ func (c *Collector) writeTaskWaits() error {
 // Stats returns collection counters. Call after Close for final values.
 func (c *Collector) Stats() Stats {
 	s := Stats{
-		Events:      c.events.Load(),
-		Flushes:     c.flushes.Load(),
-		Fragments:   c.fragments.Load(),
-		FlushErrors: c.flushErrors.Load(),
+		Events:         c.events.Load(),
+		EventsFiltered: c.eventsFiltered.Load(),
+		Flushes:        c.flushes.Load(),
+		Fragments:      c.fragments.Load(),
+		FlushErrors:    c.flushErrors.Load(),
 	}
 	for _, st := range c.snapshot() {
 		s.Slots++

@@ -1,0 +1,72 @@
+package rt
+
+import (
+	"testing"
+
+	"sword/internal/memsim"
+	"sword/internal/omp"
+	"sword/internal/trace"
+)
+
+// TestFilteredAccessSteadyStateAllocs pins the certified drop path: once
+// the certificate machinery is warm (pooled team slot, pre-sized drop
+// counters, reusable meta-record scratch), the per-access cost of a
+// certified loop must be allocation-free. What remains per loop instance
+// is a small constant of interval bookkeeping — the cut-coordinate map
+// gains one entry per thread per barrier interval — so the test asserts
+// both that the constant is small and that it does not grow with the
+// iteration count: an 8x longer loop must allocate exactly as much as the
+// short one, i.e. dropping an access allocates nothing.
+func TestFilteredAccessSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; steady-state allocs are meaningless")
+	}
+	store := trace.NewMemStore()
+	col := New(store, Config{Synchronous: true, StaticFilter: true})
+	rtm := omp.New(omp.WithTool(col))
+	arr, err := memsim.NewSpace(nil).AllocF64(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := omp.NewAffineLoop()
+	rd := loop.ReadF64(arr, 1, 0, 0x7001)
+	wr := loop.WriteF64(arr, 1, 0, 0x7002)
+	var short, long float64
+	rtm.Parallel(2, func(th *omp.Thread) {
+		body := func(it *omp.AffineIter) {
+			it.StoreF64(wr, it.LoadF64(rd)+1)
+		}
+		measure := func(iters int, out *float64) {
+			run := func() { th.ForAffine(loop, 0, iters, body) }
+			// Warm: arm the certificate, fill the pools, and grow the
+			// store's meta buffer past what the measured instances append.
+			for i := 0; i < 100; i++ {
+				run()
+			}
+			if th.ID() == 0 {
+				*out = testing.AllocsPerRun(20, run)
+			} else {
+				for i := 0; i < 21; i++ { // AllocsPerRun runs once extra as warm-up
+					run()
+				}
+			}
+		}
+		measure(512, &short)
+		measure(4096, &long)
+	})
+	if st := col.Stats(); st.EventsFiltered == 0 {
+		t.Fatal("certified loop filtered no accesses; the test is not measuring the drop path")
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Two threads x one cut-map entry per interval, plus headroom for the
+	// occasional amortized map growth.
+	if short > 4 {
+		t.Errorf("certified loop allocates %.1f objects per instance at steady state, want <= 4", short)
+	}
+	if long > short {
+		t.Errorf("allocations grew with iteration count (%.1f for 512 iters, %.1f for 4096): the drop path allocates per access",
+			short, long)
+	}
+}

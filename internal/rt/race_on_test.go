@@ -1,0 +1,8 @@
+//go:build race
+
+package rt
+
+// raceEnabled reports whether the race detector is on: sync.Pool
+// deliberately drops items under -race, so steady-state allocation
+// assertions cannot hold there.
+const raceEnabled = true

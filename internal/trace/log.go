@@ -577,6 +577,11 @@ func ReadAllMetaTolerant(r io.ReadCloser) ([]Meta, *SalvageReport, error) {
 }
 
 func decodeAllMeta(data []byte, tolerant bool) ([]Meta, *SalvageReport, error) {
+	metas, _, rep, err := decodeAllMetaCerts(data, tolerant)
+	return metas, rep, err
+}
+
+func decodeAllMetaCerts(data []byte, tolerant bool) ([]Meta, []LoopCert, *SalvageReport, error) {
 	rep := &SalvageReport{}
 	version := FormatV1
 	pos := 0
@@ -585,12 +590,41 @@ func decodeAllMeta(data []byte, tolerant bool) ([]Meta, *SalvageReport, error) {
 		pos = len(metaMagic)
 	}
 	var out []Meta
+	var certs []LoopCert
 	for pos < len(data) {
 		var m Meta
 		var n int
 		var err error
+		isMeta := true
 		if version == FormatV2 {
-			n, err = decodeMetaV2(data[pos:], &m)
+			var body []byte
+			var marker byte
+			body, marker, n, err = decodeV2Frame(data[pos:])
+			if err == nil {
+				switch marker {
+				case metaCommit:
+					var used int
+					used, err = DecodeMeta(body, &m)
+					if err == nil && used != len(body) {
+						err = fmt.Errorf("record body is %d bytes but its encoding uses %d", len(body), used)
+					}
+				case metaExt:
+					// Extension record: uvarint record type, then a
+					// type-specific payload. Unknown types are skipped by
+					// the length framing — old analyzers tolerate records
+					// newer collectors write.
+					isMeta = false
+					recType, k := binary.Uvarint(body)
+					if k <= 0 {
+						err = errors.New("truncated extension record")
+					} else if recType == certRecType {
+						var c LoopCert
+						if err = decodeCert(body[k:], &c); err == nil {
+							certs = append(certs, c)
+						}
+					}
+				}
+			}
 		} else {
 			n, err = DecodeMeta(data[pos:], &m)
 		}
@@ -600,50 +634,47 @@ func decodeAllMeta(data []byte, tolerant bool) ([]Meta, *SalvageReport, error) {
 				rep.add(SalvageEntry{Block: len(out), Offset: uint64(pos), Cause: err.Error()})
 				break
 			}
-			return nil, nil, fmt.Errorf("trace: meta record %d at offset %d (%d intact record(s) before it): %w",
+			return nil, nil, nil, fmt.Errorf("trace: meta record %d at offset %d (%d intact record(s) before it): %w",
 				len(out), pos, len(out), err)
 		}
 		pos += n
 		rep.SalvagedBytes += uint64(n)
-		out = append(out, m)
+		if isMeta {
+			out = append(out, m)
+		}
 	}
 	rep.IntactRecords = len(out)
-	return out, rep, nil
+	return out, certs, rep, nil
 }
 
-// decodeMetaV2 decodes one committed v2 meta record from src, returning
-// the bytes consumed.
-func decodeMetaV2(src []byte, m *Meta) (int, error) {
+// decodeV2Frame parses one committed v2 record frame from src — length,
+// body, checksum, marker — verifying the checksum and returning the body,
+// the marker byte (the record-type discriminator) and the bytes consumed.
+func decodeV2Frame(src []byte) ([]byte, byte, int, error) {
 	bodyLen, n := binary.Uvarint(src)
 	if n <= 0 {
-		return 0, errors.New("torn record length (crash mid-append)")
+		return nil, 0, 0, errors.New("torn record length (crash mid-append)")
 	}
 	if bodyLen == 0 || bodyLen > maxMetaRecordBytes {
-		return 0, fmt.Errorf("implausible record length %d", bodyLen)
+		return nil, 0, 0, fmt.Errorf("implausible record length %d", bodyLen)
 	}
 	pos := n
 	if len(src) < pos+int(bodyLen)+5 {
-		return 0, errors.New("torn record (crash mid-append)")
+		return nil, 0, 0, errors.New("torn record (crash mid-append)")
 	}
 	body := src[pos : pos+int(bodyLen)]
 	pos += int(bodyLen)
 	want := binary.LittleEndian.Uint32(src[pos:])
 	pos += 4
-	if src[pos] != metaCommit {
-		return 0, errors.New("missing commit marker")
+	marker := src[pos]
+	if marker != metaCommit && marker != metaExt {
+		return nil, 0, 0, errors.New("missing commit marker")
 	}
 	pos++
 	if crc32.Checksum(body, castagnoli) != want {
-		return 0, errors.New("record crc mismatch")
+		return nil, 0, 0, errors.New("record crc mismatch")
 	}
-	used, err := DecodeMeta(body, m)
-	if err != nil {
-		return 0, err
-	}
-	if used != len(body) {
-		return 0, fmt.Errorf("record body is %d bytes but its encoding uses %d", len(body), used)
-	}
-	return pos, nil
+	return body, marker, pos, nil
 }
 
 // FormatMetaTable renders meta records in the layout of Table I of the

@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"sword/internal/omp"
+)
+
+// Workloads written against the affine capture API (omp.AffineLoop /
+// Thread.ForAffine): their worksharing loops declare every access as an
+// affine shape, so the runtime can statically certify them race-free and
+// — under the static filter — drop the covered accesses at collection
+// time. Each keeps one genuine race outside the certified loops, so the
+// filter's soundness stays observable: the reported race set must be
+// identical with the filter on or off.
+
+func init() {
+	Register(Workload{
+		Name:        "affine-strided-yes",
+		Suite:       "drb",
+		Description: "cyclically strided writes, statically provable disjoint, plus a racy scalar store after the loop's barrier",
+		Documented:  1,
+		Expect:      Expected{Archer: 1, ArcherLow: 1, Sword: 1},
+		DefaultSize: 4096,
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			a := mustF64(ctx.Space, n)
+			b := mustF64(ctx.Space, n)
+			flag := mustF64(ctx.Space, 1)
+			pcR := omp.Site("affine/strided:read")
+			pcW := omp.Site("affine/strided:write")
+			pcFlag := omp.Site("affine/strided:flag")
+			loop := omp.NewAffineLoop()
+			rd := loop.ReadF64(b, 1, 0, pcR)
+			wr := loop.WriteF64(a, 1, 0, pcW)
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				// schedule(static, 1): thread t owns iterations t, t+NT,
+				// t+2NT, … — the classic cyclic distribution whose
+				// interleaved footprints the strided-intersection solver
+				// would otherwise grind through pair by pair.
+				th.ForAffineOpt(loop, 0, n, omp.ForOpts{Schedule: omp.ScheduleStaticCyclic, Chunk: 1},
+					func(it *omp.AffineIter) {
+						it.StoreF64(wr, it.LoadF64(rd)*2+1)
+					})
+				// Documented race, in the interval after the loop's
+				// barrier: every thread publishes a completion flag.
+				raceWW(th, flag, 0, pcFlag)
+			})
+		},
+	})
+
+	Register(Workload{
+		Name:        "affine-blocked-no",
+		Suite:       "drb",
+		Description: "block-distributed stencil update, statically provable disjoint: race-free under every tool",
+		Documented:  0,
+		Expect:      Expected{Archer: 0, ArcherLow: 0, Sword: 0},
+		DefaultSize: 4096,
+		Run: func(ctx *Ctx) {
+			n := ctx.Size
+			src := mustF64(ctx.Space, n)
+			dst := mustF64(ctx.Space, n)
+			pcR := omp.Site("affine/blocked:read")
+			pcW := omp.Site("affine/blocked:write")
+			loop := omp.NewAffineLoop()
+			rd := loop.ReadF64(src, 1, 0, pcR)
+			wr := loop.WriteF64(dst, 1, 0, pcW)
+			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
+				for round := 0; round < 2; round++ {
+					th.ForAffine(loop, 0, n, func(it *omp.AffineIter) {
+						it.StoreF64(wr, it.LoadF64(rd)*0.5)
+					})
+				}
+			})
+		},
+	})
+}

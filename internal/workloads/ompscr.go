@@ -225,17 +225,40 @@ func registerOmpSCRRacy() {
 			pcG := omp.Site("ompscr/c_jacobi.c:grid")
 			pcN := omp.Site("ompscr/c_jacobi.c:next")
 			pcRes := omp.Site("ompscr/c_jacobi.c:residual")
+			// The stencil loops go through the affine capture API: each
+			// sweep over rows r declares its four neighbor-read row blocks
+			// and the destination-row write block, so the runtime can
+			// statically certify the sweep race-free and (under the static
+			// filter) drop its accesses at collection time. The residual
+			// race lives in the interval after the sweep's barrier and is
+			// reported identically with the filter on or off.
+			type sweep struct {
+				loop                     *omp.AffineLoop
+				up, down, left, right, w omp.AffineRef
+			}
+			mkSweep := func(src, dst *memsim.F64) sweep {
+				l := omp.NewAffineLoop()
+				nn, span := int64(n), max(n-2, 1)
+				return sweep{
+					loop:  l,
+					up:    l.ReadF64Span(src, nn, -nn+1, span, pcG),
+					down:  l.ReadF64Span(src, nn, nn+1, span, pcG),
+					left:  l.ReadF64Span(src, nn, 0, span, pcG),
+					right: l.ReadF64Span(src, nn, 2, span, pcG),
+					w:     l.WriteF64Span(dst, nn, 1, span, pcN),
+				}
+			}
+			sweeps := [2]sweep{mkSweep(grid, next), mkSweep(next, grid)}
 			ctx.RT.Parallel(ctx.Threads, func(th *omp.Thread) {
-				bufs := [2]*memsim.F64{grid, next}
 				for iter := 0; iter < 2; iter++ {
-					src, dst := bufs[iter%2], bufs[(iter+1)%2]
-					th.For(1, n-1, func(r int) {
+					sw := sweeps[iter%2]
+					th.ForAffine(sw.loop, 1, n-1, func(it *omp.AffineIter) {
 						for c := 1; c < n-1; c++ {
-							v := (th.LoadF64(src, (r-1)*n+c, pcG) +
-								th.LoadF64(src, (r+1)*n+c, pcG) +
-								th.LoadF64(src, r*n+c-1, pcG) +
-								th.LoadF64(src, r*n+c+1, pcG)) * 0.25
-							th.StoreF64(dst, r*n+c, v, pcN)
+							v := (it.LoadF64At(sw.up, c-1) +
+								it.LoadF64At(sw.down, c-1) +
+								it.LoadF64At(sw.left, c-1) +
+								it.LoadF64At(sw.right, c-1)) * 0.25
+							it.StoreF64At(sw.w, c-1, v)
 						}
 					})
 					// Documented race: unsynchronized residual store.

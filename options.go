@@ -51,6 +51,21 @@ type Config struct {
 	// resident-tree budget from it. 0 disables; an explicit SubtreeBatch
 	// or DistConfig.ResidentBudget wins.
 	MemoryBudget int64
+	// StaticFilter enables collection-time static filtering: worksharing
+	// loops run through the affine capture API (Thread.ForAffine) whose
+	// access shapes the runtime proves disjoint across threads are
+	// certified, and the collector drops the covered accesses instead of
+	// recording them (counted in rt.events_filtered). The offline analysis
+	// consumes the published certificates to retire the proven pair
+	// classes (core.pairs_retired_static) or, whenever anything casts
+	// doubt on a certificate, to reconstruct the dropped accesses exactly
+	// — the reported race set is identical with the filter on or off.
+	// Loops not using the capture API are unaffected.
+	StaticFilter bool
+	// NoPrefilter disables the analyzer's summary-based pair pre-filter
+	// (ablation): every concurrent unit pair reaches the comparison
+	// engine. The race set is identical; only effort counters change.
+	NoPrefilter bool
 	// AllRaces disables the analyzer's race-site suppression: by default,
 	// once a site pair is confirmed racy, further node pairs mapping to
 	// the same race record skip the solver (the record they would merge
@@ -142,6 +157,20 @@ func WithSubtreeBatch(n int) Option {
 // is derived from it; see Config.MemoryBudget.
 func WithMemoryBudget(bytes int64) Option {
 	return func(c *Config) { c.MemoryBudget = bytes }
+}
+
+// WithStaticFilter enables collection-time static filtering of certified
+// worksharing loops (see Config.StaticFilter). The reported race set is
+// identical with the filter on or off; only collection volume and
+// analysis effort change.
+func WithStaticFilter(on bool) Option {
+	return func(c *Config) { c.StaticFilter = on }
+}
+
+// WithNoPrefilter disables the summary-based pair pre-filter in the
+// offline analysis (ablation; see Config.NoPrefilter).
+func WithNoPrefilter(on bool) Option {
+	return func(c *Config) { c.NoPrefilter = on }
 }
 
 // WithAllRaces disables race-site suppression in the offline analysis:

@@ -61,6 +61,14 @@ type (
 	ForOpts = omp.ForOpts
 	// Schedule enumerates worksharing schedules.
 	Schedule = omp.Schedule
+	// AffineLoop declares a worksharing loop's affine access shapes for
+	// static certification (run it with Thread.ForAffine; filtering
+	// activates under WithStaticFilter).
+	AffineLoop = omp.AffineLoop
+	// AffineIter is the per-iteration accessor handle of ForAffine.
+	AffineIter = omp.AffineIter
+	// AffineRef names one declared access shape of an AffineLoop.
+	AffineRef = omp.AffineRef
 	// Space allocates instrumented arrays with simulated addresses.
 	Space = memsim.Space
 	// F64 is an instrumented float64 array.
@@ -86,6 +94,10 @@ const (
 	ScheduleDynamic      = omp.ScheduleDynamic
 	ScheduleGuided       = omp.ScheduleGuided
 )
+
+// NewAffineLoop returns an empty affine loop declaration for static
+// certification (see AffineLoop).
+func NewAffineLoop() *AffineLoop { return omp.NewAffineLoop() }
 
 // Here interns the caller's source location as an access-site id.
 func Here() uint64 { return omp.Here() }
@@ -145,6 +157,7 @@ func NewSession(opts ...Option) (*Session, error) {
 		Codec:        compress.Instrument(codec, m),
 		MaxEvents:    cfg.MaxEvents,
 		FlushWorkers: cfg.FlushWorkers,
+		StaticFilter: cfg.StaticFilter,
 		Obs:          m,
 	})
 	return &Session{
@@ -219,6 +232,7 @@ func (s *Session) Finish() (*Report, *RunStats, error) {
 		NoCompact:    s.cfg.NoCompact,
 		SubtreeBatch: s.cfg.SubtreeBatch,
 		MemoryBudget: s.cfg.MemoryBudget,
+		NoPrefilter:  s.cfg.NoPrefilter,
 		AllRaces:     s.cfg.AllRaces,
 		Salvage:      s.cfg.Salvage,
 		Obs:          s.metrics,
@@ -302,6 +316,7 @@ func AnalyzeStoreContext(ctx context.Context, store Store, opts ...Option) (*Rep
 		NoCompact:    cfg.NoCompact,
 		SubtreeBatch: cfg.SubtreeBatch,
 		MemoryBudget: cfg.MemoryBudget,
+		NoPrefilter:  cfg.NoPrefilter,
 		AllRaces:     cfg.AllRaces,
 		Salvage:      cfg.Salvage,
 		Obs:          m,
