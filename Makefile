@@ -11,10 +11,10 @@ GO ?= go
 FAST_PKGS = . ./internal/archer ./internal/compress ./internal/core \
 	./internal/dist ./internal/ilp ./internal/itree ./internal/memsim \
 	./internal/obs ./internal/omp ./internal/osl ./internal/pcreg \
-	./internal/report ./internal/rt ./internal/server ./internal/trace \
-	./internal/vc ./internal/workloads
+	./internal/report ./internal/rt ./internal/server ./internal/stream \
+	./internal/trace ./internal/vc ./internal/workloads
 
-.PHONY: build test check fmt vet race bench bench-smoke dist-smoke serve-smoke fuzz profile
+.PHONY: build test check fmt vet race bench bench-smoke dist-smoke serve-smoke stream-smoke fuzz profile
 
 build:
 	$(GO) build ./...
@@ -33,7 +33,7 @@ fmt:
 
 race:
 	$(GO) test -race $(FAST_PKGS)
-	$(GO) test -race -short -run 'TestDifferentialSweepVsProbe|TestAnalyzerBenchSmoke|TestStaticFilterDifferential|TestStaticFilterSmoke' ./internal/harness
+	$(GO) test -race -short -run 'TestDifferentialSweepVsProbe|TestAnalyzerBenchSmoke|TestStaticFilterDifferential|TestStaticFilterSmoke|TestStreamDifferentialRandom|TestStreamDifferentialWorkloads' ./internal/harness
 
 # Short fuzz pass over the trace readers: adversarial inputs must never
 # panic or allocate unboundedly (seed corpus built in internal/trace).
@@ -41,6 +41,7 @@ race:
 fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzLogReader$$' -fuzztime 10s
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzDecodeMeta$$' -fuzztime 10s
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzTailGrowingLog$$' -fuzztime 10s
 	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzUploadHandler$$' -fuzztime 10s
 
 # Micro-benchmark suite (collector hot paths, flush pipeline, codecs,
@@ -53,10 +54,13 @@ fuzz:
 # experiment (multi-tenant fairness, torn uploads, heap budget) into
 # BENCH_8.json. The static-filter comparison (filter on vs off on the
 # statically chunked workloads) always runs into BENCH_9.json — it is
-# sub-second.
+# sub-second. The streaming-analysis comparison (first-race latency and
+# frontier footprint, online vs post-mortem) always runs into
+# BENCH_10.json for the same reason.
 bench:
 	$(GO) run ./cmd/swordbench -bench BENCH_7.json
 	$(GO) run ./cmd/swordbench -filter BENCH_9.json
+	$(GO) run ./cmd/swordbench -stream BENCH_10.json
 ifdef DIST
 	$(GO) run ./cmd/swordbench -dist BENCH_6.json
 endif
@@ -80,6 +84,12 @@ dist-smoke:
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
+# Streaming-analysis smoke: collect a racy workload with -live-flush while
+# swordwatch tails the growing trace, then assert the live race set
+# matches post-mortem swordoffline on the completed trace.
+stream-smoke:
+	GO="$(GO)" sh scripts/stream_smoke.sh
+
 # Analyzer-engine regression guards: the solver memo and race-site
 # suppression must keep answering at least half the requested decisions
 # without a real solve, the pair pre-filter must retire the strided
@@ -99,5 +109,5 @@ profile:
 		-cpuprofile cpu.pprof -memprofile mem.pprof ./internal/harness
 	@echo "wrote cpu.pprof and mem.pprof"
 
-check: vet fmt build race fuzz bench-smoke dist-smoke serve-smoke
+check: vet fmt build race fuzz bench-smoke dist-smoke serve-smoke stream-smoke
 	@echo "check: ok"

@@ -13,6 +13,7 @@
 //	swordbench -dist BENCH.json   # distributed analysis vs single-process
 //	swordbench -serve BENCH.json  # analysis-service multi-tenant stress
 //	swordbench -filter BENCH.json # static-filter on/off comparison
+//	swordbench -stream BENCH.json # streaming-analysis first-race latency
 //	swordbench -list           # list experiment ids
 package main
 
@@ -40,6 +41,7 @@ func main() {
 	distBench := flag.String("dist", "", "run the distributed-analysis experiment (single-process vs N loopback workers) and write JSON results to this file (schema in EXPERIMENTS.md)")
 	serveBench := flag.String("serve", "", "run the analysis-service stress experiment (multi-tenant fairness, torn uploads, heap budget) and write JSON results to this file (schema in EXPERIMENTS.md)")
 	filterBench := flag.String("filter", "", "run the static-filter experiment (filter on vs off on the statically chunked workloads) and write JSON results to this file (schema in EXPERIMENTS.md)")
+	streamBench := flag.String("stream", "", "run the streaming-analysis experiment (first-race latency and frontier footprint, online vs post-mortem) and write JSON results to this file (schema in EXPERIMENTS.md)")
 	chaos := flag.Bool("chaos", false, "run the crash-tolerance chaos experiment (mid-run store failure + salvage analysis)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -83,6 +85,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *filterBench)
+		return
+	}
+
+	if *streamBench != "" {
+		if err := harness.WriteStreamBench(*streamBench); err != nil {
+			fmt.Fprintln(os.Stderr, "swordbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *streamBench)
 		return
 	}
 

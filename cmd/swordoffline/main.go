@@ -11,6 +11,7 @@
 //	swordoffline -logdir /tmp/trace -metrics   # per-phase timing breakdown
 //	swordoffline -logdir /tmp/trace -metrics-out m.json  # export snapshot
 //	swordoffline -logdir /tmp/trace -salvage   # analyze a damaged trace
+//	swordoffline -logdir /tmp/trace -follow    # tail a still-running collection
 //
 // Exit codes: 0 = clean trace, no races; 3 = races found; 4 = partial
 // trace (salvage mode recovered a damaged trace), no races in what
@@ -40,6 +41,7 @@ func main() {
 	allRaces := flag.Bool("all-races", false, "disable race-site suppression: solve every instance of already-confirmed race sites so per-race counts are exact")
 	salvage := flag.Bool("salvage", false, "graceful-degradation mode for damaged traces: recover and analyze what survived")
 	noPrefilter := flag.Bool("no-prefilter", false, "disable the summary-based pair pre-filter (ablation; identical race set, more comparisons)")
+	follow := flag.Bool("follow", false, "online mode: tail a trace a collector is still writing, reporting races as they are detected, until the run ends")
 	check := flag.Bool("check", false, "validate trace integrity before analyzing")
 	metrics := flag.Bool("metrics", false, "print the observability breakdown: per-phase timings and pipeline counters")
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, else JSON)")
@@ -76,7 +78,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	start := time.Now()
-	rep, stats, err := sword.AnalyzeContext(ctx, *logdir,
+	analysisOpts := []sword.Option{
 		sword.WithWorkers(*workers),
 		sword.WithSubtreeBatch(*batch),
 		sword.WithMemoryBudget(*memBudget),
@@ -85,10 +87,27 @@ func main() {
 		sword.WithAllRaces(*allRaces),
 		sword.WithSalvage(*salvage),
 		sword.WithNoPrefilter(*noPrefilter),
-	)
+	}
+	var rep *sword.Report
+	var stats *sword.RunStats
+	var err error
+	if *follow {
+		if !*quiet {
+			analysisOpts = append(analysisOpts, sword.WithOnRace(func(r sword.Race) {
+				fmt.Printf("[live] %s\n", r)
+			}))
+		}
+		rep, stats, err = sword.AnalyzeLive(ctx, *logdir, analysisOpts...)
+	} else {
+		rep, stats, err = sword.AnalyzeContext(ctx, *logdir, analysisOpts...)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "swordoffline: interrupted")
+			if rep != nil && !*quiet {
+				// Online mode hands back the partial live report on cancel.
+				fmt.Print(rep.String())
+			}
 		} else {
 			fmt.Fprintln(os.Stderr, "swordoffline:", err)
 		}

@@ -35,6 +35,7 @@ func main() {
 	batch := flag.Int("batch", 0, "sword offline analysis: N top-level subtrees per batch (0 = one pass)")
 	salvage := flag.Bool("salvage", false, "sword offline analysis: graceful-degradation mode for damaged traces")
 	staticFilter := flag.Bool("static-filter", false, "sword collection: drop accesses covered by static loop certificates (identical race set)")
+	liveFlush := flag.Bool("live-flush", false, "sword collection: commit log data before each meta record so a live analyzer (swordwatch) can tail the trace")
 	list := flag.Bool("list", false, "list workloads and exit")
 	verbose := flag.Bool("v", false, "print per-race details")
 	asJSON := flag.Bool("json", false, "emit the race report as JSON")
@@ -104,7 +105,7 @@ func main() {
 	opts := harness.Options{
 		Threads: *threads, Size: *size, NodeBudget: *budget,
 		FlushWorkers: *flushWorkers, SubtreeBatch: *batch, Salvage: *salvage,
-		StaticFilter: *staticFilter,
+		StaticFilter: *staticFilter, LiveFlush: *liveFlush,
 	}
 	if *logdir != "" {
 		store, err := trace.NewDirStore(*logdir)

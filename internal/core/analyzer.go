@@ -209,13 +209,27 @@ func (a *Analyzer) loadPCs() (*pcreg.Table, string, error) {
 // the hook distributed per-batch deadlines and swordoffline's Ctrl-C
 // handling need.
 func (a *Analyzer) AnalyzeContext(ctx context.Context) (*report.Report, error) {
-	workers := EffectiveWorkers(a.cfg.Workers)
-	m := a.cfg.Obs
-	totalStart := time.Now()
 	pcs, pcNote, err := a.loadPCs()
 	if err != nil {
 		return nil, err
 	}
+	rep := report.New()
+	if pcNote != "" {
+		rep.Note("%s", pcNote)
+	}
+	return a.analyze(ctx, newCompareEngine(a.cfg, pcs, rep), rep, nil)
+}
+
+// analyze is the batched analysis loop behind AnalyzeContext, reusable by
+// the live analyzer's finalize pass: eng and rep may arrive warm (solver
+// memo, confirmed race sites, races already reported during the run), and
+// skip, when non-nil, drops enumerated pairs that were already compared
+// live. Dropped pairs still count toward Stats.IntervalPairs, so the final
+// stats describe the same pair population a pure post-mortem run reports.
+func (a *Analyzer) analyze(ctx context.Context, eng *compareEngine, rep *report.Report, skip func([2]*treeUnit) bool) (*report.Report, error) {
+	workers := EffectiveWorkers(a.cfg.Workers)
+	m := a.cfg.Obs
+	totalStart := time.Now()
 
 	phaseStart := time.Now()
 	s, err := buildStructure(a.store, a.cfg.Salvage)
@@ -224,15 +238,10 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context) (*report.Report, error) {
 	}
 	m.Timer("core.phase.structure").Observe(time.Since(phaseStart))
 
-	rep := report.New()
-	if pcNote != "" {
-		rep.Note("%s", pcNote)
-	}
 	rep.Stats.Intervals = len(s.intervals)
 	rep.Stats.Regions = len(s.regions)
 	m.Counter("core.intervals").Add(uint64(len(s.intervals)))
 	m.Counter("core.regions").Add(uint64(len(s.regions)))
-	eng := newCompareEngine(a.cfg, pcs, rep)
 
 	// Batches of top-level subtrees: concurrency never crosses them, so
 	// each batch is a self-contained analysis whose trees can be freed
@@ -274,9 +283,19 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context) (*report.Report, error) {
 			a.applyQuarantine(s, rep, firstBatch)
 		}
 		firstBatch = false
-		pairs, dropped, retired := enumeratePairs(s, include, true, !a.cfg.NoPrefilter)
+		pairs, dropped, retired := enumeratePairs(s, include, true, !a.cfg.NoPrefilter, false)
+		total := len(pairs)
+		if skip != nil {
+			kept := pairs[:0]
+			for _, p := range pairs {
+				if !skip(p) {
+					kept = append(kept, p)
+				}
+			}
+			pairs = kept
+		}
 		schedulePairs(pairs)
-		rep.Stats.IntervalPairs += len(pairs)
+		rep.Stats.IntervalPairs += total
 		rep.Stats.PairsPrefiltered += dropped
 		m.Counter("core.pairs_prefiltered").Add(dropped)
 		rep.Stats.PairsRetiredStatic += retired
@@ -292,7 +311,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context) (*report.Report, error) {
 		}
 		rep.Stats.TreeNodes += batchNodes
 		m.Counter("core.batches").Inc()
-		m.Counter("core.interval_pairs").Add(uint64(len(pairs)))
+		m.Counter("core.interval_pairs").Add(uint64(total))
 		m.Counter("core.tree_nodes").Add(uint64(batchNodes))
 		m.Gauge("core.tree_nodes_peak").SetMax(int64(batchNodes))
 		phaseStart = time.Now()
@@ -837,7 +856,15 @@ var blockBufPool = sync.Pool{New: func() any {
 // re-verified the certificate's structural position (cert.go). The count
 // of distinct pairs so retired is the third return, for
 // Stats.PairsRetiredStatic.
-func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty, prefilter bool) ([][2]*treeUnit, uint64, uint64) {
+//
+// planning switches the retirement residue check from node counts to
+// fragment byte volumes: the distributed planner enumerates before any
+// tree exists, where nodeCount() is trivially zero for every unit and
+// would retire cert-covered pairs that still hold recorded accesses
+// outside the certified loop — pairs the in-process analyzer compares.
+// Byte volume comes from the meta files alone, so the planner retires
+// exactly the pair classes whose accesses were all dropped at collection.
+func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty, prefilter, planning bool) ([][2]*treeUnit, uint64, uint64) {
 	// Same-region pairs, grouped by (pid, bid).
 	type groupKey struct{ pid, bid uint64 }
 	groups := make(map[groupKey][]*interval)
@@ -876,8 +903,12 @@ func enumeratePairs(s *structure, include map[uint64]bool, skipEmpty, prefilter 
 		// dropped everything). The nodeCount guard is defense in depth: if
 		// a unit somehow holds content, the pair falls through to a real
 		// comparison instead of being skipped on the proof alone.
+		emptyX, emptyY := x.nodeCount() == 0, y.nodeCount() == 0
+		if planning {
+			emptyX, emptyY = unitBytes(x) == 0, unitBytes(y) == 0
+		}
 		if ci := x.iv.cert; ci != nil && ci.retire && y.iv.cert == ci &&
-			x.nodeCount() == 0 && y.nodeCount() == 0 {
+			emptyX && emptyY {
 			k := [2]*treeUnit{x, y}
 			if lessKey(y.iv.key, x.iv.key) || (x.iv.key == y.iv.key && y.cut < x.cut) {
 				k = [2]*treeUnit{y, x}

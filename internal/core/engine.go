@@ -83,6 +83,12 @@ func (e *compareEngine) newWorker() *engineWorker {
 // swap while a comparePairs pool is running.
 func (e *compareEngine) setReport(rep *report.Report) { e.rep = rep }
 
+// setPCs swaps the symbolization table. The live analyzer starts with an
+// empty table (the collector persists the real one only at Close) and
+// installs the persisted table at finalize, resymbolizing the races
+// reported so far. Callers must not swap while a comparePairs pool runs.
+func (e *compareEngine) setPCs(pcs *pcreg.Table) { e.pcs = pcs }
+
 // engineCounters is a point-in-time copy of the engine's effort counters;
 // distributed batches subtract two snapshots to report per-batch deltas.
 type engineCounters struct {

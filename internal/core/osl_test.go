@@ -41,7 +41,7 @@ func buildFromProgram(t *testing.T, program func(rtm *omp.Runtime, space *memsim
 func lineageConcurrent(s *structure, a, b *interval) bool {
 	// Pre-filtering is off: this helper asks about structural concurrency,
 	// not whether the accesses could race.
-	pairs, _, _ := enumeratePairs(s, nil, true, false)
+	pairs, _, _ := enumeratePairs(s, nil, true, false, false)
 	for _, p := range pairs {
 		x, y := p[0].iv, p[1].iv
 		if (x == a && y == b) || (x == b && y == a) {

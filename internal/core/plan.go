@@ -143,7 +143,7 @@ func NewBatchAnalyzer(store trace.Store, cfg Config) (*BatchAnalyzer, error) {
 	// at the planner is the coordinator-side slice of the pair pre-filter
 	// (counted in StructureStats so the merged report carries it); the
 	// remaining empty-tree pairs still ship and compare in O(1).
-	pairs, _, retired := enumeratePairs(s, nil, false, false)
+	pairs, _, retired := enumeratePairs(s, nil, false, false, true)
 	b.retired = retired
 	b.plan = make([]PairUnit, 0, len(pairs))
 	groups := make([]uint64, 0, len(pairs))

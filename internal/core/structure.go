@@ -240,6 +240,29 @@ func (s *structure) note(format string, args ...any) {
 	s.notes = append(s.notes, fmt.Sprintf(format, args...))
 }
 
+// slotRecords is one slot's decoded meta stream: the input unit assemble
+// consumes. buildStructure fills it from the store's meta files; the
+// streaming analyzer fills it from its tailing readers.
+type slotRecords struct {
+	slot  int
+	metas []trace.Meta
+	certs []trace.LoopCert
+}
+
+// newStructure returns an empty structure ready for assemble.
+func newStructure(salvage bool) *structure {
+	s := &structure{
+		regions:   make(map[uint64]*region),
+		intervals: make(map[trace.IntervalKey]*interval),
+		bySlot:    make(map[int][]*interval),
+		topGroups: make(map[uint64][]*region),
+	}
+	if salvage {
+		s.truncatedMeta = make(map[int]bool)
+	}
+	return s
+}
+
 // buildStructure loads every slot's meta-data file plus the taskwaits
 // table and reconstructs regions and intervals. In salvage mode damage is
 // tolerated: torn meta streams contribute their intact prefix, and regions
@@ -264,16 +287,8 @@ func buildStructure(store trace.Store, salvage bool) (*structure, error) {
 			taskWaits = map[uint64]uint64{}
 		}
 	}
-	s := &structure{
-		regions:   make(map[uint64]*region),
-		intervals: make(map[trace.IntervalKey]*interval),
-		bySlot:    make(map[int][]*interval),
-		topGroups: make(map[uint64][]*region),
-	}
-	if salvage {
-		s.truncatedMeta = make(map[int]bool)
-	}
-	var allCerts []trace.LoopCert
+	s := newStructure(salvage)
+	var inputs []slotRecords
 	for _, slot := range slots {
 		src, err := store.OpenMeta(slot)
 		if err != nil {
@@ -305,9 +320,27 @@ func buildStructure(store trace.Store, salvage bool) (*structure, error) {
 				return nil, fmt.Errorf("core: read meta %d: %w", slot, err)
 			}
 		}
-		allCerts = append(allCerts, slotCerts...)
-		for i := range metas {
-			m := &metas[i]
+		inputs = append(inputs, slotRecords{slot: slot, metas: metas, certs: slotCerts})
+	}
+	if err := s.assemble(inputs, taskWaits, salvage); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// assemble reconstructs regions and intervals from decoded meta records:
+// region creation and linking, frame-chain resolution, task-parent
+// marking, certificate attachment, and the deterministic sort passes. It
+// is the store-free half of buildStructure, shared with the streaming
+// analyzer, which rebuilds the structure from its accumulated tail records
+// on every analysis round.
+func (s *structure) assemble(inputs []slotRecords, taskWaits map[uint64]uint64, salvage bool) error {
+	var allCerts []trace.LoopCert
+	for _, in := range inputs {
+		slot := in.slot
+		allCerts = append(allCerts, in.certs...)
+		for i := range in.metas {
+			m := &in.metas[i]
 			r, ok := s.regions[m.PID]
 			if !ok {
 				r = &region{id: m.PID, ppid: m.PPID, span: m.Span, level: m.Level,
@@ -329,7 +362,7 @@ func buildStructure(store trace.Store, salvage bool) (*structure, error) {
 					s.note("slot %d: meta record for interval %+v conflicts with slot %d; record dropped", slot, key, iv.slot)
 					continue
 				}
-				return nil, fmt.Errorf("core: interval %+v spans slots %d and %d", key, iv.slot, slot)
+				return fmt.Errorf("core: interval %+v spans slots %d and %d", key, iv.slot, slot)
 			}
 			iv.frags = append(iv.frags, fragment{begin: m.DataBegin, size: m.DataSize, held: m.Held, cut: m.Cut})
 			// Fork coordinates are identical on every fragment of a region;
@@ -353,7 +386,7 @@ func buildStructure(store trace.Store, salvage bool) (*structure, error) {
 					s.note("region %d references parent %d, lost with a damaged slot; subtree quarantined", r.id, r.ppid)
 					continue
 				}
-				return nil, fmt.Errorf("core: region %d references unknown parent %d", r.id, r.ppid)
+				return fmt.Errorf("core: region %d references unknown parent %d", r.id, r.ppid)
 			}
 			r.parent = p
 		}
@@ -382,7 +415,7 @@ func buildStructure(store trace.Store, salvage bool) (*structure, error) {
 				s.note("region %d: %v; quarantined", r.id, err)
 				continue
 			}
-			return nil, err
+			return err
 		}
 		top := r
 		for top.parent != nil {
@@ -413,7 +446,7 @@ func buildStructure(store trace.Store, salvage bool) (*structure, error) {
 	// Certificates resolve last: trust depends on final quarantine flags
 	// and the fully linked region forest.
 	if err := s.attachCerts(allCerts, salvage); err != nil {
-		return nil, err
+		return err
 	}
 	// Deterministic fragment order within each interval and interval order
 	// within each slot (analysis routing relies on position order).
@@ -427,7 +460,7 @@ func buildStructure(store trace.Store, salvage bool) (*structure, error) {
 	for _, rs := range s.topGroups {
 		sort.Slice(rs, func(i, j int) bool { return rs[i].id < rs[j].id })
 	}
-	return s, nil
+	return nil
 }
 
 // resolveFrames expands a region's provisional single-frame tail into the

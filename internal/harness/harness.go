@@ -94,6 +94,11 @@ type Options struct {
 	// NoPrefilter disables sword's summary-based pair pre-filter in the
 	// offline phase (ablation; see sword.WithNoPrefilter).
 	NoPrefilter bool
+	// LiveFlush makes sword's collector commit each closed fragment's log
+	// data before publishing its meta record, so a concurrent live
+	// analyzer (sword.AnalyzeLive, cmd/swordwatch) can tail the store
+	// while the workload runs (see sword.WithLiveFlush).
+	LiveFlush bool
 	// SkipOffline skips sword's offline phase (dynamic-only measurements,
 	// as in Figures 6-8 which plot log collection).
 	SkipOffline bool
@@ -216,6 +221,7 @@ func Run(w workloads.Workload, tool Tool, opts Options) (Result, error) {
 			sword.WithMaxEvents(opts.MaxEvents),
 			sword.WithFlushWorkers(opts.FlushWorkers),
 			sword.WithStaticFilter(opts.StaticFilter),
+			sword.WithLiveFlush(opts.LiveFlush),
 			sword.WithObs(m),
 		)
 		if err != nil {

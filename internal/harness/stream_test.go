@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"sword/internal/core"
+	"sword/internal/memsim"
+	"sword/internal/omp"
+	"sword/internal/report"
+	"sword/internal/rt"
+	"sword/internal/stream"
+	"sword/internal/trace"
+	"sword/internal/workloads"
+)
+
+// Differential testing of the streaming analyzer: on every bundled
+// workload and a range of random structured programs, the race set found
+// by tailing the trace while the program runs must equal the race set of
+// a post-mortem analysis of the completed trace — the online split may
+// change when work happens, never what is found.
+
+// liveVsPostMortem executes program under a live-flush collector while a
+// streaming analyzer tails the store concurrently, then compares the
+// online report against a post-mortem analysis of the same trace.
+func liveVsPostMortem(t *testing.T, program func(rtm *omp.Runtime, space *memsim.Space)) {
+	t.Helper()
+	store := trace.NewMemStore()
+	progDone := make(chan error, 1)
+	go func() {
+		progDone <- func() error {
+			col := rt.New(store, rt.Config{LiveFlush: true, MaxEvents: 64})
+			rtm := omp.New(omp.WithTool(col))
+			program(rtm, memsim.NewSpace(nil))
+			return col.Close()
+		}()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	live, err := stream.New(store, stream.Config{
+		PollInterval: 200 * time.Microsecond,
+	}).Run(ctx)
+	if err != nil {
+		t.Fatalf("online analysis: %v", err)
+	}
+	if err := <-progDone; err != nil {
+		t.Fatalf("collector: %v", err)
+	}
+
+	post, err := core.New(store, core.Config{}).AnalyzeContext(context.Background())
+	if err != nil {
+		t.Fatalf("post-mortem analysis: %v", err)
+	}
+	got, want := streamRaceLines(live), streamRaceLines(post)
+	if len(got) != len(want) {
+		t.Fatalf("race sets differ:\nonline:      %v\npost-mortem: %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("race %d: online %q vs post-mortem %q", i, got[i], want[i])
+		}
+	}
+	g, w := live.Stats, post.Stats
+	if g.Intervals != w.Intervals || g.IntervalPairs != w.IntervalPairs ||
+		g.TreeNodes != w.TreeNodes || g.Accesses != w.Accesses ||
+		g.Regions != w.Regions || g.PairsPrefiltered != w.PairsPrefiltered ||
+		g.PairsRetiredStatic != w.PairsRetiredStatic {
+		t.Errorf("structural stats diverge:\nonline:      %+v\npost-mortem: %+v", g, w)
+	}
+}
+
+// streamRaceLines renders a report's (already sorted) race set as strings.
+func streamRaceLines(rep *report.Report) []string {
+	races := rep.Races()
+	out := make([]string, len(races))
+	for i, r := range races {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// TestStreamDifferentialRandom: online == post-mortem on random
+// structured fork-join programs. The seed range stays at 30 in short
+// mode so the race-detector leg of make check keeps the full coverage
+// the streaming subsystem's acceptance demands.
+func TestStreamDifferentialRandom(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			liveVsPostMortem(t, func(rtm *omp.Runtime, space *memsim.Space) {
+				randomProgram(seed, rtm, space)
+			})
+		})
+	}
+}
+
+// TestStreamDifferentialWorkloads: online == post-mortem on every
+// bundled benchmark workload at its default size.
+func TestStreamDifferentialWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			liveVsPostMortem(t, func(rtm *omp.Runtime, space *memsim.Space) {
+				w.Run(&workloads.Ctx{RT: rtm, Space: space, Threads: 4, Size: w.DefaultSize})
+			})
+		})
+	}
+}

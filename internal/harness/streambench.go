@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"sword/internal/core"
+	"sword/internal/memsim"
+	"sword/internal/obs"
+	"sword/internal/omp"
+	"sword/internal/pcreg"
+	"sword/internal/report"
+	"sword/internal/rt"
+	"sword/internal/stream"
+	"sword/internal/trace"
+	"sword/internal/workloads"
+)
+
+// The streaming-analysis experiment: how long until the first race
+// surfaces when the trace is analyzed while the program runs, versus the
+// post-mortem baseline that cannot answer anything before the program has
+// ended AND the full analysis has run. The schema is the BENCH_10.json
+// artifact (see EXPERIMENTS.md).
+
+// StreamLane is one leg of the comparison. All wall times are measured
+// from program start, so first_race_ms across lanes answers the user's
+// question directly: how long after launch do I learn about the race?
+type StreamLane struct {
+	Races          int     `json:"races"`
+	FirstRaceMs    float64 `json:"first_race_ms"`
+	ProgramMs      float64 `json:"program_ms"`
+	AnalysisDoneMs float64 `json:"analysis_done_ms"`
+	FrontierPeakB  uint64  `json:"frontier_peak_bytes"`
+	CommittedB     uint64  `json:"committed_bytes"`
+}
+
+// StreamComparison pairs the online lane with the post-mortem baseline on
+// the same program. The post-mortem lane's first race arrives exactly when
+// its analysis finishes, and its "frontier" is the whole resident trace.
+type StreamComparison struct {
+	Online     StreamLane `json:"online"`
+	PostMortem StreamLane `json:"post_mortem"`
+}
+
+// streamBenchPhases is the barrier-episode count of the phased synthetic
+// program: long enough that the online analyzer demonstrably seals and
+// analyzes epochs while the program is still running.
+const streamBenchPhases = 300
+
+// streamPhased is a long-running racy program: every barrier interval all
+// threads collide on one word and the master pauses briefly, mimicking a
+// production loop that races early and keeps computing long after.
+func streamPhased(rtm *omp.Runtime, space *memsim.Space) {
+	pcRace := pcreg.Site("streambench:racy")
+	pcMine := pcreg.Site("streambench:private")
+	x, err := space.AllocF64(64)
+	if err != nil {
+		panic(err)
+	}
+	rtm.Parallel(4, func(th *omp.Thread) {
+		for phase := 0; phase < streamBenchPhases; phase++ {
+			th.StoreF64(x, 0, float64(th.ID()), pcRace)
+			th.StoreF64(x, 8+th.ID(), 1, pcMine)
+			if th.ID() == 0 {
+				time.Sleep(100 * time.Microsecond)
+			}
+			th.Barrier()
+		}
+	})
+}
+
+// streamBenchPrograms are the experiment's subjects: the phased synthetic
+// program plus two racy evaluation workloads.
+func streamBenchPrograms() (map[string]func(*omp.Runtime, *memsim.Space), []string, error) {
+	progs := map[string]func(*omp.Runtime, *memsim.Space){
+		"phased-racy": streamPhased,
+	}
+	order := []string{"phased-racy"}
+	for _, name := range []string{"plusplus-orig-yes", "c_jacobi"} {
+		wl, err := workloads.Get(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		progs[name] = func(rtm *omp.Runtime, space *memsim.Space) {
+			wl.Run(&workloads.Ctx{RT: rtm, Space: space, Threads: 4, Size: wl.DefaultSize})
+		}
+		order = append(order, name)
+	}
+	return progs, order, nil
+}
+
+// StreamExperiment runs each subject once under a live-flush collector
+// with the streaming analyzer tailing the store, then replays a
+// post-mortem analysis over the very same trace. The race sets must be
+// identical — the streaming subsystem's identity contract — and on the
+// phased program the online lane must both beat the post-mortem baseline
+// to the first race and hold its frontier strictly below the resident
+// trace; the experiment fails loudly otherwise, so the bench artifact can
+// never record a regression of either acceptance property.
+func StreamExperiment() (map[string]StreamComparison, error) {
+	progs, order, err := streamBenchPrograms()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]StreamComparison, len(progs))
+	for _, name := range order {
+		program := progs[name]
+		store := trace.NewMemStore()
+		metrics := obs.New()
+		start := time.Now()
+		var firstRace atomic.Int64 // µs since start; 0 = none yet
+		an := stream.New(store, stream.Config{
+			Obs:          metrics,
+			PollInterval: 200 * time.Microsecond,
+			OnRace: func(report.Race) {
+				firstRace.CompareAndSwap(0, time.Since(start).Microseconds())
+			},
+		})
+		type result struct {
+			rep *report.Report
+			err error
+		}
+		done := make(chan result, 1)
+		go func() {
+			rep, err := an.Run(context.Background())
+			done <- result{rep, err}
+		}()
+		col := rt.New(store, rt.Config{LiveFlush: true, MaxEvents: 64})
+		rtm := omp.New(omp.WithTool(col))
+		program(rtm, memsim.NewSpace(nil))
+		programDur := time.Since(start)
+		if err := col.Close(); err != nil {
+			return nil, fmt.Errorf("harness: stream experiment %s: %w", name, err)
+		}
+		res := <-done
+		onlineDone := time.Since(start)
+		if res.err != nil {
+			return nil, fmt.Errorf("harness: stream experiment %s: %w", name, res.err)
+		}
+
+		analyzeStart := time.Now()
+		post, err := core.New(store, core.Config{}).Analyze()
+		if err != nil {
+			return nil, fmt.Errorf("harness: stream experiment %s post-mortem: %w", name, err)
+		}
+		analyzeDur := time.Since(analyzeStart)
+		if res.rep.Len() != post.Len() {
+			return nil, fmt.Errorf("harness: stream experiment %s: online found %d race(s), post-mortem %d",
+				name, res.rep.Len(), post.Len())
+		}
+
+		snap := metrics.Snapshot()
+		peak := uint64(snap.Value("stream.frontier_bytes_peak"))
+		committed := uint64(snap.Value("stream.committed_bytes"))
+		onlineFirst := float64(firstRace.Load()) / 1e3
+		if onlineFirst == 0 { // race only surfaced at finalize
+			onlineFirst = float64(onlineDone.Microseconds()) / 1e3
+		}
+		postMortemDone := float64((programDur + analyzeDur).Microseconds()) / 1e3
+		cmp := StreamComparison{
+			Online: StreamLane{
+				Races:          res.rep.Len(),
+				FirstRaceMs:    onlineFirst,
+				ProgramMs:      float64(programDur.Microseconds()) / 1e3,
+				AnalysisDoneMs: float64(onlineDone.Microseconds()) / 1e3,
+				FrontierPeakB:  peak,
+				CommittedB:     committed,
+			},
+			PostMortem: StreamLane{
+				Races:          post.Len(),
+				FirstRaceMs:    postMortemDone,
+				ProgramMs:      float64(programDur.Microseconds()) / 1e3,
+				AnalysisDoneMs: postMortemDone,
+				FrontierPeakB:  committed,
+				CommittedB:     committed,
+			},
+		}
+		if name == "phased-racy" {
+			if cmp.Online.FirstRaceMs >= cmp.PostMortem.FirstRaceMs {
+				return nil, fmt.Errorf("harness: stream experiment %s: online first race at %.2fms did not beat the %.2fms post-mortem baseline",
+					name, cmp.Online.FirstRaceMs, cmp.PostMortem.FirstRaceMs)
+			}
+			if peak == 0 || committed == 0 || peak >= committed {
+				return nil, fmt.Errorf("harness: stream experiment %s: frontier peak %d not below resident trace %d",
+					name, peak, committed)
+			}
+		}
+		out[name] = cmp
+	}
+	return out, nil
+}
+
+// WriteStreamBench runs StreamExperiment and writes the results to path
+// as indented JSON — the BENCH_10.json artifact.
+func WriteStreamBench(path string) error {
+	results, err := StreamExperiment()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: marshal stream results: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -189,6 +189,21 @@ func (r *Report) Len() int {
 	return len(r.races)
 }
 
+// Resymbolize rewrites every recorded race's source locations through
+// name. The live analyzer reports races before the collector persists its
+// pc table (that happens only at Close), so sites carry placeholder names
+// until the end of the run installs the real table. Dedup keys are PC
+// ids, not names, so resymbolizing never merges or splits records. Safe
+// for concurrent use.
+func (r *Report) Resymbolize(name func(pc uint64) string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, race := range r.races {
+		race.First.Source = name(race.First.PC)
+		race.Second.Source = name(race.Second.PC)
+	}
+}
+
 // Note records an annotation about the analysis — salvage mode uses it to
 // say what was lost and why. Safe for concurrent use.
 func (r *Report) Note(format string, args ...any) {

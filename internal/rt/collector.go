@@ -93,6 +93,14 @@ type Config struct {
 	// persisted as a meta extension record so the analyzer can retire the
 	// loop's pair classes. Off by default.
 	StaticFilter bool
+	// LiveFlush makes every committed meta record a durable promise for a
+	// tailing analyzer: before a fragment's meta record is appended, the
+	// slot's pending event bytes are written and the log is flushed, so the
+	// record's data range is always readable behind the committed log
+	// frontier. Implies Synchronous (an asynchronous pipeline cannot order
+	// a flush against the meta commit) and trades flush batching for
+	// bounded staleness — the live-analysis collection mode.
+	LiveFlush bool
 }
 
 // Stats aggregates collection counters across all slots.
@@ -120,6 +128,7 @@ type Collector struct {
 	sync         bool
 	flushWorkers int
 	staticFilter bool
+	liveFlush    bool
 	pcs          *pcreg.Table
 
 	// table is the atomically published slot table, indexed by slot id.
@@ -223,9 +232,10 @@ func New(store trace.Store, cfg Config) *Collector {
 		store:        store,
 		codec:        cfg.Codec,
 		maxEvents:    cfg.MaxEvents,
-		sync:         cfg.Synchronous,
+		sync:         cfg.Synchronous || cfg.LiveFlush,
 		flushWorkers: cfg.FlushWorkers,
 		staticFilter: cfg.StaticFilter,
+		liveFlush:    cfg.LiveFlush,
 		pcs:          cfg.PCs,
 		forkCuts:     make(map[uint64]uint64),
 		waitCuts:     make(map[uint64]uint64),
@@ -519,6 +529,19 @@ func (c *Collector) closeFragment(st *slotState) {
 	if st.degraded.Load() {
 		return
 	}
+	if c.liveFlush {
+		// Make the fragment's event bytes durable before committing the
+		// meta record that locates them: a tailing analyzer treats a
+		// committed record as a promise that its data range lies behind
+		// the committed log frontier.
+		c.flush(st) // inline: LiveFlush implies synchronous mode
+		if err := st.log.Flush(); err != nil {
+			c.degrade(st, fmt.Sprintf("rt: live flush slot %d: %v", st.slot, err))
+		}
+		if st.degraded.Load() {
+			return
+		}
+	}
 	if err := st.meta.Append(&st.frag); err != nil {
 		c.degrade(st, fmt.Sprintf("rt: write meta for slot %d: %v", st.slot, err))
 		return
@@ -731,6 +754,12 @@ func (c *Collector) Close() error {
 			degraded++
 		}
 	}
+	// Taskwaits first, pc table last: the pc table's appearance is the
+	// end-of-run marker a tailing analyzer watches for, so every other
+	// trace artifact must already be durable when it lands.
+	if err := c.writeTaskWaits(); err != nil {
+		errs = append(errs, err)
+	}
 	aux, err := c.store.CreateAux(PCTableAux)
 	if err != nil {
 		errs = append(errs, err)
@@ -741,9 +770,6 @@ func (c *Collector) Close() error {
 		if err := aux.Close(); err != nil {
 			errs = append(errs, err)
 		}
-	}
-	if err := c.writeTaskWaits(); err != nil {
-		errs = append(errs, err)
 	}
 	// Degraded slots already reported their write failures through
 	// Diagnostics and rt.flush_errors; summarize rather than repeating each

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,8 +10,10 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"sync"
 	"time"
 
+	"sword/internal/stream"
 	"sword/internal/trace"
 )
 
@@ -130,6 +133,15 @@ type uploadSession struct {
 	dir        string // job dir; files land in dir/trace
 	bytes      int64
 	lastActive time.Time // reaper deadline basis; touched per chunk
+
+	// Live lane (see live.go): an online analyzer tailing dir/trace while
+	// the upload streams. Set before the session is published, never
+	// reassigned; liveOnce makes stopLive safe from commit, abort, and
+	// drain concurrently.
+	live     *stream.Analyzer
+	liveStop context.CancelFunc
+	liveDone chan struct{}
+	liveOnce sync.Once
 }
 
 // newUpload starts a session: admission (slot) happens now, bytes are
@@ -148,6 +160,7 @@ func (s *Server) newUpload(tenant string) (*uploadSession, error) {
 		s.releaseSlot(tenant)
 		return nil, err
 	}
+	s.startLive(u)
 	s.mu.Lock()
 	s.uploads[u.id] = u
 	s.mu.Unlock()
@@ -197,6 +210,7 @@ func (s *Server) abortUpload(u *uploadSession) {
 	delete(s.uploads, u.id)
 	s.refundLocked(u.tenant, u.bytes)
 	s.mu.Unlock()
+	u.stopLive()
 	os.RemoveAll(u.dir)
 }
 
@@ -225,6 +239,9 @@ func (s *Server) commitUpload(u *uploadSession) (Job, error) {
 		dir:       u.dir,
 	}
 	s.mu.Unlock()
+	// The committed job's analysis is authoritative from here; the live
+	// lane lets go of the trace files before validation reads them.
+	u.stopLive()
 	j.Salvage = uploadDamaged(j)
 	if j.Salvage {
 		s.m.Counter("server.uploads_damaged").Inc()

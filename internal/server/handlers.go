@@ -211,6 +211,21 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	j := s.lookupJob(r.PathValue("id"))
 	if j == nil {
+		// Live lane: an id still in the upload phase serves the online
+		// analyzer's growing snapshot — races found so far in the trace
+		// streamed so far. The committed job's report supersedes it.
+		if u := s.lookupUpload(r.PathValue("id")); u != nil && u.live != nil {
+			rep := u.live.Snapshot()
+			rep.Note("live: upload in progress; this report is a partial preview")
+			w.Header().Set("X-Sword-Live", "1")
+			if r.URL.Query().Get("format") == "text" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				_, _ = w.Write([]byte(rep.String()))
+				return
+			}
+			writeJSON(w, http.StatusOK, rep)
+			return
+		}
 		http.Error(w, "no such job", http.StatusNotFound)
 		return
 	}

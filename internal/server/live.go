@@ -1,0 +1,70 @@
+package server
+
+import (
+	"context"
+	"path/filepath"
+	"time"
+
+	"sword/internal/core"
+	"sword/internal/stream"
+	"sword/internal/trace"
+)
+
+// The live lane: every streamed upload session gets an online analyzer
+// tailing its trace directory while the files arrive, so
+// GET /api/v1/jobs/{id}/report answers with a growing partial report
+// before the session is even committed — races surface while the client
+// is still uploading (or, for a client streaming its trace as it runs,
+// while the traced program executes). The lane is advisory: the committed
+// job's analysis remains the authoritative report, and the live analyzer
+// is cancelled the moment the session commits or aborts.
+
+// livePollInterval is the tail cadence of upload-session analyzers — much
+// lazier than an interactive swordwatch, since a server may host many
+// concurrent sessions.
+const livePollInterval = 25 * time.Millisecond
+
+// startLive attaches an online analyzer to a fresh upload session. Called
+// before the session is published to s.uploads, so the fields need no
+// lock. Best-effort: a failure just means no live lane for this session.
+func (s *Server) startLive(u *uploadSession) {
+	store, err := trace.NewDirStore(filepath.Join(u.dir, "trace"))
+	if err != nil {
+		return
+	}
+	an := stream.New(store, stream.Config{
+		Core: core.Config{
+			Workers:      s.cfg.Workers,
+			MemoryBudget: s.cfg.JobMemBudget,
+			Obs:          s.m,
+		},
+		PollInterval: livePollInterval,
+		Obs:          s.m,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	u.live = an
+	u.liveStop = cancel
+	u.liveDone = make(chan struct{})
+	s.m.Counter("server.live_sessions").Inc()
+	go func() {
+		defer close(u.liveDone)
+		defer store.Close()
+		// The result is deliberately discarded: the live lane only serves
+		// snapshots; the committed job produces the authoritative report.
+		_, _ = an.Run(ctx)
+	}()
+}
+
+// stopLive cancels the session's live analyzer and waits for it to let go
+// of the trace files. Safe on a session without a live lane, and safe to
+// call from commit, abort, and drain concurrently (first caller wins and
+// the rest return after the analyzer has stopped).
+func (u *uploadSession) stopLive() {
+	u.liveOnce.Do(func() {
+		if u.liveStop == nil {
+			return
+		}
+		u.liveStop()
+		<-u.liveDone
+	})
+}

@@ -300,8 +300,19 @@ func (s *Server) Drain(ctx context.Context) error {
 			j.cancel(errDraining)
 		}
 	}
+	sessions := make([]*uploadSession, 0, len(s.uploads))
+	for _, u := range s.uploads {
+		sessions = append(sessions, u)
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+
+	// Stop the upload sessions' live-lane analyzers; the sessions
+	// themselves stay (their bytes refund when the reaper or a client
+	// abort reaches them, as before).
+	for _, u := range sessions {
+		u.stopLive()
+	}
 
 	close(s.guardStop)
 	done := make(chan struct{})

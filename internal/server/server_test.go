@@ -617,3 +617,97 @@ func TestSchedulerBackoffGate(t *testing.T) {
 		t.Fatalf("delayed job not dispatched after its gate: %+v", j)
 	}
 }
+
+// TestLiveLaneServesPartialReport: while an upload session streams its
+// files, the report endpoint answers with the online analyzer's growing
+// snapshot; after commit, the job's authoritative report takes over with
+// the same race set.
+func TestLiveLaneServesPartialReport(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	dir := collectWorkloadDir(t, "plusplus-orig-yes")
+	want := directRaces(t, dir)
+	if want == 0 {
+		t.Fatal("workload should race")
+	}
+
+	resp, err := http.Post(ts.URL+"/api/v1/uploads", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		data, _ := os.ReadFile(filepath.Join(dir, e.Name()))
+		req, _ := http.NewRequest("PUT",
+			ts.URL+"/api/v1/uploads/"+sess.ID+"/files/"+e.Name(), bytes.NewReader(data))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	// The whole trace (end-of-run marker included) has been streamed, so
+	// the live lane converges on the full race set before any commit.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/api/v1/jobs/" + sess.ID + "/report")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.Get("X-Sword-Live") != "1" {
+			t.Fatalf("pre-commit report not marked live (status %d)", resp.StatusCode)
+		}
+		var body struct {
+			Races []json.RawMessage `json:"races"`
+			Notes []string          `json:"notes"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(body.Notes) == 0 || !strings.Contains(body.Notes[len(body.Notes)-1], "live") {
+			t.Fatalf("live snapshot missing the in-progress note: %v", body.Notes)
+		}
+		if len(body.Races) == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live lane reports %d races, want %d", len(body.Races), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err = http.Post(ts.URL+"/api/v1/uploads/"+sess.ID+"/commit", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	fin := waitTerminal(t, ts.URL, j.ID)
+	if fin.State != StateDone || fin.Races != want {
+		t.Fatalf("committed job finished %q with %d races, want done/%d", fin.State, fin.Races, want)
+	}
+	code, body := reportJSON(t, ts.URL, j.ID)
+	if code != http.StatusOK {
+		t.Fatalf("final report status %d", code)
+	}
+	var races []json.RawMessage
+	if err := json.Unmarshal(body["races"], &races); err != nil || len(races) != want {
+		t.Fatalf("final report carries %d races (err %v), want %d", len(races), err, want)
+	}
+}

@@ -75,6 +75,19 @@ const maxMetaRecordBytes = 4096
 // amd64/arm64), the integrity check of the v2 framing.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// ErrTornTail reports that a tail-mode reader ran into the torn end of a
+// file that is still being written: a frame whose header committed but
+// whose remaining bytes have not landed yet. It is retriable — once the
+// writer commits more bytes, Resume rewinds to the frame boundary and
+// reading continues. Only real integrity damage (checksum mismatch over a
+// fully present payload, implausible framing) is reported as corruption.
+var ErrTornTail = errors.New("trace: torn tail of an in-progress file")
+
+// errFrameTorn marks a v2 meta frame that stops mid-record: with a live
+// writer it means "wait for more bytes", post-mortem it means a crash
+// tore the tail. MetaTail keys retriability off it.
+var errFrameTorn = errors.New("crash mid-append or write in progress")
+
 // LogWriter frames, compresses and writes event blocks to a log sink.
 // WriteBlock must be called from one goroutine at a time (the collector's
 // flush pipeline schedules each slot on at most one worker); the byte
@@ -155,6 +168,17 @@ func (w *LogWriter) WriteBlock(raw []byte) error {
 	return nil
 }
 
+// Flush pushes every buffered block through to the sink without closing
+// it. Live-flush collection calls it after each block so a concurrent
+// tail-mode reader observes frames at block granularity instead of at the
+// bufio boundary; the cost is one syscall per flushed buffer.
+func (w *LogWriter) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush log: %w", err)
+	}
+	return nil
+}
+
 // Close flushes buffered data and closes the underlying sink.
 func (w *LogWriter) Close() error {
 	if err := w.w.Flush(); err != nil {
@@ -175,7 +199,7 @@ func (w *LogWriter) Close() error {
 // tail ends the stream early; Salvage reports what was recovered and lost.
 type LogReader struct {
 	r        *bufio.Reader
-	c        io.Closer
+	c        io.ReadCloser
 	bufs     *logReaderBufs
 	version  int // 0 until the first read detects it
 	off      uint64
@@ -187,6 +211,9 @@ type LogReader struct {
 	skipped  uint64
 	skippedB uint64
 	tolerant bool
+	tail     bool
+	torn     bool
+	tornOff  uint64 // file offset of the frame the torn tail cut
 	dead     bool
 	crc      [4]byte // checksum scratch; a local would escape via io.ReadFull
 	salvage  SalvageReport
@@ -226,6 +253,66 @@ func NewLogReader(r io.ReadCloser) *LogReader {
 // blocks are skipped, unrecoverable framing damage terminates the stream
 // as io.EOF, and the damage is recorded in Salvage.
 func (r *LogReader) SetTolerant(on bool) { r.tolerant = on }
+
+// SetTail switches the reader into (or out of) tail mode, for following a
+// log that is still being written. In tail mode an end-of-data condition
+// inside a frame — header bytes committed, payload still on its way — is
+// reported as the retriable ErrTornTail instead of a corruption error (or,
+// in tolerant mode, a salvage truncation); a clean end at a frame boundary
+// is still io.EOF, and calling Next again after the file grew continues
+// reading. After ErrTornTail, call Resume once more bytes are durable.
+func (r *LogReader) SetTail(on bool) { r.tail = on }
+
+// Torn reports whether the last read stopped on a torn tail (ErrTornTail).
+func (r *LogReader) Torn() bool { return r.torn }
+
+// Offset returns the file offset of the last clean frame boundary the
+// reader reached — after a clean io.EOF or an ErrTornTail in tail mode,
+// the committed-frame frontier.
+func (r *LogReader) Offset() uint64 {
+	if r.torn {
+		return r.tornOff
+	}
+	return r.off
+}
+
+// Resume repositions a tail-mode reader at the last clean frame boundary
+// so reading can continue after a torn tail. With src nil the current
+// source is rewound in place, which requires it to be an io.Seeker (a
+// DirStore log is an *os.File); otherwise src must be a freshly opened
+// reader over the same file, which replaces the current source and is
+// advanced to the boundary. Resume is a no-op when nothing was torn.
+func (r *LogReader) Resume(src io.ReadCloser) error {
+	target := r.off
+	if r.torn {
+		target = r.tornOff
+	}
+	if src != nil {
+		r.c.Close()
+		r.c = src
+	} else if !r.torn {
+		return nil
+	}
+	if s, ok := r.c.(io.Seeker); ok {
+		if _, err := s.Seek(int64(target), io.SeekStart); err != nil {
+			return fmt.Errorf("trace: resume tail: %w", err)
+		}
+		r.r.Reset(r.c)
+	} else {
+		r.r.Reset(r.c)
+		for skip := target; skip > 0; {
+			n, err := r.r.Discard(int(min(skip, 1<<30)))
+			skip -= uint64(n)
+			if err != nil {
+				return fmt.Errorf("trace: resume tail: %w", err)
+			}
+		}
+	}
+	r.off = target
+	r.torn = false
+	r.dead = false
+	return nil
+}
 
 // Salvage returns the damage report accumulated so far. Call after the
 // stream returned io.EOF; Clean reports whether the log decoded fully.
@@ -276,6 +363,13 @@ func (r *LogReader) detect() {
 		r.version = FormatV2
 		return
 	}
+	if r.tail && err != nil {
+		// Fewer bytes than the magic are durable yet: with a live writer
+		// the version cannot be decided, so stay undetected — the next
+		// read attempt re-peeks after the file grew. Latching v1 here
+		// would misparse the rest of the magic as a block header.
+		return
+	}
 	r.version = FormatV1
 }
 
@@ -304,6 +398,9 @@ func (r *LogReader) NextFrom(skip func(start, rawLen uint64) bool) (uint64, []by
 		return 0, nil, io.EOF
 	}
 	r.detect()
+	if r.version == 0 {
+		return 0, nil, io.EOF // tail mode: not enough bytes to even detect
+	}
 	for {
 		blockOff := r.off
 		rawLen, err := r.readUvarint()
@@ -409,6 +506,15 @@ func (r *LogReader) corrupt(blockOff, start, rawLen, compLen uint64, cause strin
 // an error; tolerant mode records a truncation and reports io.EOF, so the
 // caller keeps everything read before the damage.
 func (r *LogReader) fail(off uint64, cause string, err error) error {
+	if r.tail && err != nil && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+		// The frame stops where the durable bytes do: the writer is (or
+		// was) mid-append. Remember the frame boundary for Resume and
+		// surface the retriable condition — in tail mode this is the
+		// expected steady state, not damage, so no salvage entry either.
+		r.torn = true
+		r.tornOff = off
+		return fmt.Errorf("trace: block %d at offset %d: %s: %w", r.blocks, off, cause, ErrTornTail)
+	}
 	if r.tolerant {
 		r.dead = true
 		r.salvage.Truncated = true
@@ -652,15 +758,18 @@ func decodeAllMetaCerts(data []byte, tolerant bool) ([]Meta, []LoopCert, *Salvag
 // the marker byte (the record-type discriminator) and the bytes consumed.
 func decodeV2Frame(src []byte) ([]byte, byte, int, error) {
 	bodyLen, n := binary.Uvarint(src)
-	if n <= 0 {
-		return nil, 0, 0, errors.New("torn record length (crash mid-append)")
+	if n == 0 {
+		return nil, 0, 0, fmt.Errorf("torn record length: %w", errFrameTorn)
+	}
+	if n < 0 {
+		return nil, 0, 0, errors.New("overlong record length")
 	}
 	if bodyLen == 0 || bodyLen > maxMetaRecordBytes {
 		return nil, 0, 0, fmt.Errorf("implausible record length %d", bodyLen)
 	}
 	pos := n
 	if len(src) < pos+int(bodyLen)+5 {
-		return nil, 0, 0, errors.New("torn record (crash mid-append)")
+		return nil, 0, 0, fmt.Errorf("torn record: %w", errFrameTorn)
 	}
 	body := src[pos : pos+int(bodyLen)]
 	pos += int(bodyLen)

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"sword/internal/compress"
+)
+
+// FuzzTailGrowingLog drives a growing trace through a FaultStore: a
+// pre-encoded valid log and meta stream land in the store in
+// script-chosen partial appends, interleaved with tail polls. The
+// contract under fuzzing: a torn tail is never reported as corruption
+// (no poll may error), the committed log frontier only advances and only
+// lands on block boundaries, and every meta record is delivered exactly
+// once, in file order.
+func FuzzTailGrowingLog(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 200, 90, 7})
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{5, 17, 254, 3}, 40))
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) == 0 {
+			script = []byte{0}
+		}
+		if len(script) > 2048 {
+			// Each byte is one interleaving op and every poll reopens the
+			// snapshot reader; cap the schedule so huge inputs stay fast.
+			script = script[:2048]
+		}
+		codecs := []compress.Codec{compress.Raw{}, compress.LZSS{}, compress.NewFlate()}
+		codec := codecs[int(script[0])%len(codecs)]
+
+		// Ground truth: a valid log (one frame per block, as the
+		// live-flush collector commits them) and a valid v2 meta stream.
+		nBlocks := 1 + int(script[0]>>2)%6
+		var logSink byteSink
+		lw := NewLogWriter(&logSink, codec)
+		boundaries := map[uint64]bool{0: true}
+		for i := 0; i < nBlocks; i++ {
+			blk := bytes.Repeat([]byte{script[i%len(script)]}, 37+29*i)
+			if err := lw.WriteBlock(blk); err != nil {
+				t.Fatal(err)
+			}
+			boundaries[lw.Logical()] = true
+		}
+		total := lw.Logical()
+		if err := lw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		fullLog := logSink.Bytes()
+
+		nMetas := 1 + int(script[len(script)-1])%5
+		wantMetas := make([]Meta, nMetas)
+		for i := range wantMetas {
+			wantMetas[i] = Meta{
+				PID: uint64(i), PPID: NoParent, BID: uint64(i % 3),
+				Offset: uint64(2 * i), Span: 4, Level: 1,
+				DataBegin: uint64(41 * i), DataSize: uint64(7 + i),
+				ParentTID: uint64(i), Seq: uint64(i), Async: i%2 == 0,
+			}
+		}
+		var metaSink byteSink
+		mw := NewMetaWriter(&metaSink)
+		for i := range wantMetas {
+			if err := mw.Append(&wantMetas[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := mw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		fullMeta := metaSink.Bytes()
+
+		// The growing store: the encodings arrive in script-chosen cuts,
+		// so polls routinely land mid-frame.
+		store := NewFaultStore(NewMemStore())
+		logDst, err := store.CreateLog(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metaDst, err := store.CreateMeta(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logTail := NewLogTail(store, 0)
+		defer logTail.Close()
+		metaTail := NewMetaTail(store, 0)
+
+		var logPos, metaPos int
+		var lastOff, lastLogical uint64
+		var got []Meta
+		pollLog := func() {
+			off, logical, err := logTail.Poll()
+			if err != nil {
+				t.Fatalf("log tail errored on an intact growing log: %v", err)
+			}
+			if off < lastOff || logical < lastLogical {
+				t.Fatalf("log frontier went backwards: (%d,%d) after (%d,%d)",
+					off, logical, lastOff, lastLogical)
+			}
+			if !boundaries[logical] {
+				t.Fatalf("log frontier %d is not a block boundary", logical)
+			}
+			lastOff, lastLogical = off, logical
+		}
+		pollMeta := func() {
+			metas, _, err := metaTail.Poll()
+			if err != nil {
+				t.Fatalf("meta tail errored on an intact growing stream: %v", err)
+			}
+			got = append(got, metas...)
+		}
+		for _, b := range script {
+			switch b % 4 {
+			case 0:
+				n := min(1+int(b)/4, len(fullLog)-logPos)
+				if n > 0 {
+					if _, err := logDst.Write(fullLog[logPos : logPos+n]); err != nil {
+						t.Fatal(err)
+					}
+					logPos += n
+				}
+			case 1:
+				n := min(1+int(b)/4, len(fullMeta)-metaPos)
+				if n > 0 {
+					if _, err := metaDst.Write(fullMeta[metaPos : metaPos+n]); err != nil {
+						t.Fatal(err)
+					}
+					metaPos += n
+				}
+			case 2:
+				pollLog()
+			case 3:
+				pollMeta()
+			}
+		}
+		// Run the trace out: the rest of both files lands and one final
+		// poll each must surface exactly what is still outstanding.
+		if _, err := logDst.Write(fullLog[logPos:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := metaDst.Write(fullMeta[metaPos:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := logDst.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := metaDst.Close(); err != nil {
+			t.Fatal(err)
+		}
+		pollLog()
+		pollMeta()
+		if lastLogical != total {
+			t.Fatalf("final log frontier %d, want the full %d logical bytes", lastLogical, total)
+		}
+		if len(got) != len(wantMetas) {
+			t.Fatalf("delivered %d meta records, want %d exactly once", len(got), len(wantMetas))
+		}
+		for i := range got {
+			if got[i] != wantMetas[i] {
+				t.Fatalf("meta %d: got %+v want %+v", i, got[i], wantMetas[i])
+			}
+		}
+	})
+}

@@ -1,5 +1,7 @@
 package sword
 
+import "time"
+
 // Config parameterizes a Session or a standalone offline analysis. The
 // zero value is ready to use: in-memory store, "lzss" codec, the paper's
 // buffer bound, GOMAXPROCS analysis workers.
@@ -81,6 +83,22 @@ type Config struct {
 	// notes say what was lost and why. Off by default: an undamaged trace
 	// should fail loudly when it doesn't parse.
 	Salvage bool
+	// LiveFlush makes the collector commit every closed fragment's log
+	// data before publishing its meta record, so a concurrently tailing
+	// analyzer (AnalyzeLive, cmd/swordwatch) can trust that a committed
+	// record's data range is already durable. Implies synchronous
+	// collection; costs one log flush per fragment close. Irrelevant to
+	// post-mortem analysis.
+	LiveFlush bool
+	// OnRace, when non-nil, is invoked by AnalyzeLive once per distinct
+	// race at the moment it is first detected, while the traced program may
+	// still be running. Races reported before the run ends carry
+	// placeholder source names (the collector persists its symbol table
+	// only at close); the final report is fully symbolized.
+	OnRace func(Race)
+	// PollInterval is AnalyzeLive's tail poll cadence when a round finds
+	// nothing new (0 = 2ms).
+	PollInterval time.Duration
 	// Obs, when non-nil, is the metrics registry both phases record into;
 	// share one registry across sessions and analyses to aggregate. When
 	// nil, a private registry is created so RunStats is always populated.
@@ -187,6 +205,23 @@ func WithAllRaces(on bool) Option {
 // report says how much coverage was lost (see AnalysisStats.Partial).
 func WithSalvage(on bool) Option {
 	return func(c *Config) { c.Salvage = on }
+}
+
+// WithLiveFlush makes the collector durable enough to tail: every closed
+// fragment's log data is committed before its meta record is published
+// (see Config.LiveFlush). Enable it on sessions a live analyzer watches.
+func WithLiveFlush(on bool) Option {
+	return func(c *Config) { c.LiveFlush = on }
+}
+
+// WithOnRace installs AnalyzeLive's per-race callback (see Config.OnRace).
+func WithOnRace(fn func(Race)) Option {
+	return func(c *Config) { c.OnRace = fn }
+}
+
+// WithPollInterval sets AnalyzeLive's tail poll cadence (0 = 2ms).
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Config) { c.PollInterval = d }
 }
 
 // WithObs records both phases' metrics into m, e.g. a registry shared

@@ -44,6 +44,7 @@ import (
 	"sword/internal/omp"
 	"sword/internal/report"
 	"sword/internal/rt"
+	"sword/internal/stream"
 	"sword/internal/trace"
 )
 
@@ -158,6 +159,7 @@ func NewSession(opts ...Option) (*Session, error) {
 		MaxEvents:    cfg.MaxEvents,
 		FlushWorkers: cfg.FlushWorkers,
 		StaticFilter: cfg.StaticFilter,
+		LiveFlush:    cfg.LiveFlush,
 		Obs:          m,
 	})
 	return &Session{
@@ -323,6 +325,62 @@ func AnalyzeStoreContext(ctx context.Context, store Store, opts ...Option) (*Rep
 	}).AnalyzeContext(ctx)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sword: offline analysis: %w", err)
+	}
+	st := newRunStats(m.Snapshot())
+	st.Analysis = rep.Stats
+	return rep, st, nil
+}
+
+// AnalyzeLive tails a trace directory that a collector may still be
+// writing and analyzes it online, returning once the run ends with a
+// report identical to what a post-mortem analysis of the finished trace
+// would produce. Races are surfaced incrementally through WithOnRace as
+// barrier episodes seal, while the analysis frontier stays bounded (the
+// stream.* metrics measure it). The collector should run with
+// WithLiveFlush so committed meta records imply durable log data;
+// without it, analysis of an episode simply waits until its data lands.
+// A cancelled ctx (the crashed-run case: the end-of-run marker never
+// appears) returns the partial live report together with ctx.Err().
+func AnalyzeLive(ctx context.Context, logDir string, opts ...Option) (*Report, *RunStats, error) {
+	store, err := trace.NewDirStore(logDir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sword: %w", err)
+	}
+	return AnalyzeLiveStore(ctx, store, opts...)
+}
+
+// AnalyzeLiveStore is AnalyzeLive over an already-open trace store — the
+// in-process variant for custom pipelines (a MemStore shared with a
+// running session, the analysis service's upload directories).
+func AnalyzeLiveStore(ctx context.Context, store Store, opts ...Option) (*Report, *RunStats, error) {
+	cfg := applyOptions(opts)
+	m := cfg.Obs
+	if m == nil {
+		m = obs.New()
+	}
+	rep, err := stream.New(store, stream.Config{
+		Core: core.Config{
+			Workers:      cfg.Workers,
+			NoSolver:     cfg.NoSolver,
+			NoCompact:    cfg.NoCompact,
+			SubtreeBatch: cfg.SubtreeBatch,
+			MemoryBudget: cfg.MemoryBudget,
+			NoPrefilter:  cfg.NoPrefilter,
+			AllRaces:     cfg.AllRaces,
+			Obs:          m,
+		},
+		PollInterval: cfg.PollInterval,
+		OnRace:       cfg.OnRace,
+		Obs:          m,
+	}).Run(ctx)
+	if err != nil {
+		if rep != nil {
+			// Partial result (cancelled mid-run); hand both back.
+			st := newRunStats(m.Snapshot())
+			st.Analysis = rep.Stats
+			return rep, st, fmt.Errorf("sword: live analysis: %w", err)
+		}
+		return nil, nil, fmt.Errorf("sword: live analysis: %w", err)
 	}
 	st := newRunStats(m.Snapshot())
 	st.Analysis = rep.Stats
